@@ -1,0 +1,490 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus ablation and
+// microarchitectural benchmarks. Figure benches run scaled-down
+// configurations (ScaleUnit machines, a handful of mixes) so the whole
+// suite completes in minutes; cmd/vantage-sim runs the full versions.
+//
+// Shape metrics (geometric-mean speedups, forced-eviction fractions,
+// classification accuracy) are attached to each benchmark via
+// b.ReportMetric, so `go test -bench .` doubles as a results table.
+package vantage_test
+
+import (
+	"testing"
+
+	"vantage"
+	"vantage/internal/analytic"
+	"vantage/internal/core"
+	"vantage/internal/exp"
+	"vantage/internal/hash"
+	"vantage/internal/ucp"
+	"vantage/internal/workload"
+)
+
+// workloadMRC adapts the facade App to the workload package's MRC utility.
+func workloadMRC(app vantage.App, n int, sizes []int) []float64 {
+	return workload.MissRateCurve(app, n, sizes)
+}
+
+// benchMachine returns the scaled 4-core machine used by figure benches.
+func benchMachine() exp.Machine {
+	m := exp.SmallCMP(exp.ScaleUnit)
+	m.InstrLimit, m.WarmupInstr = 60_000, 40_000
+	return m
+}
+
+// BenchmarkFig1AssocCDF regenerates Fig 1 (Equation 1 associativity CDFs)
+// and reports FA(0.8; R=64), the paper's quoted ~1e-6 point.
+func BenchmarkFig1AssocCDF(b *testing.B) {
+	var f exp.Fig1
+	for i := 0; i < b.N; i++ {
+		f = exp.RunFig1()
+	}
+	b.ReportMetric(f.F[3][80]*1e9, "FA(0.8,R64)_e-9")
+}
+
+// BenchmarkFig2ManagedCDF regenerates Fig 2 (managed-region demotion CDFs)
+// and reports the demotion mass below priority 0.9 for R=16 under both
+// demotion disciplines.
+func BenchmarkFig2ManagedCDF(b *testing.B) {
+	var f exp.Fig2
+	for i := 0; i < b.N; i++ {
+		f = exp.RunFig2()
+	}
+	b.ReportMetric(f.OnePer[0][90], "one-per-evict@0.9")
+	b.ReportMetric(f.Average[0][90], "on-average@0.9")
+}
+
+// BenchmarkFig5UnmanagedSizing regenerates Fig 5 (unmanaged-region sizing)
+// and reports u(Amax=0.4, Pev=1e-2, R=52), the paper's 13%.
+func BenchmarkFig5UnmanagedSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = exp.RunFig5()
+	}
+	b.ReportMetric(100*analytic.UnmanagedFraction(1e-2, 0.4, 0.1, 52), "u_pct")
+}
+
+// BenchmarkFig6aSmallScale regenerates the 4-core scheme comparison
+// (Fig 6a) on a reduced mix set and reports each scheme's geometric-mean
+// throughput versus unpartitioned LRU. The paper's shape: Vantage > 1 on
+// nearly all mixes; way-partitioning and PIPP hurt a large fraction.
+func BenchmarkFig6aSmallScale(b *testing.B) {
+	m := benchMachine()
+	var r exp.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Fig6a(m, 12, nil)
+	}
+	for _, c := range r.Curves {
+		b.ReportMetric(c.Summary.GeoMean, "gmean_"+c.Scheme)
+	}
+}
+
+// BenchmarkFig6bSelected regenerates the Fig 6b selected-mix bars.
+func BenchmarkFig6bSelected(b *testing.B) {
+	m := benchMachine()
+	var r exp.SelectedMixes
+	for i := 0; i < b.N; i++ {
+		r = exp.Fig6b(m)
+	}
+	// Report Vantage's mean improvement across the selected mixes.
+	last := len(r.Improv) - 1
+	mean := 0.0
+	for _, v := range r.Improv[last] {
+		mean += v
+	}
+	b.ReportMetric(mean/float64(len(r.Improv[last])), "vantage_mean_pct")
+}
+
+// BenchmarkFig7LargeScale regenerates the 32-core comparison (Fig 7):
+// Vantage on a 4-way zcache against way-partitioning and PIPP on 64-way
+// caches. The paper's shape: the way-granular schemes degrade most mixes
+// at 32 partitions while Vantage keeps improving.
+func BenchmarkFig7LargeScale(b *testing.B) {
+	m := exp.LargeCMP(exp.ScaleUnit)
+	// Keep the machine's warmup: it is sized to cover the stream-driven
+	// cache-fill transient (see exp.LargeCMP); shortening it reintroduces
+	// the cold-start forced evictions the measurement must exclude.
+	m.InstrLimit = 25_000
+	var r exp.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Fig7(m, 6, nil)
+	}
+	for _, c := range r.Curves {
+		b.ReportMetric(c.Summary.GeoMean, "gmean_"+c.Scheme)
+	}
+}
+
+// BenchmarkFig8SizeTracking regenerates the Fig 8 size-tracking traces and
+// reports each scheme's mean undershoot (the paper's Fig 8c shows PIPP
+// failing to meet its targets while Vantage tracks them).
+func BenchmarkFig8SizeTracking(b *testing.B) {
+	m := benchMachine()
+	m.InstrLimit = 150_000
+	var r exp.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunFig8(m, "ttnn4", 0)
+	}
+	for i, name := range r.Schemes {
+		under, _ := r.TrackingError(i)
+		b.ReportMetric(100*under, "undershoot_pct_"+name)
+	}
+}
+
+// BenchmarkFig9UnmanagedSweep regenerates the Fig 9 sensitivity study and
+// reports the median forced-eviction fraction at u=5% and u=30%.
+func BenchmarkFig9UnmanagedSweep(b *testing.B) {
+	m := benchMachine()
+	var r exp.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunFig9(m, []float64{0.05, 0.30}, 8, nil)
+	}
+	for i, u := range r.U {
+		ff := r.ForcedFrac[i]
+		b.ReportMetric(ff[len(ff)/2], "median_forced_u"+fmtPct(u))
+	}
+}
+
+func fmtPct(u float64) string {
+	return string([]byte{byte('0' + int(u*100)/10%10), byte('0' + int(u*100)%10)})
+}
+
+// BenchmarkFig10CacheDesigns regenerates the Fig 10 array-design study:
+// Vantage on Z4/52, SA64, Z4/16 and SA16.
+func BenchmarkFig10CacheDesigns(b *testing.B) {
+	m := benchMachine()
+	var r exp.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Fig10(m, 8, nil)
+	}
+	for _, c := range r.Curves {
+		b.ReportMetric(c.Summary.GeoMean, "gmean_"+c.Scheme)
+	}
+}
+
+// BenchmarkFig11RRIP regenerates the Fig 11 replacement-policy study:
+// RRIP baselines versus Vantage-LRU and Vantage-DRRIP.
+func BenchmarkFig11RRIP(b *testing.B) {
+	m := benchMachine()
+	var r exp.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Fig11(m, 8, nil)
+	}
+	for _, c := range r.Curves {
+		b.ReportMetric(c.Summary.GeoMean, "gmean_"+c.Scheme)
+	}
+}
+
+// BenchmarkTable3Classification regenerates the Table 3 workload
+// classification and reports its accuracy.
+func BenchmarkTable3Classification(b *testing.B) {
+	m := benchMachine()
+	var r exp.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = exp.RunTable3(m, 2, nil)
+	}
+	b.ReportMetric(100*r.Accuracy(), "accuracy_pct")
+}
+
+// BenchmarkValidationModels regenerates the §6.2 validation: practical
+// Vantage versus perfect-aperture control versus the idealized
+// random-candidates array. The three gmeans should nearly coincide.
+func BenchmarkValidationModels(b *testing.B) {
+	m := benchMachine()
+	var r exp.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Validation(m, 8, nil)
+	}
+	for _, c := range r.Curves {
+		b.ReportMetric(c.Summary.GeoMean, "gmean_"+c.Scheme)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §4)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationDemotionMode quantifies §3.3's demote-on-average
+// advantage empirically: the mean demotion priority of the practical
+// (setpoint, on-average) controller versus the exactly-one-per-eviction
+// ablation, whose distribution follows Eq 2 / Fig 2b.
+func BenchmarkAblationDemotionMode(b *testing.B) {
+	// The harmful demotions are the low-priority ones (lines the partition
+	// still needs); report the tail mass below priority 0.85 under each
+	// discipline. On-average demotions are confined to [1-A, 1]; the
+	// one-per-eviction ablation has an Eq 2 tail reaching far lower. The
+	// contrast is starkest at modest candidate counts, so the ablation runs
+	// on Z4/16 (Fig 2 uses R=16 too).
+	measure := func(mode vantage.Mode) float64 {
+		arr := vantage.NewZCache(4096, 4, 16, 1)
+		ctl := vantage.New(arr, vantage.Config{
+			Partitions: 2, UnmanagedFrac: 0.10, AMax: 0.5, Slack: 0.1, Mode: mode,
+		})
+		ctl.SetTargets([]int{1843, 1843})
+		var low float64
+		var n int
+		ctl.SetEvictionObserver(func(part int, pri float64, dem bool) {
+			if dem {
+				if pri < 0.85 {
+					low++
+				}
+				n++
+			}
+		})
+		// Mild overcommit keeps the demotion demand near one per eviction,
+		// Fig 2's matched-rate comparison point.
+		rng := hash.NewRand(7)
+		for k := 0; k < 120000; k++ {
+			ctl.Access(1<<40|uint64(rng.Intn(1950)), 0)
+			ctl.Access(2<<40|uint64(rng.Intn(1950)), 1)
+		}
+		if n == 0 {
+			return 0
+		}
+		return low / float64(n)
+	}
+	var onAvg, onePer float64
+	for i := 0; i < b.N; i++ {
+		onAvg = measure(vantage.ModeSetpoint)
+		onePer = measure(vantage.ModeOnePerEviction)
+	}
+	b.ReportMetric(onAvg*100, "pct_below_085_on_average")
+	b.ReportMetric(onePer*100, "pct_below_085_one_per_evict")
+}
+
+// BenchmarkAblationApertureControl compares the practical feedback
+// controller against perfect-aperture knowledge (the §6.2 validation) on
+// throughput.
+func BenchmarkAblationApertureControl(b *testing.B) {
+	m := benchMachine()
+	var r exp.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunThroughput(m, exp.LRUBaseline(), []exp.Scheme{
+			exp.DefaultVantageScheme(),
+			exp.VantageScheme("Z4/52", exp.DefaultVantage(), core.ModePerfectAperture),
+		}, 6, nil)
+	}
+	b.ReportMetric(r.Curves[0].Summary.GeoMean, "gmean_setpoint")
+	b.ReportMetric(r.Curves[1].Summary.GeoMean, "gmean_perfect")
+}
+
+// BenchmarkAblationSetpoint measures how closely setpoint-based demotions
+// track partition targets versus perfect priority knowledge: the mean
+// absolute size error across a steady-state run.
+func BenchmarkAblationSetpoint(b *testing.B) {
+	var errSetpoint, errPerfect float64
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []vantage.Mode{vantage.ModeSetpoint, vantage.ModePerfectAperture} {
+			arr := vantage.NewZCache(4096, 4, 52, 1)
+			ctl := vantage.New(arr, vantage.Config{
+				Partitions: 2, UnmanagedFrac: 0.10, AMax: 0.5, Slack: 0.1, Mode: mode,
+			})
+			targets := []int{2400, 1286}
+			ctl.SetTargets(targets)
+			rng := hash.NewRand(11)
+			sum, n := 0.0, 0
+			for k := 0; k < 80000; k++ {
+				ctl.Access(1<<40|uint64(rng.Intn(2600)), 0)
+				ctl.Access(2<<40|uint64(k), 1)
+				if k > 40000 && k%500 == 0 {
+					for p := 0; p < 2; p++ {
+						d := float64(ctl.Size(p) - targets[p])
+						if d < 0 {
+							d = -d
+						}
+						sum += d / float64(targets[p])
+						n++
+					}
+				}
+			}
+			if mode == vantage.ModeSetpoint {
+				errSetpoint = sum / float64(n)
+			} else {
+				errPerfect = sum / float64(n)
+			}
+		}
+	}
+	b.ReportMetric(100*errSetpoint, "size_err_pct_setpoint")
+	b.ReportMetric(100*errPerfect, "size_err_pct_perfect")
+}
+
+// BenchmarkAblationSlackAmax sweeps the controller's two knobs over a
+// representative mix, reporting relative throughput for each setting
+// (the paper: largely insensitive for Amax 5-70%, slack > 2%).
+func BenchmarkAblationSlackAmax(b *testing.B) {
+	m := benchMachine()
+	var results []float64
+	var labels []string
+	for i := 0; i < b.N; i++ {
+		results = results[:0]
+		labels = labels[:0]
+		for _, cfg := range []struct {
+			amax, slack float64
+		}{{0.1, 0.1}, {0.5, 0.1}, {0.9, 0.1}, {0.5, 0.05}, {0.5, 0.3}} {
+			v := exp.DefaultVantage()
+			v.AMax, v.Slack = cfg.amax, cfg.slack
+			r := exp.RunThroughput(m, exp.LRUBaseline(),
+				[]exp.Scheme{exp.VantageScheme("Z4/52", v, core.ModeSetpoint)}, 4, nil)
+			results = append(results, r.Curves[0].Summary.GeoMean)
+			labels = append(labels, "gmean_A"+fmtPct(cfg.amax)+"_s"+fmtPct(cfg.slack))
+		}
+	}
+	for i := range results {
+		b.ReportMetric(results[i], labels[i])
+	}
+}
+
+// BenchmarkAblationCandidates isolates the candidate count R: Vantage on
+// Z4/16 vs Z4/52 at matched unmanaged fractions.
+func BenchmarkAblationCandidates(b *testing.B) {
+	m := benchMachine()
+	var r exp.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		v := exp.DefaultVantage()
+		v.UnmanagedFrac = 0.10
+		r = exp.RunThroughput(m, exp.LRUBaseline(), []exp.Scheme{
+			exp.VantageScheme("Z4/16", v, core.ModeSetpoint),
+			exp.VantageScheme("Z4/52", v, core.ModeSetpoint),
+		}, 6, nil)
+	}
+	for _, c := range r.Curves {
+		b.ReportMetric(c.Summary.GeoMean, "gmean_"+c.Scheme)
+	}
+}
+
+// BenchmarkTransientConvergence measures resize-convergence speed (the
+// Fig 8 adaptation claim): accesses until partition sizes reach a flipped
+// allocation, per scheme.
+func BenchmarkTransientConvergence(b *testing.B) {
+	var r exp.TransientResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunTransient(4096, 7)
+	}
+	for i, name := range r.Schemes {
+		b.ReportMetric(float64(r.Accesses[i]), "accesses_"+name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks (per-access costs of the substrates)
+// ---------------------------------------------------------------------------
+
+// BenchmarkZCacheAccess measures raw Z4/52 walk+install throughput.
+func BenchmarkZCacheAccess(b *testing.B) {
+	arr := vantage.NewZCache(32768, 4, 52, 1)
+	rng := hash.NewRand(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := rng.Uint64() | 1
+		if _, ok := arr.Lookup(addr); !ok {
+			cands := arr.Candidates(addr, nil)
+			arr.Install(addr, cands[len(cands)-1])
+		}
+	}
+}
+
+// BenchmarkSetAssocAccess measures raw SA16 lookup+install throughput.
+func BenchmarkSetAssocAccess(b *testing.B) {
+	arr := vantage.NewSetAssoc(32768, 16, true, 1)
+	rng := hash.NewRand(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := rng.Uint64() | 1
+		if _, ok := arr.Lookup(addr); !ok {
+			cands := arr.Candidates(addr, nil)
+			arr.Install(addr, cands[0])
+		}
+	}
+}
+
+// BenchmarkVantageAccess measures the full Vantage controller access path
+// under steady demotion traffic.
+func BenchmarkVantageAccess(b *testing.B) {
+	arr := vantage.NewZCache(32768, 4, 52, 1)
+	ctl := vantage.New(arr, vantage.Config{Partitions: 8, UnmanagedFrac: 0.05, AMax: 0.5, Slack: 0.1})
+	rng := hash.NewRand(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := i & 7
+		ctl.Access(uint64(p+1)<<40|uint64(rng.Intn(6000)), p)
+	}
+}
+
+// BenchmarkUnpartitionedLRUAccess is the baseline access path.
+func BenchmarkUnpartitionedLRUAccess(b *testing.B) {
+	arr := vantage.NewZCache(32768, 4, 52, 1)
+	ctl := vantage.NewUnpartitioned(arr, vantage.NewLRU(32768), 8)
+	rng := hash.NewRand(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := i & 7
+		ctl.Access(uint64(p+1)<<40|uint64(rng.Intn(6000)), p)
+	}
+}
+
+// BenchmarkUCPAllocate measures one Lookahead repartitioning decision at
+// line granularity with 32 partitions.
+func BenchmarkUCPAllocate(b *testing.B) {
+	pol := ucp.NewPolicy(32, 16, 131072, ucp.GranLines, 1)
+	rng := hash.NewRand(11)
+	for p := 0; p < 32; p++ {
+		for k := 0; k < 20000; k++ {
+			pol.Access(p, uint64(p+1)<<40|uint64(rng.Intn(4000*(p+1))))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Allocate(124518)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures simulated accesses per second for
+// the full 4-core stack (cores + L1s + UCP + Vantage L2).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	m := benchMachine()
+	mix := m.Mixes(1)[0]
+	sch := exp.DefaultVantageScheme()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunMix(mix, sch)
+	}
+}
+
+// BenchmarkAblationBanking compares the paper's banked organization (4
+// address-interleaved banks with per-bank Vantage controllers and split
+// targets) against a single monolithic controller.
+func BenchmarkAblationBanking(b *testing.B) {
+	m := benchMachine()
+	var r exp.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunThroughput(m, exp.LRUBaseline(), []exp.Scheme{
+			exp.DefaultVantageScheme(),
+			exp.BankedVantageScheme(4),
+		}, 6, nil)
+	}
+	for _, c := range r.Curves {
+		b.ReportMetric(c.Summary.GeoMean, "gmean_"+c.Scheme)
+	}
+}
+
+// BenchmarkContention measures the effect of enabling Table 2's bank and
+// bandwidth contention model on the Vantage-vs-LRU comparison.
+func BenchmarkContention(b *testing.B) {
+	var free, limited exp.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		m := benchMachine()
+		free = exp.RunThroughput(m, exp.LRUBaseline(), []exp.Scheme{exp.DefaultVantageScheme()}, 6, nil)
+		mc := m.WithContention()
+		limited = exp.RunThroughput(mc, exp.LRUBaseline(), []exp.Scheme{exp.DefaultVantageScheme()}, 6, nil)
+	}
+	b.ReportMetric(free.Curves[0].Summary.GeoMean, "gmean_zero_load")
+	b.ReportMetric(limited.Curves[0].Summary.GeoMean, "gmean_contended")
+}
+
+// BenchmarkMissRateCurve measures the Mattson stack-distance MRC utility.
+func BenchmarkMissRateCurve(b *testing.B) {
+	sizes := []int{256, 512, 1024, 2048, 4096}
+	for i := 0; i < b.N; i++ {
+		app := vantage.NewZipfApp(vantage.Friendly, 4000, 0.7, 0, 1, uint64(i+1))
+		workloadMRC(app, 30000, sizes)
+	}
+}

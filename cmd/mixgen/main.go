@@ -1,0 +1,63 @@
+// Command mixgen lists the paper's multiprogrammed workload mixes (35
+// classes × N mixes per class) with the per-app parameters the generator
+// drew, so experiment runs are auditable and reproducible.
+//
+// Usage:
+//
+//	mixgen [-cores 4|8|...|32] [-per 10] [-lines 32768] [-seed 2011] [-class sftn]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vantage/internal/workload"
+)
+
+func main() {
+	cores := flag.Int("cores", 4, "core count (multiple of 4)")
+	per := flag.Int("per", 10, "mixes per class")
+	lines := flag.Int("lines", 32768, "L2 lines the workloads target")
+	seed := flag.Uint64("seed", 2011, "generator seed")
+	class := flag.String("class", "", "only list mixes of this class (e.g. sftn)")
+	mrc := flag.Bool("mrc", false, "print each app's exact LRU miss-rate curve (Mattson stack algorithm)")
+	mrcRefs := flag.Int("mrc-refs", 200000, "references per app for -mrc")
+	flag.Parse()
+
+	filter := ""
+	if *class != "" {
+		filter = workload.CanonicalMixID(*class + "1")
+		filter = filter[:4]
+	}
+
+	mixes := workload.Mixes(*cores, *per, workload.Params{CacheLines: *lines}, *seed)
+	sizes := []int{*lines / 16, *lines / 4, *lines / 2, *lines, 2 * *lines}
+	count := 0
+	for _, m := range mixes {
+		if filter != "" && m.Class.String() != filter {
+			continue
+		}
+		count++
+		fmt.Printf("%s:", m.ID)
+		for _, app := range m.Apps {
+			fmt.Printf(" %s", app.Name())
+		}
+		fmt.Println()
+		if *mrc {
+			for _, app := range m.Apps {
+				curve := workload.MissRateCurve(app, *mrcRefs, sizes)
+				fmt.Printf("  %-28s miss%%:", app.Name())
+				for i, v := range curve {
+					fmt.Printf(" %d:%0.1f", sizes[i], 100*v)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	if count == 0 {
+		fmt.Fprintln(os.Stderr, "mixgen: no mixes matched")
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%d mixes, %d apps each\n", count, *cores)
+}

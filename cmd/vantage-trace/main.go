@@ -1,0 +1,197 @@
+// Command vantage-trace captures, inspects, and replays memory-reference
+// traces in the repository's compact binary format.
+//
+// Usage:
+//
+//	vantage-trace capture -app <spec> -n 1000000 -o trace.vtr
+//	vantage-trace stat   -i trace.vtr
+//	vantage-trace replay -i trace.vtr [-lines 4096] [-ways 4] [-cands 52]
+//
+// App specs mirror the synthetic workload generators:
+//
+//	zipf:<lines>:<alpha>     cache-friendly Zipf reuse
+//	scan:<lines>             cache-fitting cyclic scan
+//	stream:<lines>           thrashing sequential stream
+//
+// replay drives the trace through an unpartitioned zcache with LRU and
+// reports hit ratios, a quick way to estimate a captured workload's miss
+// curve at one size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vantage/internal/cache"
+	"vantage/internal/ctrl"
+	"vantage/internal/repl"
+	"vantage/internal/trace"
+	"vantage/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "capture":
+		capture(args)
+	case "stat":
+		stat(args)
+	case "replay":
+		replay(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vantage-trace capture|stat|replay [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vantage-trace:", err)
+	os.Exit(1)
+}
+
+// parseApp builds a workload generator from a spec string.
+func parseApp(spec string, seed uint64) (workload.App, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			fatal(fmt.Errorf("bad number %q in app spec", s))
+		}
+		return v
+	}
+	switch {
+	case parts[0] == "zipf" && len(parts) == 3:
+		alpha, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad alpha %q", parts[2])
+		}
+		return workload.NewZipfApp(workload.Friendly, atoi(parts[1]), alpha, 3, 2, seed), nil
+	case parts[0] == "scan" && len(parts) == 2:
+		return workload.NewScanApp(workload.Fitting, atoi(parts[1]), 3, 2, seed), nil
+	case parts[0] == "stream" && len(parts) == 2:
+		return workload.NewStreamApp(atoi(parts[1]), 2, 2, seed), nil
+	}
+	return nil, fmt.Errorf("unknown app spec %q", spec)
+}
+
+func capture(args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	appSpec := fs.String("app", "zipf:8192:0.8", "app spec to capture")
+	n := fs.Int("n", 1_000_000, "references to capture")
+	out := fs.String("o", "trace.vtr", "output file")
+	seed := fs.Uint64("seed", 1, "app seed")
+	fs.Parse(args)
+
+	app, err := parseApp(*appSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Capture(w, app, *n); err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("captured %d references of %s to %s (%d bytes, %.2f B/ref)\n",
+		*n, app.Name(), *out, st.Size(), float64(st.Size())/float64(*n))
+}
+
+func stat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "trace.vtr", "input file")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var (
+		refs, instrs uint64
+		distinct            = map[uint64]struct{}{}
+		minA, maxA   uint64 = ^uint64(0), 0
+	)
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		refs++
+		instrs += uint64(rec.Gap) + 1
+		distinct[rec.Addr] = struct{}{}
+		if rec.Addr < minA {
+			minA = rec.Addr
+		}
+		if rec.Addr > maxA {
+			maxA = rec.Addr
+		}
+	}
+	if refs == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
+	fmt.Printf("references:      %d\n", refs)
+	fmt.Printf("instructions:    %d (%.2f per reference)\n", instrs, float64(instrs)/float64(refs))
+	fmt.Printf("distinct lines:  %d (footprint %.1f KB at 64 B/line)\n",
+		len(distinct), float64(len(distinct))*64/1024)
+	fmt.Printf("address range:   [%d, %d]\n", minA, maxA)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "trace.vtr", "input file")
+	lines := fs.Int("lines", 4096, "cache lines")
+	ways := fs.Int("ways", 4, "zcache ways")
+	cands := fs.Int("cands", 52, "replacement candidates")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("empty trace"))
+	}
+	arr := cache.NewZCache(*lines, *ways, *cands, 1)
+	l2 := ctrl.NewUnpartitioned(arr, repl.NewLRUTimestamp(*lines), 1)
+	hits := 0
+	for _, rec := range recs {
+		if l2.Access(rec.Addr, 0).Hit {
+			hits++
+		}
+	}
+	fmt.Printf("replayed %d references on Z%d/%d with %d lines: %.2f%% hits\n",
+		len(recs), *ways, *cands, *lines, 100*float64(hits)/float64(len(recs)))
+}

@@ -1,0 +1,95 @@
+package vantage_test
+
+import (
+	"fmt"
+
+	"vantage"
+)
+
+// ExampleNew shows the minimal Vantage setup: a Z4/52 zcache partitioned
+// between two tenants at line granularity.
+func ExampleNew() {
+	arr := vantage.NewZCache(4096, 4, 52, 42)
+	ctl := vantage.New(arr, vantage.Config{
+		Partitions:    2,
+		UnmanagedFrac: 0.05,
+		AMax:          0.5,
+		Slack:         0.1,
+	})
+	ctl.SetTargets([]int{2500, 1391})
+
+	// Tenant 0 fills its partition.
+	for i := uint64(0); i < 2500; i++ {
+		ctl.Access(1<<40|i, 0)
+	}
+	fmt.Println("tenant 0 holds", ctl.Size(0), "lines of its 2500-line target")
+	// Output:
+	// tenant 0 holds 2500 lines of its 2500-line target
+}
+
+// ExampleLookahead runs UCP's allocation algorithm on two utility curves:
+// one partition gains 100 hits per unit for 4 units, the other 10 per unit
+// throughout.
+func ExampleLookahead() {
+	steep := []float64{0, 100, 200, 300, 400, 400, 400, 400, 400}
+	gentle := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80}
+	alloc := vantage.Lookahead([][]float64{steep, gentle}, 8, 1)
+	fmt.Println(alloc)
+	// Output:
+	// [4 4]
+}
+
+// ExampleFeedbackAperture evaluates Equation 7, the controller's linear
+// transfer function from partition size to demotion aperture.
+func ExampleFeedbackAperture() {
+	fmt.Printf("%.2f %.2f %.2f\n",
+		vantage.FeedbackAperture(1000, 1000, 0.4, 0.1), // at target: closed
+		vantage.FeedbackAperture(1050, 1000, 0.4, 0.1), // half slack
+		vantage.FeedbackAperture(1200, 1000, 0.4, 0.1)) // beyond slack: Amax
+	// Output:
+	// 0.00 0.20 0.40
+}
+
+// ExampleUnmanagedFraction sizes the unmanaged region per §4.3 for the
+// paper's Z4/52 configuration.
+func ExampleUnmanagedFraction() {
+	u := vantage.UnmanagedFraction(1e-2, 0.4, 0.1, 52)
+	fmt.Printf("u = %.1f%%\n", 100*u)
+	// Output:
+	// u = 13.8%
+}
+
+// ExampleStateOverhead reproduces the paper's Fig 4 state accounting for an
+// 8 MB cache with 32 partitions.
+func ExampleStateOverhead() {
+	o := vantage.StateOverhead(131072, 32, 64, 64)
+	fmt.Println(o.PartitionBitsPerTag, "tag bits per line,", o.RegisterBitsPerPart, "register bits per partition")
+	// Output:
+	// 6 tag bits per line, 256 register bits per partition
+}
+
+// ExampleSimulate runs a tiny two-core simulation with UCP driving a
+// Vantage-partitioned L2.
+func ExampleSimulate() {
+	apps := []vantage.App{
+		vantage.NewScanApp(vantage.Fitting, 600, 2, 1, 13),
+		vantage.NewStreamApp(1<<20, 2, 1, 17),
+	}
+	ctl := vantage.New(vantage.NewZCache(1024, 4, 52, 21), vantage.Config{
+		Partitions: 2, UnmanagedFrac: 0.05, AMax: 0.5, Slack: 0.1,
+	})
+	res := vantage.Simulate(vantage.SimConfig{
+		Apps:               apps,
+		L2:                 ctl,
+		L1Lines:            64,
+		L1Ways:             4,
+		InstrLimit:         200_000,
+		WarmupInstr:        100_000,
+		Alloc:              vantage.NewUCP(2, 16, 1024, vantage.GranLines, 23),
+		RepartitionCycles:  100_000,
+		PartitionableLines: 972,
+	})
+	fmt.Println("scan app misses per kilo-instruction:", int(res.Cores[0].L2MPKI))
+	// Output:
+	// scan app misses per kilo-instruction: 0
+}

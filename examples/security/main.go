@@ -1,0 +1,96 @@
+// Security: close a prime+probe cache side channel with partition isolation
+// (the paper's §1 motivates Vantage for exactly this, citing Percival's
+// attack).
+//
+// An attacker primes the cache with its own lines, waits while a victim
+// executes a secret-dependent memory burst, then probes its lines and
+// counts misses. On a shared LRU cache, the victim's insertions evict
+// attacker lines, so the probe miss count leaks the secret bit. With
+// Vantage, the victim's churn is absorbed by its own partition and the
+// unmanaged region — the attacker's partition is isolated and the two
+// probe distributions collapse onto each other.
+package main
+
+import (
+	"fmt"
+
+	"vantage"
+)
+
+const (
+	l2Lines    = 4096
+	primeLines = 1500 // attacker's probe set
+	burstLines = 3500 // victim's secret-dependent burst
+	trials     = 400
+)
+
+// probeChannel runs the prime+probe protocol and returns the mean probe
+// misses when the secret bit is 0 and when it is 1.
+func probeChannel(mk func() vantage.CacheController) (mean0, mean1 float64) {
+	l2 := mk()
+	rng := uint64(12345)
+	next := func(n uint64) uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng % n }
+	var sum [2]float64
+	var cnt [2]int
+	victimPos := uint64(0)
+	for trial := 0; trial < trials; trial++ {
+		// Prime: attacker (partition 1) touches its probe set.
+		for i := uint64(0); i < primeLines; i++ {
+			l2.Access(1<<40|i, 1)
+		}
+		// Victim (partition 0) bursts only when the secret bit is 1.
+		bit := int(next(2))
+		if bit == 1 {
+			for i := uint64(0); i < burstLines; i++ {
+				l2.Access(2<<40|victimPos, 0)
+				victimPos++
+			}
+		}
+		// Probe: attacker re-touches its set counting misses.
+		misses := 0
+		for i := uint64(0); i < primeLines; i++ {
+			if r := l2.Access(1<<40|i, 1); !r.Hit {
+				misses++
+			}
+		}
+		if trial >= 10 { // skip cold-start trials
+			sum[bit] += float64(misses)
+			cnt[bit]++
+		}
+	}
+	return sum[0] / float64(cnt[0]), sum[1] / float64(cnt[1])
+}
+
+func main() {
+	shared := func() vantage.CacheController {
+		return vantage.NewUnpartitioned(
+			vantage.NewZCache(l2Lines, 4, 52, 7), vantage.NewLRU(l2Lines), 2)
+	}
+	partitioned := func() vantage.CacheController {
+		// A large unmanaged region gives the strong isolation the paper
+		// prescribes for security uses (§7): Pev = (1-0.25)^52 ≈ 3e-7.
+		ctl := vantage.New(vantage.NewZCache(l2Lines, 4, 52, 7), vantage.Config{
+			Partitions:    2,
+			UnmanagedFrac: 0.25,
+			AMax:          0.5,
+			Slack:         0.1,
+		})
+		ctl.SetTargets([]int{1500, 1572}) // victim, attacker
+		return ctl
+	}
+
+	s0, s1 := probeChannel(shared)
+	v0, v1 := probeChannel(partitioned)
+
+	fmt.Println("prime+probe side channel: mean attacker probe misses per trial")
+	fmt.Printf("%-22s secret=0 %8.1f   secret=1 %8.1f   leak (delta) %8.1f\n",
+		"shared LRU", s0, s1, s1-s0)
+	fmt.Printf("%-22s secret=0 %8.1f   secret=1 %8.1f   leak (delta) %8.1f\n",
+		"Vantage partitions", v0, v1, v1-v0)
+	if s1-s0 > 10*(v1-v0) {
+		fmt.Println("\nVantage collapses the channel: the victim's activity is no longer")
+		fmt.Println("observable through the attacker's probe misses.")
+	} else {
+		fmt.Println("\nWARNING: channel not fully closed in this configuration.")
+	}
+}

@@ -1,0 +1,76 @@
+package vantage
+
+import (
+	"io"
+
+	"vantage/internal/part"
+	"vantage/internal/sim"
+	"vantage/internal/trace"
+	"vantage/internal/ucp"
+)
+
+// Additional allocation policies ([9]'s taxonomy: communist, utilitarian,
+// capitalist) and supporting infrastructure.
+
+// Allocator decides partition targets; UCP and the simple policies below
+// implement it, and Simulate accepts any of them.
+type Allocator = sim.Allocator
+
+// NewStaticAllocator returns a fixed-share allocation policy (for QoS
+// reservations, pinning, and other uses that bypass utility monitoring).
+func NewStaticAllocator(shares []float64) Allocator { return ucp.NewStatic(shares) }
+
+// NewEqualShareAllocator returns the "communist" equal-split policy.
+func NewEqualShareAllocator(partitions int) Allocator { return ucp.NewEqualShare(partitions) }
+
+// NewProportionalAllocator returns the "capitalist" demand-proportional
+// policy with a minimum per-partition share floor.
+func NewProportionalAllocator(partitions int, floor float64) Allocator {
+	return ucp.NewProportional(partitions, floor)
+}
+
+// UCPRRIP is the Vantage-DRRIP allocation policy (§6.2): UMON-RRIP monitors
+// drive both Lookahead and the per-partition SRRIP/BRRIP choice.
+type UCPRRIP = ucp.PolicyRRIP
+
+// NewUCPRRIP returns a Vantage-DRRIP allocation policy.
+func NewUCPRRIP(partitions, ways, cacheLines int, seed uint64) *UCPRRIP {
+	return ucp.NewPolicyRRIP(partitions, ways, cacheLines, seed)
+}
+
+// SetPartition is the set-partitioning baseline (reconfigurable caches):
+// full associativity per partition, but coarse allocations and scrubbing on
+// resize.
+type SetPartition = part.SetPartition
+
+// NewSetPartition returns a set-partitioning controller over a
+// set-associative array.
+func NewSetPartition(arr *SetAssoc, partitions int) *SetPartition {
+	return part.NewSetPartition(arr, partitions)
+}
+
+// Trace recording and replay.
+type (
+	// TraceRecord is one memory reference of a trace.
+	TraceRecord = trace.Record
+	// TraceWriter streams records in the compact binary format.
+	TraceWriter = trace.Writer
+	// TraceReader reads them back.
+	TraceReader = trace.Reader
+	// TraceApp replays a trace as an App, looping at the end.
+	TraceApp = trace.App
+)
+
+// NewTraceWriter returns a trace writer over w.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) { return trace.NewWriter(w) }
+
+// NewTraceReader returns a trace reader over r.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// CaptureTrace runs app for n references, recording its stream.
+func CaptureTrace(w *TraceWriter, app App, n int) error { return trace.Capture(w, app, n) }
+
+// NewTraceApp replays recs as an App.
+func NewTraceApp(name string, cat AppCategory, recs []TraceRecord) *TraceApp {
+	return trace.NewApp(name, cat, recs)
+}

@@ -1,0 +1,3 @@
+module vantage
+
+go 1.22

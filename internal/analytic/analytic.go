@@ -1,0 +1,217 @@
+// Package analytic implements the closed-form models Vantage is derived from
+// (paper §3 and §4.3): the associativity distribution of caches with
+// uniformly distributed replacement candidates, the managed-region demotion
+// distributions under the managed/unmanaged division, churn-based aperture
+// and minimum-stable-size formulas, and the unmanaged-region sizing rule.
+//
+// These models generate Figures 1, 2 and 5 directly and provide the
+// reference values the simulation-based experiments are validated against.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// AssocCDF is Equation 1: the cumulative associativity distribution
+// FA(x) = x^R of a cache whose R replacement candidates are independent and
+// uniformly distributed eviction priorities in [0,1]. It is the probability
+// that an eviction falls on a line with eviction priority <= x.
+func AssocCDF(x float64, r int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	return math.Pow(x, float64(r))
+}
+
+// AssocQuantile inverts AssocCDF: the eviction priority below which a
+// fraction p of evictions fall.
+func AssocQuantile(p float64, r int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return math.Pow(p, 1/float64(r))
+}
+
+// Binomial returns C(n,k) as a float64.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// ManagedCDFOnePerEviction is Equation 2: the demotion-priority CDF inside
+// the managed region when exactly one line is demoted per eviction.
+// u is the unmanaged fraction of the cache, r the candidate count.
+//
+//	FM(x) ≈ Σ_{i=1}^{R-1} B(i,R) · x^i,  B(i,R) = C(R,i)(1-u)^i u^(R-i)
+//
+// The i=0 and i=R terms are ignored as in the paper (negligible probability).
+func ManagedCDFOnePerEviction(x float64, r int, u float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	sum := 0.0
+	for i := 1; i < r; i++ {
+		b := Binomial(r, i) * math.Pow(1-u, float64(i)) * math.Pow(u, float64(r-i))
+		sum += b * math.Pow(x, float64(i))
+	}
+	// Normalize by the included probability mass so FM(1) = 1.
+	mass := 0.0
+	for i := 1; i < r; i++ {
+		mass += Binomial(r, i) * math.Pow(1-u, float64(i)) * math.Pow(u, float64(r-i))
+	}
+	if mass == 0 {
+		return 1
+	}
+	return sum / mass
+}
+
+// ManagedCDFOnAverage is Equation 3: the demotion-priority CDF when one line
+// is demoted per eviction on average, using an aperture A = 1/(R·m) where
+// m = 1-u. Demotions are uniform in [1-A, 1].
+func ManagedCDFOnAverage(x float64, r int, u float64) float64 {
+	a := Aperture(1, 1, 1, 1, r, 1-u) // single partition: A = 1/(R·m)
+	switch {
+	case x < 1-a:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return (x - (1 - a)) / a
+	}
+}
+
+// Aperture is Equation 4: the demotion aperture required for a partition
+// with churn ci and size si, given total churn cTot and total size sTot over
+// all partitions, R candidates and a managed fraction m.
+//
+//	Ai = (Ci/ΣC) · (ΣS/Si) · 1/(R·m)
+func Aperture(ci, cTot, si, sTot float64, r int, m float64) float64 {
+	if ci <= 0 || si <= 0 || cTot <= 0 || sTot <= 0 {
+		return 0
+	}
+	return (ci / cTot) * (sTot / si) / (float64(r) * m)
+}
+
+// MinStableSize is Equation 5: the minimum stable size (as a fraction of the
+// cache) a high-churn partition converges to when its aperture saturates at
+// aMax.
+//
+//	MSSj = (Cj/ΣC) · ΣS / (Amax·R·m)
+func MinStableSize(cj, cTot, sTot float64, aMax float64, r int, m float64) float64 {
+	if cTot <= 0 {
+		return 0
+	}
+	return (cj / cTot) * sTot / (aMax * float64(r) * m)
+}
+
+// TotalBorrowed is Equation 6's closing approximation: the aggregate space
+// that saturated partitions borrow from the unmanaged region in the worst
+// case, ≈ 1/(Amax·R) of the cache.
+func TotalBorrowed(aMax float64, r int) float64 {
+	return 1 / (aMax * float64(r))
+}
+
+// FeedbackOutgrowth is Equation 9: the aggregate steady-state outgrowth of
+// all partitions under feedback-based aperture control with the given slack,
+// ≈ slack/(Amax·R).
+func FeedbackOutgrowth(slack, aMax float64, r int) float64 {
+	return slack / (aMax * float64(r))
+}
+
+// UnmanagedFraction is the §4.3 sizing rule: the fraction of the cache that
+// must remain unmanaged to bound the probability of a forced eviction from
+// the managed region by pEv, allow saturated partitions to reach their
+// minimum stable sizes, and absorb feedback-control outgrowth:
+//
+//	u = 1 - pEv^(1/R) + (1+slack)/(Amax·R)
+func UnmanagedFraction(pEv, aMax, slack float64, r int) float64 {
+	return 1 - math.Pow(pEv, 1/float64(r)) + (1+slack)/(aMax*float64(r))
+}
+
+// ForcedEvictionProb inverts the first term of the sizing rule: the
+// worst-case probability that all R candidates fall in a managed region of
+// fraction m = 1-u, forcing a managed-region eviction: Pev = (1-u)^R.
+func ForcedEvictionProb(u float64, r int) float64 {
+	return math.Pow(1-u, float64(r))
+}
+
+// FeedbackAperture is Equation 7: the linear transfer function used by
+// feedback-based aperture control. si and ti are the partition's actual and
+// target sizes (any consistent unit).
+//
+//	A(s) = 0                         if s <= t
+//	       Amax/slack · (s-t)/t      if t < s <= (1+slack)t
+//	       Amax                      if s > (1+slack)t
+func FeedbackAperture(si, ti, aMax, slack float64) float64 {
+	if ti <= 0 {
+		return aMax
+	}
+	switch {
+	case si <= ti:
+		return 0
+	case si <= (1+slack)*ti:
+		return aMax / slack * (si - ti) / ti
+	default:
+		return aMax
+	}
+}
+
+// StateOverhead reports the state Vantage adds to a cache, per the paper's
+// Fig 4 accounting: partition-ID tag bits per line plus 256 bits of
+// controller registers per partition, as a fraction of total cache state
+// (tags nominally tagBits wide + 64-byte data lines).
+type StateOverhead struct {
+	PartitionBitsPerTag int     // ceil(log2(partitions+1))
+	RegisterBitsPerPart int     // controller registers (Fig 4)
+	TagBits             int     // nominal tag width
+	LineBytes           int     // data bytes per line
+	Lines               int     // cache lines
+	Partitions          int     // partition count
+	Fraction            float64 // added state / baseline state
+}
+
+// Overhead computes the Vantage state overhead for a cache with the given
+// geometry and partition count (e.g. 32 partitions on an 8 MB cache ≈ 1.5%).
+func Overhead(lines, partitions, tagBits, lineBytes int) StateOverhead {
+	idBits := 1
+	for (1 << idBits) < partitions+1 { // +1 for the unmanaged region's ID
+		idBits++
+	}
+	const regBits = 256                                         // Fig 4: per-partition registers incl. threshold table
+	baseline := float64(lines) * float64(tagBits+8*lineBytes+8) // tags + data + 8b timestamps
+	added := float64(lines)*float64(idBits) + float64(partitions)*regBits
+	return StateOverhead{
+		PartitionBitsPerTag: idBits,
+		RegisterBitsPerPart: regBits,
+		TagBits:             tagBits,
+		LineBytes:           lineBytes,
+		Lines:               lines,
+		Partitions:          partitions,
+		Fraction:            added / baseline,
+	}
+}
+
+// String formats the overhead for display.
+func (o StateOverhead) String() string {
+	return fmt.Sprintf("%d partitions on %d lines: %d tag bits/line + %d reg bits/partition = %.2f%% overhead",
+		o.Partitions, o.Lines, o.PartitionBitsPerTag, o.RegisterBitsPerPart, 100*o.Fraction)
+}

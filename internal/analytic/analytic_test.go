@@ -1,0 +1,253 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAssocCDFPaperValues(t *testing.T) {
+	// §3.2: "with R = 64, the probability of evicting a line with eviction
+	// priority e < 0.8 is FA(0.8) = 10^-6" (0.8^64 ≈ 6.3e-7, i.e. ~1e-6).
+	if p := AssocCDF(0.8, 64); p > 1e-6 || p < 1e-7 {
+		t.Fatalf("FA(0.8; R=64) = %g, want ~1e-6", p)
+	}
+	if p := AssocCDF(0.5, 4); !close(p, 0.0625, 1e-12) {
+		t.Fatalf("FA(0.5; R=4) = %g, want 0.0625", p)
+	}
+}
+
+func TestAssocCDFBounds(t *testing.T) {
+	f := func(x float64, r uint8) bool {
+		rr := int(r%64) + 1
+		v := AssocCDF(x, rr)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if AssocCDF(-1, 8) != 0 || AssocCDF(2, 8) != 1 {
+		t.Fatal("CDF clamping broken")
+	}
+}
+
+func TestAssocCDFMonotonic(t *testing.T) {
+	for r := 1; r <= 64; r *= 2 {
+		prev := -1.0
+		for x := 0.0; x <= 1.0; x += 0.01 {
+			v := AssocCDF(x, r)
+			if v < prev {
+				t.Fatalf("CDF not monotone at x=%v r=%d", x, r)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestAssocQuantileInverts(t *testing.T) {
+	for _, r := range []int{4, 8, 16, 52, 64} {
+		for p := 0.01; p < 1; p += 0.07 {
+			x := AssocQuantile(p, r)
+			if !close(AssocCDF(x, r), p, 1e-9) {
+				t.Fatalf("quantile does not invert CDF at p=%v r=%d", p, r)
+			}
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {52, 1, 52}, {4, 5, 0}, {4, -1, 0}}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Fatalf("C(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestManagedCDFOnePerEvictionIsACDF(t *testing.T) {
+	for _, r := range []int{16, 32, 64} {
+		if v := ManagedCDFOnePerEviction(1, r, 0.3); !close(v, 1, 1e-9) {
+			t.Fatalf("FM(1) = %v, want 1", v)
+		}
+		if v := ManagedCDFOnePerEviction(0, r, 0.3); v != 0 {
+			t.Fatalf("FM(0) = %v, want 0", v)
+		}
+		prev := -1.0
+		for x := 0.0; x <= 1.0; x += 0.02 {
+			v := ManagedCDFOnePerEviction(x, r, 0.3)
+			if v < prev {
+				t.Fatalf("FM not monotone at x=%v", x)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestManagedDemoteOnAverageBeatsOnePerEviction(t *testing.T) {
+	// Fig 2b vs 2c: demoting on the average concentrates demotions at high
+	// priorities. At the aperture boundary the on-average CDF must be far
+	// below the one-per-eviction CDF (fewer low-priority demotions).
+	for _, r := range []int{16, 32, 64} {
+		u := 0.3
+		a := 1 / (float64(r) * (1 - u))
+		x := 1 - a // bottom of the on-average demotion band
+		avg := ManagedCDFOnAverage(x, r, u)
+		one := ManagedCDFOnePerEviction(x, r, u)
+		if avg != 0 {
+			t.Fatalf("on-average CDF at band edge = %v, want 0", avg)
+		}
+		if one < 0.3 {
+			t.Fatalf("R=%d: one-per-eviction CDF at %v = %v; expected substantial mass below the band", r, x, one)
+		}
+	}
+}
+
+func TestManagedCDFOnAveragePaperExample(t *testing.T) {
+	// §3.3: with R=16 and u=0.3 (m=0.7), demoting on average only demotes
+	// lines with priority above 1 - 1/(16·0.7) ≈ 0.91, while demoting
+	// one-per-eviction puts ~60% of demotions below e=0.9.
+	u := 0.3
+	if v := ManagedCDFOnAverage(0.9, 16, u); v > 0.01 {
+		t.Fatalf("on-average mass below 0.9 = %v, want ~0", v)
+	}
+	// The paper's prose quotes "60%" here; Equation 2 itself evaluates to
+	// ≈ Σ B(i,16)·0.9^i ≈ 0.31 (mean i = R·m = 11.2, 0.9^11.2 ≈ 0.31). The
+	// qualitative claim — substantial demotion mass below 0.9 versus none
+	// when demoting on average — is what matters and is asserted here.
+	if v := ManagedCDFOnePerEviction(0.9, 16, u); v < 0.25 || v > 0.40 {
+		t.Fatalf("one-per-eviction mass below 0.9 = %v, want ~0.31 per Eq 2", v)
+	}
+}
+
+func TestAperturePaperExample(t *testing.T) {
+	// §3.4 worked example: 4 equal partitions, C1 = 2C2, R=16, m=0.625.
+	// A1 = 16%, A2..4 = 8%.
+	cTot := 2.0 + 1 + 1 + 1
+	sTot := 4.0
+	a1 := Aperture(2, cTot, 1, sTot, 16, 0.625)
+	a2 := Aperture(1, cTot, 1, sTot, 16, 0.625)
+	if !close(a1, 0.16, 1e-9) {
+		t.Fatalf("A1 = %v, want 0.16", a1)
+	}
+	if !close(a2, 0.08, 1e-9) {
+		t.Fatalf("A2 = %v, want 0.08", a2)
+	}
+}
+
+func TestApertureEqualPartitionsIndependentOfCount(t *testing.T) {
+	// §3.4: with equal sizes and churns, Ai = 1/(R·m) regardless of P.
+	for _, p := range []int{1, 2, 8, 32, 128} {
+		a := Aperture(1, float64(p), 1, float64(p), 52, 0.85)
+		if !close(a, 1/(52*0.85), 1e-12) {
+			t.Fatalf("P=%d: aperture %v, want %v", p, a, 1/(52*0.85))
+		}
+	}
+}
+
+func TestApertureZeroInputs(t *testing.T) {
+	if Aperture(0, 1, 1, 1, 16, 0.7) != 0 || Aperture(1, 1, 0, 1, 16, 0.7) != 0 {
+		t.Fatal("aperture with zero churn/size should be 0")
+	}
+}
+
+func TestTotalBorrowedPaperExample(t *testing.T) {
+	// §3.4: R=52, Amax=0.4 → extra 1/(0.4·52) = 4.8% unmanaged.
+	if v := TotalBorrowed(0.4, 52); !close(v, 0.048, 0.0005) {
+		t.Fatalf("borrowed = %v, want ≈0.048", v)
+	}
+}
+
+func TestFeedbackOutgrowthPaperExample(t *testing.T) {
+	// §4.1: R=52, slack=0.1, Amax=0.4 → ΣΔS = 0.48% of cache.
+	if v := FeedbackOutgrowth(0.1, 0.4, 52); !close(v, 0.0048, 5e-5) {
+		t.Fatalf("outgrowth = %v, want ≈0.0048", v)
+	}
+}
+
+func TestUnmanagedFractionPaperExamples(t *testing.T) {
+	// §4.3: R=52, Amax=0.4, slack=0.1: Pev=1e-2 needs ~13% unmanaged,
+	// Pev=1e-4 needs ~21%.
+	u1 := UnmanagedFraction(1e-2, 0.4, 0.1, 52)
+	if u1 < 0.12 || u1 > 0.15 {
+		t.Fatalf("u(Pev=1e-2) = %v, want ~0.13", u1)
+	}
+	u2 := UnmanagedFraction(1e-4, 0.4, 0.1, 52)
+	if u2 < 0.19 || u2 > 0.23 {
+		t.Fatalf("u(Pev=1e-4) = %v, want ~0.21", u2)
+	}
+}
+
+func TestForcedEvictionProbInvertsSizing(t *testing.T) {
+	for _, r := range []int{16, 52} {
+		for _, pev := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+			u := 1 - math.Pow(pev, 1/float64(r))
+			if got := ForcedEvictionProb(u, r); !close(got, pev, pev*1e-6) {
+				t.Fatalf("Pev round-trip: got %v, want %v", got, pev)
+			}
+		}
+	}
+}
+
+func TestMinStableSizePaperExample(t *testing.T) {
+	// §6.1 Fig 8 discussion: worst-case MSS = 1/(Amax·R) = 1/(0.5·52) = 3.8%
+	// of the cache when a single partition has all the churn.
+	v := MinStableSize(1, 1, 1, 0.5, 52, 1)
+	if !close(v, 0.0385, 0.0005) {
+		t.Fatalf("MSS = %v, want ≈0.038", v)
+	}
+}
+
+func TestFeedbackApertureTransferFunction(t *testing.T) {
+	aMax, slack, ti := 0.4, 0.1, 1000.0
+	if v := FeedbackAperture(900, ti, aMax, slack); v != 0 {
+		t.Fatalf("below target: %v, want 0", v)
+	}
+	if v := FeedbackAperture(1000, ti, aMax, slack); v != 0 {
+		t.Fatalf("at target: %v, want 0", v)
+	}
+	if v := FeedbackAperture(1050, ti, aMax, slack); !close(v, 0.2, 1e-9) {
+		t.Fatalf("half slack: %v, want 0.2", v)
+	}
+	if v := FeedbackAperture(1100, ti, aMax, slack); !close(v, 0.4, 1e-9) {
+		t.Fatalf("full slack: %v, want Amax", v)
+	}
+	if v := FeedbackAperture(5000, ti, aMax, slack); v != aMax {
+		t.Fatalf("beyond slack: %v, want Amax", v)
+	}
+	if v := FeedbackAperture(10, 0, aMax, slack); v != aMax {
+		t.Fatalf("zero target: %v, want Amax", v)
+	}
+}
+
+func TestFeedbackApertureMonotone(t *testing.T) {
+	f := func(s1, s2 float64) bool {
+		a, b := math.Abs(s1), math.Abs(s2)
+		if a > b {
+			a, b = b, a
+		}
+		return FeedbackAperture(a, 500, 0.5, 0.1) <= FeedbackAperture(b, 500, 0.5, 0.1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadPaperExample(t *testing.T) {
+	// Paper: 8 MB cache (131072 lines of 64 B), 32 partitions, 64-bit tags →
+	// ~1.5% overall state overhead (abstract / §4.3).
+	o := Overhead(131072, 32, 64, 64)
+	if o.PartitionBitsPerTag != 6 {
+		t.Fatalf("partition bits = %d, want 6", o.PartitionBitsPerTag)
+	}
+	if o.Fraction < 0.009 || o.Fraction > 0.02 {
+		t.Fatalf("overhead = %v, want ~1-1.5%%", o.Fraction)
+	}
+	if o.String() == "" {
+		t.Fatal("empty overhead string")
+	}
+}

@@ -1,0 +1,46 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"vantage/internal/analytic"
+)
+
+// The §3.4 worked example: four equally sized partitions where the first
+// has twice the churn of the others, R = 16 candidates, m = 62.5% managed.
+// The paper derives apertures of 16% and 8%.
+func ExampleAperture() {
+	cTot := 2.0 + 1 + 1 + 1
+	sTot := 4.0
+	fmt.Printf("A1 = %.0f%%\n", 100*analytic.Aperture(2, cTot, 1, sTot, 16, 0.625))
+	fmt.Printf("A2 = %.0f%%\n", 100*analytic.Aperture(1, cTot, 1, sTot, 16, 0.625))
+	// Output:
+	// A1 = 16%
+	// A2 = 8%
+}
+
+// The §3.2 quoted point: with R = 64 candidates, evicting a line with
+// priority below 0.8 happens about once in a million evictions.
+func ExampleAssocCDF() {
+	fmt.Printf("%.1e\n", analytic.AssocCDF(0.8, 64))
+	// Output:
+	// 6.3e-07
+}
+
+// The §4.3 sizing rule at the paper's quoted points: a Z4/52 needs ~13%
+// unmanaged for Pev = 1e-2 and ~21% for Pev = 1e-4.
+func ExampleUnmanagedFraction() {
+	fmt.Printf("%.1f%% %.1f%%\n",
+		100*analytic.UnmanagedFraction(1e-2, 0.4, 0.1, 52),
+		100*analytic.UnmanagedFraction(1e-4, 0.4, 0.1, 52))
+	// Output:
+	// 13.8% 21.5%
+}
+
+// Worst-case minimum stable size at the evaluation settings (§6.1): a
+// saturated partition cannot be squeezed below ~3.8% of the cache.
+func ExampleMinStableSize() {
+	fmt.Printf("%.1f%%\n", 100*analytic.MinStableSize(1, 1, 1, 0.5, 52, 1))
+	// Output:
+	// 3.8%
+}

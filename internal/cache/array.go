@@ -1,0 +1,93 @@
+// Package cache implements the cache array designs that Vantage builds on:
+// set-associative arrays (with and without index hashing), skew-associative
+// arrays, zcaches, and an idealized random-candidates array.
+//
+// An array implements associative lookups and, on each replacement, produces
+// a list of replacement candidates (paper §3.2). The partitioning scheme and
+// replacement policy decide which candidate to evict; the array then installs
+// the incoming line, performing any relocations required by the design (only
+// zcaches relocate).
+//
+// Lines are identified by dense LineID indices into a flat line store, so
+// policies can keep per-line replacement state in parallel slices.
+package cache
+
+// LineID identifies a physical line slot in an array. IDs are dense in
+// [0, NumLines()).
+type LineID int32
+
+// InvalidLine is returned by operations that find no line.
+const InvalidLine LineID = -1
+
+// Line is the tag-array state of one cache line slot. Replacement state
+// (timestamps, RRPVs) is kept by the policy, and the partition ID by the
+// partitioning scheme, both in parallel arrays indexed by LineID; Line holds
+// only what every array needs.
+type Line struct {
+	Addr  uint64 // block (line) address; meaningful only when Valid
+	Valid bool
+}
+
+// Array is the interface shared by all cache array designs.
+//
+// The access protocol is:
+//
+//	id, ok := a.Lookup(addr)        // hit if ok
+//	cands := a.Candidates(addr, buf) // on a miss
+//	... scheme picks victim v from cands ...
+//	id = a.Install(addr, v)          // evicts v's line, installs addr
+//
+// Install must be called with a victim returned by the immediately preceding
+// Candidates call for the same address: zcaches need the candidate tree built
+// by Candidates to compute the relocation path.
+type Array interface {
+	// NumLines returns the total number of line slots.
+	NumLines() int
+	// Ways returns the number of ways (physical associativity).
+	Ways() int
+	// Line returns the tag state of slot id.
+	Line(id LineID) *Line
+	// Lookup returns the slot holding addr, if any.
+	Lookup(addr uint64) (LineID, bool)
+	// Candidates appends the replacement candidates for an incoming addr to
+	// buf and returns it. Candidates include invalid (empty) slots.
+	Candidates(addr uint64, buf []LineID) []LineID
+	// Install evicts the line in victim (which must come from the preceding
+	// Candidates(addr) call) and installs addr. It returns the slot where
+	// addr now resides, which differs from victim in relocating designs.
+	// Relocated is the number of lines moved (always 0 except for zcaches).
+	Install(addr uint64, victim LineID) (id LineID, relocated int)
+	// Invalidate empties slot id.
+	Invalidate(id LineID)
+	// Name returns a short description, e.g. "SA16" or "Z4/52".
+	Name() string
+}
+
+// Relocator is implemented by arrays that move lines between slots during
+// Install (zcaches). Policies and schemes that keep per-LineID state must
+// observe moves to keep their state attached to the logical line.
+type Relocator interface {
+	// SetMoveHook registers fn to be called for every line move from slot
+	// src to slot dst during Install. At call time the tag state has already
+	// been copied; fn must move any per-line metadata from src to dst.
+	SetMoveHook(fn func(src, dst LineID))
+}
+
+// ceilPow2 returns the smallest power of two >= n (n > 0).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// log2 returns the base-2 logarithm of a power of two.
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

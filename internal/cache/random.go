@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"fmt"
+
+	"vantage/internal/hash"
+)
+
+// RandomCands is the idealized "random candidates" array the paper uses to
+// validate its analytical models (§6.2): a design that places a line in any
+// slot and yields truly independent, uniformly distributed replacement
+// candidates. It is unrealistic hardware (lookups need a full associative
+// search, modeled here with a map) but it matches the uniformity assumption
+// FA(x) = x^R exactly, so comparing it against zcaches shows how closely a
+// practical array approximates the analysis.
+type RandomCands struct {
+	lines []Line
+	index map[uint64]LineID
+	r     int
+	rng   *hash.Rand
+	name  string
+}
+
+// NewRandomCands returns an idealized array with numLines slots yielding r
+// uniformly distributed candidates per replacement.
+func NewRandomCands(numLines, r int, seed uint64) *RandomCands {
+	if numLines <= 0 || r <= 0 || r > numLines {
+		panic(fmt.Sprintf("cache: invalid random-candidates geometry: %d lines, R=%d", numLines, r))
+	}
+	return &RandomCands{
+		lines: make([]Line, numLines),
+		index: make(map[uint64]LineID, numLines),
+		r:     r,
+		rng:   hash.NewRand(seed),
+		name:  fmt.Sprintf("Rand/%d", r),
+	}
+}
+
+// NumLines implements Array.
+func (a *RandomCands) NumLines() int { return len(a.lines) }
+
+// Ways implements Array. The design has no physical ways; report 1.
+func (a *RandomCands) Ways() int { return 1 }
+
+// Name implements Array.
+func (a *RandomCands) Name() string { return a.name }
+
+// Line implements Array.
+func (a *RandomCands) Line(id LineID) *Line { return &a.lines[id] }
+
+// Lookup implements Array.
+func (a *RandomCands) Lookup(addr uint64) (LineID, bool) {
+	id, ok := a.index[addr]
+	return id, ok
+}
+
+// Candidates implements Array: r distinct uniformly random slots.
+func (a *RandomCands) Candidates(addr uint64, buf []LineID) []LineID {
+	_ = addr
+	n := len(a.lines)
+	if a.r*4 >= n {
+		// Dense selection: partial Fisher-Yates over slot indices would need
+		// extra state; for small arrays just reject duplicates via a bitmap.
+		seen := make([]bool, n)
+		for len(buf) < a.r {
+			id := LineID(a.rng.Intn(n))
+			if !seen[id] {
+				seen[id] = true
+				buf = append(buf, id)
+			}
+		}
+		return buf
+	}
+	start := len(buf)
+	for len(buf)-start < a.r {
+		id := LineID(a.rng.Intn(n))
+		dup := false
+		for _, b := range buf[start:] {
+			if b == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, id)
+		}
+	}
+	return buf
+}
+
+// Install implements Array.
+func (a *RandomCands) Install(addr uint64, victim LineID) (LineID, int) {
+	old := &a.lines[victim]
+	if old.Valid {
+		delete(a.index, old.Addr)
+	}
+	a.lines[victim] = Line{Addr: addr, Valid: true}
+	a.index[addr] = victim
+	return victim, 0
+}
+
+// Invalidate implements Array.
+func (a *RandomCands) Invalidate(id LineID) {
+	if a.lines[id].Valid {
+		delete(a.index, a.lines[id].Addr)
+	}
+	a.lines[id] = Line{}
+}

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"testing"
+
+	"vantage/internal/hash"
+)
+
+func TestNewRandomCandsPanics(t *testing.T) {
+	cases := []struct{ lines, r int }{{0, 4}, {16, 0}, {16, 17}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRandomCands(%d,%d) did not panic", c.lines, c.r)
+				}
+			}()
+			NewRandomCands(c.lines, c.r, 1)
+		}()
+	}
+}
+
+func TestRandomCandsBasics(t *testing.T) {
+	a := NewRandomCands(128, 16, 9)
+	if a.Name() != "Rand/16" || a.NumLines() != 128 || a.Ways() != 1 {
+		t.Fatalf("metadata wrong: %s %d %d", a.Name(), a.NumLines(), a.Ways())
+	}
+	cands := a.Candidates(1, nil)
+	if len(cands) != 16 {
+		t.Fatalf("got %d candidates, want 16", len(cands))
+	}
+	seen := map[LineID]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatal("duplicate candidate")
+		}
+		seen[c] = true
+	}
+	id, moves := a.Install(1, cands[3])
+	if moves != 0 || id != cands[3] {
+		t.Fatalf("install: id=%d moves=%d", id, moves)
+	}
+	if got, ok := a.Lookup(1); !ok || got != id {
+		t.Fatalf("lookup: %d %v", got, ok)
+	}
+}
+
+func TestRandomCandsDenseSelection(t *testing.T) {
+	// r*4 >= n path: r=8, n=16.
+	a := NewRandomCands(16, 8, 9)
+	for i := 0; i < 100; i++ {
+		cands := a.Candidates(uint64(i), nil)
+		if len(cands) != 8 {
+			t.Fatalf("got %d candidates", len(cands))
+		}
+		seen := map[LineID]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatal("duplicate candidate in dense path")
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestRandomCandsEvictionRemovesFromIndex(t *testing.T) {
+	a := NewRandomCands(64, 8, 9)
+	rng := hash.NewRand(1)
+	resident := map[uint64]LineID{}
+	for i := 0; i < 2000; i++ {
+		addr := rng.Uint64() | 1
+		if _, ok := a.Lookup(addr); ok {
+			continue
+		}
+		cands := a.Candidates(addr, nil)
+		victim := cands[0]
+		old := *a.Line(victim)
+		id, _ := a.Install(addr, victim)
+		if old.Valid {
+			delete(resident, old.Addr)
+			if _, ok := a.Lookup(old.Addr); ok {
+				t.Fatal("evicted address still in index")
+			}
+		}
+		resident[addr] = id
+	}
+	for addr, id := range resident {
+		got, ok := a.Lookup(addr)
+		if !ok || got != id {
+			t.Fatalf("resident %#x lost (ok=%v id=%d want %d)", addr, ok, got, id)
+		}
+	}
+}
+
+func TestRandomCandsUniformCoverage(t *testing.T) {
+	a := NewRandomCands(256, 16, 5)
+	counts := make([]int, 256)
+	for i := 0; i < 4000; i++ {
+		for _, c := range a.Candidates(uint64(i), nil) {
+			counts[c]++
+		}
+	}
+	// 4000*16/256 = 250 expected per slot; all slots should be sampled.
+	for id, c := range counts {
+		if c == 0 {
+			t.Fatalf("slot %d never sampled", id)
+		}
+		if c < 125 || c > 400 {
+			t.Fatalf("slot %d sampled %d times, expected ~250", id, c)
+		}
+	}
+}
+
+func TestRandomCandsInvalidate(t *testing.T) {
+	a := NewRandomCands(64, 8, 9)
+	cands := a.Candidates(42, nil)
+	id, _ := a.Install(42, cands[0])
+	a.Invalidate(id)
+	if _, ok := a.Lookup(42); ok {
+		t.Fatal("lookup hit after invalidate")
+	}
+	a.Invalidate(id) // idempotent
+}

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"fmt"
+
+	"vantage/internal/hash"
+)
+
+// SetAssoc is a conventional set-associative cache array. The set index is
+// either the low-order address bits or an H3 hash of the address (the paper
+// uses "simple H3 hashing" for all arrays in its evaluation, §6.1, since it
+// improves performance in most cases).
+//
+// On a miss, the replacement candidates are exactly the ways of the indexed
+// set.
+type SetAssoc struct {
+	sets   int
+	ways   int
+	lines  []Line
+	h      *hash.H3 // nil => low-bits indexing
+	name   string
+	setBuf []LineID
+}
+
+// NewSetAssoc returns a set-associative array with numLines total lines and
+// the given number of ways. numLines must be a multiple of ways and the set
+// count must be a power of two. If hashed, the set index uses an H3 hash
+// seeded with seed; otherwise low-order address bits index the set.
+func NewSetAssoc(numLines, ways int, hashed bool, seed uint64) *SetAssoc {
+	if ways <= 0 || numLines <= 0 || numLines%ways != 0 {
+		panic(fmt.Sprintf("cache: invalid set-assoc geometry: %d lines, %d ways", numLines, ways))
+	}
+	sets := numLines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a power of two", sets))
+	}
+	a := &SetAssoc{
+		sets:  sets,
+		ways:  ways,
+		lines: make([]Line, numLines),
+		name:  fmt.Sprintf("SA%d", ways),
+	}
+	if hashed {
+		a.h = hash.NewH3(log2(sets), seed)
+	}
+	return a
+}
+
+// Sets returns the number of sets.
+func (a *SetAssoc) Sets() int { return a.sets }
+
+// NumLines implements Array.
+func (a *SetAssoc) NumLines() int { return len(a.lines) }
+
+// Ways implements Array.
+func (a *SetAssoc) Ways() int { return a.ways }
+
+// Name implements Array.
+func (a *SetAssoc) Name() string { return a.name }
+
+// Line implements Array.
+func (a *SetAssoc) Line(id LineID) *Line { return &a.lines[id] }
+
+// SetIndex returns the set an address maps to. Hashed arrays mix the
+// address before the H3 hash so that workloads touching few address bits
+// still spread over every set (see ZCache.slot for the rationale).
+func (a *SetAssoc) SetIndex(addr uint64) int {
+	if a.h != nil {
+		return int(a.h.Hash(hash.Mix64(addr)))
+	}
+	return int(addr & uint64(a.sets-1))
+}
+
+// SetOf returns the set that slot id belongs to.
+func (a *SetAssoc) SetOf(id LineID) int { return int(id) / a.ways }
+
+// WayOf returns the way that slot id occupies within its set.
+func (a *SetAssoc) WayOf(id LineID) int { return int(id) % a.ways }
+
+// SlotAt returns the LineID of (set, way).
+func (a *SetAssoc) SlotAt(set, way int) LineID { return LineID(set*a.ways + way) }
+
+// Lookup implements Array.
+func (a *SetAssoc) Lookup(addr uint64) (LineID, bool) {
+	base := a.SetIndex(addr) * a.ways
+	for w := 0; w < a.ways; w++ {
+		l := &a.lines[base+w]
+		if l.Valid && l.Addr == addr {
+			return LineID(base + w), true
+		}
+	}
+	return InvalidLine, false
+}
+
+// Candidates implements Array. The candidates are the ways of addr's set, in
+// way order.
+func (a *SetAssoc) Candidates(addr uint64, buf []LineID) []LineID {
+	base := a.SetIndex(addr) * a.ways
+	for w := 0; w < a.ways; w++ {
+		buf = append(buf, LineID(base+w))
+	}
+	return buf
+}
+
+// Install implements Array. The victim must belong to addr's set.
+func (a *SetAssoc) Install(addr uint64, victim LineID) (LineID, int) {
+	if a.SetOf(victim) != a.SetIndex(addr) {
+		panic("cache: set-assoc install victim outside the address's set")
+	}
+	a.lines[victim] = Line{Addr: addr, Valid: true}
+	return victim, 0
+}
+
+// Invalidate implements Array.
+func (a *SetAssoc) Invalidate(id LineID) { a.lines[id] = Line{} }

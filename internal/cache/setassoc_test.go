@@ -1,0 +1,160 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetAssocPanics(t *testing.T) {
+	cases := []struct{ lines, ways int }{
+		{0, 4}, {-8, 4}, {10, 4}, {16, 0}, {48, 16}, // 48/16=3 sets, not pow2
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSetAssoc(%d,%d) did not panic", c.lines, c.ways)
+				}
+			}()
+			NewSetAssoc(c.lines, c.ways, false, 0)
+		}()
+	}
+}
+
+func TestSetAssocGeometry(t *testing.T) {
+	a := NewSetAssoc(1024, 16, false, 0)
+	if a.NumLines() != 1024 || a.Ways() != 16 || a.Sets() != 64 {
+		t.Fatalf("geometry: lines=%d ways=%d sets=%d", a.NumLines(), a.Ways(), a.Sets())
+	}
+	if a.Name() != "SA16" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestSetAssocLowBitsIndex(t *testing.T) {
+	a := NewSetAssoc(256, 4, false, 0) // 64 sets
+	for addr := uint64(0); addr < 1000; addr++ {
+		if got, want := a.SetIndex(addr), int(addr%64); got != want {
+			t.Fatalf("SetIndex(%d) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestSetAssocInstallLookup(t *testing.T) {
+	a := NewSetAssoc(256, 4, true, 7)
+	addr := uint64(0xdead00)
+	if _, ok := a.Lookup(addr); ok {
+		t.Fatal("lookup hit in empty cache")
+	}
+	cands := a.Candidates(addr, nil)
+	if len(cands) != 4 {
+		t.Fatalf("got %d candidates, want 4", len(cands))
+	}
+	id, moved := a.Install(addr, cands[2])
+	if moved != 0 {
+		t.Fatalf("set-assoc moved %d lines", moved)
+	}
+	if id != cands[2] {
+		t.Fatalf("installed at %d, want %d", id, cands[2])
+	}
+	got, ok := a.Lookup(addr)
+	if !ok || got != id {
+		t.Fatalf("lookup after install: id=%d ok=%v", got, ok)
+	}
+	a.Invalidate(id)
+	if _, ok := a.Lookup(addr); ok {
+		t.Fatal("lookup hit after invalidate")
+	}
+}
+
+func TestSetAssocCandidatesAreTheSet(t *testing.T) {
+	a := NewSetAssoc(512, 8, true, 3)
+	f := func(addr uint64) bool {
+		cands := a.Candidates(addr, nil)
+		if len(cands) != 8 {
+			return false
+		}
+		set := a.SetIndex(addr)
+		for w, id := range cands {
+			if a.SetOf(id) != set || a.WayOf(id) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAssocInstallWrongSetPanics(t *testing.T) {
+	a := NewSetAssoc(256, 4, false, 0)
+	addr := uint64(5) // set 5
+	defer func() {
+		if recover() == nil {
+			t.Fatal("install outside the set did not panic")
+		}
+	}()
+	a.Install(addr, a.SlotAt(6, 0))
+}
+
+func TestSetAssocSlotHelpers(t *testing.T) {
+	a := NewSetAssoc(256, 4, false, 0)
+	for set := 0; set < a.Sets(); set += 7 {
+		for w := 0; w < 4; w++ {
+			id := a.SlotAt(set, w)
+			if a.SetOf(id) != set || a.WayOf(id) != w {
+				t.Fatalf("slot round-trip failed at set=%d way=%d", set, w)
+			}
+		}
+	}
+}
+
+func TestSetAssocFillWholeSet(t *testing.T) {
+	a := NewSetAssoc(64, 4, false, 0) // 16 sets
+	// Fill set 3 with 4 distinct addresses mapping to it.
+	addrs := []uint64{3, 3 + 16, 3 + 32, 3 + 48}
+	for i, addr := range addrs {
+		cands := a.Candidates(addr, nil)
+		// Pick the first invalid candidate.
+		victim := InvalidLine
+		for _, c := range cands {
+			if !a.Line(c).Valid {
+				victim = c
+				break
+			}
+		}
+		if victim == InvalidLine {
+			t.Fatalf("no free slot at insert %d", i)
+		}
+		a.Install(addr, victim)
+	}
+	for _, addr := range addrs {
+		if _, ok := a.Lookup(addr); !ok {
+			t.Fatalf("addr %d missing after fill", addr)
+		}
+	}
+	// A fifth address to the same set must evict exactly one.
+	cands := a.Candidates(uint64(3+64), nil)
+	evictAddr := a.Line(cands[0]).Addr
+	a.Install(3+64, cands[0])
+	if _, ok := a.Lookup(evictAddr); ok {
+		t.Fatal("evicted address still present")
+	}
+	if _, ok := a.Lookup(3 + 64); !ok {
+		t.Fatal("new address not present")
+	}
+}
+
+func TestSetAssocHashedSpreadsConflicts(t *testing.T) {
+	// Sequential strided addresses that all collide under low-bits indexing
+	// should spread over many sets under H3 hashing.
+	a := NewSetAssoc(1024, 4, true, 11) // 256 sets
+	seen := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		seen[a.SetIndex(uint64(i)<<8)] = true
+	}
+	if len(seen) < 128 {
+		t.Fatalf("hashed index maps 256 strided addrs to only %d sets", len(seen))
+	}
+}

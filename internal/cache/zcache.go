@@ -1,0 +1,247 @@
+package cache
+
+import (
+	"fmt"
+
+	"vantage/internal/hash"
+)
+
+// ZCache implements the zcache array of Sanchez and Kozyrakis (MICRO 2010),
+// the highly-associative design Vantage leverages (§3.2). A zcache with W
+// ways indexes each way with a different H3 hash (like a skew-associative
+// cache) and, on a replacement, walks the candidate tree: each first-level
+// candidate line could also live at its positions in the other ways, whose
+// current occupants become second-level candidates, and so on. Evicting a
+// deep candidate relocates the lines along the path, so a W-way zcache
+// provides R >> W replacement candidates while needing only W probes on a
+// lookup.
+//
+// A skew-associative cache is the special case R == W (no expansion and no
+// relocation); use NewSkew for that.
+type ZCache struct {
+	ways       int
+	setsPerWay int
+	lines      []Line
+	hashes     []*hash.H3
+	maxCands   int
+	name       string
+	moveHook   func(src, dst LineID)
+
+	// Candidate-walk scratch state, reused across calls.
+	candSlots  []LineID
+	candParent []int32
+	visited    []uint32
+	epoch      uint32
+	lastAddr   uint64
+	lastValid  bool
+
+	// Statistics.
+	walks       uint64
+	candsTotal  uint64
+	installs    uint64
+	relocations uint64
+}
+
+// NewZCache returns a zcache with numLines total line slots, the given way
+// count, and up to maxCands replacement candidates per eviction. numLines
+// must be a multiple of ways with a power-of-two number of slots per way.
+// The per-way hash functions are seeded deterministically from seed.
+//
+// The paper's configurations are NewZCache(n, 4, 16, seed) ("Z4/16") and
+// NewZCache(n, 4, 52, seed) ("Z4/52").
+func NewZCache(numLines, ways, maxCands int, seed uint64) *ZCache {
+	if ways < 2 {
+		panic("cache: zcache needs at least 2 ways")
+	}
+	if numLines <= 0 || numLines%ways != 0 {
+		panic(fmt.Sprintf("cache: invalid zcache geometry: %d lines, %d ways", numLines, ways))
+	}
+	spw := numLines / ways
+	if spw&(spw-1) != 0 {
+		panic(fmt.Sprintf("cache: zcache slots per way %d is not a power of two", spw))
+	}
+	if maxCands < ways {
+		panic("cache: zcache maxCands must be at least the way count")
+	}
+	z := &ZCache{
+		ways:       ways,
+		setsPerWay: spw,
+		lines:      make([]Line, numLines),
+		hashes:     make([]*hash.H3, ways),
+		maxCands:   maxCands,
+		name:       fmt.Sprintf("Z%d/%d", ways, maxCands),
+		visited:    make([]uint32, numLines),
+	}
+	for w := 0; w < ways; w++ {
+		z.hashes[w] = hash.NewH3(log2(spw), hash.Mix64(seed+uint64(w)*0x9e37))
+	}
+	return z
+}
+
+// NewSkew returns a skew-associative array: a zcache restricted to its
+// first-level candidates (R == ways) with no relocation.
+func NewSkew(numLines, ways int, seed uint64) *ZCache {
+	z := NewZCache(numLines, ways, ways, seed)
+	z.name = fmt.Sprintf("Skew%d", ways)
+	return z
+}
+
+// NumLines implements Array.
+func (z *ZCache) NumLines() int { return len(z.lines) }
+
+// Ways implements Array.
+func (z *ZCache) Ways() int { return z.ways }
+
+// Name implements Array.
+func (z *ZCache) Name() string { return z.name }
+
+// MaxCandidates returns R, the candidate budget per replacement.
+func (z *ZCache) MaxCandidates() int { return z.maxCands }
+
+// Line implements Array.
+func (z *ZCache) Line(id LineID) *Line { return &z.lines[id] }
+
+// SetMoveHook implements Relocator.
+func (z *ZCache) SetMoveHook(fn func(src, dst LineID)) { z.moveHook = fn }
+
+// slot returns the LineID of addr's position in way w. The address is mixed
+// before the H3 hash: H3 is XOR-linear in the key bits, so workloads that
+// only exercise a few address bits would otherwise see only the subspace
+// spanned by those bits' table rows (rank-deficient with noticeable
+// probability); mixing spreads every address over all 64 key bits, matching
+// hardware that hashes the full tag.
+func (z *ZCache) slot(addr uint64, w int) LineID {
+	return LineID(w*z.setsPerWay + int(z.hashes[w].Hash(hash.Mix64(addr))))
+}
+
+// wayOf returns the way a slot belongs to.
+func (z *ZCache) wayOf(id LineID) int { return int(id) / z.setsPerWay }
+
+// Lookup implements Array. A lookup probes one position per way.
+func (z *ZCache) Lookup(addr uint64) (LineID, bool) {
+	for w := 0; w < z.ways; w++ {
+		id := z.slot(addr, w)
+		l := &z.lines[id]
+		if l.Valid && l.Addr == addr {
+			return id, true
+		}
+	}
+	return InvalidLine, false
+}
+
+// Candidates implements Array. It performs the zcache replacement walk: a
+// breadth-first expansion of the candidate tree rooted at addr's direct
+// positions, capped at MaxCandidates. Invalid slots are included as
+// candidates but not expanded.
+func (z *ZCache) Candidates(addr uint64, buf []LineID) []LineID {
+	z.epoch++
+	if z.epoch == 0 { // wrapped: clear stamps
+		for i := range z.visited {
+			z.visited[i] = 0
+		}
+		z.epoch = 1
+	}
+	z.candSlots = z.candSlots[:0]
+	z.candParent = z.candParent[:0]
+
+	push := func(id LineID, parent int32) bool {
+		if z.visited[id] == z.epoch {
+			return false
+		}
+		z.visited[id] = z.epoch
+		z.candSlots = append(z.candSlots, id)
+		z.candParent = append(z.candParent, parent)
+		return true
+	}
+
+	for w := 0; w < z.ways; w++ {
+		push(z.slot(addr, w), -1)
+		if len(z.candSlots) >= z.maxCands {
+			break
+		}
+	}
+	// BFS expansion: each valid candidate's line could live at its positions
+	// in the other ways.
+	for i := 0; i < len(z.candSlots) && len(z.candSlots) < z.maxCands; i++ {
+		id := z.candSlots[i]
+		l := &z.lines[id]
+		if !l.Valid {
+			continue
+		}
+		home := z.wayOf(id)
+		for w := 0; w < z.ways && len(z.candSlots) < z.maxCands; w++ {
+			if w == home {
+				continue
+			}
+			push(z.slot(l.Addr, w), int32(i))
+		}
+	}
+
+	z.lastAddr, z.lastValid = addr, true
+	z.walks++
+	z.candsTotal += uint64(len(z.candSlots))
+	return append(buf, z.candSlots...)
+}
+
+// Install implements Array. The victim must come from the immediately
+// preceding Candidates(addr) call. If the victim is a deep candidate, the
+// lines along the path from a direct position to the victim are relocated
+// one step each (the move hook observes each move), the victim's line is
+// evicted, and addr is installed at the freed direct position.
+func (z *ZCache) Install(addr uint64, victim LineID) (LineID, int) {
+	if !z.lastValid || z.lastAddr != addr {
+		panic("cache: zcache Install without matching Candidates call")
+	}
+	z.lastValid = false
+	vi := -1
+	for i, id := range z.candSlots {
+		if id == victim {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		panic("cache: zcache Install victim was not a candidate")
+	}
+	// Build the path root..victim following parent links.
+	var path []int32
+	for i := int32(vi); i >= 0; i = z.candParent[i] {
+		path = append(path, i)
+	}
+	// path is victim..root; relocate from the deep end: the line at path[k+1]
+	// (one step shallower) moves into the slot at path[k].
+	moves := 0
+	for k := 0; k+1 < len(path); k++ {
+		dst := z.candSlots[path[k]]
+		src := z.candSlots[path[k+1]]
+		z.lines[dst] = z.lines[src]
+		z.lines[src] = Line{}
+		if z.moveHook != nil {
+			z.moveHook(src, dst)
+		}
+		moves++
+	}
+	root := z.candSlots[path[len(path)-1]]
+	z.lines[root] = Line{Addr: addr, Valid: true}
+	z.installs++
+	z.relocations += uint64(moves)
+	return root, moves
+}
+
+// Stats reports the walk statistics the zcache paper characterizes: the
+// average candidates obtained per walk (should approach MaxCandidates once
+// warm) and the average line relocations per install (the energy cost of
+// deep victims).
+func (z *ZCache) Stats() (walks uint64, avgCands, avgRelocs float64) {
+	walks = z.walks
+	if z.walks > 0 {
+		avgCands = float64(z.candsTotal) / float64(z.walks)
+	}
+	if z.installs > 0 {
+		avgRelocs = float64(z.relocations) / float64(z.installs)
+	}
+	return
+}
+
+// Invalidate implements Array.
+func (z *ZCache) Invalidate(id LineID) { z.lines[id] = Line{} }

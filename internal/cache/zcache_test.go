@@ -1,0 +1,271 @@
+package cache
+
+import (
+	"testing"
+
+	"vantage/internal/hash"
+)
+
+func TestNewZCachePanics(t *testing.T) {
+	cases := []struct{ lines, ways, cands int }{
+		{1024, 1, 16}, // too few ways
+		{1023, 4, 16}, // not a multiple of ways
+		{96, 4, 16},   // 24 slots/way, not pow2
+		{1024, 4, 2},  // cands < ways
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZCache(%d,%d,%d) did not panic", c.lines, c.ways, c.cands)
+				}
+			}()
+			NewZCache(c.lines, c.ways, c.cands, 1)
+		}()
+	}
+}
+
+func TestZCacheNames(t *testing.T) {
+	if got := NewZCache(1024, 4, 52, 1).Name(); got != "Z4/52" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := NewSkew(1024, 4, 1).Name(); got != "Skew4" {
+		t.Fatalf("skew name = %q", got)
+	}
+}
+
+func TestZCacheLookupAfterInstall(t *testing.T) {
+	z := NewZCache(512, 4, 16, 42)
+	for addr := uint64(1); addr <= 100; addr++ {
+		cands := z.Candidates(addr, nil)
+		z.Install(addr, cands[0])
+		if _, ok := z.Lookup(addr); !ok {
+			t.Fatalf("addr %d not found after install", addr)
+		}
+	}
+}
+
+func TestZCacheCandidateCount(t *testing.T) {
+	z := NewZCache(4096, 4, 52, 7)
+	// Fill the cache so expansion can proceed.
+	rng := hash.NewRand(1)
+	for i := 0; i < 20000; i++ {
+		addr := rng.Uint64() | 1
+		if _, ok := z.Lookup(addr); ok {
+			continue
+		}
+		cands := z.Candidates(addr, nil)
+		z.Install(addr, cands[len(cands)-1])
+	}
+	// Once warm, walks should reach the full candidate budget nearly always.
+	full := 0
+	for i := 0; i < 1000; i++ {
+		addr := rng.Uint64() | 1
+		cands := z.Candidates(addr, nil)
+		if len(cands) > 52 {
+			t.Fatalf("got %d candidates, cap is 52", len(cands))
+		}
+		if len(cands) == 52 {
+			full++
+		}
+	}
+	if full < 950 {
+		t.Fatalf("only %d/1000 walks reached 52 candidates", full)
+	}
+}
+
+func TestZCacheCandidatesDistinct(t *testing.T) {
+	z := NewZCache(1024, 4, 52, 3)
+	rng := hash.NewRand(2)
+	for i := 0; i < 5000; i++ {
+		addr := rng.Uint64() | 1
+		if _, ok := z.Lookup(addr); ok {
+			continue
+		}
+		cands := z.Candidates(addr, nil)
+		seen := map[LineID]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("duplicate candidate %d at iteration %d", c, i)
+			}
+			seen[c] = true
+		}
+		z.Install(addr, cands[rng.Intn(len(cands))])
+	}
+}
+
+// TestZCacheRelocationPreservesLines is the key invariant test: installing
+// with a deep victim relocates lines, and every line that was present before
+// (except the victim) must still be findable by Lookup afterwards.
+func TestZCacheRelocationPreservesLines(t *testing.T) {
+	z := NewZCache(256, 4, 52, 9)
+	rng := hash.NewRand(3)
+	resident := map[uint64]bool{}
+	for i := 0; i < 8000; i++ {
+		addr := rng.Uint64() | 1
+		if _, ok := z.Lookup(addr); ok {
+			continue
+		}
+		cands := z.Candidates(addr, nil)
+		victim := cands[rng.Intn(len(cands))]
+		vLine := *z.Line(victim)
+		z.Install(addr, victim)
+		if vLine.Valid {
+			delete(resident, vLine.Addr)
+		}
+		resident[addr] = true
+	}
+	if len(resident) == 0 {
+		t.Fatal("no resident lines tracked")
+	}
+	for addr := range resident {
+		if _, ok := z.Lookup(addr); !ok {
+			t.Fatalf("resident line %#x lost after relocations", addr)
+		}
+	}
+}
+
+func TestZCacheMoveHookObservesAllMoves(t *testing.T) {
+	z := NewZCache(256, 4, 52, 5)
+	moves := 0
+	z.SetMoveHook(func(src, dst LineID) {
+		if src == dst {
+			t.Fatal("move hook called with src == dst")
+		}
+		moves++
+	})
+	rng := hash.NewRand(4)
+	reported := 0
+	for i := 0; i < 4000; i++ {
+		addr := rng.Uint64() | 1
+		if _, ok := z.Lookup(addr); ok {
+			continue
+		}
+		cands := z.Candidates(addr, nil)
+		// Deliberately pick the deepest candidate to force relocations.
+		_, n := z.Install(addr, cands[len(cands)-1])
+		reported += n
+	}
+	if moves != reported {
+		t.Fatalf("hook saw %d moves, Install reported %d", moves, reported)
+	}
+	if moves == 0 {
+		t.Fatal("deep victims never caused relocations")
+	}
+}
+
+func TestZCacheInstallWithoutCandidatesPanics(t *testing.T) {
+	z := NewZCache(256, 4, 16, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Install without Candidates did not panic")
+		}
+	}()
+	z.Install(123, 0)
+}
+
+func TestZCacheInstallNonCandidatePanics(t *testing.T) {
+	z := NewZCache(256, 4, 16, 5)
+	cands := z.Candidates(77, nil)
+	bad := LineID(0)
+	for isCand := true; isCand; bad++ {
+		isCand = false
+		for _, c := range cands {
+			if c == bad {
+				isCand = true
+				break
+			}
+		}
+		if !isCand {
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Install with non-candidate victim did not panic")
+		}
+	}()
+	z.Install(77, bad)
+}
+
+func TestZCacheStaleInstallPanics(t *testing.T) {
+	z := NewZCache(256, 4, 16, 5)
+	cands := z.Candidates(77, nil)
+	z.Candidates(78, nil) // newer walk invalidates the old one
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Install against stale Candidates did not panic")
+		}
+	}()
+	z.Install(77, cands[0])
+}
+
+func TestSkewHasNoRelocations(t *testing.T) {
+	z := NewSkew(256, 4, 8)
+	rng := hash.NewRand(6)
+	for i := 0; i < 2000; i++ {
+		addr := rng.Uint64() | 1
+		if _, ok := z.Lookup(addr); ok {
+			continue
+		}
+		cands := z.Candidates(addr, nil)
+		if len(cands) > 4 {
+			t.Fatalf("skew cache returned %d candidates", len(cands))
+		}
+		_, moves := z.Install(addr, cands[rng.Intn(len(cands))])
+		if moves != 0 {
+			t.Fatalf("skew cache relocated %d lines", moves)
+		}
+	}
+}
+
+func TestZCacheInvalidate(t *testing.T) {
+	z := NewZCache(256, 4, 16, 5)
+	cands := z.Candidates(42, nil)
+	id, _ := z.Install(42, cands[0])
+	z.Invalidate(id)
+	if _, ok := z.Lookup(42); ok {
+		t.Fatal("lookup hit after invalidate")
+	}
+}
+
+func TestZCacheEpochWrapStillDedups(t *testing.T) {
+	z := NewZCache(64, 4, 16, 5)
+	z.epoch = ^uint32(0) - 1
+	for i := 0; i < 8; i++ {
+		cands := z.Candidates(uint64(1000+i), nil)
+		seen := map[LineID]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatal("duplicate candidate after epoch wrap")
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestZCacheStats(t *testing.T) {
+	z := NewZCache(1024, 4, 52, 5)
+	rng := hash.NewRand(9)
+	for i := 0; i < 20000; i++ {
+		addr := rng.Uint64() | 1
+		if _, ok := z.Lookup(addr); ok {
+			continue
+		}
+		cands := z.Candidates(addr, nil)
+		// LRU-free random victim keeps relocations flowing.
+		z.Install(addr, cands[rng.Intn(len(cands))])
+	}
+	walks, avgCands, avgRelocs := z.Stats()
+	if walks == 0 {
+		t.Fatal("no walks recorded")
+	}
+	if avgCands < 45 || avgCands > 52 {
+		t.Fatalf("average candidates %v, want near 52 once warm", avgCands)
+	}
+	// Random victims land at depth >= 2 most of the time (48 of 52
+	// candidates are deep), so relocations per install average above 1.
+	if avgRelocs < 1 || avgRelocs > 2 {
+		t.Fatalf("average relocations %v, want in [1,2]", avgRelocs)
+	}
+}

@@ -1,0 +1,202 @@
+// The controller access paths: the hit path of §4.3 (timestamp refresh and
+// promotions) and the miss path (demotion scan, victim selection, insertion).
+
+package core
+
+import (
+	"vantage/internal/cache"
+	"vantage/internal/ctrl"
+)
+
+// Access implements ctrl.Controller.
+func (c *Controller) Access(addr uint64, part int) ctrl.AccessResult {
+	if id, ok := c.arr.Lookup(addr); ok {
+		c.hits++
+		c.parts[part].hits++
+		c.onHit(id, part)
+		return ctrl.AccessResult{Hit: true}
+	}
+	c.misses++
+	c.parts[part].misses++
+	return c.replace(addr, part)
+}
+
+// onHit handles the §4.3 hit path: refresh the timestamp, tick the clock,
+// and promote unmanaged lines into the accessor's partition.
+func (c *Controller) onHit(id cache.LineID, part int) {
+	p := &c.parts[part]
+	owner := c.partOf[id]
+	switch {
+	case owner == c.unmanagedID:
+		// Promotion: the line rejoins the accessor's partition.
+		c.promotions++
+		p.promotedLines++
+		c.unmanagedSize--
+		if c.track {
+			c.quant[c.unmanagedID].Remove(c.ts[id])
+			c.quant[part].Add(p.currentTS)
+		}
+		c.partOf[id] = int16(part)
+		p.actual++
+	case int(owner) != part:
+		// Cross-partition hit (shared line): migrate to the accessor. The
+		// paper's workloads have disjoint address spaces, so this is rare.
+		if owner >= 0 {
+			c.parts[owner].actual--
+			if c.track {
+				c.quant[owner].Remove(c.ts[id])
+			}
+		}
+		c.partOf[id] = int16(part)
+		p.actual++
+		if c.track {
+			c.quant[part].Add(p.currentTS)
+		}
+	default:
+		if c.track {
+			c.quant[part].Move(c.ts[id], p.currentTS)
+		}
+	}
+	c.ts[id] = p.currentTS
+	if c.cfg.Mode == ModeRRIP {
+		c.rrpv[id] = 0
+	}
+	c.tick(p)
+}
+
+// replace implements the §4.3 miss path.
+func (c *Controller) replace(addr uint64, part int) ctrl.AccessResult {
+	c.candBuf = c.arr.Candidates(addr, c.candBuf[:0])
+
+	var (
+		res            ctrl.AccessResult
+		freeSlot                    = cache.InvalidLine
+		bestUnmanStale cache.LineID = cache.InvalidLine
+		bestUnmanAge   uint8
+		sawUnmanaged   bool
+		bestDemoted    cache.LineID = cache.InvalidLine
+		bestDemAge     uint8
+		fallback           = c.candBuf[0]
+		fallbackAge    int = -1
+		// ModeOnePerEviction scratch.
+		onePerBest cache.LineID = cache.InvalidLine
+		onePerAge  int          = -1
+		onePerPart int
+	)
+
+	for _, id := range c.candBuf {
+		line := c.arr.Line(id)
+		if !line.Valid {
+			if freeSlot == cache.InvalidLine {
+				freeSlot = id
+			}
+			continue
+		}
+		owner := c.partOf[id]
+		if owner == c.unmanagedID {
+			age := c.unmanagedTS - c.ts[id]
+			if !sawUnmanaged || age > bestUnmanAge {
+				bestUnmanStale, bestUnmanAge, sawUnmanaged = id, age, true
+			}
+			continue
+		}
+		q := int(owner)
+		p := &c.parts[q]
+		p.candsSeen++
+		wasDemoted := false
+		if c.cfg.Mode == ModeOnePerEviction {
+			// Ablation (§3.3, Fig 2b): remember the best over-target
+			// candidate; exactly one is demoted after the scan.
+			if p.actual > p.target || p.target == 0 {
+				if age := int(p.currentTS - c.ts[id]); age > onePerAge {
+					onePerBest, onePerAge, onePerPart = id, age, q
+				}
+			}
+		} else if c.shouldDemote(q, id) {
+			c.demote(q, id)
+			wasDemoted = true
+			age := c.unmanagedTS - c.ts[id] // 0: just demoted
+			if bestDemoted == cache.InvalidLine || age > bestDemAge {
+				bestDemoted, bestDemAge = id, age
+			}
+		} else if c.cfg.Mode == ModeRRIP && p.actual > p.target && c.rrpv[id] < 7 {
+			// RRIP aging, restricted to over-target partitions (§6.2).
+			c.rrpv[id]++
+		}
+		if !wasDemoted {
+			if age := int(p.currentTS - c.ts[id]); age > fallbackAge {
+				fallback, fallbackAge = id, age
+			}
+		}
+		if p.candsSeen == 0 { // wrapped: 256 candidates seen
+			c.adjustSetpoint(q)
+		}
+	}
+	if c.cfg.Mode == ModeOnePerEviction && onePerBest != cache.InvalidLine {
+		c.demote(onePerPart, onePerBest)
+		bestDemoted, bestDemAge = onePerBest, 0
+	}
+
+	// Pick the victim: free slot > oldest pre-existing unmanaged candidate >
+	// demoted candidate > any managed candidate (forced managed eviction).
+	victim := cache.InvalidLine
+	switch {
+	case freeSlot != cache.InvalidLine:
+		victim = freeSlot
+	case sawUnmanaged:
+		victim = bestUnmanStale
+	case bestDemoted != cache.InvalidLine:
+		victim = bestDemoted
+		res.ForcedManagedEviction = true
+	default:
+		victim = fallback
+		res.ForcedManagedEviction = true
+	}
+
+	if line := c.arr.Line(victim); line.Valid {
+		res.EvictedValid = true
+		res.Evicted = line.Addr
+		c.evictions++
+		if res.ForcedManagedEviction {
+			c.forcedEvictions++
+		}
+		owner := c.partOf[victim]
+		if owner == c.unmanagedID {
+			if c.observer != nil {
+				c.observer(int(c.unmanagedID), c.quant[c.unmanagedID].EvictionPriority(c.ts[victim], c.unmanagedTS), false)
+			}
+			c.unmanagedSize--
+			if c.track {
+				c.quant[c.unmanagedID].Remove(c.ts[victim])
+			}
+		} else if owner >= 0 {
+			q := int(owner)
+			if c.observer != nil {
+				c.observer(q, c.quant[q].EvictionPriority(c.ts[victim], c.parts[q].currentTS), false)
+			}
+			c.parts[q].actual--
+			if c.track {
+				c.quant[q].Remove(c.ts[victim])
+			}
+		}
+		c.partOf[victim] = -1
+	}
+
+	id, moves := c.arr.Install(addr, victim)
+	res.Relocations = moves
+
+	p := &c.parts[part]
+	c.partOf[id] = int16(part)
+	c.ts[id] = p.currentTS
+	if c.cfg.Mode == ModeRRIP {
+		c.rrpv[id] = c.insertRRPV(part)
+	}
+	p.actual++
+	p.insertions++
+	if c.track {
+		c.quant[part].Add(p.currentTS)
+	}
+	c.tick(p)
+	c.duelOnMiss(addr, part)
+	return res
+}

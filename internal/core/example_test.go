@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"vantage/internal/cache"
+	"vantage/internal/core"
+)
+
+// The §3.4 partition-deletion protocol: set the target to 0 (aperture 1.0)
+// and let replacements drain the partition before reusing its ID.
+func ExampleController_SetTargets_deletion() {
+	arr := cache.NewZCache(1024, 4, 52, 1)
+	c := core.New(arr, core.Config{
+		Partitions: 2, UnmanagedFrac: 0.1, AMax: 0.5, Slack: 0.1,
+	})
+	c.SetTargets([]int{400, 521})
+	for i := uint64(0); i < 400; i++ {
+		c.Access(1<<40|i, 0)
+	}
+	fmt.Println("before deletion:", c.Size(0), "lines, aperture", c.Aperture(0))
+
+	c.SetTargets([]int{0, 921}) // delete partition 0
+	fmt.Println("after deletion: aperture", c.Aperture(0))
+	// Partition 1's replacements now demote partition 0's lines on contact.
+	for i := uint64(0); i < 200000; i++ {
+		c.Access(2<<40|i, 1)
+	}
+	fmt.Println("drained below 32 lines:", c.Size(0) < 32)
+	// Output:
+	// before deletion: 400 lines, aperture 0
+	// after deletion: aperture 1
+	// drained below 32 lines: true
+}
+
+// Counters expose the §3.3 flows: insertions demote other lines into the
+// unmanaged region, and evictions leave from there.
+func ExampleController_Counters() {
+	arr := cache.NewZCache(512, 4, 52, 1)
+	c := core.New(arr, core.Config{
+		Partitions: 1, UnmanagedFrac: 0.1, AMax: 0.5, Slack: 0.1,
+	})
+	c.SetTargets([]int{460})
+	for i := uint64(0); i < 50000; i++ {
+		c.Access(i%600, 0) // working set exceeds the target
+	}
+	cnt := c.Counters()
+	fmt.Println("demotions within 10% of evictions:",
+		cnt.Demotions > cnt.Evictions*9/10 && cnt.Demotions < cnt.Evictions*11/10)
+	// Output:
+	// demotions within 10% of evictions: true
+}

@@ -1,0 +1,136 @@
+// Feedback-based aperture control and setpoint-based demotions (§4.1, §4.2):
+// the coarse-timestamp clocks, the demotion test, and the 256-candidate
+// setpoint adjustment against the demotion-thresholds lookup table.
+
+package core
+
+import "vantage/internal/cache"
+
+// tick advances partition p's coarse timestamp clock by one access:
+// CurrentTS (and SetpointTS, to keep their distance constant, §4.2) advance
+// every ActualSize/16 accesses.
+func (c *Controller) tick(p *partState) {
+	p.accessCtr++
+	period := p.actual / 16
+	if period < 1 {
+		period = 1
+	}
+	if p.accessCtr >= period {
+		p.accessCtr = 0
+		p.currentTS++
+		p.setpointTS++
+	}
+}
+
+// unmanagedTick advances the unmanaged region's timestamp every
+// unmanagedTarget/16 insertions (demotions).
+func (c *Controller) unmanagedTick() {
+	c.unmanagedCtr++
+	period := c.unmanagedTarget / 16
+	if period < 1 {
+		period = 1
+	}
+	if c.unmanagedCtr >= period {
+		c.unmanagedCtr = 0
+		c.unmanagedTS++
+	}
+}
+
+// keepWindow returns the width of partition p's keep window
+// (CurrentTS - SetpointTS mod 256): lines older than the window (age greater
+// than it) are below the setpoint and eligible for demotion.
+func (p *partState) keepWindow() uint8 { return p.currentTS - p.setpointTS }
+
+// shouldDemote applies the demotion test for a valid managed candidate owned
+// by partition q.
+func (c *Controller) shouldDemote(q int, id cache.LineID) bool {
+	p := &c.parts[q]
+	if p.actual <= p.target {
+		return false
+	}
+	if p.target == 0 {
+		// Deleted partition: aperture 1.0, demote unconditionally (§3.4).
+		return true
+	}
+	switch c.cfg.Mode {
+	case ModePerfectAperture:
+		a := feedbackAperture(float64(p.actual), float64(p.target), c.cfg.AMax, c.cfg.Slack)
+		// Demote the top-a fraction by age: lines with fewer than a·size
+		// strictly-older lines in the partition.
+		return c.quant[q].FracOlder(c.ts[id], p.currentTS) < a
+	case ModeRRIP:
+		return c.rrpv[id] >= p.setpointRRPV
+	default:
+		age := p.currentTS - c.ts[id]
+		return age > p.keepWindow()
+	}
+}
+
+// feedbackAperture is Equation 7 (duplicated from the analytic package to
+// keep core dependency-light; the analytic package's tests pin it).
+func feedbackAperture(s, t, aMax, slack float64) float64 {
+	if t <= 0 {
+		return aMax
+	}
+	switch {
+	case s <= t:
+		return 0
+	case s <= (1+slack)*t:
+		return aMax / slack * (s - t) / t
+	default:
+		return aMax
+	}
+}
+
+// demote moves candidate id (owned by q) into the unmanaged region.
+func (c *Controller) demote(q int, id cache.LineID) {
+	p := &c.parts[q]
+	if c.observer != nil {
+		c.observer(q, c.quant[q].EvictionPriority(c.ts[id], p.currentTS), true)
+	}
+	if c.track {
+		c.quant[q].Remove(c.ts[id])
+		c.quant[c.unmanagedID].Add(c.unmanagedTS)
+	}
+	p.actual--
+	p.candsDemoted++
+	p.demotedLines++
+	c.partOf[id] = c.unmanagedID
+	c.ts[id] = c.unmanagedTS
+	c.demotions++
+	c.unmanagedSize++
+	c.unmanagedTick()
+}
+
+// adjustSetpoint applies the §4.2 feedback rule after candsPerAdjust
+// candidates from partition q: compare the demotions done against the
+// demotion-thresholds table entry for the current size and nudge the
+// setpoint.
+func (c *Controller) adjustSetpoint(q int) {
+	p := &c.parts[q]
+	c.setpointAdjusts++
+	thr := 0
+	for k := thresholdEntries - 1; k >= 0; k-- {
+		if p.thrSize[k] <= p.actual && (k > 0 || p.actual > p.target) {
+			thr = p.thrDems[k]
+			break
+		}
+	}
+	if p.target == 0 {
+		thr = candsPerAdjust // aperture 1.0: never throttle a draining partition
+	}
+	if c.cfg.Mode == ModeRRIP {
+		if p.candsDemoted > thr && p.setpointRRPV < 8 {
+			p.setpointRRPV++
+		} else if p.candsDemoted < thr && p.setpointRRPV > 1 {
+			p.setpointRRPV--
+		}
+	} else {
+		if p.candsDemoted > thr && p.keepWindow() < 255 {
+			p.setpointTS-- // widen the keep window: fewer demotions
+		} else if p.candsDemoted < thr && p.keepWindow() > 0 {
+			p.setpointTS++ // narrow the keep window: more demotions
+		}
+	}
+	p.candsDemoted = 0
+}

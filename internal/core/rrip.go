@@ -1,0 +1,49 @@
+// Vantage-DRRIP specifics (§6.2): per-partition insertion-policy state,
+// inline SRRIP/BRRIP dueling, and the external UMON-RRIP override.
+
+package core
+
+// insertRRPV returns the insertion RRPV for partition part per its current
+// SRRIP/BRRIP choice.
+func (c *Controller) insertRRPV(part int) uint8 {
+	p := &c.parts[part]
+	if p.brrip {
+		if c.rng.Intn(32) == 0 {
+			return 6
+		}
+		return 7
+	}
+	return 6
+}
+
+// SetInsertionPolicy pins partition part's ModeRRIP insertion policy
+// (true = BRRIP), as chosen by an external UMON-RRIP monitor (§6.2); it
+// disables the controller's inline dueling for that partition.
+func (c *Controller) SetInsertionPolicy(part int, brrip bool) {
+	p := &c.parts[part]
+	p.extPolicy = true
+	p.brrip = brrip
+}
+
+// duelOnMiss updates partition part's SRRIP/BRRIP duel in ModeRRIP. By
+// default the controller duels inline over hashed leader buckets (thread-
+// aware by construction, no monitor changes); when SetInsertionPolicy has
+// pinned a partition's policy (the paper's UMON-RRIP path), the inline duel
+// is disabled for it.
+func (c *Controller) duelOnMiss(addr uint64, part int) {
+	if c.cfg.Mode != ModeRRIP || c.parts[part].extPolicy {
+		return
+	}
+	p := &c.parts[part]
+	switch c.duelH.Hash(addr) & c.duelMask {
+	case 0: // SRRIP leader missed: vote BRRIP
+		if p.psel > -512 {
+			p.psel--
+		}
+	case 1: // BRRIP leader missed: vote SRRIP
+		if p.psel < 512 {
+			p.psel++
+		}
+	}
+	p.brrip = p.psel < 0
+}

@@ -1,0 +1,624 @@
+package core
+
+import (
+	"testing"
+
+	"vantage/internal/analytic"
+	"vantage/internal/cache"
+	"vantage/internal/ctrl"
+	"vantage/internal/hash"
+)
+
+// newTestController builds a Vantage controller on a Z4/52 zcache with
+// numLines lines and the paper's default knobs.
+func newTestController(numLines, parts int, mode Mode) *Controller {
+	arr := cache.NewZCache(numLines, 4, 52, 0xc0ffee)
+	return New(arr, Config{
+		Partitions:    parts,
+		UnmanagedFrac: 0.10,
+		AMax:          0.5,
+		Slack:         0.1,
+		Mode:          mode,
+		Seed:          7,
+	})
+}
+
+// drive issues n accesses per partition round-robin; each partition streams
+// uniformly over its own working set of wsLines lines (disjoint address
+// spaces, as in the paper's multiprogrammed mixes).
+func drive(c *Controller, rng *hash.Rand, wsLines []int, n int) {
+	parts := c.NumPartitions()
+	for i := 0; i < n; i++ {
+		for p := 0; p < parts; p++ {
+			addr := uint64(p)<<40 | uint64(rng.Intn(wsLines[p]))
+			c.Access(addr, p)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	arr := cache.NewZCache(256, 4, 16, 1)
+	bad := []Config{
+		{Partitions: 0, UnmanagedFrac: 0.1, AMax: 0.5, Slack: 0.1},
+		{Partitions: 2, UnmanagedFrac: 0, AMax: 0.5, Slack: 0.1},
+		{Partitions: 2, UnmanagedFrac: 1.0, AMax: 0.5, Slack: 0.1},
+		{Partitions: 2, UnmanagedFrac: 0.1, AMax: 0, Slack: 0.1},
+		{Partitions: 2, UnmanagedFrac: 0.1, AMax: 1.5, Slack: 0.1},
+		{Partitions: 2, UnmanagedFrac: 0.1, AMax: 0.5, Slack: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(arr, cfg)
+		}()
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	if ModeSetpoint.String() != "Vantage" ||
+		ModePerfectAperture.String() != "Vantage-Perfect" ||
+		ModeRRIP.String() != "Vantage-DRRIP" ||
+		ModeOnePerEviction.String() != "Vantage-OnePerEvict" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(42).String() != "Vantage-?" {
+		t.Fatal("unknown mode name wrong")
+	}
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	c := newTestController(1024, 2, ModeSetpoint)
+	r := c.Access(0x1234, 0)
+	if r.Hit {
+		t.Fatal("first access hit")
+	}
+	r = c.Access(0x1234, 0)
+	if !r.Hit {
+		t.Fatal("second access missed")
+	}
+	if c.Size(0) != 1 || c.Size(1) != 0 {
+		t.Fatalf("sizes: %d %d", c.Size(0), c.Size(1))
+	}
+	cnt := c.Counters()
+	if cnt.Hits != 1 || cnt.Misses != 1 {
+		t.Fatalf("counters: %+v", cnt)
+	}
+}
+
+func TestSetTargetsValidation(t *testing.T) {
+	c := newTestController(1024, 2, ModeSetpoint)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong target count did not panic")
+			}
+		}()
+		c.SetTargets([]int{1})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative target did not panic")
+			}
+		}()
+		c.SetTargets([]int{-1, 5})
+	}()
+}
+
+func TestTargetsRoundTrip(t *testing.T) {
+	c := newTestController(1024, 3, ModeSetpoint)
+	c.SetTargets([]int{100, 200, 300})
+	got := c.Targets()
+	if got[0] != 100 || got[1] != 200 || got[2] != 300 {
+		t.Fatalf("targets: %v", got)
+	}
+	if c.Target(1) != 200 {
+		t.Fatalf("Target(1) = %d", c.Target(1))
+	}
+}
+
+// TestSizeAccountingInvariant checks the fundamental bookkeeping identity:
+// the per-partition actual sizes plus the unmanaged size equal the number of
+// valid lines in the array, under heavy randomized traffic with relocations.
+func TestSizeAccountingInvariant(t *testing.T) {
+	for _, mode := range []Mode{ModeSetpoint, ModePerfectAperture, ModeRRIP} {
+		c := newTestController(1024, 4, mode)
+		rng := hash.NewRand(11)
+		drive(c, rng, []int{400, 600, 150, 800}, 3000)
+		valid := 0
+		for id := 0; id < c.Array().NumLines(); id++ {
+			if c.Array().Line(cache.LineID(id)).Valid {
+				valid++
+			}
+		}
+		total := c.UnmanagedSize()
+		for p := 0; p < 4; p++ {
+			total += c.Size(p)
+		}
+		if total != valid {
+			t.Fatalf("mode %v: accounted %d lines, array holds %d", mode, total, valid)
+		}
+	}
+}
+
+// TestPartOfConsistency cross-checks the partOf map against the sizes.
+func TestPartOfConsistency(t *testing.T) {
+	c := newTestController(512, 3, ModeSetpoint)
+	rng := hash.NewRand(13)
+	drive(c, rng, []int{300, 300, 300}, 4000)
+	counts := make([]int, 4) // 3 partitions + unmanaged
+	for id := 0; id < c.Array().NumLines(); id++ {
+		if c.Array().Line(cache.LineID(id)).Valid {
+			o := c.partOf[id]
+			if o < 0 {
+				t.Fatal("valid line with no owner")
+			}
+			counts[o]++
+		} else if c.partOf[id] >= 0 {
+			t.Fatal("invalid line with an owner")
+		}
+	}
+	for p := 0; p < 3; p++ {
+		if counts[p] != c.Size(p) {
+			t.Fatalf("partition %d: counted %d, Size reports %d", p, counts[p], c.Size(p))
+		}
+	}
+	if counts[3] != c.UnmanagedSize() {
+		t.Fatalf("unmanaged: counted %d, reported %d", counts[3], c.UnmanagedSize())
+	}
+}
+
+// TestSizesTrackTargets is the paper's headline property (Fig 8): with
+// churn-based management, actual partition sizes stay near their targets
+// even with very different churns, and partitions never starve below target
+// while over-target traffic runs.
+func TestSizesTrackTargets(t *testing.T) {
+	c := newTestController(4096, 4, ModeSetpoint)
+	targets := []int{2400, 800, 300, 186} // sums to ~90% of 4096
+	c.SetTargets(targets)
+	rng := hash.NewRand(17)
+	// Partition 0: large WS (misses often); 1: medium; 2: small, hot;
+	// 3: streaming (huge WS).
+	ws := []int{2400, 800, 280, 1 << 20}
+	drive(c, rng, ws, 30000)
+	for p := 0; p < 4; p++ {
+		size, target := c.Size(p), targets[p]
+		// Allow the slack band plus the minimum-stable-size effect for the
+		// small high-churn partitions: bound deviation at 25% + 60 lines.
+		hi := int(float64(target)*1.25) + 60
+		if size > hi {
+			t.Errorf("partition %d: size %d exceeds target %d beyond tolerance", p, size, target)
+		}
+	}
+	// The cache must be fully utilized: unmanaged region near its target.
+	if um := c.UnmanagedSize(); um < 100 {
+		t.Errorf("unmanaged region starved: %d lines", um)
+	}
+}
+
+// TestIsolation: a quiet partition keeps its lines when a thrashing
+// partition runs beside it — Vantage partitions borrow from the unmanaged
+// region, not from each other (§3.3). Isolation strength depends on the
+// unmanaged fraction (§7): u=5-10% gives moderate isolation (forced
+// managed-region evictions at ~1e-2..1e-3 per eviction can still nick idle
+// partitions over very long runs), while u=20-25% makes forced evictions
+// negligible (Pev = (1-u)^52 ≈ 3e-7) and eliminates interference.
+func TestIsolation(t *testing.T) {
+	cases := []struct {
+		u         float64
+		minRetain float64 // fraction of warm size retained after the thrash
+	}{
+		{0.10, 0.80}, // moderate isolation
+		{0.25, 0.99}, // strong isolation
+	}
+	for _, tc := range cases {
+		arr := cache.NewZCache(4096, 4, 52, 0xc0ffee)
+		c := New(arr, Config{Partitions: 2, UnmanagedFrac: tc.u, AMax: 0.5, Slack: 0.1, Seed: 7})
+		c.SetTargets([]int{1800, int(4096*(1-tc.u)) - 1800})
+		rng := hash.NewRand(19)
+		// Warm partition 0 with a working set that fits its allocation.
+		for i := 0; i < 40000; i++ {
+			c.Access(uint64(0)<<40|uint64(rng.Intn(1700)), 0)
+		}
+		if c.Size(0) < 1500 {
+			t.Fatalf("u=%v: partition 0 failed to warm: %d lines", tc.u, c.Size(0))
+		}
+		// Thrash partition 1 hard; partition 0 gets no accesses at all, so
+		// every one of its lines ages to maximum. The first phase lets the
+		// unmanaged region fill and the feedback converge (the paper's Fig 9b
+		// attributes excess forced evictions to transients); the guarantee is
+		// then measured over the steady-state phase.
+		for i := 0; i < 50000; i++ {
+			c.Access(uint64(1)<<40|uint64(i), 1)
+		}
+		warmSize := c.Size(0)
+		for i := 50000; i < 250000; i++ {
+			c.Access(uint64(1)<<40|uint64(i), 1)
+		}
+		got := c.Size(0)
+		if float64(got) < tc.minRetain*float64(warmSize) {
+			t.Errorf("u=%v: thrashing neighbor stole lines: partition 0 went %d -> %d (retention %.3f, want >= %.2f)",
+				tc.u, warmSize, got, float64(got)/float64(warmSize), tc.minRetain)
+		}
+	}
+}
+
+// TestForcedEvictionsRare: with a properly sized unmanaged region, the
+// fraction of evictions forced from the managed region must be small
+// (Fig 9b: ~1e-2 for u=5-10%, most workloads far below).
+func TestForcedEvictionsRare(t *testing.T) {
+	c := newTestController(4096, 4, ModeSetpoint)
+	rng := hash.NewRand(23)
+	drive(c, rng, []int{1500, 1500, 1 << 18, 700}, 30000)
+	cnt := c.Counters()
+	if cnt.Evictions == 0 {
+		t.Fatal("no evictions at all")
+	}
+	frac := float64(cnt.ForcedManagedEvictions) / float64(cnt.Evictions)
+	if frac > 0.05 {
+		t.Fatalf("forced managed evictions %.4f of evictions, want < 0.05 (u=10%%)", frac)
+	}
+}
+
+// TestPromotionFlow: hitting a demoted line pulls it back into the
+// accessor's partition and adjusts both sizes.
+func TestPromotionFlow(t *testing.T) {
+	c := newTestController(1024, 2, ModeSetpoint)
+	c.SetTargets([]int{500, 421})
+	rng := hash.NewRand(29)
+	drive(c, rng, []int{800, 400}, 8000)
+	cnt := c.Counters()
+	if cnt.Demotions == 0 {
+		t.Fatal("no demotions under over-target traffic")
+	}
+	if cnt.Promotions == 0 {
+		t.Skip("no promotions observed in this run (demoted lines not re-touched)")
+	}
+}
+
+func TestPromotionDirect(t *testing.T) {
+	c := newTestController(1024, 2, ModeSetpoint)
+	// Manufacture a promotion: insert a line, demote it by hand via the
+	// deletion path, then hit it from partition 1.
+	c.Access(0x42, 0)
+	id, ok := c.Array().Lookup(0x42)
+	if !ok {
+		t.Fatal("line missing")
+	}
+	// Force-demote: mark unmanaged directly through the drain path.
+	c.SetTargets([]int{0, 900})
+	// Drive partition 1 until the line is demoted or evicted.
+	rng := hash.NewRand(31)
+	for i := 0; i < 20000 && c.partOf[id] != c.unmanagedID; i++ {
+		c.Access(uint64(1)<<40|uint64(rng.Intn(2000)), 1)
+		if nid, ok2 := c.Array().Lookup(0x42); ok2 {
+			id = nid
+		} else {
+			t.Skip("line evicted before demotion could be observed")
+		}
+	}
+	if c.partOf[id] != c.unmanagedID {
+		t.Fatal("deleted partition's line never demoted")
+	}
+	um := c.UnmanagedSize()
+	r := c.Access(0x42, 1)
+	if !r.Hit {
+		t.Fatal("promotion access missed")
+	}
+	if c.UnmanagedSize() != um-1 {
+		t.Fatal("promotion did not shrink unmanaged region")
+	}
+	if c.partOf[id] != 1 {
+		t.Fatal("promoted line not owned by accessor")
+	}
+	if c.Counters().Promotions != 1 {
+		t.Fatal("promotion not counted")
+	}
+}
+
+// TestPartitionDeletion: setting a target to 0 drains the partition (§3.4).
+func TestPartitionDeletion(t *testing.T) {
+	c := newTestController(2048, 2, ModeSetpoint)
+	c.SetTargets([]int{900, 943})
+	rng := hash.NewRand(37)
+	drive(c, rng, []int{850, 900}, 10000)
+	if c.Size(0) < 700 {
+		t.Fatalf("partition 0 did not fill: %d", c.Size(0))
+	}
+	if a := c.Aperture(0); a != 0 && c.Size(0) <= c.Target(0) {
+		t.Fatalf("aperture %v with size under target", a)
+	}
+	c.SetTargets([]int{0, 1843})
+	if c.Aperture(0) != 1 {
+		t.Fatalf("deleted partition aperture = %v, want 1", c.Aperture(0))
+	}
+	// Only partition 1 runs now; partition 0 must drain.
+	for i := 0; i < 100000; i++ {
+		c.Access(uint64(1)<<40|uint64(rng.Intn(1800)), 1)
+	}
+	if got := c.Size(0); got > 64 {
+		t.Fatalf("deleted partition still holds %d lines", got)
+	}
+}
+
+// TestDownsizeTransient: a downsized partition converges to its new target.
+func TestDownsizeTransient(t *testing.T) {
+	c := newTestController(4096, 2, ModeSetpoint)
+	c.SetTargets([]int{3000, 686})
+	rng := hash.NewRand(41)
+	drive(c, rng, []int{2900, 650}, 20000)
+	before := c.Size(0)
+	if before < 2400 {
+		t.Fatalf("partition 0 did not fill: %d", before)
+	}
+	c.SetTargets([]int{1000, 2686})
+	drive(c, rng, []int{2900, 2600}, 40000)
+	after := c.Size(0)
+	if after > 1250 {
+		t.Fatalf("downsized partition stuck at %d (target 1000)", after)
+	}
+	if c.Size(1) < 2200 {
+		t.Fatalf("upsized partition did not grow: %d", c.Size(1))
+	}
+}
+
+// TestPerfectApertureMatchesSetpoint: the §6.2 validation — the practical
+// setpoint controller must deliver partition sizes close to the
+// perfect-knowledge controller's.
+func TestPerfectApertureMatchesSetpoint(t *testing.T) {
+	sizes := map[Mode][]int{}
+	for _, mode := range []Mode{ModeSetpoint, ModePerfectAperture} {
+		c := newTestController(4096, 3, mode)
+		c.SetTargets([]int{2000, 1000, 686})
+		rng := hash.NewRand(43)
+		drive(c, rng, []int{1900, 950, 1 << 18}, 30000)
+		sizes[mode] = []int{c.Size(0), c.Size(1), c.Size(2)}
+	}
+	for p := 0; p < 3; p++ {
+		a, b := sizes[ModeSetpoint][p], sizes[ModePerfectAperture][p]
+		diff := a - b
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > (a+b)/4 {
+			t.Errorf("partition %d: setpoint %d vs perfect %d differ too much", p, a, b)
+		}
+	}
+}
+
+// TestRRIPModeBasics: Vantage-DRRIP keeps sizes near targets too.
+func TestRRIPModeBasics(t *testing.T) {
+	c := newTestController(4096, 2, ModeRRIP)
+	targets := []int{2500, 1186}
+	c.SetTargets(targets)
+	rng := hash.NewRand(47)
+	drive(c, rng, []int{2400, 1 << 18}, 30000)
+	for p := 0; p < 2; p++ {
+		if c.Size(p) > int(float64(targets[p])*1.3)+60 {
+			t.Errorf("partition %d: size %d vs target %d", p, c.Size(p), targets[p])
+		}
+	}
+	// The streaming partition should have settled on BRRIP eventually or at
+	// least have a functional selector; just exercise the accessor.
+	_ = c.InsertionPolicy(1)
+}
+
+// TestDemotionPrioritiesConcentrated: the associativity guarantee. With one
+// partition and low churn/size ratio the aperture is small, so demotions
+// must hit only lines near the top of the eviction ranking (priority close
+// to 1.0) — Fig 8's heat map result.
+func TestDemotionPrioritiesConcentrated(t *testing.T) {
+	arr := cache.NewZCache(4096, 4, 52, 0xfeed)
+	c := New(arr, Config{Partitions: 2, UnmanagedFrac: 0.10, AMax: 0.5, Slack: 0.1, Seed: 3})
+	c.SetTargets([]int{1843, 1843})
+	var samples []float64
+	c.SetEvictionObserver(func(part int, pri float64, dem bool) {
+		if dem && part == 0 {
+			samples = append(samples, pri)
+		}
+	})
+	rng := hash.NewRand(53)
+	// Working sets slightly exceed the targets so both partitions sit just
+	// over target and demote continuously at a small aperture.
+	drive(c, rng, []int{2100, 2100}, 30000)
+	if len(samples) < 500 {
+		t.Fatalf("too few demotion samples: %d", len(samples))
+	}
+	low := 0
+	for _, s := range samples {
+		if s < 0.7 {
+			low++
+		}
+	}
+	frac := float64(low) / float64(len(samples))
+	if frac > 0.05 {
+		t.Fatalf("%.3f of demotions hit priority < 0.7; want high associativity", frac)
+	}
+}
+
+// TestKeepWindowResponds: the setpoint feedback must adapt the keep window
+// under traffic (it starts mid-range and converges somewhere useful).
+func TestKeepWindowResponds(t *testing.T) {
+	c := newTestController(2048, 2, ModeSetpoint)
+	c.SetTargets([]int{1000, 843})
+	start := c.KeepWindow(0)
+	rng := hash.NewRand(59)
+	drive(c, rng, []int{1200, 800}, 20000)
+	if c.Counters().SetpointAdjusts == 0 {
+		t.Fatal("setpoint never adjusted")
+	}
+	if c.KeepWindow(0) == start && c.KeepWindow(1) == start {
+		t.Fatal("keep windows never moved")
+	}
+}
+
+// TestChurnCounter: Churn returns and resets insertion counts.
+func TestChurnCounter(t *testing.T) {
+	c := newTestController(1024, 2, ModeSetpoint)
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i), 0)
+	}
+	if got := c.Churn(0); got != 100 {
+		t.Fatalf("churn = %d, want 100", got)
+	}
+	if got := c.Churn(0); got != 0 {
+		t.Fatalf("churn after reset = %d, want 0", got)
+	}
+}
+
+// TestObserverTrackingConsistency: enabling the observer mid-run populates
+// histograms that stay consistent with partition sizes.
+func TestObserverTrackingConsistency(t *testing.T) {
+	c := newTestController(1024, 2, ModeSetpoint)
+	rng := hash.NewRand(61)
+	drive(c, rng, []int{600, 600}, 2000)
+	c.SetEvictionObserver(func(part int, pri float64, dem bool) {
+		if pri < 0 || pri > 1 {
+			t.Fatalf("priority out of range: %v", pri)
+		}
+	})
+	drive(c, rng, []int{600, 600}, 2000)
+	for p := 0; p < 2; p++ {
+		if got := c.quant[p].Total(); got != c.Size(p) {
+			t.Fatalf("partition %d: histogram %d vs size %d", p, got, c.Size(p))
+		}
+	}
+	if got := c.quant[2].Total(); got != c.UnmanagedSize() {
+		t.Fatalf("unmanaged histogram %d vs size %d", got, c.UnmanagedSize())
+	}
+}
+
+// TestWorksOnSetAssociative: Vantage on a hashed set-associative array
+// (§6.2, Fig 10) must function, with weaker but real behavior.
+func TestWorksOnSetAssociative(t *testing.T) {
+	arr := cache.NewSetAssoc(4096, 16, true, 5)
+	c := New(arr, Config{Partitions: 2, UnmanagedFrac: 0.10, AMax: 0.5, Slack: 0.1})
+	c.SetTargets([]int{2500, 1186})
+	rng := hash.NewRand(67)
+	for i := 0; i < 30000; i++ {
+		c.Access(uint64(0)<<40|uint64(rng.Intn(2400)), 0)
+		c.Access(uint64(1)<<40|uint64(i), 1)
+	}
+	if c.Size(0) > 3200 {
+		t.Fatalf("partition 0 uncontrolled on SA16: %d", c.Size(0))
+	}
+	if c.Size(1) > 2000 {
+		t.Fatalf("streaming partition uncontrolled on SA16: %d", c.Size(1))
+	}
+}
+
+// TestWorksOnRandomCandidates: the idealized array satisfies the uniformity
+// assumption exactly; Vantage must hold sizes tightly there.
+func TestWorksOnRandomCandidates(t *testing.T) {
+	arr := cache.NewRandomCands(4096, 52, 5)
+	c := New(arr, Config{Partitions: 2, UnmanagedFrac: 0.10, AMax: 0.5, Slack: 0.1})
+	targets := []int{2500, 1186}
+	c.SetTargets(targets)
+	rng := hash.NewRand(71)
+	for i := 0; i < 30000; i++ {
+		c.Access(uint64(0)<<40|uint64(rng.Intn(2400)), 0)
+		c.Access(uint64(1)<<40|uint64(i), 1)
+	}
+	for p := 0; p < 2; p++ {
+		if c.Size(p) > int(float64(targets[p])*1.25)+60 {
+			t.Errorf("partition %d: size %d vs target %d", p, c.Size(p), targets[p])
+		}
+	}
+}
+
+var _ ctrl.Controller = (*Controller)(nil)
+
+// TestOnePerEvictionMatchesEq2 empirically contrasts the two demotion
+// disciplines of §3.3 and checks the ablation against Eq 2 quantitatively:
+// with R=52 and u=0.1, Eq 2 predicts a fraction
+// FM(x) = Σ B(i,52)·x^i of demotions below priority x (≈0.7% below 0.9,
+// ≈9% below 0.95), while setpoint-based on-average demotions keep
+// essentially everything above 1-A.
+func TestOnePerEvictionMatchesEq2(t *testing.T) {
+	collect := func(mode Mode) (below07, below09, n float64) {
+		arr := cache.NewZCache(4096, 4, 52, 0xfeed)
+		c := New(arr, Config{Partitions: 2, UnmanagedFrac: 0.10, AMax: 0.5, Slack: 0.1, Mode: mode, Seed: 3})
+		c.SetTargets([]int{1843, 1843})
+		c.SetEvictionObserver(func(part int, pri float64, dem bool) {
+			if !dem {
+				return
+			}
+			n++
+			if pri < 0.7 {
+				below07++
+			}
+			if pri < 0.9 {
+				below09++
+			}
+		})
+		rng := hash.NewRand(53)
+		drive(c, rng, []int{2100, 2100}, 30000)
+		return below07, below09, n
+	}
+	b7s, _, ns := collect(ModeSetpoint)
+	if ns < 500 {
+		t.Fatalf("setpoint mode produced only %v demotions", ns)
+	}
+	if frac := b7s / ns; frac > 0.05 {
+		t.Fatalf("setpoint demotions below 0.7: %.3f, want ~0", frac)
+	}
+	_, b9o, no := collect(ModeOnePerEviction)
+	if no < 500 {
+		t.Fatalf("one-per-eviction mode produced only %v demotions", no)
+	}
+	pred := analytic.ManagedCDFOnePerEviction(0.9, 52, 0.1)
+	frac := b9o / no
+	// The empirical fraction must be the same order as Eq 2's prediction —
+	// nonzero (unlike the setpoint discipline at this threshold) and within
+	// a factor of ~4 (finite-sample and partition-skew effects).
+	if frac < pred/4 || frac > pred*4 {
+		t.Fatalf("one-per-eviction demotions below 0.9: %.4f, Eq 2 predicts %.4f", frac, pred)
+	}
+}
+
+// TestOnePerEvictionStillHoldsSizes: the ablation changes associativity,
+// not the size-control property.
+func TestOnePerEvictionStillHoldsSizes(t *testing.T) {
+	c := newTestController(4096, 2, ModeOnePerEviction)
+	targets := []int{2400, 1286}
+	c.SetTargets(targets)
+	rng := hash.NewRand(61)
+	drive(c, rng, []int{2600, 1 << 18}, 30000)
+	for p := 0; p < 2; p++ {
+		if c.Size(p) > int(float64(targets[p])*1.3)+60 {
+			t.Errorf("partition %d: size %d vs target %d", p, c.Size(p), targets[p])
+		}
+	}
+}
+
+// TestPartitionCounters checks the per-partition instrumentation counters.
+func TestPartitionCounters(t *testing.T) {
+	c := newTestController(1024, 2, ModeSetpoint)
+	c.SetTargets([]int{400, 521})
+	rng := hash.NewRand(73)
+	drive(c, rng, []int{700, 300}, 8000)
+	total := c.Counters()
+	var hits, misses, dems, proms uint64
+	for p := 0; p < 2; p++ {
+		pc := c.PartitionCounters(p)
+		hits += pc.Hits
+		misses += pc.Misses
+		dems += pc.Demotions
+		proms += pc.Promotions
+	}
+	if hits != total.Hits || misses != total.Misses {
+		t.Fatalf("per-partition hit/miss sums (%d/%d) != totals (%d/%d)",
+			hits, misses, total.Hits, total.Misses)
+	}
+	if dems != total.Demotions || proms != total.Promotions {
+		t.Fatalf("per-partition demotion/promotion sums (%d/%d) != totals (%d/%d)",
+			dems, proms, total.Demotions, total.Promotions)
+	}
+	if c.PartitionCounters(0).Demotions == 0 {
+		t.Fatal("over-committed partition never demoted")
+	}
+}

@@ -1,0 +1,99 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"vantage/internal/cache"
+	"vantage/internal/hash"
+)
+
+// Banked composes several per-bank controllers into one address-interleaved
+// cache, the way the paper's 8 MB L2 is organized (Table 2: 4 banks, each
+// with its own Vantage controller and per-partition state; Fig 4's register
+// budget is quoted per bank). Addresses are distributed across banks by a
+// hash, and capacity targets are split evenly: with good hashing each
+// partition's footprint spreads uniformly, so per-bank targets of T/N lines
+// implement a global target of T.
+type Banked struct {
+	banks []Controller
+	h     *hash.H3
+	mask  uint64
+	parts int
+}
+
+// NewBanked returns a banked controller over the given per-bank
+// controllers, which must all have the same partition count. The bank count
+// must be a power of two.
+func NewBanked(banks []Controller, seed uint64) *Banked {
+	if len(banks) == 0 || len(banks)&(len(banks)-1) != 0 {
+		panic(fmt.Sprintf("ctrl: bank count %d must be a power of two", len(banks)))
+	}
+	parts := banks[0].NumPartitions()
+	for _, b := range banks {
+		if b.NumPartitions() != parts {
+			panic("ctrl: banks disagree on partition count")
+		}
+	}
+	return &Banked{
+		banks: banks,
+		h:     hash.NewH3(16, hash.Mix64(seed^0xbabe)),
+		mask:  uint64(len(banks) - 1),
+		parts: parts,
+	}
+}
+
+// Name implements Controller.
+func (b *Banked) Name() string {
+	return fmt.Sprintf("%s x%d", b.banks[0].Name(), len(b.banks))
+}
+
+// Array implements Controller; it returns the first bank's array (banked
+// caches have no single array — use Bank to reach the others).
+func (b *Banked) Array() cache.Array { return b.banks[0].Array() }
+
+// bankOf routes an address to its bank.
+func (b *Banked) bankOf(addr uint64) Controller {
+	return b.banks[b.h.Hash(hash.Mix64(addr))&b.mask]
+}
+
+// Access implements Controller.
+func (b *Banked) Access(addr uint64, part int) AccessResult {
+	return b.bankOf(addr).Access(addr, part)
+}
+
+// SetTargets implements Controller: global line targets are divided evenly
+// across banks (remainders to the lower banks).
+func (b *Banked) SetTargets(targets []int) {
+	n := len(b.banks)
+	per := make([]int, len(targets))
+	for bi, bank := range b.banks {
+		for p, t := range targets {
+			share := t / n
+			if bi < t%n {
+				share++
+			}
+			per[p] = share
+		}
+		bank.SetTargets(per)
+	}
+}
+
+// Size implements Controller: the sum over banks.
+func (b *Banked) Size(part int) int {
+	total := 0
+	for _, bank := range b.banks {
+		total += bank.Size(part)
+	}
+	return total
+}
+
+// NumPartitions implements Controller.
+func (b *Banked) NumPartitions() int { return b.parts }
+
+// Banks returns the bank count.
+func (b *Banked) Banks() int { return len(b.banks) }
+
+// Bank returns bank i's controller.
+func (b *Banked) Bank(i int) Controller { return b.banks[i] }
+
+var _ Controller = (*Banked)(nil)

@@ -1,0 +1,50 @@
+package ctrl_test
+
+import (
+	"testing"
+
+	"vantage/internal/cache"
+	"vantage/internal/core"
+	"vantage/internal/ctrl"
+	"vantage/internal/hash"
+)
+
+// TestBankedVantagePropertySizes drives a banked Vantage L2 (the paper's
+// physical organization) with randomized traffic and repartitioning, and
+// checks that global sizes always equal the per-bank sums and that global
+// targets divide without loss.
+func TestBankedVantagePropertySizes(t *testing.T) {
+	rng := hash.NewRand(41)
+	for trial := 0; trial < 5; trial++ {
+		banks := make([]ctrl.Controller, 4)
+		for i := range banks {
+			arr := cache.NewZCache(512, 4, 16, rng.Uint64())
+			banks[i] = core.New(arr, core.Config{Partitions: 3, UnmanagedFrac: 0.1, AMax: 0.5, Slack: 0.1, Seed: rng.Uint64()})
+		}
+		b := ctrl.NewBanked(banks, rng.Uint64())
+		for step := 0; step < 8000; step++ {
+			q := rng.Intn(3)
+			b.Access(uint64(q+1)<<40|uint64(rng.Intn(2500)), q)
+			if step%2000 == 1999 {
+				targets := make([]int, 3)
+				rem := 1900
+				for i := 0; i < 2; i++ {
+					targets[i] = rng.Intn(rem / 2)
+					rem -= targets[i]
+				}
+				targets[2] = rem
+				b.SetTargets(targets)
+			}
+		}
+		for q := 0; q < 3; q++ {
+			sum := 0
+			for i := 0; i < 4; i++ {
+				sum += b.Bank(i).Size(q)
+			}
+			if b.Size(q) != sum {
+				t.Fatalf("trial %d: partition %d global %d != bank sum %d",
+					trial, q, b.Size(q), sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package ctrl defines the cache-controller interface shared by every
+// partitioning scheme (Vantage, way-partitioning, PIPP, and the
+// unpartitioned baselines) and a generic unpartitioned controller that pairs
+// any cache array with any replacement policy.
+//
+// A Controller owns an array and implements the full access path: lookups,
+// hit updates, and the replacement process on misses. Partition IDs identify
+// the thread (or other principal) performing each access; targets are
+// capacity allocations in lines, set by an allocation policy such as UCP.
+package ctrl
+
+import (
+	"vantage/internal/cache"
+	"vantage/internal/repl"
+)
+
+// AccessResult reports what happened on one cache access.
+type AccessResult struct {
+	// Hit reports whether the access hit.
+	Hit bool
+	// EvictedValid reports whether a valid line was evicted; Evicted is its
+	// address.
+	EvictedValid bool
+	Evicted      uint64
+	// ForcedManagedEviction reports a Vantage eviction that had to come from
+	// the managed region because no unmanaged candidates were found (§4.3);
+	// always false for other schemes.
+	ForcedManagedEviction bool
+	// Relocations is the number of zcache line moves the install performed.
+	Relocations int
+}
+
+// Controller is a partitioned (or unpartitioned) cache controller.
+type Controller interface {
+	// Name identifies the scheme, e.g. "Vantage" or "WayPart".
+	Name() string
+	// Array returns the underlying cache array.
+	Array() cache.Array
+	// Access performs one access by partition part.
+	Access(addr uint64, part int) AccessResult
+	// SetTargets sets the per-partition capacity allocations, in lines.
+	// Schemes interpret them per their granularity (way-partitioning rounds
+	// to ways).
+	SetTargets(targets []int)
+	// Size returns the current actual size of partition part, in lines.
+	Size(part int) int
+	// NumPartitions returns the partition count.
+	NumPartitions() int
+}
+
+// EvictionObserver receives the eviction (or demotion) priority of each
+// replacement victim, for associativity measurements: part is the victim's
+// partition, priority ∈ [0,1] with 1 = best victim under the partition's
+// ranking, and demotion distinguishes Vantage demotions from evictions.
+type EvictionObserver func(part int, priority float64, demotion bool)
+
+// Observable is implemented by controllers that can report victim priorities.
+type Observable interface {
+	SetEvictionObserver(EvictionObserver)
+}
+
+// ---------------------------------------------------------------------------
+// Unpartitioned controller
+// ---------------------------------------------------------------------------
+
+// Unpartitioned pairs an array with a replacement policy and no partitioning:
+// the LRU (and RRIP) baselines of the paper's evaluation. It still tracks
+// per-partition occupancy so experiments can observe how capacity is shared.
+type Unpartitioned struct {
+	arr     cache.Array
+	pol     repl.Policy
+	parts   int
+	partOf  []int16
+	sizes   []int
+	candBuf []cache.LineID
+}
+
+// NewUnpartitioned returns an unpartitioned controller over arr using policy
+// pol, tracking occupancy for parts partitions.
+func NewUnpartitioned(arr cache.Array, pol repl.Policy, parts int) *Unpartitioned {
+	u := &Unpartitioned{
+		arr:    arr,
+		pol:    pol,
+		parts:  parts,
+		partOf: make([]int16, arr.NumLines()),
+		sizes:  make([]int, parts),
+	}
+	for i := range u.partOf {
+		u.partOf[i] = -1
+	}
+	if rel, ok := arr.(cache.Relocator); ok {
+		rel.SetMoveHook(func(src, dst cache.LineID) {
+			pol.OnMove(src, dst)
+			u.partOf[dst] = u.partOf[src]
+			u.partOf[src] = -1
+		})
+	}
+	return u
+}
+
+// Name implements Controller.
+func (u *Unpartitioned) Name() string { return "Unpart-" + u.pol.Name() }
+
+// Array implements Controller.
+func (u *Unpartitioned) Array() cache.Array { return u.arr }
+
+// NumPartitions implements Controller.
+func (u *Unpartitioned) NumPartitions() int { return u.parts }
+
+// SetTargets implements Controller: allocations are ignored (the cache is
+// shared freely), but the call is accepted so allocation policies can be
+// driven uniformly across schemes.
+func (u *Unpartitioned) SetTargets(targets []int) {}
+
+// Size implements Controller.
+func (u *Unpartitioned) Size(part int) int { return u.sizes[part] }
+
+// Access implements Controller.
+func (u *Unpartitioned) Access(addr uint64, part int) AccessResult {
+	if id, ok := u.arr.Lookup(addr); ok {
+		u.pol.OnHit(id, part)
+		if old := u.partOf[id]; int(old) != part {
+			// A line shared across partitions migrates to the last accessor;
+			// in multiprogrammed runs address spaces are disjoint so this
+			// only happens on first touch after warmup.
+			if old >= 0 {
+				u.sizes[old]--
+			}
+			u.partOf[id] = int16(part)
+			u.sizes[part]++
+		}
+		return AccessResult{Hit: true}
+	}
+	u.pol.OnMiss(addr, part)
+	u.candBuf = u.arr.Candidates(addr, u.candBuf[:0])
+	victim := cache.InvalidLine
+	for _, c := range u.candBuf {
+		if !u.arr.Line(c).Valid {
+			victim = c
+			break
+		}
+	}
+	var res AccessResult
+	if victim == cache.InvalidLine {
+		victim = u.pol.Victim(u.candBuf)
+		res.EvictedValid = true
+		res.Evicted = u.arr.Line(victim).Addr
+		u.pol.OnEvict(victim)
+		if old := u.partOf[victim]; old >= 0 {
+			u.sizes[old]--
+			u.partOf[victim] = -1
+		}
+	}
+	id, moves := u.arr.Install(addr, victim)
+	res.Relocations = moves
+	u.pol.OnInsert(id, addr, part)
+	u.partOf[id] = int16(part)
+	u.sizes[part]++
+	return res
+}

@@ -1,0 +1,174 @@
+package ctrl
+
+import (
+	"testing"
+
+	"vantage/internal/cache"
+	"vantage/internal/hash"
+	"vantage/internal/repl"
+)
+
+func TestUnpartitionedBasics(t *testing.T) {
+	arr := cache.NewZCache(512, 4, 16, 1)
+	u := NewUnpartitioned(arr, repl.NewLRUTimestamp(512), 2)
+	if u.Name() != "Unpart-LRU" {
+		t.Fatalf("name = %q", u.Name())
+	}
+	if u.Array() != cache.Array(arr) || u.NumPartitions() != 2 {
+		t.Fatal("metadata wrong")
+	}
+	r := u.Access(42, 0)
+	if r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r = u.Access(42, 0); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	if u.Size(0) != 1 || u.Size(1) != 0 {
+		t.Fatalf("sizes %d %d", u.Size(0), u.Size(1))
+	}
+	u.SetTargets([]int{1, 1}) // accepted and ignored
+}
+
+func TestUnpartitionedEvictsUnderPressure(t *testing.T) {
+	arr := cache.NewZCache(256, 4, 16, 2)
+	u := NewUnpartitioned(arr, repl.NewLRUTimestamp(256), 1)
+	evicted := 0
+	for i := 0; i < 4096; i++ {
+		r := u.Access(uint64(i), 0)
+		if r.EvictedValid {
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("streaming never evicted")
+	}
+	if got := u.Size(0); got != 256 {
+		t.Fatalf("occupancy %d, want full 256", got)
+	}
+}
+
+// TestUnpartitionedSizesConsistent drives mixed traffic with zcache
+// relocations and checks the occupancy bookkeeping.
+func TestUnpartitionedSizesConsistent(t *testing.T) {
+	arr := cache.NewZCache(512, 4, 52, 3)
+	u := NewUnpartitioned(arr, repl.NewLRUTimestamp(512), 3)
+	rng := hash.NewRand(7)
+	for i := 0; i < 20000; i++ {
+		p := rng.Intn(3)
+		u.Access(uint64(p)<<40|uint64(rng.Intn(400)), p)
+	}
+	valid, counted := 0, 0
+	for id := 0; id < arr.NumLines(); id++ {
+		if arr.Line(cache.LineID(id)).Valid {
+			valid++
+		}
+	}
+	for p := 0; p < 3; p++ {
+		counted += u.Size(p)
+	}
+	if valid != counted {
+		t.Fatalf("valid %d != counted %d", valid, counted)
+	}
+}
+
+// TestUnpartitionedLRUSharingAsymmetry reproduces the baseline problem the
+// paper opens with: under shared LRU, a streaming thread takes capacity from
+// a reuse-friendly thread.
+func TestUnpartitionedLRUSharingAsymmetry(t *testing.T) {
+	arr := cache.NewZCache(1024, 4, 16, 4)
+	u := NewUnpartitioned(arr, repl.NewLRUTimestamp(1024), 2)
+	rng := hash.NewRand(9)
+	// Thread 0 reuses 600 lines; thread 1 streams, accessed 3x as often.
+	for i := 0; i < 60000; i++ {
+		u.Access(uint64(0)<<40|uint64(rng.Intn(600)), 0)
+		for k := 0; k < 3; k++ {
+			u.Access(uint64(1)<<40|uint64(i*3+k), 1)
+		}
+	}
+	if u.Size(1) < 400 {
+		t.Fatalf("streaming thread only holds %d lines; expected LRU to give it a large share", u.Size(1))
+	}
+}
+
+func TestUnpartitionedWithRRIP(t *testing.T) {
+	arr := cache.NewSetAssoc(512, 16, true, 5)
+	u := NewUnpartitioned(arr, repl.NewDRRIP(512, 6), 2)
+	rng := hash.NewRand(11)
+	for i := 0; i < 20000; i++ {
+		u.Access(uint64(rng.Intn(300)), 0)
+		u.Access(uint64(1)<<40|uint64(i), 1)
+	}
+	if u.Name() != "Unpart-DRRIP" {
+		t.Fatalf("name = %q", u.Name())
+	}
+	// Scan resistance: the reused working set (300 lines) should hold a
+	// clear majority of the cache against the stream.
+	if u.Size(0) < 256 {
+		t.Fatalf("DRRIP failed scan resistance: reuse partition holds %d", u.Size(0))
+	}
+}
+
+func TestBankedPanics(t *testing.T) {
+	mk := func(parts int) Controller {
+		arr := cache.NewZCache(256, 4, 16, 1)
+		return NewUnpartitioned(arr, repl.NewLRUTimestamp(256), parts)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("3 banks accepted")
+			}
+		}()
+		NewBanked([]Controller{mk(2), mk(2), mk(2)}, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched partition counts accepted")
+			}
+		}()
+		NewBanked([]Controller{mk(2), mk(3)}, 1)
+	}()
+}
+
+func TestBankedRoutesAndSums(t *testing.T) {
+	banks := make([]Controller, 4)
+	for i := range banks {
+		arr := cache.NewZCache(512, 4, 16, uint64(i+1))
+		banks[i] = NewUnpartitioned(arr, repl.NewLRUTimestamp(512), 2)
+	}
+	b := NewBanked(banks, 7)
+	if b.Banks() != 4 || b.NumPartitions() != 2 || b.Array() == nil {
+		t.Fatal("metadata wrong")
+	}
+	if b.Name() == "" {
+		t.Fatal("empty name")
+	}
+	rng := hash.NewRand(3)
+	for i := 0; i < 8000; i++ {
+		p := rng.Intn(2)
+		b.Access(uint64(p+1)<<40|uint64(rng.Intn(3000)), p)
+	}
+	// Routing is deterministic: a just-accessed address must hit.
+	addr := uint64(1)<<40 | 12345
+	b.Access(addr, 0)
+	if r := b.Access(addr, 0); !r.Hit {
+		t.Fatal("banked routing not stable")
+	}
+	// Size sums the banks.
+	sum := 0
+	for i := 0; i < 4; i++ {
+		sum += b.Bank(i).Size(0)
+	}
+	if b.Size(0) != sum {
+		t.Fatalf("Size %d != bank sum %d", b.Size(0), sum)
+	}
+	// Traffic spread across all banks.
+	for i := 0; i < 4; i++ {
+		if b.Bank(i).Size(0)+b.Bank(i).Size(1) == 0 {
+			t.Fatalf("bank %d never used", i)
+		}
+	}
+	b.SetTargets([]int{300, 212}) // accepted (no-op for unpartitioned banks)
+}

@@ -1,0 +1,300 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"vantage/internal/analytic"
+	"vantage/internal/plot"
+)
+
+// Fig1 tabulates the associativity CDFs FA(x) = x^R of Equation 1 for the
+// paper's R values (Fig 1, linear and log scales are the same data).
+type Fig1 struct {
+	R []int
+	X []float64
+	F [][]float64 // F[i][j] = FA(X[j]; R[i])
+}
+
+// RunFig1 evaluates the Fig 1 curves on a 101-point grid.
+func RunFig1() Fig1 {
+	out := Fig1{R: []int{4, 8, 16, 64}}
+	for j := 0; j <= 100; j++ {
+		out.X = append(out.X, float64(j)/100)
+	}
+	for _, r := range out.R {
+		row := make([]float64, len(out.X))
+		for j, x := range out.X {
+			row[j] = analytic.AssocCDF(x, r)
+		}
+		out.F = append(out.F, row)
+	}
+	return out
+}
+
+// CSV renders the curves.
+func (f Fig1) CSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, r := range f.R {
+		fmt.Fprintf(&b, ",R=%d", r)
+	}
+	b.WriteString("\n")
+	for j, x := range f.X {
+		fmt.Fprintf(&b, "%.2f", x)
+		for i := range f.R {
+			fmt.Fprintf(&b, ",%.6g", f.F[i][j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table renders key points of the Fig 1 curves.
+func (f Fig1) Table() string {
+	var b strings.Builder
+	b.WriteString("Fig 1: associativity CDF FA(x) = x^R under the uniformity assumption\n")
+	b.WriteString("x      ")
+	for _, r := range f.R {
+		fmt.Fprintf(&b, "%12s", fmt.Sprintf("R=%d", r))
+	}
+	b.WriteString("\n")
+	for _, x := range []float64{0.5, 0.8, 0.9, 0.95, 0.99} {
+		fmt.Fprintf(&b, "%.2f   ", x)
+		for _, r := range f.R {
+			fmt.Fprintf(&b, "%12.3g", analytic.AssocCDF(x, r))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Plot renders the Fig 1 curves as an ASCII chart.
+func (f Fig1) Plot(width, height int) string {
+	c := plot.New("Fig 1: FA(x) = x^R", width, height)
+	c.XLabel = "eviction priority"
+	c.YLabel = "CDF"
+	for i, r := range f.R {
+		c.Add(plot.Series{Name: fmt.Sprintf("R=%d", r), X: f.X, Y: f.F[i]})
+	}
+	return c.String()
+}
+
+// Fig2 tabulates the managed-region demotion CDFs of §3.3: demoting exactly
+// one line per eviction (Eq 2, Fig 2b) versus on average (Eq 3, Fig 2c),
+// with a 30%-unmanaged cache.
+type Fig2 struct {
+	R       []int
+	U       float64
+	X       []float64
+	OnePer  [][]float64
+	Average [][]float64
+}
+
+// RunFig2 evaluates the Fig 2 curves.
+func RunFig2() Fig2 {
+	out := Fig2{R: []int{16, 32, 64}, U: 0.3}
+	for j := 0; j <= 100; j++ {
+		out.X = append(out.X, float64(j)/100)
+	}
+	for _, r := range out.R {
+		one := make([]float64, len(out.X))
+		avg := make([]float64, len(out.X))
+		for j, x := range out.X {
+			one[j] = analytic.ManagedCDFOnePerEviction(x, r, out.U)
+			avg[j] = analytic.ManagedCDFOnAverage(x, r, out.U)
+		}
+		out.OnePer = append(out.OnePer, one)
+		out.Average = append(out.Average, avg)
+	}
+	return out
+}
+
+// CSV renders the curves.
+func (f Fig2) CSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, r := range f.R {
+		fmt.Fprintf(&b, ",one-per-eviction-R=%d,on-average-R=%d", r, r)
+	}
+	b.WriteString("\n")
+	for j, x := range f.X {
+		fmt.Fprintf(&b, "%.2f", x)
+		for i := range f.R {
+			fmt.Fprintf(&b, ",%.6g,%.6g", f.OnePer[i][j], f.Average[i][j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table renders the demotion mass below selected priorities — the contrast
+// between Fig 2b and Fig 2c.
+func (f Fig2) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 2: demotion-priority CDFs in the managed region (u=%.0f%%)\n", 100*f.U)
+	b.WriteString("                         mass below x=0.8        mass below x=0.9\n")
+	b.WriteString("R     one/evict  on-average   one/evict  on-average\n")
+	for i, r := range f.R {
+		at := func(row []float64, x float64) float64 {
+			return row[int(x*100)]
+		}
+		fmt.Fprintf(&b, "%-6d%9.3f%12.4f%12.3f%12.4f\n",
+			r, at(f.OnePer[i], 0.8), at(f.Average[i], 0.8), at(f.OnePer[i], 0.9), at(f.Average[i], 0.9))
+	}
+	b.WriteString("(demoting on average concentrates demotions near priority 1.0)\n")
+	return b.String()
+}
+
+// Plot renders the Fig 2 contrast for one R as an ASCII chart.
+func (f Fig2) Plot(i, width, height int) string {
+	c := plot.New(fmt.Sprintf("Fig 2: managed-region demotion CDFs, R=%d, u=%.0f%%", f.R[i], 100*f.U), width, height)
+	c.XLabel = "demotion priority"
+	c.YLabel = "CDF"
+	c.Add(plot.Series{Name: "one-per-eviction (Eq 2)", X: f.X, Y: f.OnePer[i]})
+	c.Add(plot.Series{Name: "on-average (Eq 3)", X: f.X, Y: f.Average[i]})
+	return c.String()
+}
+
+// Fig5 tabulates the unmanaged-region sizing rule of §4.3: u as a function
+// of Amax (at fixed Pev) and of Pev (at fixed Amax), for R = 16 and 52.
+type Fig5 struct {
+	R      []int
+	Slack  float64
+	AMax   []float64
+	UvsA   [][]float64 // at Pev = 1e-2
+	Pev    []float64
+	UvsPev [][]float64 // at Amax = 0.4
+}
+
+// RunFig5 evaluates the Fig 5 curves.
+func RunFig5() Fig5 {
+	out := Fig5{R: []int{16, 52}, Slack: 0.1}
+	for a := 0.05; a <= 1.0001; a += 0.05 {
+		out.AMax = append(out.AMax, a)
+	}
+	for _, p := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1} {
+		out.Pev = append(out.Pev, p)
+	}
+	for _, r := range out.R {
+		ua := make([]float64, len(out.AMax))
+		for i, a := range out.AMax {
+			ua[i] = analytic.UnmanagedFraction(1e-2, a, out.Slack, r)
+		}
+		out.UvsA = append(out.UvsA, ua)
+		up := make([]float64, len(out.Pev))
+		for i, p := range out.Pev {
+			up[i] = analytic.UnmanagedFraction(p, 0.4, out.Slack, r)
+		}
+		out.UvsPev = append(out.UvsPev, up)
+	}
+	return out
+}
+
+// CSV renders both panels.
+func (f Fig5) CSV() string {
+	var b strings.Builder
+	b.WriteString("panel,x")
+	for _, r := range f.R {
+		fmt.Fprintf(&b, ",R=%d", r)
+	}
+	b.WriteString("\n")
+	for i, a := range f.AMax {
+		fmt.Fprintf(&b, "u-vs-Amax,%.2f", a)
+		for ri := range f.R {
+			fmt.Fprintf(&b, ",%.4f", f.UvsA[ri][i])
+		}
+		b.WriteString("\n")
+	}
+	for i, p := range f.Pev {
+		fmt.Fprintf(&b, "u-vs-Pev,%.0e", p)
+		for ri := range f.R {
+			fmt.Fprintf(&b, ",%.4f", f.UvsPev[ri][i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table renders the paper's quoted points.
+func (f Fig5) Table() string {
+	var b strings.Builder
+	b.WriteString("Fig 5: unmanaged fraction u needed (slack=0.1)\n")
+	b.WriteString("          R=16 (Pev=1e-2)  R=52 (Pev=1e-2)\n")
+	for _, a := range []float64{0.2, 0.4, 0.6, 0.8} {
+		fmt.Fprintf(&b, "Amax=%.1f %12.1f%% %16.1f%%\n", a,
+			100*analytic.UnmanagedFraction(1e-2, a, f.Slack, 16),
+			100*analytic.UnmanagedFraction(1e-2, a, f.Slack, 52))
+	}
+	b.WriteString("          R=16 (Amax=0.4)  R=52 (Amax=0.4)\n")
+	for _, p := range []float64{1e-1, 1e-2, 1e-4} {
+		fmt.Fprintf(&b, "Pev=%5.0e %11.1f%% %16.1f%%\n", p,
+			100*analytic.UnmanagedFraction(p, 0.4, f.Slack, 16),
+			100*analytic.UnmanagedFraction(p, 0.4, f.Slack, 52))
+	}
+	return b.String()
+}
+
+// Plot renders the Fig 5 u-vs-Amax panel as an ASCII chart.
+func (f Fig5) Plot(width, height int) string {
+	c := plot.New("Fig 5: unmanaged fraction u vs Amax (Pev=1e-2)", width, height)
+	c.XLabel = "Amax"
+	c.YLabel = "u"
+	for i, r := range f.R {
+		c.Add(plot.Series{Name: fmt.Sprintf("R=%d", r), X: f.AMax, Y: f.UvsA[i]})
+	}
+	return c.String()
+}
+
+// Table1 renders the paper's qualitative classification of partitioning
+// schemes (Table 1).
+func Table1() string {
+	rows := [][]string{
+		{"Scheme", "Scalable&fine", "Keeps assoc", "Efficient resize", "Strict sizes", "Repl-indep", "HW cost", "Partitions whole"},
+		{"Way-partitioning", "No", "No", "Yes", "Yes", "Yes", "Low", "Yes"},
+		{"Set-partitioning", "No", "Yes", "No", "Yes", "Yes", "High", "Yes"},
+		{"Page coloring", "No", "Yes", "No", "Yes", "Yes", "None(SW)", "Yes"},
+		{"Ins/repl-based", "Sometimes", "Sometimes", "Yes", "No", "No", "Low", "Yes"},
+		{"Vantage", "Yes", "Yes", "Yes", "Yes", "Yes", "Low", "No(most)"},
+	}
+	var b strings.Builder
+	b.WriteString("Table 1: classification of partitioning schemes\n")
+	for _, row := range rows {
+		for _, cell := range row {
+			fmt.Fprintf(&b, "%-18s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table2 renders the simulated machine parameters for both configurations.
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: simulated CMP configurations (paper-scale geometry)\n")
+	b.WriteString("Cores     32 (large) / 4 (small), in-order, IPC=1 except on memory accesses\n")
+	b.WriteString("L1        32 KB (512 lines), 4-way, 1-cycle latency, private\n")
+	b.WriteString("L2        8 MB / 2 MB shared (131072 / 32768 lines), 12-cycle latency, partitioned\n")
+	b.WriteString("Memory    200-cycle zero-load latency (bandwidth contention not modeled)\n")
+	b.WriteString("UCP       UMON-DSS (64 sets) per core, Lookahead, repartition every 5 Mcycles\n")
+	return b.String()
+}
+
+// StateOverheadTable renders the Fig 4 / §4.3 state accounting for the
+// paper's 8 MB, 32-partition configuration and a few others.
+func StateOverheadTable() string {
+	var b strings.Builder
+	b.WriteString("Vantage state overhead (partition-ID tag bits + 256b registers/partition)\n")
+	for _, cfg := range []struct {
+		lines, parts int
+		label        string
+	}{
+		{131072, 32, "8MB, 32 partitions (paper)"},
+		{32768, 4, "2MB, 4 partitions"},
+		{131072, 128, "8MB, 128 partitions"},
+	} {
+		o := analytic.Overhead(cfg.lines, cfg.parts, 64, 64)
+		fmt.Fprintf(&b, "%-30s %s\n", cfg.label, o)
+	}
+	return b.String()
+}

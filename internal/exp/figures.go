@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"vantage/internal/core"
+)
+
+// Fig6a runs the small-scale scheme comparison: Vantage-Z4/52 vs
+// way-partitioning and PIPP on the SA16 baseline, all under UCP, normalized
+// to unpartitioned LRU-SA16.
+func Fig6a(m Machine, limit int, progress func(done, total int)) ThroughputResult {
+	return RunThroughput(m, LRUBaseline(),
+		[]Scheme{DefaultVantageScheme(), WayPartScheme(), PIPPScheme()},
+		limit, progress)
+}
+
+// Fig6bMixIDs are the paper's selected mixes.
+var Fig6bMixIDs = []string{"sftn1", "ffft4", "ssst7", "fffn7", "ffnn3", "ttnn4", "sfff6", "sssf6"}
+
+// Fig6b runs the selected-mix comparison, including the unpartitioned
+// Z4/52 zcache bar that isolates the zcache's contribution.
+func Fig6b(m Machine) SelectedMixes {
+	return RunSelected(m, LRUBaseline(),
+		[]Scheme{LRUZCache(), WayPartScheme(), PIPPScheme(), DefaultVantageScheme()},
+		Fig6bMixIDs)
+}
+
+// Fig7 runs the large-scale (32-core) comparison: the baseline and the
+// way-granular schemes use a 64-way cache, Vantage keeps Z4/52.
+func Fig7(m Machine, limit int, progress func(done, total int)) ThroughputResult {
+	return RunThroughput(m, LRUBaseline(),
+		[]Scheme{DefaultVantageScheme(), WayPartScheme(), PIPPScheme()},
+		limit, progress)
+}
+
+// Fig10 runs Vantage across array designs: Z4/52 and SA64 with u=5%, Z4/16
+// and SA16 with u=10% (the paper's tuning, §6.2).
+func Fig10(m Machine, limit int, progress func(done, total int)) ThroughputResult {
+	v5 := DefaultVantage()
+	v10 := DefaultVantage()
+	v10.UnmanagedFrac = 0.10
+	return RunThroughput(m, LRUBaseline(), []Scheme{
+		VantageScheme("Z4/52", v5, core.ModeSetpoint),
+		VantageScheme("SA64", v5, core.ModeSetpoint),
+		VantageScheme("Z4/16", v10, core.ModeSetpoint),
+		VantageScheme("SA16", v10, core.ModeSetpoint),
+	}, limit, progress)
+}
+
+// Fig11 compares RRIP baselines against Vantage-LRU and Vantage-DRRIP, all
+// on Z4/52 zcaches, normalized to unpartitioned LRU (as in Fig 11). Both
+// Vantage-DRRIP variants run: inline dueling and the paper's UMON-RRIP
+// policy selection.
+func Fig11(m Machine, limit int, progress func(done, total int)) ThroughputResult {
+	return RunThroughput(m, LRUBaseline(), []Scheme{
+		RRIPBaseline("SRRIP"),
+		RRIPBaseline("DRRIP"),
+		RRIPBaseline("TA-DRRIP"),
+		DefaultVantageScheme(),
+		VantageScheme("Z4/52", DefaultVantage(), core.ModeRRIP),
+		VantageDRRIPUMONScheme(),
+	}, limit, progress)
+}
+
+// Validation runs the §6.2 model-validation configurations: practical
+// Vantage vs perfect-aperture control vs the idealized random-candidates
+// array, all of which should deliver near-identical results.
+func Validation(m Machine, limit int, progress func(done, total int)) ThroughputResult {
+	return RunThroughput(m, LRUBaseline(), []Scheme{
+		DefaultVantageScheme(),
+		VantageScheme("Z4/52", DefaultVantage(), core.ModePerfectAperture),
+		VantageScheme("Rand/52", DefaultVantage(), core.ModeSetpoint),
+	}, limit, progress)
+}

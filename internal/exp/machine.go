@@ -1,0 +1,203 @@
+// Package exp is the experiment harness: it reproduces every table and
+// figure of the paper's evaluation (§6) on the simulated machines of Table 2,
+// scaled so the experiments run on a laptop. Each experiment returns a typed
+// result with text-table and CSV renderers; cmd/vantage-sim and cmd/figures
+// drive them, and bench_test.go wraps each in a benchmark.
+package exp
+
+import (
+	"fmt"
+
+	"vantage/internal/hash"
+	"vantage/internal/sim"
+	"vantage/internal/ucp"
+	"vantage/internal/workload"
+)
+
+// Machine describes a simulated CMP (the paper's Table 2), scaled.
+type Machine struct {
+	// Name identifies the configuration, e.g. "4-core" or "32-core".
+	Name string
+	// Cores is the core (and partition) count.
+	Cores int
+	// L2Lines is the shared L2 capacity in lines (paper: 2 MB = 32768 lines
+	// for 4 cores, 8 MB = 131072 lines for 32 cores).
+	L2Lines int
+	// L1Lines/L1Ways size the private L1s (paper: 32 KB = 512 lines, 4-way).
+	L1Lines, L1Ways int
+	// InstrLimit and WarmupInstr are per-core instruction budgets (paper:
+	// 200 M measured after 20 B of fast-forward).
+	InstrLimit, WarmupInstr uint64
+	// RepartitionCycles is the UCP interval (paper: 5 M cycles).
+	RepartitionCycles uint64
+	// BaselineWays is the set-associative baseline's way count (paper: 16
+	// ways at 4 cores, 64 ways at 32 cores); also the UMON associativity.
+	BaselineWays int
+	// MixesPerClass scales the workload count (paper: 10 → 350 mixes).
+	MixesPerClass int
+	// Seed makes mixes and arrays reproducible.
+	Seed uint64
+	// Contention optionally models L2 banking and memory bandwidth
+	// (zero value: the paper's zero-load latencies).
+	Contention sim.Contention
+}
+
+// Scale adjusts a machine's size by dividing cache capacity and instruction
+// budgets; working sets scale with the cache automatically because workload
+// parameters are relative to L2Lines.
+type Scale int
+
+// Scales for experiments.
+const (
+	// ScaleUnit is the smallest useful configuration (unit tests, quick
+	// benches): 2048-line L2 for 4 cores.
+	ScaleUnit Scale = iota
+	// ScaleSmall is the default experiment scale: 4096-line L2 for 4 cores.
+	ScaleSmall
+	// ScaleFull approaches the paper's geometry (32768-line L2 for 4
+	// cores); slow, intended for cmd runs only.
+	ScaleFull
+)
+
+// SmallCMP returns the 4-core machine of the paper's small-scale evaluation.
+func SmallCMP(s Scale) Machine {
+	m := Machine{
+		Name:          "4-core",
+		Cores:         4,
+		L1Ways:        4,
+		BaselineWays:  16,
+		MixesPerClass: 10,
+		Seed:          2011,
+	}
+	switch s {
+	case ScaleUnit:
+		m.L2Lines, m.L1Lines = 2048, 32
+		m.InstrLimit, m.WarmupInstr, m.RepartitionCycles = 150_000, 150_000, 100_000
+	case ScaleSmall:
+		m.L2Lines, m.L1Lines = 4096, 64
+		m.InstrLimit, m.WarmupInstr, m.RepartitionCycles = 400_000, 300_000, 250_000
+	case ScaleFull:
+		m.L2Lines, m.L1Lines = 32768, 512
+		m.InstrLimit, m.WarmupInstr, m.RepartitionCycles = 4_000_000, 2_000_000, 2_000_000
+	default:
+		panic("exp: unknown scale")
+	}
+	return m
+}
+
+// LargeCMP returns the 32-core machine of the large-scale evaluation
+// (Table 2). The set-associative baseline uses 64 ways, as in Fig 7.
+// Warmup budgets are sized to cover the slowest global transient — the
+// streaming apps filling the L2 at one insertion per memory latency each
+// (roughly L2Lines x MemLat / cores cycles) — which the paper's 20 B
+// instructions of fast-forward cover implicitly.
+func LargeCMP(s Scale) Machine {
+	m := Machine{
+		Name:          "32-core",
+		Cores:         32,
+		L1Ways:        4,
+		BaselineWays:  64,
+		MixesPerClass: 10,
+		Seed:          2011,
+	}
+	switch s {
+	case ScaleUnit:
+		m.L2Lines, m.L1Lines = 8192, 32
+		m.InstrLimit, m.WarmupInstr, m.RepartitionCycles = 60_000, 250_000, 50_000
+	case ScaleSmall:
+		m.L2Lines, m.L1Lines = 16384, 64
+		m.InstrLimit, m.WarmupInstr, m.RepartitionCycles = 150_000, 500_000, 100_000
+	case ScaleFull:
+		m.L2Lines, m.L1Lines = 131072, 512
+		m.InstrLimit, m.WarmupInstr, m.RepartitionCycles = 2_000_000, 1_000_000, 2_000_000
+	default:
+		panic("exp: unknown scale")
+	}
+	return m
+}
+
+// Mixes generates the machine's multiprogrammed workloads. For the paper's
+// full sets use limit <= 0 (35 × MixesPerClass); a positive limit caps the
+// count while preserving class coverage (classes round-robin first).
+func (m Machine) Mixes(limit int) []workload.Mix {
+	per := m.MixesPerClass
+	if limit > 0 {
+		need := (limit + 34) / 35
+		if need < per {
+			per = need
+		}
+	}
+	all := workload.Mixes(m.Cores, per, workload.Params{CacheLines: m.L2Lines}, m.Seed)
+	if limit > 0 && limit < len(all) {
+		// Interleave by class — take mix i of every class before mix i+1 —
+		// with the classes visited in a deterministic shuffled order, so a
+		// small subset samples all four categories instead of the
+		// lexicographically-first (insensitive-heavy) classes.
+		order := make([]int, 35)
+		for i := range order {
+			order[i] = i
+		}
+		rng := hash.NewRand(m.Seed ^ 0x50f)
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		var out []workload.Mix
+		for i := 0; i < per && len(out) < limit; i++ {
+			for _, c := range order {
+				if len(out) >= limit {
+					break
+				}
+				idx := c*per + i
+				if idx < len(all) {
+					out = append(out, all[idx])
+				}
+			}
+		}
+		return out
+	}
+	return all
+}
+
+// RunMix simulates one mix on one scheme and returns the result.
+func (m Machine) RunMix(mix workload.Mix, sch Scheme) sim.Result {
+	l2 := sch.Build(m, uint64(len(mix.ID))*1337+m.Seed)
+	// Note the sim.Allocator interface type: assigning a nil *ucp.Policy
+	// would produce a non-nil interface and crash the baseline runs.
+	var alloc sim.Allocator
+	partLines := 0
+	if sch.UsesUCP {
+		if sch.BuildAllocator != nil {
+			alloc = sch.BuildAllocator(m, m.Seed^0xa110c)
+		} else {
+			alloc = ucp.NewPolicy(m.Cores, m.BaselineWays, m.L2Lines, sch.Granularity, m.Seed^0xa110c)
+		}
+		partLines = sch.PartitionableLines(m.L2Lines)
+	}
+	return sim.Run(sim.Config{
+		Apps:               mix.Apps,
+		L2:                 l2,
+		L1Lines:            m.L1Lines,
+		L1Ways:             m.L1Ways,
+		InstrLimit:         m.InstrLimit,
+		WarmupInstr:        m.WarmupInstr,
+		Alloc:              alloc,
+		RepartitionCycles:  m.RepartitionCycles,
+		PartitionableLines: partLines,
+		Contention:         m.Contention,
+	})
+}
+
+// WithContention returns a copy of the machine with the paper's Table 2
+// contention parameters enabled: 4 L2 banks and 32 GB/s peak memory
+// bandwidth (16 bytes/cycle at 2 GHz = one 64 B line per 4 cycles).
+func (m Machine) WithContention() Machine {
+	m.Contention = sim.Contention{L2Banks: 4, L2BankBusy: 2, MemCyclesPerLine: 4}
+	return m
+}
+
+// String summarizes the machine.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s: %d lines L2, %d-way SA baseline, %d instrs/core",
+		m.Name, m.L2Lines, m.BaselineWays, m.InstrLimit)
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// ReportOptions configures WriteReport.
+type ReportOptions struct {
+	// Scale selects the machine sizes.
+	Scale Scale
+	// Mixes caps each sweep's workload count (0 = the full 350).
+	Mixes int
+	// Progress, if set, receives coarse stage updates.
+	Progress func(stage string)
+	// Tweak, if set, adjusts each machine before use (tests shrink the
+	// instruction budgets this way).
+	Tweak func(Machine) Machine
+}
+
+// WriteReport runs the complete reproduction — every figure and table plus
+// the repository's own validation experiments — and writes REPORT.md with
+// all tables and charts, plus per-experiment CSVs, into dir. It is the
+// one-command artifact: `vantage-sim -config all -csv out/`.
+func WriteReport(dir string, opt ReportOptions) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("exp: creating report dir: %w", err)
+	}
+	var md strings.Builder
+	stage := func(s string) {
+		if opt.Progress != nil {
+			opt.Progress(s)
+		}
+	}
+	writeCSV := func(name, data string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644)
+	}
+	section := func(title, body string) {
+		fmt.Fprintf(&md, "## %s\n\n```\n%s```\n\n", title, body)
+	}
+
+	start := time.Now()
+	small := SmallCMP(opt.Scale)
+	large := LargeCMP(opt.Scale)
+	if opt.Tweak != nil {
+		small = opt.Tweak(small)
+		large = opt.Tweak(large)
+	}
+	fmt.Fprintf(&md, "# Vantage reproduction report\n\n")
+	fmt.Fprintf(&md, "Machines: %s; %s. Mix cap: %d.\n\n", small, large, opt.Mixes)
+
+	stage("analytical figures")
+	f1 := RunFig1()
+	section("Fig 1 — associativity CDFs", f1.Table()+"\n"+f1.Plot(64, 14))
+	if err := writeCSV("fig1.csv", f1.CSV()); err != nil {
+		return err
+	}
+	f2 := RunFig2()
+	section("Fig 2 — managed-region demotion CDFs", f2.Table()+"\n"+f2.Plot(0, 64, 14))
+	if err := writeCSV("fig2.csv", f2.CSV()); err != nil {
+		return err
+	}
+	f5 := RunFig5()
+	section("Fig 5 — unmanaged-region sizing", f5.Table()+"\n"+f5.Plot(64, 14))
+	if err := writeCSV("fig5.csv", f5.CSV()); err != nil {
+		return err
+	}
+	section("Table 1 — scheme classification", Table1())
+	section("Table 2 — machine parameters", Table2())
+	section("State overhead (Fig 4)", StateOverheadTable())
+
+	stage("fig6a")
+	r6a := Fig6a(small, opt.Mixes, nil)
+	section("Fig 6a — 4-core scheme comparison", r6a.Table()+"\n"+r6a.Plot(70, 16))
+	if err := writeCSV("fig6a.csv", r6a.CSV()); err != nil {
+		return err
+	}
+	stage("fig6b")
+	r6b := Fig6b(small)
+	section("Fig 6b — selected mixes", r6b.Table())
+
+	stage("fig7")
+	r7 := Fig7(large, opt.Mixes, nil)
+	section("Fig 7 — 32-core scalability", r7.Table()+"\n"+r7.Plot(70, 16))
+	if err := writeCSV("fig7.csv", r7.CSV()); err != nil {
+		return err
+	}
+
+	stage("fig8")
+	r8 := RunFig8(small, "ttnn4", 0)
+	body := r8.Table()
+	for i := range r8.Schemes {
+		body += "\n" + r8.Plot(i, 70, 12)
+	}
+	section("Fig 8 — size tracking", body)
+	if err := writeCSV("fig8.csv", r8.CSV()); err != nil {
+		return err
+	}
+
+	stage("fig9")
+	r9 := RunFig9(small, nil, opt.Mixes, nil)
+	section("Fig 9 — unmanaged-region sensitivity", r9.Table())
+	if err := writeCSV("fig9.csv", r9.CSV()); err != nil {
+		return err
+	}
+
+	stage("fig10")
+	r10 := Fig10(small, opt.Mixes, nil)
+	section("Fig 10 — cache array designs", r10.Table())
+	if err := writeCSV("fig10.csv", r10.CSV()); err != nil {
+		return err
+	}
+
+	stage("fig11")
+	r11 := Fig11(small, opt.Mixes, nil)
+	section("Fig 11 — replacement policies", r11.Table())
+	if err := writeCSV("fig11.csv", r11.CSV()); err != nil {
+		return err
+	}
+
+	stage("table3")
+	t3 := RunTable3(small, 2, nil)
+	section("Table 3 — workload classification",
+		t3.Table()+fmt.Sprintf("\nclassification accuracy: %.0f%%\n", 100*t3.Accuracy()))
+
+	stage("validation")
+	val := Validation(small, opt.Mixes, nil)
+	section("§6.2 validation — model configurations", val.Table())
+
+	stage("associativity")
+	as := RunAssociativity(nil, small.L2Lines, 8000, small.Seed)
+	section("Array associativity vs FA(x)=x^R", as.Table())
+
+	stage("transient")
+	tr := RunTransient(small.L2Lines, small.Seed)
+	section("Resize transient (Fig 8 adaptation claim)", tr.Table())
+
+	fmt.Fprintf(&md, "---\ngenerated in %.0fs\n", time.Since(start).Seconds())
+	return os.WriteFile(filepath.Join(dir, "REPORT.md"), []byte(md.String()), 0o644)
+}

@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"fmt"
+
+	"vantage/internal/cache"
+	"vantage/internal/core"
+	"vantage/internal/ctrl"
+	"vantage/internal/hash"
+	"vantage/internal/part"
+	"vantage/internal/repl"
+	"vantage/internal/sim"
+	"vantage/internal/ucp"
+)
+
+// Scheme describes a cache configuration under test: an array design plus a
+// partitioning scheme (or an unpartitioned baseline) plus how UCP drives it.
+type Scheme struct {
+	// Name as shown in the paper's legends, e.g. "Vantage-Z4/52".
+	Name string
+	// Build constructs the L2 controller for a machine.
+	Build func(m Machine, seed uint64) ctrl.Controller
+	// UsesUCP reports whether the scheme takes UCP allocations.
+	UsesUCP bool
+	// Granularity is UCP's allocation granularity for this scheme.
+	Granularity ucp.Granularity
+	// PartitionableLines maps total L2 lines to the capacity UCP may
+	// allocate (Vantage partitions only the managed region).
+	PartitionableLines func(lines int) int
+	// BuildAllocator, if set, overrides the default UCP allocator (used by
+	// the UMON-RRIP Vantage-DRRIP configuration).
+	BuildAllocator func(m Machine, seed uint64) sim.Allocator
+}
+
+// VantageDefaults are the paper's §6.1 evaluation settings: u = 5%,
+// Amax = 0.5, slack = 10% on a Z4/52 zcache.
+type VantageDefaults struct {
+	UnmanagedFrac float64
+	AMax          float64
+	Slack         float64
+}
+
+// DefaultVantage returns the §6.1 configuration.
+func DefaultVantage() VantageDefaults {
+	return VantageDefaults{UnmanagedFrac: 0.05, AMax: 0.5, Slack: 0.1}
+}
+
+// LRUBaseline is the unpartitioned hashed set-associative LRU cache all
+// figures normalize against (16-way at 4 cores, 64-way at 32 cores).
+func LRUBaseline() Scheme {
+	return Scheme{
+		Name: "LRU-SA",
+		Build: func(m Machine, seed uint64) ctrl.Controller {
+			arr := cache.NewSetAssoc(m.L2Lines, m.BaselineWays, true, seed)
+			return ctrl.NewUnpartitioned(arr, repl.NewLRUTimestamp(m.L2Lines), m.Cores)
+		},
+	}
+}
+
+// LRUZCache is the unpartitioned Z4/52 zcache (Fig 6b's extra bar, isolating
+// the zcache's contribution from Vantage's).
+func LRUZCache() Scheme {
+	return Scheme{
+		Name: "LRU-Z4/52",
+		Build: func(m Machine, seed uint64) ctrl.Controller {
+			arr := cache.NewZCache(m.L2Lines, 4, 52, seed)
+			return ctrl.NewUnpartitioned(arr, repl.NewLRUTimestamp(m.L2Lines), m.Cores)
+		},
+	}
+}
+
+// RRIPBaseline returns an unpartitioned RRIP-family baseline on a Z4/52
+// zcache (Fig 11): variant is "SRRIP", "DRRIP", or "TA-DRRIP".
+func RRIPBaseline(variant string) Scheme {
+	return Scheme{
+		Name: variant + "-Z4/52",
+		Build: func(m Machine, seed uint64) ctrl.Controller {
+			arr := cache.NewZCache(m.L2Lines, 4, 52, seed)
+			var pol repl.Policy
+			switch variant {
+			case "SRRIP":
+				pol = repl.NewSRRIP(m.L2Lines)
+			case "DRRIP":
+				pol = repl.NewDRRIP(m.L2Lines, seed^0xd)
+			case "TA-DRRIP":
+				pol = repl.NewTADRRIP(m.L2Lines, m.Cores, seed^0x7a)
+			default:
+				panic(fmt.Sprintf("exp: unknown RRIP variant %q", variant))
+			}
+			return ctrl.NewUnpartitioned(arr, pol, m.Cores)
+		},
+	}
+}
+
+// WayPartScheme is way-partitioning on the machine's hashed set-associative
+// baseline array, driven by UCP at way granularity.
+func WayPartScheme() Scheme {
+	return Scheme{
+		Name: "WayPart-SA",
+		Build: func(m Machine, seed uint64) ctrl.Controller {
+			arr := cache.NewSetAssoc(m.L2Lines, m.BaselineWays, true, seed)
+			return part.NewWayPartition(arr, m.Cores)
+		},
+		UsesUCP:            true,
+		Granularity:        ucp.GranWays,
+		PartitionableLines: func(lines int) int { return lines },
+	}
+}
+
+// PIPPScheme is PIPP on the baseline array, driven by UCP at way
+// granularity.
+func PIPPScheme() Scheme {
+	return Scheme{
+		Name: "PIPP-SA",
+		Build: func(m Machine, seed uint64) ctrl.Controller {
+			arr := cache.NewSetAssoc(m.L2Lines, m.BaselineWays, true, seed)
+			return part.NewPIPP(arr, m.Cores, seed^0x9a99)
+		},
+		UsesUCP:            true,
+		Granularity:        ucp.GranWays,
+		PartitionableLines: func(lines int) int { return lines },
+	}
+}
+
+// VantageScheme is the paper's default Vantage configuration on a given
+// array design. arrayKind is one of "Z4/52", "Z4/16", "SA16", "SA64",
+// "Rand/52" (the §6.2 idealized validation array).
+func VantageScheme(arrayKind string, v VantageDefaults, mode core.Mode) Scheme {
+	name := mode.String() + "-" + arrayKind
+	return Scheme{
+		Name: name,
+		Build: func(m Machine, seed uint64) ctrl.Controller {
+			var arr cache.Array
+			switch arrayKind {
+			case "Z4/52":
+				arr = cache.NewZCache(m.L2Lines, 4, 52, seed)
+			case "Z4/16":
+				arr = cache.NewZCache(m.L2Lines, 4, 16, seed)
+			case "SA16":
+				arr = cache.NewSetAssoc(m.L2Lines, 16, true, seed)
+			case "SA64":
+				arr = cache.NewSetAssoc(m.L2Lines, 64, true, seed)
+			case "Rand/52":
+				arr = cache.NewRandomCands(m.L2Lines, 52, seed)
+			default:
+				panic(fmt.Sprintf("exp: unknown array kind %q", arrayKind))
+			}
+			return core.New(arr, core.Config{
+				Partitions:    m.Cores,
+				UnmanagedFrac: v.UnmanagedFrac,
+				AMax:          v.AMax,
+				Slack:         v.Slack,
+				Mode:          mode,
+				Seed:          seed,
+			})
+		},
+		UsesUCP:     true,
+		Granularity: ucp.GranLines,
+		PartitionableLines: func(lines int) int {
+			return int(float64(lines) * (1 - v.UnmanagedFrac))
+		},
+	}
+}
+
+// DefaultVantageScheme is Vantage-Z4/52 with the §6.1 settings.
+func DefaultVantageScheme() Scheme {
+	return VantageScheme("Z4/52", DefaultVantage(), core.ModeSetpoint)
+}
+
+// BankedVantageScheme is the paper's physical organization: the L2 split
+// into 4 address-interleaved banks, each with its own Vantage controller
+// (Table 2 / Fig 4); global UCP targets are divided evenly across banks.
+func BankedVantageScheme(banks int) Scheme {
+	v := DefaultVantage()
+	return Scheme{
+		Name: fmt.Sprintf("Vantage-Z4/52x%d", banks),
+		Build: func(m Machine, seed uint64) ctrl.Controller {
+			per := make([]ctrl.Controller, banks)
+			for i := range per {
+				arr := cache.NewZCache(m.L2Lines/banks, 4, 52, hash.Mix64(seed+uint64(i)))
+				per[i] = core.New(arr, core.Config{
+					Partitions:    m.Cores,
+					UnmanagedFrac: v.UnmanagedFrac,
+					AMax:          v.AMax,
+					Slack:         v.Slack,
+					Seed:          seed,
+				})
+			}
+			return ctrl.NewBanked(per, seed)
+		},
+		UsesUCP:     true,
+		Granularity: ucp.GranLines,
+		PartitionableLines: func(lines int) int {
+			return int(float64(lines) * (1 - v.UnmanagedFrac))
+		},
+	}
+}
+
+// VantageDRRIPUMONScheme is the paper-faithful Vantage-DRRIP configuration:
+// the controller runs in ModeRRIP and a UMON-RRIP allocation policy both
+// sizes the partitions and picks each partition's SRRIP/BRRIP insertion
+// policy per interval (§6.2).
+func VantageDRRIPUMONScheme() Scheme {
+	sch := VantageScheme("Z4/52", DefaultVantage(), core.ModeRRIP)
+	sch.Name = "Vantage-DRRIP-UMON-Z4/52"
+	sch.BuildAllocator = func(m Machine, seed uint64) sim.Allocator {
+		return ucp.NewPolicyRRIP(m.Cores, m.BaselineWays, m.L2Lines, seed)
+	}
+	return sch
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"vantage/internal/cache"
+	"vantage/internal/core"
+	"vantage/internal/ctrl"
+	"vantage/internal/hash"
+	"vantage/internal/part"
+)
+
+// TransientResult quantifies the §6.1 / Fig 8 claim that Vantage adapts to
+// repartitioning much faster than way-partitioning: way-partitioning only
+// reclaims a reassigned way as the new owner misses on each of its sets,
+// while Vantage demotes the downsized partition's surplus globally on every
+// replacement.
+//
+// The experiment warms two partitions to a 75/25 split, flips the targets
+// to 25/75, and counts the accesses until each scheme's partition sizes are
+// within tolerance of the new targets.
+type TransientResult struct {
+	CacheLines int
+	// AccessesToConverge per scheme; -1 means it never converged within
+	// the access budget.
+	Schemes   []string
+	Accesses  []int
+	Tolerance float64
+}
+
+// RunTransient measures resize convergence on a cache with lines lines.
+func RunTransient(lines int, seed uint64) TransientResult {
+	out := TransientResult{CacheLines: lines, Tolerance: 0.10}
+
+	type build struct {
+		name string
+		mk   func() ctrl.Controller
+	}
+	builds := []build{
+		{"Vantage-Z4/52", func() ctrl.Controller {
+			arr := cache.NewZCache(lines, 4, 52, seed)
+			return core.New(arr, core.Config{
+				Partitions: 2, UnmanagedFrac: 0.05, AMax: 0.5, Slack: 0.1, Seed: seed,
+			})
+		}},
+		{"WayPart-SA16", func() ctrl.Controller {
+			arr := cache.NewSetAssoc(lines, 16, true, seed)
+			return part.NewWayPartition(arr, 2)
+		}},
+		{"PIPP-SA16", func() ctrl.Controller {
+			arr := cache.NewSetAssoc(lines, 16, true, seed)
+			return part.NewPIPP(arr, 2, seed)
+		}},
+	}
+
+	partitionable := lines * 95 / 100
+	big, small := partitionable*3/4, partitionable/4
+	for _, b := range builds {
+		c := b.mk()
+		c.SetTargets([]int{big, small})
+		rng := hash.NewRand(seed ^ 0x7a5)
+		// Both partitions stream over working sets larger than any target,
+		// so they exert constant pressure and fill whatever they are given.
+		access := func() {
+			c.Access(1<<40|uint64(rng.Intn(lines*2)), 0)
+			c.Access(2<<40|uint64(rng.Intn(lines*2)), 1)
+		}
+		for i := 0; i < lines*20; i++ {
+			access()
+		}
+		// Flip the allocation.
+		c.SetTargets([]int{small, big})
+		converged := -1
+		budget := lines * 100
+		for i := 0; i < budget; i++ {
+			access()
+			if i%64 == 0 {
+				d0 := float64(c.Size(0)-small) / float64(small)
+				d1 := float64(big-c.Size(1)) / float64(big)
+				if d0 < out.Tolerance && d1 < out.Tolerance {
+					converged = 2 * i // two accesses per step
+					break
+				}
+			}
+		}
+		out.Schemes = append(out.Schemes, b.name)
+		out.Accesses = append(out.Accesses, converged)
+	}
+	return out
+}
+
+// Table renders the convergence comparison.
+func (r TransientResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Repartitioning transient: accesses to converge after a 75/25 -> 25/75 flip (%d lines, +/-%.0f%%)\n",
+		r.CacheLines, 100*r.Tolerance)
+	for i, name := range r.Schemes {
+		if r.Accesses[i] < 0 {
+			fmt.Fprintf(&b, "%-16s never converged\n", name)
+		} else {
+			fmt.Fprintf(&b, "%-16s %8d accesses (%.1fx cache size)\n",
+				name, r.Accesses[i], float64(r.Accesses[i])/float64(r.CacheLines))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package hash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewH3PanicsOnBadBits(t *testing.T) {
+	for _, bad := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewH3(%d) did not panic", bad)
+				}
+			}()
+			NewH3(bad, 1)
+		}()
+	}
+}
+
+func TestH3OutputRange(t *testing.T) {
+	for _, bitsN := range []int{1, 3, 8, 12, 16, 32, 64} {
+		h := NewH3(bitsN, 42)
+		for k := uint64(0); k < 1000; k++ {
+			v := h.Hash(k * 0x9e3779b97f4a7c15)
+			if v&^h.Mask() != 0 {
+				t.Fatalf("bits=%d: hash %#x exceeds mask %#x", bitsN, v, h.Mask())
+			}
+		}
+	}
+}
+
+func TestH3ZeroKeyHashesToZero(t *testing.T) {
+	// H3 is a linear (XOR) function of the key bits, so the zero key always
+	// maps to zero. This is a known property of the family, documented here.
+	h := NewH3(16, 7)
+	if got := h.Hash(0); got != 0 {
+		t.Fatalf("Hash(0) = %#x, want 0", got)
+	}
+}
+
+func TestH3Deterministic(t *testing.T) {
+	a := NewH3(16, 99)
+	b := NewH3(16, 99)
+	for k := uint64(1); k < 500; k++ {
+		if a.Hash(k) != b.Hash(k) {
+			t.Fatalf("same-seed hashes differ at key %d", k)
+		}
+	}
+}
+
+func TestH3SeedsDiffer(t *testing.T) {
+	a := NewH3(16, 1)
+	b := NewH3(16, 2)
+	same := 0
+	const n = 4096
+	for k := uint64(1); k <= n; k++ {
+		if a.Hash(k) == b.Hash(k) {
+			same++
+		}
+	}
+	// Expected collisions between two independent 16-bit hashes: n/65536 ≈ 0.06.
+	if same > 16 {
+		t.Fatalf("different-seed hashes agree on %d/%d keys", same, n)
+	}
+}
+
+func TestH3Linearity(t *testing.T) {
+	// H3 is XOR-linear: H(a^b) == H(a)^H(b). Property-based check.
+	h := NewH3(32, 12345)
+	f := func(a, b uint64) bool {
+		return h.Hash(a^b) == h.Hash(a)^h.Hash(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestH3Uniformity(t *testing.T) {
+	// Hash sequential keys into 64 buckets; a chi-squared statistic far above
+	// the df=63 expectation indicates a broken table.
+	h := NewH3(6, 2024)
+	const n = 64 * 1024
+	var buckets [64]int
+	for k := uint64(0); k < n; k++ {
+		buckets[h.Hash(k+1)]++
+	}
+	expected := float64(n) / 64
+	chi2 := 0.0
+	for _, c := range buckets {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// df=63; mean 63, stddev ~11.2. 150 is ~7.7 sigma.
+	if chi2 > 150 {
+		t.Fatalf("chi-squared %v too high for uniform hashing", chi2)
+	}
+}
+
+func TestMix64AvalancheNonTrivial(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	for b := 0; b < 64; b++ {
+		x := uint64(0x12345678abcdef)
+		d := Mix64(x) ^ Mix64(x^(1<<uint(b)))
+		pop := popcount(d)
+		if pop < 10 || pop > 54 {
+			t.Fatalf("bit %d: avalanche popcount %d outside [10,54]", b, pop)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandZeroSeedRemapped(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-seeded Rand is stuck at zero")
+	}
+}
+
+func TestRandMeanApproximatelyHalf(t *testing.T) {
+	r := NewRand(99)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+}

@@ -1,0 +1,210 @@
+// Package part implements the partitioning-scheme baselines the paper
+// compares Vantage against: way-partitioning (column caching) and PIPP
+// (promotion/insertion pseudo-partitioning). Both operate on set-associative
+// arrays, as in the paper's evaluation.
+package part
+
+import (
+	"fmt"
+
+	"vantage/internal/cache"
+	"vantage/internal/ctrl"
+	"vantage/internal/repl"
+)
+
+// WayPartition implements way-partitioning [3, 19]: each partition owns a
+// subset of the ways, fills from a partition are restricted to its ways, and
+// LRU ranks lines within them. Allocations are rounded to whole ways (every
+// partition keeps at least one way), which is exactly the coarseness and
+// associativity loss the paper criticizes: a partition with w ways has
+// associativity w.
+type WayPartition struct {
+	arr    *cache.SetAssoc
+	pol    *repl.LRUTimestamp
+	parts  int
+	wayOf  []int16 // way index -> owning partition
+	ways   []int   // partition -> way count
+	partOf []int16 // line -> inserting partition (for Size reporting)
+	sizes  []int
+	cands  []cache.LineID
+	// victim scratch: candidate ways owned by the inserting partition
+	own []cache.LineID
+}
+
+// NewWayPartition returns a way-partitioning controller over arr with parts
+// partitions. arr must have at least parts ways. Ways start evenly divided.
+func NewWayPartition(arr *cache.SetAssoc, parts int) *WayPartition {
+	if parts <= 0 || parts > arr.Ways() {
+		panic(fmt.Sprintf("part: %d partitions need at least as many ways (have %d)", parts, arr.Ways()))
+	}
+	w := &WayPartition{
+		arr:    arr,
+		pol:    repl.NewLRUTimestamp(arr.NumLines()),
+		parts:  parts,
+		wayOf:  make([]int16, arr.Ways()),
+		ways:   make([]int, parts),
+		partOf: make([]int16, arr.NumLines()),
+		sizes:  make([]int, parts),
+	}
+	for i := range w.partOf {
+		w.partOf[i] = -1
+	}
+	targets := make([]int, parts)
+	per := arr.NumLines() / parts
+	for i := range targets {
+		targets[i] = per
+	}
+	w.SetTargets(targets)
+	return w
+}
+
+// Name implements ctrl.Controller.
+func (w *WayPartition) Name() string { return "WayPart" }
+
+// Array implements ctrl.Controller.
+func (w *WayPartition) Array() cache.Array { return w.arr }
+
+// NumPartitions implements ctrl.Controller.
+func (w *WayPartition) NumPartitions() int { return w.parts }
+
+// Size implements ctrl.Controller.
+func (w *WayPartition) Size(part int) int { return w.sizes[part] }
+
+// WaysOf returns the number of ways partition part currently owns.
+func (w *WayPartition) WaysOf(part int) int { return w.ways[part] }
+
+// SetTargets implements ctrl.Controller: line allocations are rounded to
+// whole ways by largest remainder, with a minimum of one way per partition.
+func (w *WayPartition) SetTargets(targets []int) {
+	if len(targets) != w.parts {
+		panic("part: target count mismatch")
+	}
+	ways := ApportionWays(targets, w.arr.Ways())
+	copy(w.ways, ways)
+	// Assign contiguous way ranges in partition order.
+	way := 0
+	for p, n := range ways {
+		for k := 0; k < n; k++ {
+			w.wayOf[way] = int16(p)
+			way++
+		}
+	}
+}
+
+// Access implements ctrl.Controller.
+func (w *WayPartition) Access(addr uint64, part int) ctrl.AccessResult {
+	if id, ok := w.arr.Lookup(addr); ok {
+		w.pol.OnHit(id, part)
+		return ctrl.AccessResult{Hit: true}
+	}
+	w.cands = w.arr.Candidates(addr, w.cands[:0])
+	// Restrict to the partition's ways; prefer an invalid slot among them.
+	w.own = w.own[:0]
+	victim := cache.InvalidLine
+	for _, id := range w.cands {
+		if int(w.wayOf[w.arr.WayOf(id)]) != part {
+			continue
+		}
+		if !w.arr.Line(id).Valid {
+			victim = id
+			break
+		}
+		w.own = append(w.own, id)
+	}
+	if victim == cache.InvalidLine {
+		if len(w.own) == 0 {
+			// The partition's way assignment can transiently leave it with
+			// zero ways only if parts > ways, which the constructor forbids;
+			// this is unreachable but kept defensive.
+			victim = w.pol.Victim(w.cands)
+		} else {
+			victim = w.pol.Victim(w.own)
+		}
+	}
+	var res ctrl.AccessResult
+	if line := w.arr.Line(victim); line.Valid {
+		res.EvictedValid = true
+		res.Evicted = line.Addr
+		w.pol.OnEvict(victim)
+		if old := w.partOf[victim]; old >= 0 {
+			w.sizes[old]--
+		}
+	}
+	id, _ := w.arr.Install(addr, victim)
+	w.pol.OnInsert(id, addr, part)
+	w.partOf[id] = int16(part)
+	w.sizes[part]++
+	return res
+}
+
+// ApportionWays converts line-granularity targets into whole-way counts by
+// largest remainder, guaranteeing each partition at least one way. It is
+// exported because UCP's Lookahead output and the experiment harness both
+// need the same rounding.
+func ApportionWays(targets []int, totalWays int) []int {
+	p := len(targets)
+	ways := make([]int, p)
+	total := 0
+	for _, t := range targets {
+		total += t
+	}
+	if total == 0 {
+		// Degenerate: split evenly.
+		for i := range ways {
+			ways[i] = 1
+		}
+		total = 1
+	}
+	// Give everyone their floor share (min 1), then distribute the rest by
+	// remainder.
+	type rem struct {
+		part int
+		frac float64
+	}
+	rems := make([]rem, 0, p)
+	assigned := 0
+	for i, t := range targets {
+		exact := float64(t) / float64(total) * float64(totalWays)
+		fl := int(exact)
+		if fl < 1 {
+			fl = 1
+		}
+		ways[i] = fl
+		assigned += fl
+		rems = append(rems, rem{i, exact - float64(fl)})
+	}
+	// Fix up to exactly totalWays: take from the largest or give to the
+	// highest remainder.
+	for assigned > totalWays {
+		// Remove a way from the largest allocation > 1.
+		big, bigWays := -1, 1
+		for i, n := range ways {
+			if n > bigWays {
+				big, bigWays = i, n
+			}
+		}
+		if big < 0 {
+			break // cannot shrink below 1 way each
+		}
+		ways[big]--
+		assigned--
+	}
+	for assigned < totalWays {
+		best, bestFrac := 0, -2.0
+		for _, r := range rems {
+			if r.frac > bestFrac {
+				best, bestFrac = r.part, r.frac
+			}
+		}
+		ways[best]++
+		assigned++
+		for i := range rems {
+			if rems[i].part == best {
+				rems[i].frac -= 1
+			}
+		}
+	}
+	return ways
+}
+
+var _ ctrl.Controller = (*WayPartition)(nil)

@@ -1,0 +1,152 @@
+// Package plot renders small ASCII charts for the experiment tools: line
+// charts (sorted relative-throughput curves, Fig 6a/7 style), CDFs, and
+// time series (Fig 8 size tracking), so the reproductions are visible
+// directly in a terminal without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders multiple series into a fixed-size ASCII grid.
+type Chart struct {
+	Title         string
+	Width, Height int
+	XLabel        string
+	YLabel        string
+	series        []Series
+	// YMin/YMax fix the y-range; both zero means auto.
+	YMin, YMax float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// New returns a chart with the given dimensions (sensible minimums are
+// enforced).
+func New(title string, width, height int) *Chart {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Chart{Title: title, Width: width, Height: height}
+}
+
+// Add appends a series. X and Y must have equal nonzero length.
+func (c *Chart) Add(s Series) {
+	if len(s.X) != len(s.Y) || len(s.X) == 0 {
+		panic("plot: series needs equal nonzero X and Y lengths")
+	}
+	c.series = append(c.series, s)
+}
+
+// AddYs appends a series whose x-values are the indices 0..len(ys)-1 (the
+// natural x-axis for sorted per-mix curves).
+func (c *Chart) AddYs(name string, ys []float64) {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	c.Add(Series{Name: name, X: xs, Y: ys})
+}
+
+// bounds computes the data ranges.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	if len(c.series) == 0 {
+		return c.Title + " (no data)\n"
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(c.Width-1))
+			y := s.Y[i]
+			if y < ymin {
+				y = ymin
+			}
+			if y > ymax {
+				y = ymax
+			}
+			row := c.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(c.Height-1))
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, line := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(c.Height-1)
+		fmt.Fprintf(&b, "%9.3f |%s|\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%9s  %-*.4g%*.4g\n", "", c.Width/2, xmin, c.Width-c.Width/2, xmax)
+	// Legend.
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "%9s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%9s  (x: %s, y: %s)\n", "", c.XLabel, c.YLabel)
+	}
+	return b.String()
+}
+
+// Sparkline renders ys as a one-line unicode sparkline.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		mn = math.Min(mn, y)
+		mx = math.Max(mx, y)
+	}
+	if mx == mn {
+		mx = mn + 1
+	}
+	var b strings.Builder
+	for _, y := range ys {
+		i := int((y - mn) / (mx - mn) * float64(len(blocks)-1))
+		b.WriteRune(blocks[i])
+	}
+	return b.String()
+}

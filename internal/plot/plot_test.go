@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	c := New("test", 40, 10)
+	c.AddYs("up", []float64{1, 2, 3, 4, 5})
+	c.AddYs("down", []float64{5, 4, 3, 2, 1})
+	out := c.String()
+	if !strings.Contains(out, "test") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "+ down") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("missing data markers")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	c := New("t", 1, 1)
+	if c.Width < 20 || c.Height < 5 {
+		t.Fatal("minimum dimensions not enforced")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := New("empty", 40, 10)
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestChartPanicsOnBadSeries(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series accepted")
+		}
+	}()
+	New("t", 40, 10).Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}})
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	c := New("flat", 30, 6)
+	c.AddYs("const", []float64{2, 2, 2})
+	out := c.String()
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series not rendered")
+	}
+}
+
+func TestChartFixedYRange(t *testing.T) {
+	c := New("fixed", 30, 6)
+	c.YMin, c.YMax = 0, 10
+	c.AddYs("s", []float64{5, 50}) // 50 clamps to top
+	out := c.String()
+	if !strings.Contains(out, "10.000") {
+		t.Fatalf("fixed y-range not used:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	if []rune(s)[0] != '▁' || []rune(s)[7] != '█' {
+		t.Fatalf("sparkline ends wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+	if len([]rune(Sparkline([]float64{3, 3}))) != 2 {
+		t.Fatal("flat sparkline broken")
+	}
+}

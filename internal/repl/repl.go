@@ -1,0 +1,351 @@
+// Package repl implements the replacement policies used by the paper:
+// coarse-timestamp LRU (the base policy for Vantage and the unpartitioned
+// baselines, per the zcache paper), true LRU (for UMON monitors and
+// reference), and the RRIP family — SRRIP, BRRIP, DRRIP, and thread-aware
+// TA-DRRIP — evaluated in §6.2 / Fig 11.
+//
+// A Policy ranks lines; it does not decide partitioning. Partitioning
+// schemes call Victim with the candidate subset they allow (e.g.
+// way-partitioning passes only the ways owned by the inserting partition).
+// Policies keep per-line state in slices indexed by cache.LineID and must be
+// informed of zcache relocations via OnMove.
+package repl
+
+import (
+	"vantage/internal/cache"
+	"vantage/internal/hash"
+)
+
+// Policy is a replacement policy over a fixed-size line store.
+type Policy interface {
+	// Name returns a short identifier, e.g. "LRU" or "DRRIP".
+	Name() string
+	// OnHit updates state when line id hits. part is the partition (thread)
+	// performing the access; policies that are not thread-aware ignore it.
+	OnHit(id cache.LineID, part int)
+	// OnInsert updates state when addr is installed into id by part.
+	OnInsert(id cache.LineID, addr uint64, part int)
+	// OnMiss is called once per miss (before the insert) with the address;
+	// set-dueling policies use it to update their selector counters.
+	OnMiss(addr uint64, part int)
+	// OnEvict clears state when line id is evicted or invalidated.
+	OnEvict(id cache.LineID)
+	// OnMove transfers state from slot src to dst (zcache relocation).
+	OnMove(src, dst cache.LineID)
+	// Victim returns the best eviction victim among cands, all of which must
+	// hold valid lines. It may mutate aging state (RRIP does).
+	Victim(cands []cache.LineID) cache.LineID
+}
+
+// ---------------------------------------------------------------------------
+// Coarse-timestamp LRU
+// ---------------------------------------------------------------------------
+
+// LRUTimestamp is the coarse-grained 8-bit timestamp LRU of the zcache paper:
+// a global current timestamp is incremented every numLines/16 accesses, and
+// accessed lines are tagged with it. Age is computed in modulo-256
+// arithmetic. This is the base replacement policy Vantage assumes (§4.2),
+// here in its unpartitioned form for baseline caches.
+type LRUTimestamp struct {
+	ts       []uint8
+	current  uint8
+	accesses int
+	period   int
+}
+
+// NewLRUTimestamp returns a coarse-timestamp LRU policy for a cache with
+// numLines lines.
+func NewLRUTimestamp(numLines int) *LRUTimestamp {
+	period := numLines / 16
+	if period < 1 {
+		period = 1
+	}
+	return &LRUTimestamp{ts: make([]uint8, numLines), period: period}
+}
+
+// Name implements Policy.
+func (p *LRUTimestamp) Name() string { return "LRU" }
+
+func (p *LRUTimestamp) tick() {
+	p.accesses++
+	if p.accesses >= p.period {
+		p.accesses = 0
+		p.current++
+	}
+}
+
+// OnHit implements Policy.
+func (p *LRUTimestamp) OnHit(id cache.LineID, part int) {
+	p.ts[id] = p.current
+	p.tick()
+}
+
+// OnInsert implements Policy.
+func (p *LRUTimestamp) OnInsert(id cache.LineID, addr uint64, part int) {
+	p.ts[id] = p.current
+	p.tick()
+}
+
+// OnMiss implements Policy.
+func (p *LRUTimestamp) OnMiss(addr uint64, part int) {}
+
+// OnEvict implements Policy.
+func (p *LRUTimestamp) OnEvict(id cache.LineID) { p.ts[id] = p.current }
+
+// OnMove implements Policy.
+func (p *LRUTimestamp) OnMove(src, dst cache.LineID) { p.ts[dst] = p.ts[src] }
+
+// Age returns the age of line id in timestamp units (0 = most recent).
+func (p *LRUTimestamp) Age(id cache.LineID) uint8 { return p.current - p.ts[id] }
+
+// Victim implements Policy: the candidate with the oldest timestamp.
+func (p *LRUTimestamp) Victim(cands []cache.LineID) cache.LineID {
+	best := cands[0]
+	bestAge := p.Age(best)
+	for _, c := range cands[1:] {
+		if a := p.Age(c); a > bestAge {
+			best, bestAge = c, a
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// True LRU
+// ---------------------------------------------------------------------------
+
+// TrueLRU keeps an exact 64-bit access counter per line. It is too expensive
+// for real hardware but useful as a reference and for small structures.
+type TrueLRU struct {
+	ts    []uint64
+	clock uint64
+}
+
+// NewTrueLRU returns an exact LRU policy for numLines lines.
+func NewTrueLRU(numLines int) *TrueLRU {
+	return &TrueLRU{ts: make([]uint64, numLines)}
+}
+
+// Name implements Policy.
+func (p *TrueLRU) Name() string { return "TrueLRU" }
+
+// OnHit implements Policy.
+func (p *TrueLRU) OnHit(id cache.LineID, part int) {
+	p.clock++
+	p.ts[id] = p.clock
+}
+
+// OnInsert implements Policy.
+func (p *TrueLRU) OnInsert(id cache.LineID, addr uint64, part int) {
+	p.clock++
+	p.ts[id] = p.clock
+}
+
+// OnMiss implements Policy.
+func (p *TrueLRU) OnMiss(addr uint64, part int) {}
+
+// OnEvict implements Policy.
+func (p *TrueLRU) OnEvict(id cache.LineID) { p.ts[id] = 0 }
+
+// OnMove implements Policy.
+func (p *TrueLRU) OnMove(src, dst cache.LineID) { p.ts[dst] = p.ts[src] }
+
+// Victim implements Policy: the least recently used candidate.
+func (p *TrueLRU) Victim(cands []cache.LineID) cache.LineID {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if p.ts[c] < p.ts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// RRIP family
+// ---------------------------------------------------------------------------
+
+// RRPV constants for the 3-bit re-reference prediction values used in the
+// paper's Fig 11 experiments (M = 3 bits).
+const (
+	rrpvBits     = 3
+	rrpvMax      = 1<<rrpvBits - 1 // 7: predicted distant re-reference
+	rrpvLong     = rrpvMax - 1     // 6: predicted long re-reference (SRRIP insert)
+	brripEpsilon = 32              // BRRIP inserts with rrpvLong 1/32 of the time
+)
+
+// rripMode selects the insertion behavior of an RRIP policy instance.
+type rripMode int
+
+const (
+	modeSRRIP rripMode = iota // always insert at rrpvLong
+	modeBRRIP                 // insert at rrpvMax, rrpvLong with prob 1/32
+	modeDRRIP                 // set dueling chooses between the two
+)
+
+// RRIP implements SRRIP/BRRIP/DRRIP (Jaleel et al., ISCA 2010) and, with
+// perThread selectors, TA-DRRIP (thread-aware set dueling, [11]). The
+// policies do not require set ordering, so they apply directly to zcaches
+// and skew-associative caches (paper §6.2); dueling "leader sets" are chosen
+// by hashing the address.
+type RRIP struct {
+	rrpv      []uint8
+	mode      rripMode
+	name      string
+	rng       *hash.Rand
+	perThread bool
+	// Set-dueling state (DRRIP/TA-DRRIP). psel > 0 favors SRRIP.
+	psel     []int16
+	pselMax  int16
+	duelMask uint64
+	duelH    *hash.H3
+}
+
+// NewSRRIP returns a scan-resistant static RRIP policy.
+func NewSRRIP(numLines int) *RRIP {
+	return &RRIP{rrpv: newRRPV(numLines), mode: modeSRRIP, name: "SRRIP"}
+}
+
+// NewBRRIP returns a thrash-resistant bimodal RRIP policy.
+func NewBRRIP(numLines int, seed uint64) *RRIP {
+	return &RRIP{rrpv: newRRPV(numLines), mode: modeBRRIP, name: "BRRIP", rng: hash.NewRand(seed)}
+}
+
+// NewDRRIP returns a dynamic RRIP policy that chooses between SRRIP and
+// BRRIP with set dueling over hashed leader buckets.
+func NewDRRIP(numLines int, seed uint64) *RRIP {
+	return &RRIP{
+		rrpv:     newRRPV(numLines),
+		mode:     modeDRRIP,
+		name:     "DRRIP",
+		rng:      hash.NewRand(seed),
+		psel:     make([]int16, 1),
+		pselMax:  512,
+		duelMask: 63,
+		duelH:    hash.NewH3(16, hash.Mix64(seed^0xd0e1)),
+	}
+}
+
+// NewTADRRIP returns a thread-aware DRRIP: each of numThreads threads duels
+// independently and uses its own winning insertion policy.
+func NewTADRRIP(numLines, numThreads int, seed uint64) *RRIP {
+	p := NewDRRIP(numLines, seed)
+	p.name = "TA-DRRIP"
+	p.perThread = true
+	p.psel = make([]int16, numThreads)
+	return p
+}
+
+func newRRPV(numLines int) []uint8 {
+	r := make([]uint8, numLines)
+	for i := range r {
+		r[i] = rrpvMax
+	}
+	return r
+}
+
+// Name implements Policy.
+func (p *RRIP) Name() string { return p.name }
+
+// OnHit implements Policy: hit promotion to RRPV 0 (HP policy).
+func (p *RRIP) OnHit(id cache.LineID, part int) { p.rrpv[id] = 0 }
+
+// selector returns the dueling selector index for thread part.
+func (p *RRIP) selector(part int) int {
+	if !p.perThread {
+		return 0
+	}
+	if part < 0 || part >= len(p.psel) {
+		return 0
+	}
+	return part
+}
+
+// duelBucket classifies addr: 0 = SRRIP leader, 1 = BRRIP leader, else
+// follower.
+func (p *RRIP) duelBucket(addr uint64) uint64 {
+	return p.duelH.Hash(addr) & p.duelMask
+}
+
+// OnMiss implements Policy: misses in leader buckets move the selector
+// against that bucket's policy (a miss is a vote for the other policy).
+func (p *RRIP) OnMiss(addr uint64, part int) {
+	if p.mode != modeDRRIP {
+		return
+	}
+	s := p.selector(part)
+	switch p.duelBucket(addr) {
+	case 0: // SRRIP leader missed: vote for BRRIP
+		if p.psel[s] > -p.pselMax {
+			p.psel[s]--
+		}
+	case 1: // BRRIP leader missed: vote for SRRIP
+		if p.psel[s] < p.pselMax {
+			p.psel[s]++
+		}
+	}
+}
+
+// insertBRRIP reports whether the insertion for (addr, part) should use the
+// bimodal (BRRIP) pattern.
+func (p *RRIP) insertBRRIP(addr uint64, part int) bool {
+	switch p.mode {
+	case modeSRRIP:
+		return false
+	case modeBRRIP:
+		return true
+	default: // DRRIP: leaders play their own policy; followers follow psel
+		switch p.duelBucket(addr) {
+		case 0:
+			return false
+		case 1:
+			return true
+		}
+		return p.psel[p.selector(part)] < 0
+	}
+}
+
+// OnInsert implements Policy.
+func (p *RRIP) OnInsert(id cache.LineID, addr uint64, part int) {
+	if p.insertBRRIP(addr, part) {
+		// Bimodal: distant prediction nearly always.
+		if p.rng.Intn(brripEpsilon) == 0 {
+			p.rrpv[id] = rrpvLong
+		} else {
+			p.rrpv[id] = rrpvMax
+		}
+		return
+	}
+	p.rrpv[id] = rrpvLong
+}
+
+// OnEvict implements Policy.
+func (p *RRIP) OnEvict(id cache.LineID) { p.rrpv[id] = rrpvMax }
+
+// OnMove implements Policy.
+func (p *RRIP) OnMove(src, dst cache.LineID) { p.rrpv[dst] = p.rrpv[src] }
+
+// RRPV exposes the current prediction value of a line (used by UMON-RRIP).
+func (p *RRIP) RRPV(id cache.LineID) uint8 { return p.rrpv[id] }
+
+// Victim implements Policy: pick a candidate with RRPV == max, aging all
+// candidates if none has it (the aging that would walk a set in hardware is
+// applied to the candidate pool, the natural generalization for candidate-
+// based arrays).
+func (p *RRIP) Victim(cands []cache.LineID) cache.LineID {
+	maxv := uint8(0)
+	best := cands[0]
+	for _, c := range cands {
+		if p.rrpv[c] > maxv {
+			maxv = p.rrpv[c]
+			best = c
+		}
+	}
+	if maxv < rrpvMax {
+		delta := uint8(rrpvMax) - maxv
+		for _, c := range cands {
+			p.rrpv[c] += delta
+		}
+	}
+	return best
+}

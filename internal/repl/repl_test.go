@@ -1,0 +1,244 @@
+package repl
+
+import (
+	"testing"
+
+	"vantage/internal/cache"
+)
+
+func ids(xs ...int) []cache.LineID {
+	out := make([]cache.LineID, len(xs))
+	for i, x := range xs {
+		out[i] = cache.LineID(x)
+	}
+	return out
+}
+
+func TestLRUTimestampVictimIsOldest(t *testing.T) {
+	p := NewLRUTimestamp(16) // period = 1: every access bumps the clock
+	for i := 0; i < 8; i++ {
+		p.OnInsert(cache.LineID(i), uint64(i), 0)
+	}
+	if got := p.Victim(ids(0, 1, 2, 3, 4, 5, 6, 7)); got != 0 {
+		t.Fatalf("victim = %d, want 0 (oldest)", got)
+	}
+	p.OnHit(0, 0) // refresh line 0
+	if got := p.Victim(ids(0, 1, 2, 3)); got != 1 {
+		t.Fatalf("victim after refresh = %d, want 1", got)
+	}
+}
+
+func TestLRUTimestampModuloAge(t *testing.T) {
+	p := NewLRUTimestamp(16)
+	p.OnInsert(0, 0, 0)
+	// Advance the clock close to a wraparound.
+	for i := 0; i < 250; i++ {
+		p.OnHit(1, 0)
+	}
+	// The insert itself also ticked the clock once, so age is 251.
+	if a := p.Age(0); a != 251 {
+		t.Fatalf("age = %d, want 251", a)
+	}
+	for i := 0; i < 10; i++ {
+		p.OnHit(1, 0)
+	}
+	// 261 mod 256 = 5: coarse timestamps wrap, which the paper tolerates by
+	// making wraparounds rare (ki = size/16).
+	if a := p.Age(0); a != 5 {
+		t.Fatalf("age after wrap = %d, want 5", a)
+	}
+}
+
+func TestLRUTimestampPeriod(t *testing.T) {
+	p := NewLRUTimestamp(160) // period = 10
+	p.OnInsert(0, 0, 0)
+	for i := 0; i < 9; i++ {
+		p.OnHit(1, 0)
+	}
+	if p.Age(0) != 1 {
+		t.Fatalf("age = %d, want 1 after 10 accesses with period 10", p.Age(0))
+	}
+}
+
+func TestLRUTimestampMovePreservesAge(t *testing.T) {
+	p := NewLRUTimestamp(16)
+	p.OnInsert(3, 0, 0)
+	for i := 0; i < 5; i++ {
+		p.OnHit(1, 0)
+	}
+	age := p.Age(3)
+	p.OnMove(3, 9)
+	if p.Age(9) != age {
+		t.Fatalf("age after move = %d, want %d", p.Age(9), age)
+	}
+}
+
+func TestTrueLRUExactOrder(t *testing.T) {
+	p := NewTrueLRU(8)
+	for i := 0; i < 8; i++ {
+		p.OnInsert(cache.LineID(i), uint64(i), 0)
+	}
+	p.OnHit(0, 0)
+	p.OnHit(1, 0)
+	// LRU order is now 2,3,...,7,0,1.
+	if got := p.Victim(ids(0, 1, 2, 3, 4, 5, 6, 7)); got != 2 {
+		t.Fatalf("victim = %d, want 2", got)
+	}
+}
+
+func TestSRRIPInsertLongHitZero(t *testing.T) {
+	p := NewSRRIP(8)
+	p.OnInsert(0, 100, 0)
+	if p.RRPV(0) != rrpvLong {
+		t.Fatalf("insert RRPV = %d, want %d", p.RRPV(0), rrpvLong)
+	}
+	p.OnHit(0, 0)
+	if p.RRPV(0) != 0 {
+		t.Fatalf("hit RRPV = %d, want 0", p.RRPV(0))
+	}
+}
+
+func TestSRRIPVictimAging(t *testing.T) {
+	p := NewSRRIP(8)
+	for i := 0; i < 4; i++ {
+		p.OnInsert(cache.LineID(i), uint64(i), 0)
+	}
+	p.OnHit(2, 0) // RRPV 0
+	v := p.Victim(ids(0, 1, 2, 3))
+	if v == 2 {
+		t.Fatal("victimized the just-hit line")
+	}
+	// All candidates aged so the max reached rrpvMax.
+	if p.RRPV(v) != rrpvMax {
+		t.Fatalf("victim RRPV = %d, want %d", p.RRPV(v), rrpvMax)
+	}
+	// Line 2 was aged by the same delta (7-6=1): now 1.
+	if p.RRPV(2) != 1 {
+		t.Fatalf("hit line RRPV after aging = %d, want 1", p.RRPV(2))
+	}
+}
+
+func TestBRRIPMostlyDistant(t *testing.T) {
+	p := NewBRRIP(4096, 7)
+	distant := 0
+	for i := 0; i < 4096; i++ {
+		p.OnInsert(cache.LineID(i), uint64(i), 0)
+		if p.RRPV(cache.LineID(i)) == rrpvMax {
+			distant++
+		}
+	}
+	// Expect ~ 4096 * 31/32 = 3968 distant insertions.
+	if distant < 3800 || distant > 4090 {
+		t.Fatalf("distant insertions = %d/4096, want ~3968", distant)
+	}
+}
+
+func TestDRRIPDuelingConverges(t *testing.T) {
+	p := NewDRRIP(1024, 3)
+	// Make only BRRIP-leader buckets miss: selector should move towards
+	// SRRIP (psel > 0).
+	var brripLeader []uint64
+	for a := uint64(0); len(brripLeader) < 600; a++ {
+		if p.duelBucket(a) == 1 {
+			brripLeader = append(brripLeader, a)
+		}
+	}
+	for _, a := range brripLeader {
+		p.OnMiss(a, 0)
+	}
+	if p.psel[0] <= 0 {
+		t.Fatalf("psel = %d, want > 0 after BRRIP-leader misses", p.psel[0])
+	}
+	// Followers should now insert SRRIP-style.
+	var follower uint64
+	for a := uint64(0); ; a++ {
+		if b := p.duelBucket(a); b != 0 && b != 1 {
+			follower = a
+			break
+		}
+	}
+	p.OnInsert(0, follower, 0)
+	if p.RRPV(0) != rrpvLong {
+		t.Fatalf("follower insert RRPV = %d, want %d (SRRIP)", p.RRPV(0), rrpvLong)
+	}
+}
+
+func TestDRRIPPselSaturates(t *testing.T) {
+	p := NewDRRIP(64, 3)
+	var srripLeader uint64
+	for a := uint64(0); ; a++ {
+		if p.duelBucket(a) == 0 {
+			srripLeader = a
+			break
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		p.OnMiss(srripLeader, 0)
+	}
+	if p.psel[0] != -p.pselMax {
+		t.Fatalf("psel = %d, want saturated at %d", p.psel[0], -p.pselMax)
+	}
+}
+
+func TestTADRRIPPerThreadSelectors(t *testing.T) {
+	p := NewTADRRIP(1024, 4, 9)
+	var srripLeader, brripLeader uint64
+	haveS, haveB := false, false
+	for a := uint64(0); !haveS || !haveB; a++ {
+		switch p.duelBucket(a) {
+		case 0:
+			if !haveS {
+				srripLeader, haveS = a, true
+			}
+		case 1:
+			if !haveB {
+				brripLeader, haveB = a, true
+			}
+		}
+	}
+	// Thread 0 misses on SRRIP leaders (→ BRRIP), thread 1 on BRRIP leaders.
+	for i := 0; i < 100; i++ {
+		p.OnMiss(srripLeader, 0)
+		p.OnMiss(brripLeader, 1)
+	}
+	if p.psel[0] >= 0 {
+		t.Fatalf("thread 0 psel = %d, want < 0", p.psel[0])
+	}
+	if p.psel[1] <= 0 {
+		t.Fatalf("thread 1 psel = %d, want > 0", p.psel[1])
+	}
+	if p.psel[2] != 0 || p.psel[3] != 0 {
+		t.Fatal("uninvolved threads' selectors moved")
+	}
+}
+
+func TestRRIPEvictResets(t *testing.T) {
+	p := NewSRRIP(8)
+	p.OnInsert(0, 1, 0)
+	p.OnHit(0, 0)
+	p.OnEvict(0)
+	if p.RRPV(0) != rrpvMax {
+		t.Fatalf("RRPV after evict = %d, want %d", p.RRPV(0), rrpvMax)
+	}
+}
+
+func TestRRIPMove(t *testing.T) {
+	p := NewSRRIP(8)
+	p.OnInsert(0, 1, 0)
+	p.OnHit(0, 0)
+	p.OnMove(0, 5)
+	if p.RRPV(5) != 0 {
+		t.Fatalf("RRPV after move = %d, want 0", p.RRPV(5))
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewLRUTimestamp(8).Name() != "LRU" ||
+		NewTrueLRU(8).Name() != "TrueLRU" ||
+		NewSRRIP(8).Name() != "SRRIP" ||
+		NewBRRIP(8, 1).Name() != "BRRIP" ||
+		NewDRRIP(8, 1).Name() != "DRRIP" ||
+		NewTADRRIP(8, 2, 1).Name() != "TA-DRRIP" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+// Contention models the queuing effects Table 2 implies but the base
+// simulator idealizes: the L2 is banked (4 banks in the paper) and memory
+// has finite bandwidth (32 GB/s peak at 2 GHz = 16 bytes/cycle, i.e. one
+// 64-byte line every 4 cycles). Both are modeled as next-free-time servers:
+// a request arriving before its server is free waits for it, adding queuing
+// delay on top of the zero-load latency.
+//
+// Contention is optional (zero value disables it) because the paper reports
+// zero-load latencies; EXPERIMENTS.md notes the effect of enabling it.
+type Contention struct {
+	// L2Banks is the number of L2 banks (paper: 4); 0 disables bank
+	// conflict modeling. Banks are selected by address hash.
+	L2Banks int
+	// L2BankBusy is the bank occupancy per access, in cycles (how long a
+	// bank stays busy serving one request; paper's 8-cycle bank latency
+	// pipelined down to a few cycles — default 2 when banks are enabled).
+	L2BankBusy int
+	// MemCyclesPerLine is the inverse memory bandwidth: cycles between
+	// line transfers at peak (paper: 64 B / 16 B-per-cycle = 4); 0 disables
+	// bandwidth modeling.
+	MemCyclesPerLine int
+}
+
+// contentionState tracks the servers' next-free times.
+type contentionState struct {
+	cfg      Contention
+	bankFree []uint64
+	memFree  uint64
+}
+
+func newContentionState(cfg Contention) *contentionState {
+	if cfg.L2Banks < 0 || cfg.L2BankBusy < 0 || cfg.MemCyclesPerLine < 0 {
+		panic("sim: negative contention parameters")
+	}
+	s := &contentionState{cfg: cfg}
+	if cfg.L2Banks > 0 {
+		s.bankFree = make([]uint64, cfg.L2Banks)
+		if s.cfg.L2BankBusy == 0 {
+			s.cfg.L2BankBusy = 2
+		}
+	}
+	return s
+}
+
+// l2Delay returns the queuing delay for an L2 access to addr at time now
+// and reserves the bank.
+func (s *contentionState) l2Delay(addr, now uint64) uint64 {
+	if s == nil || s.cfg.L2Banks == 0 {
+		return 0
+	}
+	b := int(addr>>6) % s.cfg.L2Banks // consecutive lines interleave across banks
+	wait := uint64(0)
+	if s.bankFree[b] > now {
+		wait = s.bankFree[b] - now
+	}
+	s.bankFree[b] = now + wait + uint64(s.cfg.L2BankBusy)
+	return wait
+}
+
+// memDelay returns the queuing delay for a memory line fetch issued at time
+// now and reserves the channel.
+func (s *contentionState) memDelay(now uint64) uint64 {
+	if s == nil || s.cfg.MemCyclesPerLine == 0 {
+		return 0
+	}
+	wait := uint64(0)
+	if s.memFree > now {
+		wait = s.memFree - now
+	}
+	s.memFree = now + wait + uint64(s.cfg.MemCyclesPerLine)
+	return wait
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"vantage/internal/workload"
+)
+
+func TestContentionStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative contention accepted")
+		}
+	}()
+	newContentionState(Contention{L2Banks: -1})
+}
+
+func TestContentionDisabledIsFree(t *testing.T) {
+	s := newContentionState(Contention{})
+	for i := uint64(0); i < 100; i++ {
+		if s.l2Delay(i*64, i) != 0 || s.memDelay(i) != 0 {
+			t.Fatal("disabled contention delayed")
+		}
+	}
+}
+
+func TestBankConflictsDelay(t *testing.T) {
+	s := newContentionState(Contention{L2Banks: 4, L2BankBusy: 2})
+	// Two back-to-back accesses to the same bank at the same cycle: the
+	// second waits for the busy time.
+	if d := s.l2Delay(0, 100); d != 0 {
+		t.Fatalf("first access delayed %d", d)
+	}
+	if d := s.l2Delay(0, 100); d != 2 {
+		t.Fatalf("conflicting access delayed %d, want 2", d)
+	}
+	// A different bank is free.
+	if d := s.l2Delay(64, 100); d != 0 {
+		t.Fatalf("other bank delayed %d", d)
+	}
+}
+
+func TestMemoryBandwidthThrottles(t *testing.T) {
+	s := newContentionState(Contention{MemCyclesPerLine: 4})
+	total := uint64(0)
+	for i := 0; i < 10; i++ {
+		total += s.memDelay(100)
+	}
+	// Ten simultaneous fetches at one line per 4 cycles: delays 0,4,8,...,36.
+	if total != 4*(1+2+3+4+5+6+7+8+9) {
+		t.Fatalf("total queuing delay %d", total)
+	}
+	// After the burst drains, a later request sails through.
+	if d := s.memDelay(1000); d != 0 {
+		t.Fatalf("post-drain delay %d", d)
+	}
+}
+
+func TestContentionSlowsStreams(t *testing.T) {
+	run := func(c Contention) float64 {
+		apps := []workload.App{
+			workload.NewStreamApp(1<<20, 0, 1, 1),
+			workload.NewStreamApp(1<<20, 0, 1, 2),
+			workload.NewStreamApp(1<<20, 0, 1, 3),
+			workload.NewStreamApp(1<<20, 0, 1, 4),
+		}
+		res := Run(Config{
+			Apps: apps, L2: lruL2(512), L1Lines: 32, L1Ways: 4,
+			InstrLimit: 20000, Contention: c,
+		})
+		return res.Throughput
+	}
+	free := run(Contention{})
+	// Severe bandwidth limit: one line per 100 cycles shared by 4 streams
+	// that would each want one per ~201 cycles.
+	limited := run(Contention{MemCyclesPerLine: 100, L2Banks: 4})
+	if limited >= free {
+		t.Fatalf("bandwidth limit did not slow streams: %.4f vs %.4f", limited, free)
+	}
+}

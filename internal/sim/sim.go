@@ -1,0 +1,284 @@
+// Package sim implements the multicore simulator of the paper's evaluation
+// (Table 2): in-order cores with IPC=1 except on memory accesses, private L1
+// caches, a shared partitioned L2, and a fixed-latency memory, running
+// multiprogrammed mixes with disjoint per-core address spaces. UCP
+// repartitions the shared cache at a fixed cycle interval, feeding each
+// core's post-L1 access stream into its UMON.
+//
+// The paper's Pin-based execution-driven simulator is replaced by
+// model-driven cores (workload.App address streams); latencies follow
+// Table 2. Memory bandwidth contention is not modeled (fixed zero-load
+// latency), a substitution recorded in DESIGN.md.
+package sim
+
+import (
+	"fmt"
+
+	"vantage/internal/cache"
+	"vantage/internal/ctrl"
+	"vantage/internal/repl"
+	"vantage/internal/ucp"
+	"vantage/internal/workload"
+)
+
+// Allocator decides partition targets: it observes each partition's post-L1
+// access stream and produces line-granularity allocations on demand.
+// *ucp.Policy implements it; so do the simpler policies in that package.
+type Allocator interface {
+	// Access feeds one address of partition part's L2 access stream.
+	Access(part int, addr uint64)
+	// Allocate returns per-partition targets summing to totalLines.
+	Allocate(totalLines int) []int
+}
+
+var _ Allocator = (*ucp.Policy)(nil)
+
+// PolicyChooser is implemented by allocators that also pick per-partition
+// insertion policies (UMON-RRIP for Vantage-DRRIP, §6.2): true = BRRIP.
+type PolicyChooser interface {
+	InsertionPolicies() []bool
+}
+
+// InsertionPolicySetter is implemented by controllers that accept external
+// insertion-policy choices (the Vantage-DRRIP controller).
+type InsertionPolicySetter interface {
+	SetInsertionPolicy(part int, brrip bool)
+}
+
+// Latencies are the Table 2 access latencies, in cycles.
+type Latencies struct {
+	L1Hit  int // paper: 1
+	L2Hit  int // paper: 4 (L1-to-bank) + 8 (bank) = 12
+	Memory int // paper: 200 zero-load
+}
+
+// DefaultLatencies returns the Table 2 values.
+func DefaultLatencies() Latencies { return Latencies{L1Hit: 1, L2Hit: 12, Memory: 200} }
+
+// Config describes one simulation run.
+type Config struct {
+	// Apps is the mix, one App per core.
+	Apps []workload.App
+	// L2 is the shared cache controller under test (one partition per core
+	// unless the controller is unpartitioned).
+	L2 ctrl.Controller
+	// L1Lines and L1Ways size the private L1s (0 lines disables them).
+	L1Lines, L1Ways int
+	// Lat are the hierarchy latencies.
+	Lat Latencies
+	// InstrLimit is the per-core instruction budget; IPC is measured over
+	// exactly this many instructions per core (the paper's 200 M).
+	InstrLimit uint64
+	// WarmupInstr runs each core this many instructions before measurement
+	// begins (the paper fast-forwards 20 B instructions instead).
+	WarmupInstr uint64
+	// Alloc, if non-nil, repartitions the L2 every RepartitionCycles;
+	// PartitionableLines is the capacity handed to the allocator (for
+	// Vantage, the managed region). ucp.Policy is the paper's allocator;
+	// any Allocator (e.g. ucp.Static) can drive the schemes.
+	Alloc              Allocator
+	RepartitionCycles  uint64
+	PartitionableLines int
+	// OnRepartition, if set, observes every repartitioning decision.
+	OnRepartition func(cycle uint64, targets, actual []int)
+	// Contention optionally models L2 bank conflicts and memory bandwidth
+	// (zero value: the paper's zero-load latencies).
+	Contention Contention
+	// Seed perturbs nothing directly but is kept for future knobs.
+	Seed uint64
+}
+
+// CoreStats accumulates one core's measurement-window counters.
+type CoreStats struct {
+	Instructions uint64
+	Cycles       uint64
+	L1Accesses   uint64
+	L1Misses     uint64
+	L2Accesses   uint64
+	L2Misses     uint64
+	IPC          float64
+	L2MPKI       float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Cores []CoreStats
+	// Throughput is ΣIPC, the paper's headline metric.
+	Throughput float64
+	// WeightedCycles is the global cycle count when the last core finished.
+	WeightedCycles uint64
+	// Repartitions counts allocator invocations.
+	Repartitions uint64
+}
+
+// coreState is one core's runtime state.
+type coreState struct {
+	app      workload.App
+	l1       *ctrl.Unpartitioned
+	cycle    uint64
+	instrs   uint64 // instructions retired in the measurement window
+	warmLeft uint64
+	// frozen cores have finished their measurement window; they keep
+	// running (so the cache keeps seeing their traffic, as in the paper's
+	// methodology) but their stats no longer change.
+	frozen bool
+	// startCycle is the local clock value when the measurement window
+	// opened (end of warmup). Clocks are never reset: rewinding a core's
+	// clock would let the min-cycle scheduler run it solo for long
+	// stretches, destroying the access interleaving the shared cache sees.
+	startCycle uint64
+	doneCycle  uint64
+	stats      CoreStats
+}
+
+// Run executes the configured simulation to completion.
+func Run(cfg Config) Result {
+	n := len(cfg.Apps)
+	if n == 0 {
+		panic("sim: no apps")
+	}
+	if cfg.L2 == nil {
+		panic("sim: no L2 controller")
+	}
+	if cfg.InstrLimit == 0 {
+		panic("sim: zero instruction limit")
+	}
+	if cfg.Lat == (Latencies{}) {
+		cfg.Lat = DefaultLatencies()
+	}
+	cores := make([]*coreState, n)
+	for i := range cores {
+		cs := &coreState{app: cfg.Apps[i], warmLeft: cfg.WarmupInstr}
+		if cfg.L1Lines > 0 {
+			arr := cache.NewSetAssoc(cfg.L1Lines, cfg.L1Ways, false, 0)
+			cs.l1 = ctrl.NewUnpartitioned(arr, repl.NewLRUTimestamp(cfg.L1Lines), 1)
+		}
+		cores[i] = cs
+	}
+
+	var res Result
+	cont := newContentionState(cfg.Contention)
+	nextRepart := cfg.RepartitionCycles
+	remaining := n
+	for remaining > 0 {
+		// Step the core with the lowest local clock (the global low-water
+		// mark), so shared-cache accesses interleave in time order. Frozen
+		// cores keep running so the cache keeps seeing their traffic.
+		var c *coreState
+		ci := -1
+		for i, cand := range cores {
+			if c == nil || cand.cycle < c.cycle {
+				c, ci = cand, i
+			}
+		}
+
+		// Repartition when global time crosses the boundary.
+		if cfg.Alloc != nil && cfg.RepartitionCycles > 0 && c.cycle >= nextRepart {
+			targets := cfg.Alloc.Allocate(cfg.PartitionableLines)
+			cfg.L2.SetTargets(targets)
+			if chooser, ok := cfg.Alloc.(PolicyChooser); ok {
+				if setter, ok2 := cfg.L2.(InsertionPolicySetter); ok2 {
+					for p, brrip := range chooser.InsertionPolicies() {
+						setter.SetInsertionPolicy(p, brrip)
+					}
+				}
+			}
+			res.Repartitions++
+			if cfg.OnRepartition != nil {
+				actual := make([]int, cfg.L2.NumPartitions())
+				for p := range actual {
+					actual[p] = cfg.L2.Size(p)
+				}
+				cfg.OnRepartition(c.cycle, targets, actual)
+			}
+			nextRepart += cfg.RepartitionCycles
+		}
+
+		gap, addr := c.app.Next()
+		addr = uint64(ci+1)<<40 | addr // disjoint address spaces
+		lat, l1Miss, l2Hit, l2Acc := access(cfg, cores[ci], addr, ci)
+		if l2Acc {
+			now := c.cycle + uint64(gap)
+			lat += int(cont.l2Delay(addr, now))
+			if !l2Hit {
+				lat += int(cont.memDelay(now))
+			}
+		}
+
+		measuring := c.warmLeft == 0 && !c.frozen
+		steps := uint64(gap) + 1
+		c.cycle += uint64(gap) + uint64(lat)
+		if measuring {
+			c.stats.L1Accesses++
+			if l1Miss {
+				c.stats.L1Misses++
+			}
+			if l2Acc {
+				c.stats.L2Accesses++
+				if !l2Hit {
+					c.stats.L2Misses++
+				}
+			}
+			c.instrs += steps
+			if c.instrs >= cfg.InstrLimit {
+				c.frozen = true
+				c.doneCycle = c.cycle
+				c.stats.Instructions = c.instrs
+				c.stats.Cycles = c.cycle - c.startCycle
+				remaining--
+			}
+		} else if c.warmLeft > 0 {
+			if c.warmLeft > steps {
+				c.warmLeft -= steps
+			} else {
+				c.warmLeft = 0
+				c.startCycle = c.cycle
+			}
+		}
+	}
+
+	res.Cores = make([]CoreStats, n)
+	for i, c := range cores {
+		s := c.stats
+		if s.Cycles > 0 {
+			s.IPC = float64(s.Instructions) / float64(s.Cycles)
+		}
+		if s.Instructions > 0 {
+			s.L2MPKI = float64(s.L2Misses) / float64(s.Instructions) * 1000
+		}
+		res.Cores[i] = s
+		res.Throughput += s.IPC
+		if c.doneCycle > res.WeightedCycles {
+			res.WeightedCycles = c.doneCycle
+		}
+	}
+	return res
+}
+
+// access performs one memory reference through the hierarchy and returns
+// its latency plus what happened at each level.
+func access(cfg Config, c *coreState, addr uint64, core int) (lat int, l1Miss, l2Hit, l2Acc bool) {
+	if c.l1 != nil {
+		if r := c.l1.Access(addr, 0); r.Hit {
+			return cfg.Lat.L1Hit, false, false, false
+		}
+		l1Miss = true
+	} else {
+		l1Miss = true
+	}
+	// L2 access; feed the UMON with the post-L1 stream.
+	if cfg.Alloc != nil {
+		cfg.Alloc.Access(core, addr)
+	}
+	l2Acc = true
+	r := cfg.L2.Access(addr, core)
+	if r.Hit {
+		return cfg.Lat.L2Hit, l1Miss, true, l2Acc
+	}
+	return cfg.Lat.L2Hit + cfg.Lat.Memory, l1Miss, false, l2Acc
+}
+
+// String formats a result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("throughput=%.3f cores=%d repartitions=%d", r.Throughput, len(r.Cores), r.Repartitions)
+}

@@ -1,0 +1,243 @@
+// Package stats provides the measurement utilities the experiments need:
+// coarse-timestamp quantile histograms (to compute empirical eviction and
+// demotion priorities, Fig 8's heat maps), CDF accumulators, time series,
+// and simple summary statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TSQuantiler tracks the multiset of 8-bit coarse timestamps of a
+// population of lines and answers "what fraction of lines are older than
+// this timestamp", which is the (one minus) eviction priority of a victim
+// within its population. Ages are computed modulo 256 relative to a current
+// timestamp maintained by the caller.
+type TSQuantiler struct {
+	hist  [256]int
+	total int
+}
+
+// Add records a line with timestamp ts.
+func (q *TSQuantiler) Add(ts uint8) { q.hist[ts]++; q.total++ }
+
+// Remove forgets a line with timestamp ts.
+func (q *TSQuantiler) Remove(ts uint8) {
+	if q.hist[ts] == 0 {
+		panic("stats: TSQuantiler.Remove of absent timestamp")
+	}
+	q.hist[ts]--
+	q.total--
+}
+
+// Move re-tags one line from old to new timestamp.
+func (q *TSQuantiler) Move(old, new uint8) {
+	q.Remove(old)
+	q.Add(new)
+}
+
+// Total returns the population size.
+func (q *TSQuantiler) Total() int { return q.total }
+
+// FracOlder returns the fraction of lines strictly older than ts, where age
+// is (current - ts) mod 256. A line about to be evicted with FracOlder ≈ 0
+// is the oldest (eviction priority ≈ 1.0 in the paper's convention).
+func (q *TSQuantiler) FracOlder(ts, current uint8) float64 {
+	if q.total == 0 {
+		return 0
+	}
+	age := int(current - ts) // uint8 subtraction: age in [0,255]
+	older := 0
+	for a := age + 1; a < 256; a++ {
+		older += q.hist[uint8(current)-uint8(a)]
+	}
+	return float64(older) / float64(q.total)
+}
+
+// EvictionPriority returns the paper's eviction priority e ∈ [0,1] of a line
+// with timestamp ts under LRU ranking: 1 means oldest (best victim).
+func (q *TSQuantiler) EvictionPriority(ts, current uint8) float64 {
+	return 1 - q.FracOlder(ts, current)
+}
+
+// ---------------------------------------------------------------------------
+
+// CDF accumulates samples in [0,1] and reports an empirical CDF. It is used
+// to measure associativity distributions (Figs 1, 2, 8).
+type CDF struct {
+	buckets []int
+	total   int
+}
+
+// NewCDF returns a CDF accumulator with n buckets over [0,1].
+func NewCDF(n int) *CDF {
+	if n <= 0 {
+		panic("stats: CDF needs at least one bucket")
+	}
+	return &CDF{buckets: make([]int, n)}
+}
+
+// Add records a sample (clamped to [0,1]).
+func (c *CDF) Add(x float64) {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	i := int(x * float64(len(c.buckets)))
+	if i == len(c.buckets) {
+		i--
+	}
+	c.buckets[i]++
+	c.total++
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return c.total }
+
+// At returns the empirical CDF value at x.
+func (c *CDF) At(x float64) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	if x < 0 {
+		return 0
+	}
+	hi := int(x * float64(len(c.buckets)))
+	sum := 0
+	for i := 0; i < hi; i++ {
+		sum += c.buckets[i]
+	}
+	return float64(sum) / float64(c.total)
+}
+
+// Quantile returns the approximate p-quantile of the samples.
+func (c *CDF) Quantile(p float64) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	target := p * float64(c.total)
+	sum := 0.0
+	for i, b := range c.buckets {
+		sum += float64(b)
+		if sum >= target {
+			return (float64(i) + 0.5) / float64(len(c.buckets))
+		}
+	}
+	return 1
+}
+
+// ---------------------------------------------------------------------------
+
+// Series records (x, y) samples, e.g. partition size over time (Fig 8).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// ---------------------------------------------------------------------------
+
+// Heatmap accumulates per-time-slice CDFs of priorities, reproducing the
+// Fig 8 heat maps: x is the time slice, y the priority in [0,1].
+type Heatmap struct {
+	cols  []*CDF
+	yBins int
+}
+
+// NewHeatmap returns an empty heat map with yBins priority buckets.
+func NewHeatmap(yBins int) *Heatmap {
+	return &Heatmap{yBins: yBins}
+}
+
+// Add records a priority sample in time slice col.
+func (h *Heatmap) Add(col int, priority float64) {
+	for len(h.cols) <= col {
+		h.cols = append(h.cols, NewCDF(h.yBins))
+	}
+	h.cols[col].Add(priority)
+}
+
+// Cols returns the number of time slices.
+func (h *Heatmap) Cols() int { return len(h.cols) }
+
+// At returns the CDF value at priority y in slice col (0 if no samples).
+func (h *Heatmap) At(col int, y float64) float64 {
+	if col < 0 || col >= len(h.cols) {
+		return 0
+	}
+	return h.cols[col].At(y)
+}
+
+// ---------------------------------------------------------------------------
+
+// Summary holds simple descriptive statistics.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	GeoMean        float64
+	P10, P50, P90  float64
+	FracAboveOne   float64 // fraction of samples > 1 (e.g. speedups)
+	FracBelowOne   float64
+}
+
+// Summarize computes a Summary of xs. GeoMean is only meaningful for
+// positive samples.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	logSum := 0.0
+	above, below := 0, 0
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		if x > 0 {
+			logSum += math.Log(x)
+		}
+		if x > 1 {
+			above++
+		} else if x < 1 {
+			below++
+		}
+	}
+	s.Mean /= float64(len(xs))
+	s.GeoMean = math.Exp(logSum / float64(len(xs)))
+	s.FracAboveOne = float64(above) / float64(len(xs))
+	s.FracBelowOne = float64(below) / float64(len(xs))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	s.P10, s.P50, s.P90 = q(0.10), q(0.50), q(0.90)
+	return s
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d gmean=%.4f mean=%.4f min=%.4f p50=%.4f max=%.4f improved=%.0f%%",
+		s.N, s.GeoMean, s.Mean, s.Min, s.P50, s.Max, 100*s.FracAboveOne)
+}

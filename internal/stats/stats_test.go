@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTSQuantilerBasics(t *testing.T) {
+	var q TSQuantiler
+	// Lines with timestamps 10 (oldest), 11, 12; current = 12.
+	q.Add(10)
+	q.Add(11)
+	q.Add(12)
+	if q.Total() != 3 {
+		t.Fatalf("total = %d", q.Total())
+	}
+	if f := q.FracOlder(12, 12); !closeTo(f, 2.0/3, 1e-12) {
+		t.Fatalf("FracOlder(newest) = %v, want 2/3", f)
+	}
+	if f := q.FracOlder(10, 12); f != 0 {
+		t.Fatalf("FracOlder(oldest) = %v, want 0", f)
+	}
+	if e := q.EvictionPriority(10, 12); e != 1 {
+		t.Fatalf("oldest eviction priority = %v, want 1", e)
+	}
+}
+
+func TestTSQuantilerModuloAges(t *testing.T) {
+	var q TSQuantiler
+	// current = 2, lines at ts 250 (age 8) and ts 1 (age 1).
+	q.Add(250)
+	q.Add(1)
+	if f := q.FracOlder(1, 2); f != 0.5 {
+		t.Fatalf("FracOlder across wrap = %v, want 0.5", f)
+	}
+	if f := q.FracOlder(250, 2); f != 0 {
+		t.Fatalf("FracOlder oldest across wrap = %v, want 0", f)
+	}
+}
+
+func TestTSQuantilerRemoveMove(t *testing.T) {
+	var q TSQuantiler
+	q.Add(5)
+	q.Move(5, 9)
+	if q.hist[5] != 0 || q.hist[9] != 1 {
+		t.Fatal("move did not retag")
+	}
+	q.Remove(9)
+	if q.Total() != 0 {
+		t.Fatal("remove did not decrement")
+	}
+}
+
+func TestTSQuantilerRemoveAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on absent remove")
+		}
+	}()
+	var q TSQuantiler
+	q.Remove(3)
+}
+
+func TestCDFUniformSamples(t *testing.T) {
+	c := NewCDF(100)
+	for i := 0; i < 10000; i++ {
+		c.Add(float64(i%100) / 100)
+	}
+	if got := c.At(0.5); !closeTo(got, 0.5, 0.02) {
+		t.Fatalf("CDF(0.5) = %v", got)
+	}
+	if c.At(1) != 1 || c.At(-0.5) != 0 {
+		t.Fatal("CDF edges wrong")
+	}
+	if q := c.Quantile(0.25); !closeTo(q, 0.25, 0.02) {
+		t.Fatalf("quantile(0.25) = %v", q)
+	}
+}
+
+func TestCDFClamping(t *testing.T) {
+	c := NewCDF(10)
+	c.Add(-5)
+	c.Add(7)
+	if c.N() != 2 {
+		t.Fatal("clamped samples lost")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	c := NewCDF(64)
+	for i := 0; i < 1000; i++ {
+		c.Add(float64(i*i%97) / 97)
+	}
+	f := func(a, b float64) bool {
+		x, y := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if x > y {
+			x, y = y, x
+		}
+		return c.At(x) <= c.At(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 buckets")
+		}
+	}()
+	NewCDF(0)
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(1, 2)
+	s.Append(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatal("series append broken")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := NewHeatmap(10)
+	h.Add(0, 0.95)
+	h.Add(0, 0.99)
+	h.Add(2, 0.1)
+	if h.Cols() != 3 {
+		t.Fatalf("cols = %d", h.Cols())
+	}
+	if v := h.At(0, 0.9); v != 0 {
+		t.Fatalf("high-priority samples counted below 0.9: %v", v)
+	}
+	if v := h.At(2, 0.5); v != 1 {
+		t.Fatalf("low-priority sample not below 0.5: %v", v)
+	}
+	if h.At(7, 0.5) != 0 || h.At(-1, 0.5) != 0 {
+		t.Fatal("out-of-range column not zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1.0, 2.0, 4.0, 0.5})
+	if s.N != 4 || s.Min != 0.5 || s.Max != 4.0 {
+		t.Fatalf("summary basics wrong: %+v", s)
+	}
+	if !closeTo(s.Mean, 1.875, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	want := math.Pow(1*2*4*0.5, 0.25)
+	if !closeTo(s.GeoMean, want, 1e-12) {
+		t.Fatalf("gmean = %v, want %v", s.GeoMean, want)
+	}
+	if s.FracAboveOne != 0.5 || s.FracBelowOne != 0.25 {
+		t.Fatalf("fractions wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func closeTo(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

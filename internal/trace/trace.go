@@ -1,0 +1,164 @@
+// Package trace records and replays memory-reference traces, so workloads
+// can be captured once and replayed deterministically (or imported from
+// external tools). The format is a compact varint stream: each record is an
+// instruction gap followed by a zig-zag-encoded line-address delta, which
+// compresses both sequential streams and small working sets well.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"vantage/internal/workload"
+)
+
+// magic identifies the binary trace format ("VTR1").
+var magic = [4]byte{'V', 'T', 'R', '1'}
+
+// Record is one memory reference: Gap non-memory instructions followed by
+// an access to line Addr.
+type Record struct {
+	Gap  int
+	Addr uint64
+}
+
+// Writer streams records to an io.Writer in the binary format.
+type Writer struct {
+	w       *bufio.Writer
+	last    uint64
+	started bool
+	count   uint64
+	buf     [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a Writer that emits the header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if r.Gap < 0 {
+		return errors.New("trace: negative gap")
+	}
+	n := binary.PutUvarint(w.buf[:], uint64(r.Gap))
+	delta := int64(r.Addr - w.last)
+	n += binary.PutVarint(w.buf[n:], delta)
+	w.last = r.Addr
+	w.count++
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush flushes buffered output; call it before closing the underlying
+// writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	r    *bufio.Reader
+	last uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at the end of the trace.
+func (r *Reader) Read() (Record, error) {
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: reading gap: %w", err)
+	}
+	delta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	r.last += uint64(delta)
+	return Record{Gap: int(gap), Addr: r.last}, nil
+}
+
+// ReadAll drains the trace into memory.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Capture runs app for n references and writes its stream.
+func Capture(w *Writer, app workload.App, n int) error {
+	for i := 0; i < n; i++ {
+		gap, addr := app.Next()
+		if err := w.Write(Record{Gap: gap, Addr: addr}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// App replays an in-memory trace as a workload.App, looping at the end so
+// it can drive arbitrarily long simulations.
+type App struct {
+	name string
+	cat  workload.Category
+	recs []Record
+	pos  int
+}
+
+// NewApp returns a replaying App over recs (which must be non-empty).
+func NewApp(name string, cat workload.Category, recs []Record) *App {
+	if len(recs) == 0 {
+		panic("trace: empty trace")
+	}
+	return &App{name: name, cat: cat, recs: recs}
+}
+
+// Name implements workload.App.
+func (a *App) Name() string { return "trace:" + a.name }
+
+// Category implements workload.App.
+func (a *App) Category() workload.Category { return a.cat }
+
+// Next implements workload.App, looping over the trace.
+func (a *App) Next() (int, uint64) {
+	r := a.recs[a.pos]
+	a.pos++
+	if a.pos == len(a.recs) {
+		a.pos = 0
+	}
+	return r.Gap, r.Addr
+}
+
+var _ workload.App = (*App)(nil)

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"vantage/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Gap: 0, Addr: 100},
+		{Gap: 3, Addr: 101},
+		{Gap: 1000, Addr: 50},   // backwards delta
+		{Gap: 2, Addr: 1 << 40}, // big jump
+		{Gap: 0, Addr: 1<<40 + 1},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(gaps []uint16, addrs []uint64) bool {
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if n == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		want := make([]Record, n)
+		for i := 0; i < n; i++ {
+			want[i] = Record{Gap: int(gaps[i]), Addr: addrs[i]}
+			if err := w.Write(want[i]); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterRejectsNegativeGap(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(Record{Gap: -1}); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX????"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Gap: 300, Addr: 1 << 30})
+	w.Flush()
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Read()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated record gave %v, want a hard error", err)
+	}
+}
+
+func TestCaptureAndReplay(t *testing.T) {
+	src := workload.NewZipfApp(workload.Friendly, 500, 0.8, 3, 2, 42)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := Capture(w, src, 1000); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	recs, err := r.ReadAll()
+	if err != nil || len(recs) != 1000 {
+		t.Fatalf("captured %d records, err %v", len(recs), err)
+	}
+	// Replay must match a fresh instance of the same app.
+	ref := workload.NewZipfApp(workload.Friendly, 500, 0.8, 3, 2, 42)
+	app := NewApp("zipf", workload.Friendly, recs)
+	if app.Name() != "trace:zipf" || app.Category() != workload.Friendly {
+		t.Fatal("replay metadata wrong")
+	}
+	for i := 0; i < 1000; i++ {
+		g1, a1 := ref.Next()
+		g2, a2 := app.Next()
+		if g1 != g2 || a1 != a2 {
+			t.Fatalf("replay diverges at %d", i)
+		}
+	}
+	// Looping: record 1001 equals record 1.
+	g, a := app.Next()
+	if g != recs[0].Gap || a != recs[0].Addr {
+		t.Fatal("trace did not loop")
+	}
+}
+
+func TestNewAppPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty trace accepted")
+		}
+	}()
+	NewApp("x", workload.Friendly, nil)
+}
+
+func TestCompactness(t *testing.T) {
+	// A sequential stream should compress to ~2 bytes per record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	app := workload.NewStreamApp(1<<30, 0, 1, 7)
+	Capture(w, app, 10000)
+	w.Flush()
+	if per := float64(buf.Len()) / 10000; per > 3 {
+		t.Fatalf("sequential trace costs %.1f bytes/record", per)
+	}
+}

@@ -1,0 +1,127 @@
+package ucp
+
+import "fmt"
+
+// This file provides simple allocation policies beyond UCP, following the
+// taxonomy the paper cites ([9]: communist, utilitarian, capitalist): a
+// static policy (fixed shares), an equal-share policy, and a
+// capitalist/proportional policy that sizes partitions by observed demand.
+// They implement the same Allocator shape as Policy and are useful both as
+// baselines for allocation-policy studies and for applications (QoS,
+// pinning) that need fixed reservations.
+
+// Static always returns fixed fractional shares.
+type Static struct {
+	shares []float64
+}
+
+// NewStatic returns a static policy with the given shares (normalized
+// internally; all must be non-negative, at least one positive).
+func NewStatic(shares []float64) *Static {
+	total := 0.0
+	for _, s := range shares {
+		if s < 0 {
+			panic("ucp: negative share")
+		}
+		total += s
+	}
+	if total == 0 {
+		panic("ucp: all shares zero")
+	}
+	norm := make([]float64, len(shares))
+	for i, s := range shares {
+		norm[i] = s / total
+	}
+	return &Static{shares: norm}
+}
+
+// Access implements the allocator contract (static policies ignore traffic).
+func (s *Static) Access(part int, addr uint64) {}
+
+// Allocate returns the fixed shares scaled to totalLines.
+func (s *Static) Allocate(totalLines int) []int {
+	out := make([]int, len(s.shares))
+	sum := 0
+	for i, sh := range s.shares {
+		out[i] = int(sh * float64(totalLines))
+		sum += out[i]
+	}
+	for i := 0; sum < totalLines; i = (i + 1) % len(out) {
+		out[i]++
+		sum++
+	}
+	return out
+}
+
+// NewEqualShare returns a "communist" policy: equal allocations for parts
+// partitions regardless of behavior.
+func NewEqualShare(parts int) *Static {
+	if parts <= 0 {
+		panic("ucp: need at least one partition")
+	}
+	shares := make([]float64, parts)
+	for i := range shares {
+		shares[i] = 1
+	}
+	return NewStatic(shares)
+}
+
+// Proportional is the "capitalist" policy: partitions are sized in
+// proportion to their recent L2 access volume, so loud threads get more
+// space whether or not they use it well — the behavior an unpartitioned
+// LRU cache approximates, made explicit.
+type Proportional struct {
+	counts []uint64
+	floor  float64 // minimum fraction per partition
+}
+
+// NewProportional returns a demand-proportional policy for parts
+// partitions; floor (in [0, 1/parts]) guarantees a minimum share.
+func NewProportional(parts int, floor float64) *Proportional {
+	if parts <= 0 {
+		panic("ucp: need at least one partition")
+	}
+	if floor < 0 || floor > 1/float64(parts) {
+		panic(fmt.Sprintf("ucp: floor %v out of range", floor))
+	}
+	return &Proportional{counts: make([]uint64, parts), floor: floor}
+}
+
+// Access implements the allocator contract.
+func (p *Proportional) Access(part int, addr uint64) { p.counts[part]++ }
+
+// Allocate sizes partitions by access counts (with the floor) and halves
+// the counters, like UCP's decay.
+func (p *Proportional) Allocate(totalLines int) []int {
+	parts := len(p.counts)
+	total := uint64(0)
+	for _, c := range p.counts {
+		total += c
+	}
+	out := make([]int, parts)
+	sum := 0
+	floorLines := int(p.floor * float64(totalLines))
+	flexible := totalLines - floorLines*parts
+	for i, c := range p.counts {
+		share := 0.0
+		if total > 0 {
+			share = float64(c) / float64(total)
+		} else {
+			share = 1 / float64(parts)
+		}
+		out[i] = floorLines + int(share*float64(flexible))
+		sum += out[i]
+		p.counts[i] /= 2
+	}
+	for i := 0; sum < totalLines; i = (i + 1) % parts {
+		out[i]++
+		sum++
+	}
+	for i := 0; sum > totalLines; i = (i + 1) % parts {
+		if out[i] > 0 {
+			out[i]--
+			sum--
+		}
+	}
+	return out
+}

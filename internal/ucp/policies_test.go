@@ -1,0 +1,123 @@
+package ucp
+
+import "testing"
+
+func TestStaticPanics(t *testing.T) {
+	for _, bad := range [][]float64{{-1, 2}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewStatic(%v) did not panic", bad)
+				}
+			}()
+			NewStatic(bad)
+		}()
+	}
+}
+
+func TestStaticAllocate(t *testing.T) {
+	s := NewStatic([]float64{3, 1})
+	s.Access(0, 123) // no-op
+	out := s.Allocate(1000)
+	if out[0]+out[1] != 1000 {
+		t.Fatalf("sum = %d", out[0]+out[1])
+	}
+	if out[0] != 750 || out[1] != 250 {
+		t.Fatalf("alloc = %v, want [750 250]", out)
+	}
+}
+
+func TestStaticRounding(t *testing.T) {
+	s := NewStatic([]float64{1, 1, 1})
+	out := s.Allocate(100)
+	if out[0]+out[1]+out[2] != 100 {
+		t.Fatalf("sum = %d", out[0]+out[1]+out[2])
+	}
+}
+
+func TestEqualShare(t *testing.T) {
+	e := NewEqualShare(4)
+	out := e.Allocate(400)
+	for i, v := range out {
+		if v != 100 {
+			t.Fatalf("partition %d got %d, want 100", i, v)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewEqualShare(0) did not panic")
+			}
+		}()
+		NewEqualShare(0)
+	}()
+}
+
+func TestProportionalTracksDemand(t *testing.T) {
+	p := NewProportional(2, 0.1)
+	for i := 0; i < 3000; i++ {
+		p.Access(0, uint64(i))
+	}
+	for i := 0; i < 1000; i++ {
+		p.Access(1, uint64(i))
+	}
+	out := p.Allocate(1000)
+	if out[0]+out[1] != 1000 {
+		t.Fatalf("sum = %d", out[0]+out[1])
+	}
+	if out[0] <= out[1] {
+		t.Fatalf("louder partition not larger: %v", out)
+	}
+	// Floor respected.
+	if out[1] < 100 {
+		t.Fatalf("floor violated: %v", out)
+	}
+}
+
+func TestProportionalDecays(t *testing.T) {
+	p := NewProportional(2, 0)
+	for i := 0; i < 1000; i++ {
+		p.Access(0, uint64(i))
+	}
+	p.Allocate(100)
+	// After several decay rounds with partition 1 active, the split flips.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 500; i++ {
+			p.Access(1, uint64(i))
+		}
+		p.Allocate(100)
+	}
+	out := p.Allocate(100)
+	if out[1] <= out[0] {
+		t.Fatalf("stale demand still dominates: %v", out)
+	}
+}
+
+func TestProportionalNoTraffic(t *testing.T) {
+	p := NewProportional(4, 0)
+	out := p.Allocate(400)
+	sum := 0
+	for _, v := range out {
+		sum += v
+	}
+	if sum != 400 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestProportionalPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewProportional(0, 0) },
+		func() { NewProportional(4, -0.1) },
+		func() { NewProportional(4, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad proportional config did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,331 @@
+// Package ucp implements utility-based cache partitioning (Qureshi & Patt,
+// MICRO 2006), the allocation policy the paper drives every partitioning
+// scheme with (§5): per-core UMON-DSS utility monitors estimate each
+// thread's hit curve versus allocated capacity, and the Lookahead algorithm
+// turns the curves into partition sizes that maximize expected hits.
+//
+// For way-granularity schemes (way-partitioning, PIPP) Lookahead runs in way
+// units. For Vantage, which partitions at line granularity, the way-granular
+// miss curves are linearly interpolated to 256 points, as the paper
+// describes (§5).
+package ucp
+
+import (
+	"fmt"
+
+	"vantage/internal/hash"
+)
+
+// UMON is a dynamic-set-sampling utility monitor (UMON-DSS): an auxiliary
+// tag directory with true-LRU stacks over a sampled subset of sets, counting
+// hits per LRU stack position plus misses. The monitor observes one core's
+// L2 access stream and estimates the hits the core would achieve if it had
+// 1..W ways of the cache to itself.
+type UMON struct {
+	ways      int
+	totalSets int // sets of the modeled cache (cacheLines / ways)
+	sampled   int // instantiated ATD sets
+	ratio     int // totalSets / sampled
+	h         *hash.H3
+	tags      [][]uint64 // per sampled set, MRU-first LRU stack
+	occupancy []int
+	hits      []uint64 // per stack position
+	misses    uint64
+	accesses  uint64
+}
+
+// NewUMON returns a monitor modeling a cache with the given associativity
+// and totalSets sets, instantiating at most sampledSets auxiliary-tag sets
+// (dynamic set sampling; the paper uses 64). The monitor's set geometry must
+// mirror the modeled cache so per-set LRU stack depths are faithful.
+func NewUMON(ways, totalSets, sampledSets int, seed uint64) *UMON {
+	if ways <= 0 || totalSets <= 0 || totalSets&(totalSets-1) != 0 {
+		panic(fmt.Sprintf("ucp: bad UMON geometry ways=%d sets=%d", ways, totalSets))
+	}
+	if sampledSets <= 0 {
+		panic("ucp: need at least one sampled set")
+	}
+	if sampledSets > totalSets {
+		sampledSets = totalSets
+	}
+	// Round the sampled count down to a power of two so the ratio divides.
+	for totalSets%sampledSets != 0 || sampledSets&(sampledSets-1) != 0 {
+		sampledSets--
+	}
+	u := &UMON{
+		ways:      ways,
+		totalSets: totalSets,
+		sampled:   sampledSets,
+		ratio:     totalSets / sampledSets,
+		h:         hash.NewH3(32, hash.Mix64(seed^0x0e0e)),
+		tags:      make([][]uint64, sampledSets),
+		occupancy: make([]int, sampledSets),
+		hits:      make([]uint64, ways),
+	}
+	for i := range u.tags {
+		u.tags[i] = make([]uint64, ways)
+	}
+	return u
+}
+
+// Ways returns the monitor associativity.
+func (u *UMON) Ways() int { return u.ways }
+
+// SampledSets returns the number of instantiated ATD sets.
+func (u *UMON) SampledSets() int { return u.sampled }
+
+// Access feeds one address from the monitored core's access stream. Only
+// addresses mapping to sampled sets touch the auxiliary tags.
+func (u *UMON) Access(addr uint64) {
+	hv := u.h.Hash(hash.Mix64(addr))
+	modelSet := int(hv) & (u.totalSets - 1)
+	if modelSet%u.ratio != 0 {
+		return
+	}
+	set := modelSet / u.ratio
+	u.accesses++
+	stack := u.tags[set]
+	n := u.occupancy[set]
+	for k := 0; k < n; k++ {
+		if stack[k] == addr {
+			u.hits[k]++
+			copy(stack[1:k+1], stack[:k])
+			stack[0] = addr
+			return
+		}
+	}
+	u.misses++
+	if n < u.ways {
+		copy(stack[1:n+1], stack[:n])
+		n++
+		u.occupancy[set] = n
+	} else {
+		copy(stack[1:], stack[:u.ways-1])
+	}
+	stack[0] = addr
+}
+
+// HitCurve returns the estimated hits with w = 0..Ways() ways: element w is
+// the number of sampled accesses that hit within LRU stack depth w.
+func (u *UMON) HitCurve() []uint64 {
+	curve := make([]uint64, u.ways+1)
+	for w := 1; w <= u.ways; w++ {
+		curve[w] = curve[w-1] + u.hits[w-1]
+	}
+	return curve
+}
+
+// MissCurve returns estimated misses with w = 0..Ways() ways.
+func (u *UMON) MissCurve() []uint64 {
+	hc := u.HitCurve()
+	total := u.misses + hc[u.ways]
+	out := make([]uint64, len(hc))
+	for w := range hc {
+		out[w] = total - hc[w]
+	}
+	return out
+}
+
+// Accesses returns the sampled access count since the last Decay.
+func (u *UMON) Accesses() uint64 { return u.accesses }
+
+// Decay halves all counters, aging the estimates across repartitioning
+// intervals as UCP prescribes.
+func (u *UMON) Decay() {
+	for i := range u.hits {
+		u.hits[i] /= 2
+	}
+	u.misses /= 2
+	u.accesses /= 2
+}
+
+// ---------------------------------------------------------------------------
+// Lookahead
+// ---------------------------------------------------------------------------
+
+// Lookahead runs UCP's lookahead allocation: given per-partition hit curves
+// over allocation units (curves[i][a] = expected hits of partition i with a
+// units, len units+1 and monotone non-decreasing), it distributes total
+// units, at least minPer each, greedily by maximum marginal utility
+// (hits gained per unit, evaluated over all lookahead distances).
+func Lookahead(curves [][]float64, total, minPer int) []int {
+	p := len(curves)
+	if p == 0 {
+		return nil
+	}
+	if minPer*p > total {
+		panic(fmt.Sprintf("ucp: cannot give %d partitions %d units each out of %d", p, minPer, total))
+	}
+	units := len(curves[0]) - 1
+	alloc := make([]int, p)
+	remaining := total
+	for i := range alloc {
+		alloc[i] = minPer
+		remaining -= minPer
+	}
+	for remaining > 0 {
+		bestPart, bestD, bestMU := -1, 0, 0.0
+		for i := 0; i < p; i++ {
+			a := alloc[i]
+			if a >= units {
+				continue
+			}
+			maxD := units - a
+			if maxD > remaining {
+				maxD = remaining
+			}
+			for d := 1; d <= maxD; d++ {
+				mu := (curves[i][a+d] - curves[i][a]) / float64(d)
+				if mu > bestMU {
+					bestPart, bestD, bestMU = i, d, mu
+				}
+			}
+		}
+		if bestPart < 0 {
+			// No partition has positive marginal utility (or all are
+			// saturated): spread the remaining capacity evenly instead of
+			// piling zero-utility space onto whichever partition comes
+			// first.
+			for i := 0; remaining > 0; i = (i + 1) % p {
+				alloc[i]++
+				remaining--
+			}
+			break
+		}
+		alloc[bestPart] += bestD
+		remaining -= bestD
+	}
+	return alloc
+}
+
+// InterpolateCurve linearly resamples a way-granularity hit curve
+// (len W+1) onto n+1 points, the paper's 256-point refinement for Vantage.
+func InterpolateCurve(curve []uint64, n int) []float64 {
+	w := len(curve) - 1
+	if w <= 0 || n <= 0 {
+		panic("ucp: bad interpolation input")
+	}
+	out := make([]float64, n+1)
+	for j := 0; j <= n; j++ {
+		x := float64(j) * float64(w) / float64(n)
+		lo := int(x)
+		if lo >= w {
+			out[j] = float64(curve[w])
+			continue
+		}
+		frac := x - float64(lo)
+		out[j] = float64(curve[lo])*(1-frac) + float64(curve[lo+1])*frac
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Policy
+// ---------------------------------------------------------------------------
+
+// Granularity selects the allocation units Lookahead runs in.
+type Granularity int
+
+const (
+	// GranWays allocates whole ways (way-partitioning, PIPP).
+	GranWays Granularity = iota
+	// GranLines allocates 256ths of the partitionable capacity (Vantage).
+	GranLines
+)
+
+// linePoints is the resolution of line-granularity allocation (§5).
+const linePoints = 256
+
+// Policy is the complete UCP allocation policy: one UMON per partition plus
+// Lookahead, producing line-granularity targets for any partitioning scheme.
+type Policy struct {
+	monitors []*UMON
+	gran     Granularity
+	ways     int
+}
+
+// NewPolicy returns a UCP policy for parts partitions over a cache of
+// cacheLines lines, with UMONs of the given associativity (matching the
+// monitoring granularity, typically the partitioned cache's ways or the way
+// count of the baseline the paper compares against) and up to 64 sampled
+// sets each, mirroring the modeled cache's set count (cacheLines/ways).
+func NewPolicy(parts, ways, cacheLines int, gran Granularity, seed uint64) *Policy {
+	if parts <= 0 {
+		panic("ucp: need at least one partition")
+	}
+	totalSets := cacheLines / ways
+	if totalSets < 1 {
+		totalSets = 1
+	}
+	// Round up to a power of two.
+	ts := 1
+	for ts < totalSets {
+		ts <<= 1
+	}
+	p := &Policy{gran: gran, ways: ways}
+	for i := 0; i < parts; i++ {
+		p.monitors = append(p.monitors, NewUMON(ways, ts, 64, hash.Mix64(seed+uint64(i))))
+	}
+	return p
+}
+
+// Access feeds one address of partition part's access stream into its UMON.
+func (p *Policy) Access(part int, addr uint64) { p.monitors[part].Access(addr) }
+
+// Monitor exposes partition part's UMON (for tests and instrumentation).
+func (p *Policy) Monitor(part int) *UMON { return p.monitors[part] }
+
+// Allocate computes the next per-partition targets in lines, summing to
+// totalLines (the partitionable capacity), and decays the monitors.
+func (p *Policy) Allocate(totalLines int) []int {
+	parts := len(p.monitors)
+	var allocs []int
+	switch p.gran {
+	case GranWays:
+		curves := make([][]float64, parts)
+		for i, m := range p.monitors {
+			hc := m.HitCurve()
+			f := make([]float64, len(hc))
+			for j, v := range hc {
+				f[j] = float64(v)
+			}
+			curves[i] = f
+		}
+		ways := Lookahead(curves, p.ways, 1)
+		allocs = make([]int, parts)
+		for i, w := range ways {
+			allocs[i] = totalLines * w / p.ways
+		}
+	case GranLines:
+		curves := make([][]float64, parts)
+		for i, m := range p.monitors {
+			curves[i] = InterpolateCurve(m.HitCurve(), linePoints)
+		}
+		pts := Lookahead(curves, linePoints, 1)
+		allocs = make([]int, parts)
+		for i, n := range pts {
+			allocs[i] = totalLines * n / linePoints
+		}
+	default:
+		panic("ucp: unknown granularity")
+	}
+	// Fix rounding drift so the targets sum exactly to totalLines.
+	sum := 0
+	for _, a := range allocs {
+		sum += a
+	}
+	for i := 0; sum < totalLines; i = (i + 1) % parts {
+		allocs[i]++
+		sum++
+	}
+	for i := 0; sum > totalLines; i = (i + 1) % parts {
+		if allocs[i] > 0 {
+			allocs[i]--
+			sum--
+		}
+	}
+	for _, m := range p.monitors {
+		m.Decay()
+	}
+	return allocs
+}

@@ -1,0 +1,129 @@
+package ucp
+
+import (
+	"testing"
+
+	"vantage/internal/hash"
+)
+
+func TestNewUMONRRIPPanics(t *testing.T) {
+	cases := []struct{ ways, sets, sampled int }{
+		{0, 64, 64}, {16, 0, 64}, {16, 63, 64}, {16, 64, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewUMONRRIP(%d,%d,%d) did not panic", c.ways, c.sets, c.sampled)
+				}
+			}()
+			NewUMONRRIP(c.ways, c.sets, c.sampled, 1)
+		}()
+	}
+}
+
+func TestUMONRRIPHitCurveShape(t *testing.T) {
+	u := NewUMONRRIP(16, 64, 64, 7)
+	rng := hash.NewRand(3)
+	for i := 0; i < 100000; i++ {
+		u.Access(uint64(rng.Intn(128)))
+	}
+	hc := u.HitCurve()
+	if hc[16] == 0 {
+		t.Fatal("no hits recorded")
+	}
+	for w := 1; w <= 16; w++ {
+		if hc[w] < hc[w-1] {
+			t.Fatalf("curve decreases at %d", w)
+		}
+	}
+	// Small hot working set: essentially all hits at shallow ranks.
+	if float64(hc[8]) < 0.95*float64(hc[16]) {
+		t.Fatalf("deep-rank hits for a hot set: %v", hc)
+	}
+}
+
+func TestUMONRRIPPrefersBRRIPForThrash(t *testing.T) {
+	// A cyclic scan larger than the monitored capacity: SRRIP gets zero
+	// hits; BRRIP keeps a subset resident (thrash resistance). The monitor
+	// must prefer BRRIP.
+	u := NewUMONRRIP(16, 64, 64, 9)
+	for round := 0; round < 200; round++ {
+		for a := uint64(0); a < 4096; a++ {
+			u.Access(a)
+		}
+	}
+	if !u.PreferBRRIP() {
+		t.Fatal("thrashing stream did not prefer BRRIP")
+	}
+}
+
+func TestUMONRRIPPrefersSRRIPForReuse(t *testing.T) {
+	// A working set that fits: both halves hit nearly always, and the
+	// default (insufficient difference) must be SRRIP; exercise with a mix
+	// of reuse and scans where SRRIP's scan resistance wins.
+	u := NewUMONRRIP(16, 64, 64, 11)
+	rng := hash.NewRand(5)
+	for i := 0; i < 200000; i++ {
+		u.Access(uint64(rng.Intn(200))) // hot reuse
+		if i%4 == 0 {
+			u.Access(1<<30 | uint64(i)) // occasional scan
+		}
+	}
+	if u.PreferBRRIP() {
+		t.Fatal("reuse-dominated stream preferred BRRIP")
+	}
+}
+
+func TestUMONRRIPDecay(t *testing.T) {
+	u := NewUMONRRIP(4, 64, 64, 13)
+	for i := 0; i < 10000; i++ {
+		u.Access(uint64(i % 16))
+	}
+	before := u.HitCurve()[4]
+	u.Decay()
+	after := u.HitCurve()[4]
+	if after > before/2+4 || after+4 < before/2 {
+		t.Fatalf("decay: %d -> %d", before, after)
+	}
+	if u.Accesses() != 10000/2 {
+		t.Fatalf("accesses after decay: %d", u.Accesses())
+	}
+}
+
+func TestPolicyRRIPAllocatesAndChooses(t *testing.T) {
+	p := NewPolicyRRIP(2, 16, 4096, 17)
+	rng := hash.NewRand(19)
+	// Partition 0: capacity-hungry reuse over ~3/4 of the cache.
+	// Partition 1: huge cyclic thrash (BRRIP keeps only a sliver resident).
+	for i := 0; i < 300000; i++ {
+		p.Access(0, uint64(rng.Intn(3000)))
+		p.Access(1, 1<<40|uint64(i%100000))
+	}
+	alloc := p.Allocate(4096)
+	if alloc[0]+alloc[1] != 4096 {
+		t.Fatalf("allocations sum to %d", alloc[0]+alloc[1])
+	}
+	if alloc[0] <= alloc[1] {
+		t.Fatalf("reuse partition got %v", alloc)
+	}
+	pols := p.InsertionPolicies()
+	if len(pols) != 2 {
+		t.Fatal("policy vector wrong length")
+	}
+	if pols[1] != true {
+		t.Fatal("thrashing partition should prefer BRRIP")
+	}
+	if p.Monitor(0) == nil {
+		t.Fatal("monitor accessor broken")
+	}
+}
+
+func TestNewPolicyRRIPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero partitions accepted")
+		}
+	}()
+	NewPolicyRRIP(0, 16, 1024, 1)
+}

@@ -1,0 +1,32 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"vantage/internal/workload"
+)
+
+// A cyclic scan's miss-rate curve has the cache-fitting cliff: total misses
+// below the working-set size, only compulsory misses above it.
+func ExampleMissRateCurve() {
+	app := workload.NewScanApp(workload.Fitting, 1000, 0, 1, 7)
+	curve := workload.MissRateCurve(app, 100_000, []int{500, 999, 1000, 2000})
+	for i, size := range []int{500, 999, 1000, 2000} {
+		fmt.Printf("size %4d: %.0f%% misses\n", size, 100*curve[i])
+	}
+	// Output:
+	// size  500: 100% misses
+	// size  999: 100% misses
+	// size 1000: 1% misses
+	// size 2000: 1% misses
+}
+
+// Mix IDs follow the paper's naming: four class letters plus an index, with
+// letters accepted in any order.
+func ExampleCanonicalMixID() {
+	fmt.Println(workload.CanonicalMixID("sftn1"))
+	fmt.Println(workload.CanonicalMixID("ssst7"))
+	// Output:
+	// nfts1
+	// tsss7
+}

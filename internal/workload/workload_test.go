@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"testing"
+
+	"vantage/internal/hash"
+)
+
+func TestCategoryCodes(t *testing.T) {
+	if Insensitive.Letter() != 'n' || Friendly.Letter() != 'f' ||
+		Fitting.Letter() != 't' || Thrashing.Letter() != 's' {
+		t.Fatal("letters wrong")
+	}
+	if Category(9).Letter() != '?' || Category(9).String() != "unknown" {
+		t.Fatal("unknown category handling")
+	}
+	for c := Insensitive; c <= Thrashing; c++ {
+		if c.String() == "unknown" {
+			t.Fatalf("category %d has no name", c)
+		}
+	}
+}
+
+func TestZipfAppDeterministic(t *testing.T) {
+	a := NewZipfApp(Friendly, 1000, 0.9, 3, 2, 42)
+	b := NewZipfApp(Friendly, 1000, 0.9, 3, 2, 42)
+	for i := 0; i < 1000; i++ {
+		g1, a1 := a.Next()
+		g2, a2 := b.Next()
+		if g1 != g2 || a1 != a2 {
+			t.Fatalf("same-seed apps diverge at step %d", i)
+		}
+	}
+}
+
+func TestZipfAppSkew(t *testing.T) {
+	a := NewZipfApp(Friendly, 10000, 1.0, 0, 1, 7)
+	counts := map[uint64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		_, addr := a.Next()
+		counts[addr]++
+	}
+	// With alpha=1 over 10000 lines, the hottest line gets ~1/(H_10000) ≈
+	// 10% of accesses; the top line must be far above uniform (20/200000).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/50 {
+		t.Fatalf("zipf not skewed: hottest line only %d/%d", max, n)
+	}
+	// And the tail must still be broad.
+	if len(counts) < 2000 {
+		t.Fatalf("zipf touched only %d distinct lines", len(counts))
+	}
+}
+
+func TestZipfAddressesInRange(t *testing.T) {
+	a := NewZipfApp(Friendly, 500, 0.8, 2, 3, 9)
+	for i := 0; i < 10000; i++ {
+		_, addr := a.Next()
+		if addr == 0 || addr > 500 {
+			t.Fatalf("address %d out of range (0,500]", addr)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipfApp(Friendly, 0, 1, 1, 1, 1) },
+		func() { NewZipfApp(Friendly, 10, -1, 1, 1, 1) },
+		func() { NewZipfApp(Friendly, 10, 1, 1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad zipf params did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScanAppCyclic(t *testing.T) {
+	a := NewScanApp(Fitting, 100, 0, 1, 21)
+	seen := map[uint64]int{}
+	for i := 0; i < 300; i++ {
+		_, addr := a.Next()
+		seen[addr]++
+	}
+	if len(seen) != 100 {
+		t.Fatalf("scan covered %d lines, want 100", len(seen))
+	}
+	for addr, c := range seen {
+		if c != 3 {
+			t.Fatalf("line %d visited %d times, want 3", addr, c)
+		}
+	}
+}
+
+func TestScanAppBurst(t *testing.T) {
+	a := NewScanApp(Fitting, 50, 0, 4, 22)
+	_, first := a.Next()
+	same := 1
+	for i := 0; i < 3; i++ {
+		_, addr := a.Next()
+		if addr == first {
+			same++
+		}
+	}
+	if same != 4 {
+		t.Fatalf("burst of 4 produced %d consecutive repeats", same)
+	}
+}
+
+func TestStreamAppSequential(t *testing.T) {
+	a := NewStreamApp(1000000, 0, 1, 3)
+	_, prev := a.Next()
+	for i := 0; i < 1000; i++ {
+		_, addr := a.Next()
+		if addr != prev+1 {
+			t.Fatalf("stream not sequential: %d -> %d", prev, addr)
+		}
+		prev = addr
+	}
+}
+
+func TestGapMean(t *testing.T) {
+	a := NewZipfApp(Friendly, 100, 0.8, 5, 1, 11)
+	sum, n := 0, 20000
+	for i := 0; i < n; i++ {
+		g, _ := a.Next()
+		if g < 0 {
+			t.Fatalf("negative gap %d", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 4 || mean > 6 {
+		t.Fatalf("gap mean %.2f, want ~5", mean)
+	}
+}
+
+func TestPhasedAppAlternates(t *testing.T) {
+	a := NewScanApp(Fitting, 10, 0, 1, 23)
+	b := NewStreamApp(1000000, 0, 1, 5)
+	p := NewPhasedApp(a, b, 100)
+	if p.Category() != Fitting {
+		t.Fatal("phased category should follow first app")
+	}
+	small, big := 0, 0
+	for i := 0; i < 400; i++ {
+		_, addr := p.Next()
+		if addr <= 10 {
+			small++
+		} else {
+			big++
+		}
+	}
+	if small == 0 || big == 0 {
+		t.Fatalf("phases did not alternate: %d small, %d big", small, big)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 35 {
+		t.Fatalf("got %d classes, want 35 (combinations with repetition)", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		s := c.String()
+		if seen[s] {
+			t.Fatalf("duplicate class %s", s)
+		}
+		seen[s] = true
+	}
+	if !seen["nnnn"] || !seen["ssss"] || !seen["nfts"] {
+		t.Fatal("expected canonical classes missing")
+	}
+}
+
+func TestNewAppCategories(t *testing.T) {
+	rng := hash.NewRand(3)
+	p := Params{CacheLines: 4096}
+	for cat := Insensitive; cat <= Thrashing; cat++ {
+		app := NewApp(cat, p, rng)
+		if app.Category() != cat {
+			t.Fatalf("app of category %v reports %v", cat, app.Category())
+		}
+		if app.Name() == "" {
+			t.Fatal("empty app name")
+		}
+		for i := 0; i < 100; i++ {
+			app.Next()
+		}
+	}
+}
+
+func TestMixNaming(t *testing.T) {
+	m := NewMix(Class{Thrashing, Friendly, Fitting, Insensitive}, 1, 1, Params{CacheLines: 1024}, 5)
+	if m.ID != "sftn1" {
+		t.Fatalf("mix ID = %q, want sftn1", m.ID)
+	}
+	if len(m.Apps) != 4 {
+		t.Fatalf("mix has %d apps", len(m.Apps))
+	}
+}
+
+func TestMixesFourCore(t *testing.T) {
+	ms := Mixes(4, 10, Params{CacheLines: 1024}, 7)
+	if len(ms) != 350 {
+		t.Fatalf("got %d mixes, want 350", len(ms))
+	}
+	for _, m := range ms {
+		if len(m.Apps) != 4 {
+			t.Fatalf("mix %s has %d apps", m.ID, len(m.Apps))
+		}
+	}
+}
+
+func TestMixesThirtyTwoCore(t *testing.T) {
+	ms := Mixes(32, 2, Params{CacheLines: 4096}, 7)
+	if len(ms) != 70 {
+		t.Fatalf("got %d mixes, want 70", len(ms))
+	}
+	for _, m := range ms {
+		if len(m.Apps) != 32 {
+			t.Fatalf("mix %s has %d apps", m.ID, len(m.Apps))
+		}
+	}
+}
+
+func TestMixesDeterministic(t *testing.T) {
+	a := Mixes(4, 1, Params{CacheLines: 512}, 9)
+	b := Mixes(4, 1, Params{CacheLines: 512}, 9)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("mix IDs differ across runs")
+		}
+		for j := range a[i].Apps {
+			if a[i].Apps[j].Name() != b[i].Apps[j].Name() {
+				t.Fatalf("mix %s app %d differs: %s vs %s",
+					a[i].ID, j, a[i].Apps[j].Name(), b[i].Apps[j].Name())
+			}
+		}
+	}
+}
+
+func TestMixesPanicsOnBadCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cores=6 did not panic")
+		}
+	}()
+	Mixes(6, 1, Params{CacheLines: 512}, 1)
+}
+
+func TestPhasedFraction(t *testing.T) {
+	rng := hash.NewRand(7)
+	p := Params{CacheLines: 4096, PhasedFraction: 1.0}
+	app := NewApp(Fitting, p, rng)
+	if _, ok := app.(*PhasedApp); !ok {
+		t.Fatalf("PhasedFraction=1 produced %T", app)
+	}
+	p.PhasedFraction = 0
+	app = NewApp(Fitting, p, rng)
+	if _, ok := app.(*ScanApp); !ok {
+		t.Fatalf("PhasedFraction=0 produced %T", app)
+	}
+}

@@ -1,0 +1,211 @@
+// Package vantage is a from-scratch implementation of Vantage, the scalable
+// fine-grain cache-partitioning scheme of Sanchez and Kozyrakis (ISCA 2011),
+// together with every substrate its evaluation depends on: zcache and
+// skew-associative arrays, H3 hashing, LRU and RRIP replacement, the
+// way-partitioning and PIPP baselines, utility-based cache partitioning
+// (UMON-DSS + Lookahead), a multicore cache-hierarchy simulator, synthetic
+// SPEC-like workload models, and the paper's analytical models.
+//
+// The package is a facade: implementation lives in internal packages, and
+// this package re-exports the public API.
+//
+// # Quick start
+//
+//	arr := vantage.NewZCache(32768, 4, 52, seed)       // 2 MB, Z4/52
+//	ctl := vantage.New(arr, vantage.Config{
+//	    Partitions:    4,
+//	    UnmanagedFrac: 0.05,
+//	    AMax:          0.5,
+//	    Slack:         0.1,
+//	})
+//	ctl.SetTargets([]int{16384, 8192, 4096, 2489})     // lines per partition
+//	res := ctl.Access(addr, partitionID)               // on every L2 access
+//
+// See examples/ for complete programs and internal/exp for the harness that
+// regenerates the paper's figures and tables.
+package vantage
+
+import (
+	"vantage/internal/analytic"
+	"vantage/internal/cache"
+	"vantage/internal/core"
+	"vantage/internal/ctrl"
+	"vantage/internal/part"
+	"vantage/internal/repl"
+	"vantage/internal/ucp"
+)
+
+// Core controller types.
+type (
+	// Config configures a Vantage controller (§4 of the paper).
+	Config = core.Config
+	// Controller is the Vantage cache controller.
+	Controller = core.Controller
+	// Mode selects the controller variant (setpoint, perfect-aperture
+	// validation, or Vantage-DRRIP).
+	Mode = core.Mode
+	// Counters are the controller's event counts.
+	Counters = core.Counters
+)
+
+// Controller variants.
+const (
+	// ModeSetpoint is the practical controller the paper evaluates.
+	ModeSetpoint = core.ModeSetpoint
+	// ModePerfectAperture is the §6.2 validation configuration.
+	ModePerfectAperture = core.ModePerfectAperture
+	// ModeRRIP is Vantage-DRRIP.
+	ModeRRIP = core.ModeRRIP
+	// ModeOnePerEviction is the §3.3 demotion-discipline ablation.
+	ModeOnePerEviction = core.ModeOnePerEviction
+)
+
+// New returns a Vantage controller over any cache array.
+func New(arr Array, cfg Config) *Controller { return core.New(arr, cfg) }
+
+// Cache array types.
+type (
+	// Array is the interface all cache array designs implement.
+	Array = cache.Array
+	// LineID identifies a line slot within an array.
+	LineID = cache.LineID
+	// Line is a tag-array entry.
+	Line = cache.Line
+	// ZCache is a zcache (or skew-associative) array.
+	ZCache = cache.ZCache
+	// SetAssoc is a set-associative array.
+	SetAssoc = cache.SetAssoc
+	// RandomCands is the idealized uniform-candidates array.
+	RandomCands = cache.RandomCands
+)
+
+// NewZCache returns a zcache with the given geometry, e.g.
+// NewZCache(n, 4, 52, seed) for the paper's Z4/52.
+func NewZCache(numLines, ways, candidates int, seed uint64) *ZCache {
+	return cache.NewZCache(numLines, ways, candidates, seed)
+}
+
+// NewSkewAssoc returns a skew-associative array (a zcache without
+// candidate-tree expansion).
+func NewSkewAssoc(numLines, ways int, seed uint64) *ZCache {
+	return cache.NewSkew(numLines, ways, seed)
+}
+
+// NewSetAssoc returns a set-associative array, optionally with hashed
+// indexing (H3).
+func NewSetAssoc(numLines, ways int, hashed bool, seed uint64) *SetAssoc {
+	return cache.NewSetAssoc(numLines, ways, hashed, seed)
+}
+
+// NewRandomCands returns the idealized random-candidates array used to
+// validate the analytical models.
+func NewRandomCands(numLines, candidates int, seed uint64) *RandomCands {
+	return cache.NewRandomCands(numLines, candidates, seed)
+}
+
+// Cache controller interfaces and baselines.
+type (
+	// CacheController is the interface shared by Vantage, the baseline
+	// schemes, and unpartitioned caches.
+	CacheController = ctrl.Controller
+	// AccessResult reports what one access did.
+	AccessResult = ctrl.AccessResult
+	// EvictionObserver receives victim priorities for associativity
+	// measurements.
+	EvictionObserver = ctrl.EvictionObserver
+	// ReplacementPolicy ranks lines for unpartitioned caches.
+	ReplacementPolicy = repl.Policy
+	// WayPartition is the way-partitioning baseline.
+	WayPartition = part.WayPartition
+	// PIPP is the promotion/insertion pseudo-partitioning baseline.
+	PIPP = part.PIPP
+)
+
+// NewUnpartitioned returns a cache with no partitioning, pairing an array
+// with a replacement policy; partition IDs are still tracked for occupancy
+// accounting.
+func NewUnpartitioned(arr Array, pol ReplacementPolicy, partitions int) CacheController {
+	return ctrl.NewUnpartitioned(arr, pol, partitions)
+}
+
+// NewWayPartition returns the way-partitioning baseline over a
+// set-associative array.
+func NewWayPartition(arr *SetAssoc, partitions int) *WayPartition {
+	return part.NewWayPartition(arr, partitions)
+}
+
+// NewPIPP returns the PIPP baseline over a set-associative array.
+func NewPIPP(arr *SetAssoc, partitions int, seed uint64) *PIPP {
+	return part.NewPIPP(arr, partitions, seed)
+}
+
+// Replacement policies.
+
+// NewLRU returns coarse-timestamp LRU (the paper's base policy).
+func NewLRU(numLines int) ReplacementPolicy { return repl.NewLRUTimestamp(numLines) }
+
+// NewSRRIP, NewBRRIP, NewDRRIP and NewTADRRIP return the RRIP-family
+// policies evaluated in Fig 11.
+func NewSRRIP(numLines int) ReplacementPolicy { return repl.NewSRRIP(numLines) }
+
+// NewBRRIP returns the bimodal RRIP policy.
+func NewBRRIP(numLines int, seed uint64) ReplacementPolicy { return repl.NewBRRIP(numLines, seed) }
+
+// NewDRRIP returns dynamic RRIP with set dueling.
+func NewDRRIP(numLines int, seed uint64) ReplacementPolicy { return repl.NewDRRIP(numLines, seed) }
+
+// NewTADRRIP returns thread-aware DRRIP.
+func NewTADRRIP(numLines, threads int, seed uint64) ReplacementPolicy {
+	return repl.NewTADRRIP(numLines, threads, seed)
+}
+
+// UCP allocation policy.
+type (
+	// UCP is the utility-based cache partitioning allocation policy.
+	UCP = ucp.Policy
+	// UMON is one core's utility monitor.
+	UMON = ucp.UMON
+	// Granularity selects way- or line-granularity allocation.
+	Granularity = ucp.Granularity
+)
+
+// Allocation granularities.
+const (
+	// GranWays allocates whole ways (way-partitioning, PIPP).
+	GranWays = ucp.GranWays
+	// GranLines allocates 256ths of capacity (Vantage).
+	GranLines = ucp.GranLines
+)
+
+// NewUCP returns a UCP policy for the given partition count, monitor
+// associativity, and cache capacity.
+func NewUCP(partitions, ways, cacheLines int, gran Granularity, seed uint64) *UCP {
+	return ucp.NewPolicy(partitions, ways, cacheLines, gran, seed)
+}
+
+// Lookahead exposes UCP's allocation algorithm directly: it distributes
+// total units across partitions by maximum marginal utility.
+func Lookahead(hitCurves [][]float64, total, minPerPartition int) []int {
+	return ucp.Lookahead(hitCurves, total, minPerPartition)
+}
+
+// Analytical models (paper §3, §4.3).
+var (
+	// AssocCDF is Equation 1: FA(x) = x^R.
+	AssocCDF = analytic.AssocCDF
+	// Aperture is Equation 4.
+	Aperture = analytic.Aperture
+	// MinStableSize is Equation 5.
+	MinStableSize = analytic.MinStableSize
+	// FeedbackAperture is Equation 7.
+	FeedbackAperture = analytic.FeedbackAperture
+	// UnmanagedFraction is the §4.3 sizing rule.
+	UnmanagedFraction = analytic.UnmanagedFraction
+	// ForcedEvictionProb is Pev = (1-u)^R.
+	ForcedEvictionProb = analytic.ForcedEvictionProb
+)
+
+// StateOverhead reports Vantage's hardware state overhead (Fig 4).
+func StateOverhead(lines, partitions, tagBits, lineBytes int) analytic.StateOverhead {
+	return analytic.Overhead(lines, partitions, tagBits, lineBytes)
+}

@@ -1,0 +1,229 @@
+package vantage_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vantage"
+)
+
+// TestPublicAPIQuickstart exercises the README's quick-start path end to
+// end through the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	arr := vantage.NewZCache(4096, 4, 52, 42)
+	ctl := vantage.New(arr, vantage.Config{
+		Partitions:    4,
+		UnmanagedFrac: 0.05,
+		AMax:          0.5,
+		Slack:         0.1,
+	})
+	ctl.SetTargets([]int{2000, 1000, 500, 391})
+	for i := 0; i < 50000; i++ {
+		for p := 0; p < 4; p++ {
+			addr := uint64(p)<<40 | uint64(i%(500*(p+1)))
+			ctl.Access(addr, p)
+		}
+	}
+	for p := 0; p < 4; p++ {
+		if ctl.Size(p) == 0 {
+			t.Fatalf("partition %d empty", p)
+		}
+	}
+	c := ctl.Counters()
+	if c.Hits == 0 || c.Misses == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestPublicArrays(t *testing.T) {
+	arrays := []vantage.Array{
+		vantage.NewZCache(512, 4, 16, 1),
+		vantage.NewSkewAssoc(512, 4, 2),
+		vantage.NewSetAssoc(512, 16, true, 3),
+		vantage.NewRandomCands(512, 16, 4),
+	}
+	for _, arr := range arrays {
+		cands := arr.Candidates(99, nil)
+		if len(cands) == 0 {
+			t.Fatalf("%s: no candidates", arr.Name())
+		}
+		id, _ := arr.Install(99, cands[0])
+		if got, ok := arr.Lookup(99); !ok || got != id {
+			t.Fatalf("%s: lookup after install failed", arr.Name())
+		}
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	sa := vantage.NewSetAssoc(1024, 16, true, 5)
+	wp := vantage.NewWayPartition(sa, 4)
+	wp.SetTargets([]int{256, 256, 256, 256})
+	wp.Access(1, 0)
+
+	sa2 := vantage.NewSetAssoc(1024, 16, true, 6)
+	pp := vantage.NewPIPP(sa2, 4, 7)
+	pp.Access(1, 0)
+
+	z := vantage.NewZCache(1024, 4, 16, 8)
+	un := vantage.NewUnpartitioned(z, vantage.NewDRRIP(1024, 9), 2)
+	un.Access(1, 0)
+
+	for _, pol := range []vantage.ReplacementPolicy{
+		vantage.NewLRU(64), vantage.NewSRRIP(64),
+		vantage.NewBRRIP(64, 1), vantage.NewTADRRIP(64, 2, 1),
+	} {
+		if pol.Name() == "" {
+			t.Fatal("unnamed policy")
+		}
+	}
+}
+
+func TestPublicUCPAndSim(t *testing.T) {
+	apps := []vantage.App{
+		vantage.NewScanApp(vantage.Fitting, 400, 2, 1, 11),
+		vantage.NewStreamApp(1<<18, 2, 1, 13),
+	}
+	arr := vantage.NewZCache(1024, 4, 52, 15)
+	ctl := vantage.New(arr, vantage.Config{Partitions: 2, UnmanagedFrac: 0.05, AMax: 0.5, Slack: 0.1})
+	pol := vantage.NewUCP(2, 16, 1024, vantage.GranLines, 17)
+	res := vantage.Simulate(vantage.SimConfig{
+		Apps:               apps,
+		L2:                 ctl,
+		L1Lines:            32,
+		L1Ways:             4,
+		InstrLimit:         100_000,
+		WarmupInstr:        50_000,
+		Alloc:              pol,
+		RepartitionCycles:  100_000,
+		PartitionableLines: 972,
+	})
+	if res.Throughput <= 0 || len(res.Cores) != 2 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if vantage.DefaultLatencies().Memory != 200 {
+		t.Fatal("latencies wrong")
+	}
+}
+
+func TestPublicAnalytics(t *testing.T) {
+	if vantage.AssocCDF(0.5, 4) != 0.0625 {
+		t.Fatal("AssocCDF")
+	}
+	if vantage.FeedbackAperture(1100, 1000, 0.4, 0.1) != 0.4 {
+		t.Fatal("FeedbackAperture")
+	}
+	u := vantage.UnmanagedFraction(1e-2, 0.4, 0.1, 52)
+	if u < 0.12 || u > 0.15 {
+		t.Fatalf("UnmanagedFraction = %v", u)
+	}
+	o := vantage.StateOverhead(131072, 32, 64, 64)
+	if o.PartitionBitsPerTag != 6 {
+		t.Fatal("StateOverhead")
+	}
+	alloc := vantage.Lookahead([][]float64{{0, 10, 20}, {0, 1, 2}}, 2, 1)
+	if alloc[0] != 1 || alloc[1] != 1 {
+		t.Fatalf("Lookahead: %v", alloc)
+	}
+	if vantage.ForcedEvictionProb(0.05, 52) > 0.08 {
+		t.Fatal("ForcedEvictionProb")
+	}
+	if vantage.MinStableSize(1, 1, 1, 0.5, 52, 1) <= 0 {
+		t.Fatal("MinStableSize")
+	}
+	if vantage.Aperture(1, 4, 1, 4, 16, 0.625) <= 0 {
+		t.Fatal("Aperture")
+	}
+}
+
+func TestPublicMachines(t *testing.T) {
+	small := vantage.SmallCMP(vantage.ScaleUnit)
+	large := vantage.LargeCMP(vantage.ScaleUnit)
+	if small.Cores != 4 || large.Cores != 32 {
+		t.Fatal("machine configs wrong")
+	}
+	mixes := vantage.Mixes(4, 1, vantage.WorkloadParams{CacheLines: 1024}, 3)
+	if len(mixes) != 35 {
+		t.Fatalf("got %d mixes", len(mixes))
+	}
+}
+
+func TestPublicExtras(t *testing.T) {
+	// Allocation policies.
+	st := vantage.NewStaticAllocator([]float64{3, 1})
+	if a := st.Allocate(400); a[0] != 300 || a[1] != 100 {
+		t.Fatalf("static allocator: %v", a)
+	}
+	eq := vantage.NewEqualShareAllocator(4)
+	if a := eq.Allocate(400); a[0] != 100 {
+		t.Fatalf("equal-share allocator: %v", a)
+	}
+	pr := vantage.NewProportionalAllocator(2, 0.1)
+	pr.Access(0, 1)
+	if a := pr.Allocate(100); a[0]+a[1] != 100 {
+		t.Fatalf("proportional allocator: %v", a)
+	}
+	rr := vantage.NewUCPRRIP(2, 16, 1024, 5)
+	for i := 0; i < 1000; i++ {
+		rr.Access(0, uint64(i%50))
+	}
+	if a := rr.Allocate(1024); a[0]+a[1] != 1024 {
+		t.Fatalf("UCP-RRIP allocator: %v", a)
+	}
+	if len(rr.InsertionPolicies()) != 2 {
+		t.Fatal("UCP-RRIP policy vector")
+	}
+
+	// Set partitioning.
+	sp := vantage.NewSetPartition(vantage.NewSetAssoc(512, 8, true, 1), 2)
+	sp.Access(1, 0)
+	if sp.Size(0) != 1 {
+		t.Fatal("set partition basic access")
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := vantage.NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := vantage.NewScanApp(vantage.Fitting, 100, 2, 1, 9)
+	if err := vantage.CaptureTrace(w, src, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := vantage.NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []vantage.TraceRecord
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 500 {
+		t.Fatalf("trace round trip lost records: %d", len(recs))
+	}
+	app := vantage.NewTraceApp("scan", vantage.Fitting, recs)
+	if app.Name() != "trace:scan" {
+		t.Fatal("trace app name")
+	}
+}
+
+func TestPublicOnePerEvictionMode(t *testing.T) {
+	ctl := vantage.New(vantage.NewZCache(512, 4, 16, 1), vantage.Config{
+		Partitions: 1, UnmanagedFrac: 0.1, AMax: 0.5, Slack: 0.1,
+		Mode: vantage.ModeOnePerEviction,
+	})
+	for i := 0; i < 5000; i++ {
+		ctl.Access(uint64(i%600), 0)
+	}
+	if ctl.Counters().Demotions == 0 {
+		t.Fatal("ablation mode never demoted")
+	}
+}
