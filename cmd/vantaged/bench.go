@@ -1,0 +1,149 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vantage/internal/hash"
+	"vantage/internal/service"
+	"vantage/internal/service/loadgen"
+	"vantage/internal/workload"
+)
+
+// benchMain runs the built-in load generator. Tenant specs are
+// "name=class[:conns]" with class one of friendly, fitting, stream,
+// insensitive (the paper's Table 3 categories); working sets scale to
+// -lines the way internal/workload scales them to cache capacity.
+func benchMain(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	addr := fs.String("addr", "", "vantaged address; empty self-hosts an in-process server")
+	tenants := fs.String("tenants", "friendly=friendly:2,stream=stream:2", "tenant specs name=class[:conns]")
+	ops := fs.Int("ops", 20000, "operations per connection")
+	valueSize := fs.Int("value", 64, "value size in bytes")
+	lines := fs.Int("lines", 32768, "cache capacity in lines the workloads scale to (self-host size)")
+	shards := fs.Int("shards", 4, "shards when self-hosting")
+	repartition := fs.Duration("repartition", 50*time.Millisecond, "repartition interval when self-hosting")
+	seed := fs.Uint64("seed", 2011, "workload and cache seed")
+	fs.Parse(args)
+
+	specs, err := parseTenantSpecs(*tenants, *lines, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vantaged bench:", err)
+		os.Exit(2)
+	}
+
+	target := *addr
+	var svc *service.Service
+	var srv *service.Server
+	if target == "" {
+		svc, err = service.New(service.Config{
+			Shards:              *shards,
+			LinesPerShard:       *lines / *shards,
+			RepartitionInterval: *repartition,
+			Seed:                *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vantaged bench:", err)
+			os.Exit(1)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vantaged bench:", err)
+			os.Exit(1)
+		}
+		srv = service.Serve(svc, lis)
+		target = srv.Addr().String()
+		fmt.Fprintf(os.Stderr, "vantaged bench: self-hosted server on %s\n", target)
+	}
+
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:       target,
+		Tenants:    specs,
+		OpsPerConn: *ops,
+		ValueSize:  *valueSize,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vantaged bench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-12s %10s %10s %10s %8s\n", "tenant", "gets", "hits", "puts", "hitrate")
+	for _, t := range res.Tenants {
+		fmt.Printf("%-12s %10d %10d %10d %7.1f%%\n", t.Name, t.Gets, t.Hits, t.Puts, 100*t.HitRate())
+	}
+	fmt.Printf("total: %d ops in %.2fs = %.0f ops/sec\n", res.Ops, res.Elapsed.Seconds(), res.OpsPerSec)
+
+	if srv != nil {
+		srv.Close()
+		svc.Close()
+	}
+}
+
+// parseTenantSpecs parses "name=class[:conns],..." into loadgen tenants.
+func parseTenantSpecs(spec string, cacheLines int, seed uint64) ([]loadgen.Tenant, error) {
+	var out []loadgen.Tenant
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tenant spec %q (want name=class[:conns])", field)
+		}
+		class := rest
+		conns := 1
+		if c, n, ok := strings.Cut(rest, ":"); ok {
+			class = c
+			v, err := strconv.Atoi(n)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad connection count in %q", field)
+			}
+			conns = v
+		}
+		cat, err := parseCategory(class)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, loadgen.Tenant{
+			Name:  name,
+			Conns: conns,
+			MakeApp: func(conn int) workload.App {
+				s := hash.Mix64(seed ^ uint64(conn)<<16 ^ hashString(name))
+				return loadgen.CategoryApp(cat, cacheLines, s)
+			},
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants in spec %q", spec)
+	}
+	return out, nil
+}
+
+func parseCategory(class string) (workload.Category, error) {
+	switch strings.ToLower(class) {
+	case "insensitive", "n":
+		return workload.Insensitive, nil
+	case "friendly", "f":
+		return workload.Friendly, nil
+	case "fitting", "t":
+		return workload.Fitting, nil
+	case "stream", "thrashing", "s":
+		return workload.Thrashing, nil
+	}
+	return 0, fmt.Errorf("unknown workload class %q (want friendly|fitting|stream|insensitive)", class)
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,117 @@
+// Command vantaged is a concurrent multi-tenant key-value cache daemon
+// driven by the Vantage controller: a sharded in-memory cache where each
+// tenant maps to a Vantage partition, capacity targets are set online by
+// UCP from live per-tenant utility monitors, and Vantage's fine-grain
+// partitioning provides isolation among tenants on real traffic.
+//
+// Usage:
+//
+//	vantaged [-listen :7171] [-metrics :7172] [flags]
+//	vantaged bench [-addr host:port] [flags]
+//
+// The daemon speaks a memcached-style text protocol (GET/PUT/DEL, TENANT
+// admin verbs, STATS; see internal/service) and exports Prometheus metrics
+// on /metrics: per-tenant hit rate, occupancy vs. target, demotions, and
+// forced managed evictions. SIGINT/SIGTERM shut it down gracefully.
+//
+// "vantaged bench" is the built-in load generator: it replays synthetic
+// workload models (the paper's Table 3 categories) as concurrent tenants
+// and reports per-tenant hit rates plus aggregate throughput — run it
+// against a live daemon, or with no -addr to self-host one in-process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vantage/internal/service"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		benchMain(os.Args[2:])
+		return
+	}
+
+	listen := flag.String("listen", ":7171", "cache protocol listen address")
+	metrics := flag.String("metrics", ":7172", "HTTP listen address for /metrics (empty disables)")
+	shards := flag.Int("shards", 4, "cache shards (power of two)")
+	lines := flag.Int("lines", 131072, "total capacity in lines (entries), split across shards")
+	ways := flag.Int("ways", 4, "zcache ways")
+	cands := flag.Int("cands", 52, "zcache replacement candidates")
+	maxTenants := flag.Int("max-tenants", 16, "partition slots per shard")
+	unmanaged := flag.Float64("unmanaged", 0.05, "unmanaged region fraction")
+	amax := flag.Float64("amax", 0.5, "maximum aperture")
+	slack := flag.Float64("slack", 0.1, "feedback slack")
+	repartition := flag.Duration("repartition", 250*time.Millisecond, "online UCP repartition interval")
+	seed := flag.Uint64("seed", 2011, "hash seed (perturbs shard routing, arrays, monitors)")
+	tenants := flag.String("tenants", "", "comma-separated tenant names to pre-register")
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Shards:              *shards,
+		LinesPerShard:       *lines / *shards,
+		Ways:                *ways,
+		Candidates:          *cands,
+		MaxTenants:          *maxTenants,
+		UnmanagedFrac:       *unmanaged,
+		AMax:                *amax,
+		Slack:               *slack,
+		RepartitionInterval: *repartition,
+		Seed:                *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vantaged:", err)
+		os.Exit(1)
+	}
+	for _, name := range strings.Split(*tenants, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if _, err := svc.AddTenant(name); err != nil {
+				fmt.Fprintln(os.Stderr, "vantaged:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vantaged:", err)
+		os.Exit(1)
+	}
+	srv := service.Serve(svc, lis)
+	fmt.Fprintf(os.Stderr, "vantaged: serving on %s (%d shards x %d lines, %d tenant slots)\n",
+		srv.Addr(), *shards, *lines / *shards, *maxTenants)
+
+	var httpSrv *http.Server
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", svc.MetricsHandler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		httpSrv = &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "vantaged: metrics:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "vantaged: metrics on http://%s/metrics\n", *metrics)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "vantaged: shutting down")
+	srv.Close()
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	svc.Close()
+}

@@ -321,6 +321,20 @@ func (c *Controller) PartitionCounters(part int) PartitionCounters {
 	}
 }
 
+// SnapshotPartitions implements ctrl.Snapshotter: every partition's size,
+// target, and lifetime counters in one call (callers serialize with Access).
+func (c *Controller) SnapshotPartitions(dst []ctrl.PartitionSnapshot) []ctrl.PartitionSnapshot {
+	for i := range c.parts {
+		p := &c.parts[i]
+		dst = append(dst, ctrl.PartitionSnapshot{
+			Size: p.actual, Target: p.target,
+			Hits: p.hits, Misses: p.misses,
+			Demotions: p.demotedLines, Promotions: p.promotedLines,
+		})
+	}
+	return dst
+}
+
 // Churn returns and resets the insertion count of partition part since the
 // last call; allocation policies may use it as the churn estimate Ci.
 func (c *Controller) Churn(part int) uint64 {
@@ -350,3 +364,4 @@ func (c *Controller) InsertionPolicy(part int) (brrip bool) { return c.parts[par
 
 var _ ctrl.Controller = (*Controller)(nil)
 var _ ctrl.Observable = (*Controller)(nil)
+var _ ctrl.Snapshotter = (*Controller)(nil)

@@ -90,6 +90,36 @@ func (b *Banked) Size(part int) int {
 // NumPartitions implements Controller.
 func (b *Banked) NumPartitions() int { return b.parts }
 
+// SnapshotPartitions implements Snapshotter when every bank does: the
+// element-wise sum of the per-bank snapshots. Banks that cannot snapshot
+// contribute only their Size.
+func (b *Banked) SnapshotPartitions(dst []PartitionSnapshot) []PartitionSnapshot {
+	base := len(dst)
+	for p := 0; p < b.parts; p++ {
+		dst = append(dst, PartitionSnapshot{})
+	}
+	per := make([]PartitionSnapshot, 0, b.parts)
+	for _, bank := range b.banks {
+		if sn, ok := bank.(Snapshotter); ok {
+			per = sn.SnapshotPartitions(per[:0])
+			for p := range per {
+				d := &dst[base+p]
+				d.Size += per[p].Size
+				d.Target += per[p].Target
+				d.Hits += per[p].Hits
+				d.Misses += per[p].Misses
+				d.Demotions += per[p].Demotions
+				d.Promotions += per[p].Promotions
+			}
+			continue
+		}
+		for p := 0; p < b.parts; p++ {
+			dst[base+p].Size += bank.Size(p)
+		}
+	}
+	return dst
+}
+
 // Banks returns the bank count.
 func (b *Banked) Banks() int { return len(b.banks) }
 

@@ -59,6 +59,27 @@ type Observable interface {
 	SetEvictionObserver(EvictionObserver)
 }
 
+// PartitionSnapshot is one partition's capacity state and lifetime event
+// counts, captured atomically with respect to the controller (callers
+// serialize with accesses; controllers are not internally synchronized).
+type PartitionSnapshot struct {
+	// Size and Target are the partition's actual and allocated capacity, in
+	// lines. Schemes without explicit targets report Target == 0.
+	Size, Target int
+	// Hits, Misses, Demotions and Promotions are lifetime counts. Schemes
+	// without per-partition counters report zeros.
+	Hits, Misses, Demotions, Promotions uint64
+}
+
+// Snapshotter is implemented by controllers that can report every
+// partition's size, target, and counters in a single call, so serving layers
+// can export consistent per-tenant statistics while holding one lock.
+type Snapshotter interface {
+	// SnapshotPartitions appends one PartitionSnapshot per partition to dst
+	// and returns it (dst may be nil; pass dst[:0] to reuse a buffer).
+	SnapshotPartitions(dst []PartitionSnapshot) []PartitionSnapshot
+}
+
 // ---------------------------------------------------------------------------
 // Unpartitioned controller
 // ---------------------------------------------------------------------------
@@ -114,6 +135,15 @@ func (u *Unpartitioned) SetTargets(targets []int) {}
 
 // Size implements Controller.
 func (u *Unpartitioned) Size(part int) int { return u.sizes[part] }
+
+// SnapshotPartitions implements Snapshotter: occupancies only (the shared
+// cache has no targets and keeps no per-partition hit counters).
+func (u *Unpartitioned) SnapshotPartitions(dst []PartitionSnapshot) []PartitionSnapshot {
+	for _, sz := range u.sizes {
+		dst = append(dst, PartitionSnapshot{Size: sz})
+	}
+	return dst
+}
 
 // Access implements Controller.
 func (u *Unpartitioned) Access(addr uint64, part int) AccessResult {

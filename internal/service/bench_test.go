@@ -1,0 +1,107 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vantage/internal/hash"
+)
+
+// BenchmarkShardedAccess measures concurrent ops/sec of the sharded access
+// path (Get/Put through the Vantage controllers, no network) at 1, 4, and 16
+// goroutines. Each goroutine is its own tenant with a zipf working set, the
+// mix is ~90% GET / 10% PUT plus fills on misses — roughly the loadgen mix.
+func BenchmarkShardedAccess(b *testing.B) {
+	for _, gs := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", gs), func(b *testing.B) {
+			svc, err := New(Config{Shards: 4, LinesPerShard: 4096, MaxTenants: 16, Seed: 77})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			total := svc.TotalLines()
+			tenants := min(gs, 16)
+			for i := 0; i < tenants; i++ {
+				if _, err := svc.AddTenant(fmt.Sprintf("t%d", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			// Pre-warm so the benchmark measures steady state, not cold fills.
+			warm := driver{svc: svc, tenant: "t0", app: newZipfDriver(total, 1)}
+			for i := 0; i < 20000; i++ {
+				if err := warm.step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			svc.Repartition()
+
+			var ops atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / gs
+			if per == 0 {
+				per = 1
+			}
+			for g := 0; g < gs; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					tenant := fmt.Sprintf("t%d", g%tenants)
+					app := newZipfDriver(total, uint64(g+2))
+					rng := hash.NewRand(uint64(g + 100))
+					val := make([]byte, 64)
+					var key [16]byte
+					for i := 0; i < per; i++ {
+						_, addr := app.Next()
+						n := fmtHex(key[:0], addr)
+						k := string(n)
+						if rng.Intn(10) == 0 {
+							if err := svc.Put(tenant, k, val); err != nil {
+								b.Error(err)
+								return
+							}
+							ops.Add(1)
+							continue
+						}
+						_, hit, err := svc.Get(tenant, k)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						ops.Add(1)
+						if !hit {
+							if err := svc.Put(tenant, k, val); err != nil {
+								b.Error(err)
+								return
+							}
+							ops.Add(1)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(ops.Load())/b.Elapsed().Seconds(), "ops/sec")
+		})
+	}
+}
+
+// fmtHex appends addr in lowercase hex to dst (avoids strconv allocation in
+// the hot benchmark loop).
+func fmtHex(dst []byte, addr uint64) []byte {
+	const digits = "0123456789abcdef"
+	if addr == 0 {
+		return append(dst, '0')
+	}
+	var buf [16]byte
+	i := len(buf)
+	for addr > 0 {
+		i--
+		buf[i] = digits[addr&0xf]
+		addr >>= 4
+	}
+	return append(dst, buf[i:]...)
+}

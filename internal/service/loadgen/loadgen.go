@@ -1,0 +1,268 @@
+// Package loadgen replays internal/workload application models as
+// concurrent tenants against a vantaged server, over the real TCP protocol,
+// so Vantage's isolation and the service's throughput are measurable
+// end-to-end.
+//
+// Each tenant runs one or more connections; each connection owns a
+// deterministic workload.App and drives the cache-aside pattern: GET the
+// app's next line address as a key, and on a MISS, PUT the value (the
+// "fetch from origin and fill" step). Per-tenant hit rates therefore mirror
+// the cache hit rates the simulator would measure for the same app — which
+// is what makes the isolation experiment (cache-friendly tenant vs.
+// thrashing co-runner) meaningful on live traffic.
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vantage/internal/workload"
+)
+
+// CategoryApp builds one Table 3 category's address-stream model scaled to
+// a cache of cacheLines lines. Unlike workload.NewApp (whose burst
+// parameter models word accesses within a line that a private L1 would
+// absorb), these run with burst 1 and no instruction gaps: cache clients
+// have no L1, so every generated reference reaches the service.
+func CategoryApp(cat workload.Category, cacheLines int, seed uint64) workload.App {
+	L := cacheLines
+	if L < 64 {
+		L = 64
+	}
+	switch cat {
+	case workload.Insensitive:
+		return workload.NewZipfApp(cat, L/32, 0.8, 0, 1, seed)
+	case workload.Friendly:
+		return workload.NewZipfApp(cat, 2*L, 0.5, 0, 1, seed)
+	case workload.Fitting:
+		return workload.NewScanApp(cat, L*8/10, 0, 1, seed)
+	case workload.Thrashing:
+		return workload.NewStreamApp(64*L, 0, 1, seed)
+	}
+	panic("loadgen: unknown category")
+}
+
+// Tenant describes one load-generating tenant.
+type Tenant struct {
+	// Name is the tenant name (registered with TENANT ADD; idempotent).
+	Name string
+	// MakeApp builds the address-stream model for connection conn
+	// (0-based). Connections need distinct App instances: models are not
+	// safe for concurrent use.
+	MakeApp func(conn int) workload.App
+	// Conns is the number of concurrent connections (default 1).
+	Conns int
+}
+
+// Options configures a load-generation run.
+type Options struct {
+	// Addr is the vantaged TCP address, e.g. "127.0.0.1:7171".
+	Addr string
+	// Tenants are the concurrent tenants to replay.
+	Tenants []Tenant
+	// OpsPerConn is the number of GET(+fill) operations per connection.
+	OpsPerConn int
+	// ValueSize is the PUT value size in bytes (default 64).
+	ValueSize int
+}
+
+// TenantResult is one tenant's aggregate outcome.
+type TenantResult struct {
+	Name               string
+	Gets, Hits, Misses uint64
+	Puts               uint64
+	Errors             uint64
+}
+
+// HitRate returns hits/gets in [0,1].
+func (t TenantResult) HitRate() float64 {
+	if t.Gets == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(t.Gets)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Tenants []TenantResult
+	// Ops is the total operation count (gets + puts) across tenants.
+	Ops       uint64
+	Elapsed   time.Duration
+	OpsPerSec float64
+}
+
+// Run executes the configured load against the server and blocks until
+// every connection finishes its budget.
+func Run(o Options) (Result, error) {
+	if o.Addr == "" {
+		return Result{}, fmt.Errorf("loadgen: no server address")
+	}
+	if o.OpsPerConn <= 0 {
+		o.OpsPerConn = 10000
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 64
+	}
+	counters := make([]TenantResult, len(o.Tenants))
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	start := time.Now()
+	for ti := range o.Tenants {
+		t := o.Tenants[ti]
+		conns := t.Conns
+		if conns <= 0 {
+			conns = 1
+		}
+		counters[ti].Name = t.Name
+		for ci := 0; ci < conns; ci++ {
+			wg.Add(1)
+			go func(tr *TenantResult, spec Tenant, conn int) {
+				defer wg.Done()
+				if err := runConn(o, tr, spec, conn); err != nil {
+					atomic.AddUint64(&tr.Errors, 1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}(&counters[ti], t, ci)
+		}
+	}
+	wg.Wait()
+	res := Result{Tenants: counters, Elapsed: time.Since(start)}
+	for i := range counters {
+		res.Ops += counters[i].Gets + counters[i].Puts
+	}
+	if res.Elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	if err, ok := firstErr.Load().(error); ok {
+		return res, err
+	}
+	return res, nil
+}
+
+// runConn drives one connection's operation budget.
+func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
+	c, err := dial(o.Addr, spec.Name)
+	if err != nil {
+		return err
+	}
+	defer c.close()
+	app := spec.MakeApp(conn)
+	val := make([]byte, o.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < o.OpsPerConn; i++ {
+		_, addr := app.Next()
+		key := strconv.FormatUint(addr, 16)
+		hit, err := c.get(spec.Name, key)
+		if err != nil {
+			return err
+		}
+		atomic.AddUint64(&tr.Gets, 1)
+		if hit {
+			atomic.AddUint64(&tr.Hits, 1)
+			continue
+		}
+		atomic.AddUint64(&tr.Misses, 1)
+		if err := c.put(spec.Name, key, val); err != nil {
+			return err
+		}
+		atomic.AddUint64(&tr.Puts, 1)
+	}
+	return nil
+}
+
+// client is a minimal blocking protocol client over one TCP connection.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// dial connects and registers the tenant.
+func dial(addr, tenant string) (*client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	resp, err := c.roundTrip("TENANT ADD " + tenant)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !strings.HasPrefix(resp, "OK") {
+		conn.Close()
+		return nil, fmt.Errorf("loadgen: TENANT ADD: %s", resp)
+	}
+	return c, nil
+}
+
+func (c *client) close() { c.conn.Close() }
+
+// roundTrip sends one command line and reads one response line.
+func (c *client) roundTrip(line string) (string, error) {
+	if _, err := c.w.WriteString(line + "\r\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	return c.readLine()
+}
+
+func (c *client) readLine() (string, error) {
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(resp, "\r\n"), nil
+}
+
+// get returns whether key hit. The value bytes are read and discarded.
+func (c *client) get(tenant, key string) (bool, error) {
+	resp, err := c.roundTrip("GET " + tenant + " " + key)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case resp == "MISS":
+		return false, nil
+	case strings.HasPrefix(resp, "VALUE "):
+		n, err := strconv.Atoi(resp[len("VALUE "):])
+		if err != nil || n < 0 {
+			return false, fmt.Errorf("loadgen: bad VALUE header %q", resp)
+		}
+		if _, err := io.ReadFull(c.r, make([]byte, n+2)); err != nil { // value + CRLF
+			return false, err
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("loadgen: GET: %s", resp)
+	}
+}
+
+// put stores val under key.
+func (c *client) put(tenant, key string, val []byte) error {
+	fmt.Fprintf(c.w, "PUT %s %s %d\r\n", tenant, key, len(val))
+	c.w.Write(val)
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	resp, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if resp != "STORED" {
+		return fmt.Errorf("loadgen: PUT: %s", resp)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TenantStats is one tenant's externally visible state: request counters
+// from the service layer plus capacity state and controller counters summed
+// across shards.
+type TenantStats struct {
+	Name      string
+	Partition int
+
+	// Request-path counters (service layer).
+	Gets, Puts   uint64
+	Hits, Misses uint64
+
+	// Capacity state summed over shards.
+	OccupancyLines, TargetLines int
+
+	// Controller counters summed over shards: demotions into the unmanaged
+	// region, and forced managed evictions this tenant's fills caused.
+	Demotions       uint64
+	ForcedEvictions uint64
+}
+
+// HitRate returns hits/gets in [0,1] (zero when the tenant has no gets).
+func (t TenantStats) HitRate() float64 {
+	if t.Gets == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(t.Gets)
+}
+
+// Stats is a consistent-enough snapshot of the whole service (each shard is
+// snapshotted atomically; the service totals are atomics).
+type Stats struct {
+	Tenants []TenantStats // sorted by name
+
+	Ops          uint64
+	Repartitions uint64
+
+	Shards, LinesPerShard, TotalLines int
+	StoreEntries                      int
+	UnmanagedLines                    int
+	Uptime                            time.Duration
+}
+
+// Stats snapshots the service.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Ops:           s.ops.Load(),
+		Repartitions:  s.repartitions.Load(),
+		Shards:        s.cfg.Shards,
+		LinesPerShard: s.cfg.LinesPerShard,
+		TotalLines:    s.TotalLines(),
+		Uptime:        time.Since(s.start),
+	}
+
+	s.mu.RLock()
+	tenants := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	// Per-partition sums over shards, one snapshot call per shard lock hold.
+	sizes := make([]int, s.cfg.MaxTenants)
+	targets := make([]int, s.cfg.MaxTenants)
+	demotions := make([]uint64, s.cfg.MaxTenants)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.snap = sh.ctl.SnapshotPartitions(sh.snap[:0])
+		for p, ps := range sh.snap {
+			sizes[p] += ps.Size
+			targets[p] += ps.Target
+			demotions[p] += ps.Demotions
+		}
+		st.StoreEntries += len(sh.store)
+		st.UnmanagedLines += sh.ctl.UnmanagedSize()
+		sh.mu.Unlock()
+	}
+
+	for _, t := range tenants {
+		st.Tenants = append(st.Tenants, TenantStats{
+			Name:            t.name,
+			Partition:       t.part,
+			Gets:            t.gets.Load(),
+			Puts:            t.puts.Load(),
+			Hits:            t.hits.Load(),
+			Misses:          t.misses.Load(),
+			OccupancyLines:  sizes[t.part],
+			TargetLines:     targets[t.part],
+			Demotions:       demotions[t.part],
+			ForcedEvictions: t.forced.Load(),
+		})
+	}
+	return st
+}
+
+// TenantStats returns one tenant's snapshot.
+func (s *Service) TenantStats(name string) (TenantStats, error) {
+	if _, err := s.tenant(name); err != nil {
+		return TenantStats{}, err
+	}
+	for _, ts := range s.Stats().Tenants {
+		if ts.Name == name {
+			return ts, nil
+		}
+	}
+	return TenantStats{}, fmt.Errorf("service: unknown tenant %q", name)
+}
+
+// MetricsHandler returns an http.Handler exporting the service's state in
+// Prometheus text exposition format, for a /metrics endpoint.
+func (s *Service) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		writeMetrics(&b, s.Stats())
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// writeMetrics renders st in Prometheus text format.
+func writeMetrics(b *strings.Builder, st Stats) {
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("vantaged_ops_total", "Requests served (GET+PUT+DEL).", st.Ops)
+	counter("vantaged_repartitions_total", "Online UCP repartitionings.", st.Repartitions)
+	gauge("vantaged_shards", "Cache shards.", float64(st.Shards))
+	gauge("vantaged_cache_lines", "Total capacity in lines.", float64(st.TotalLines))
+	gauge("vantaged_store_entries", "Values currently stored.", float64(st.StoreEntries))
+	gauge("vantaged_unmanaged_lines", "Lines in the unmanaged regions.", float64(st.UnmanagedLines))
+	gauge("vantaged_tenants", "Registered tenants.", float64(len(st.Tenants)))
+	gauge("vantaged_uptime_seconds", "Seconds since start.", st.Uptime.Seconds())
+
+	perTenant := []struct {
+		name, help, typ string
+		value           func(t TenantStats) float64
+	}{
+		{"vantaged_tenant_gets_total", "GET requests by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Gets) }},
+		{"vantaged_tenant_puts_total", "PUT requests by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Puts) }},
+		{"vantaged_tenant_hits_total", "GET hits by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Hits) }},
+		{"vantaged_tenant_misses_total", "GET misses by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Misses) }},
+		{"vantaged_tenant_hit_ratio", "Lifetime hit ratio by tenant.", "gauge", func(t TenantStats) float64 { return t.HitRate() }},
+		{"vantaged_tenant_occupancy_lines", "Actual partition size by tenant.", "gauge", func(t TenantStats) float64 { return float64(t.OccupancyLines) }},
+		{"vantaged_tenant_target_lines", "Vantage capacity target by tenant.", "gauge", func(t TenantStats) float64 { return float64(t.TargetLines) }},
+		{"vantaged_tenant_demotions_total", "Lines demoted to the unmanaged region by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Demotions) }},
+		{"vantaged_tenant_forced_managed_evictions_total", "Forced managed evictions caused by tenant fills.", "counter", func(t TenantStats) float64 { return float64(t.ForcedEvictions) }},
+	}
+	for _, m := range perTenant {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, t := range st.Tenants {
+			fmt.Fprintf(b, "%s{tenant=%q} %g\n", m.name, t.Name, m.value(t))
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package service
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The vantaged wire protocol is a memcached-style CRLF text protocol, one
+// connection-handler goroutine per client:
+//
+//	GET <tenant> <key>                 -> VALUE <n>\r\n<bytes>\r\n | MISS
+//	PUT <tenant> <key> <n>\r\n<bytes>  -> STORED | ERR <msg>
+//	DEL <tenant> <key>                 -> DELETED | MISS
+//	TENANT ADD <name>                  -> OK <partition>
+//	TENANT DEL <name>                  -> OK
+//	TENANT LIST                        -> TENANT <name> <part> ... END
+//	STATS [<tenant>]                   -> STAT <k> <v> ... END
+//	PING                               -> PONG
+//	QUIT                               -> closes the connection
+//
+// Lines end in \r\n; bare \n is accepted. Errors are "ERR <msg>".
+const (
+	maxKeyLen   = 250
+	maxValueLen = 1 << 20
+)
+
+// Server serves the text protocol over a listener. Create with Serve.
+type Server struct {
+	svc *Service
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// Serve starts accepting connections on lis and handling them against svc,
+// one goroutine per connection. It returns immediately.
+func Serve(svc *Service, lis net.Listener) *Server {
+	s := &Server{svc: svc, lis: lis, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// Close shuts the server down gracefully: stop accepting, close every open
+// connection (interrupting blocked reads; in-flight commands finish first
+// because handlers write their response before reading the next line), and
+// wait for all handlers to return.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.lis.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return // EOF or closed connection
+		}
+		quit, err := s.dispatch(strings.TrimRight(line, "\r\n"), r, w)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\r\n", err)
+		}
+		if w.Flush() != nil || quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one command line, writing the response to w. It returns
+// quit=true when the connection should close.
+func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false, nil // ignore empty lines
+	}
+	switch verb := strings.ToUpper(fields[0]); verb {
+	case "GET":
+		if len(fields) != 3 {
+			return false, errors.New("usage: GET <tenant> <key>")
+		}
+		val, hit, err := s.svc.Get(fields[1], fields[2])
+		if err != nil {
+			return false, err
+		}
+		if !hit {
+			w.WriteString("MISS\r\n")
+			return false, nil
+		}
+		fmt.Fprintf(w, "VALUE %d\r\n", len(val))
+		w.Write(val)
+		w.WriteString("\r\n")
+		return false, nil
+
+	case "PUT":
+		if len(fields) != 4 {
+			return false, errors.New("usage: PUT <tenant> <key> <bytes>")
+		}
+		n, convErr := strconv.Atoi(fields[3])
+		if convErr != nil || n < 0 || n > maxValueLen {
+			return false, fmt.Errorf("bad value length %q", fields[3])
+		}
+		if len(fields[2]) > maxKeyLen {
+			return false, errors.New("key too long")
+		}
+		val := make([]byte, n)
+		if _, err := io.ReadFull(r, val); err != nil {
+			return true, errors.New("short value")
+		}
+		discardEOL(r)
+		if err := s.svc.Put(fields[1], fields[2], val); err != nil {
+			return false, err
+		}
+		w.WriteString("STORED\r\n")
+		return false, nil
+
+	case "DEL":
+		if len(fields) != 3 {
+			return false, errors.New("usage: DEL <tenant> <key>")
+		}
+		present, err := s.svc.Delete(fields[1], fields[2])
+		if err != nil {
+			return false, err
+		}
+		if present {
+			w.WriteString("DELETED\r\n")
+		} else {
+			w.WriteString("MISS\r\n")
+		}
+		return false, nil
+
+	case "TENANT":
+		if len(fields) < 2 {
+			return false, errors.New("usage: TENANT ADD|DEL|LIST ...")
+		}
+		switch strings.ToUpper(fields[1]) {
+		case "ADD":
+			if len(fields) != 3 {
+				return false, errors.New("usage: TENANT ADD <name>")
+			}
+			part, err := s.svc.AddTenant(fields[2])
+			if err != nil {
+				return false, err
+			}
+			fmt.Fprintf(w, "OK %d\r\n", part)
+		case "DEL":
+			if len(fields) != 3 {
+				return false, errors.New("usage: TENANT DEL <name>")
+			}
+			if err := s.svc.RemoveTenant(fields[2]); err != nil {
+				return false, err
+			}
+			w.WriteString("OK\r\n")
+		case "LIST":
+			for _, ts := range s.svc.Stats().Tenants {
+				fmt.Fprintf(w, "TENANT %s %d\r\n", ts.Name, ts.Partition)
+			}
+			w.WriteString("END\r\n")
+		default:
+			return false, fmt.Errorf("unknown TENANT subcommand %q", fields[1])
+		}
+		return false, nil
+
+	case "STATS":
+		if len(fields) > 2 {
+			return false, errors.New("usage: STATS [<tenant>]")
+		}
+		st := s.svc.Stats()
+		if len(fields) == 2 {
+			for _, ts := range st.Tenants {
+				if ts.Name == fields[1] {
+					writeTenantStats(w, "", ts)
+					w.WriteString("END\r\n")
+					return false, nil
+				}
+			}
+			return false, fmt.Errorf("unknown tenant %q", fields[1])
+		}
+		fmt.Fprintf(w, "STAT ops %d\r\n", st.Ops)
+		fmt.Fprintf(w, "STAT repartitions %d\r\n", st.Repartitions)
+		fmt.Fprintf(w, "STAT shards %d\r\n", st.Shards)
+		fmt.Fprintf(w, "STAT cache_lines %d\r\n", st.TotalLines)
+		fmt.Fprintf(w, "STAT store_entries %d\r\n", st.StoreEntries)
+		fmt.Fprintf(w, "STAT unmanaged_lines %d\r\n", st.UnmanagedLines)
+		fmt.Fprintf(w, "STAT tenants %d\r\n", len(st.Tenants))
+		fmt.Fprintf(w, "STAT uptime_seconds %d\r\n", int64(st.Uptime.Seconds()))
+		for _, ts := range st.Tenants {
+			writeTenantStats(w, "tenant."+ts.Name+".", ts)
+		}
+		w.WriteString("END\r\n")
+		return false, nil
+
+	case "PING":
+		w.WriteString("PONG\r\n")
+		return false, nil
+
+	case "QUIT":
+		w.WriteString("BYE\r\n")
+		return true, nil
+
+	default:
+		return false, fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+func writeTenantStats(w *bufio.Writer, prefix string, ts TenantStats) {
+	fmt.Fprintf(w, "STAT %sgets %d\r\n", prefix, ts.Gets)
+	fmt.Fprintf(w, "STAT %sputs %d\r\n", prefix, ts.Puts)
+	fmt.Fprintf(w, "STAT %shits %d\r\n", prefix, ts.Hits)
+	fmt.Fprintf(w, "STAT %smisses %d\r\n", prefix, ts.Misses)
+	fmt.Fprintf(w, "STAT %shit_rate %.4f\r\n", prefix, ts.HitRate())
+	fmt.Fprintf(w, "STAT %soccupancy_lines %d\r\n", prefix, ts.OccupancyLines)
+	fmt.Fprintf(w, "STAT %starget_lines %d\r\n", prefix, ts.TargetLines)
+	fmt.Fprintf(w, "STAT %sdemotions %d\r\n", prefix, ts.Demotions)
+	fmt.Fprintf(w, "STAT %sforced_evictions %d\r\n", prefix, ts.ForcedEvictions)
+}
+
+// discardEOL consumes the \r\n (or \n) terminating a value block.
+func discardEOL(r *bufio.Reader) {
+	if b, err := r.ReadByte(); err == nil && b != '\n' {
+		if b == '\r' {
+			if b2, err := r.ReadByte(); err == nil && b2 != '\n' {
+				r.UnreadByte()
+			}
+		} else {
+			r.UnreadByte()
+		}
+	}
+}

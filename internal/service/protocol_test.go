@@ -1,0 +1,287 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// testClient is a line-oriented protocol client for tests.
+type testClient struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialTest(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &testClient{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *testClient) send(line string) {
+	c.t.Helper()
+	if _, err := io.WriteString(c.conn, line+"\r\n"); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *testClient) sendRaw(s string) {
+	c.t.Helper()
+	if _, err := io.WriteString(c.conn, s); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *testClient) line() string {
+	c.t.Helper()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+// expect sends one command and asserts the single-line response.
+func (c *testClient) expect(cmd, want string) {
+	c.t.Helper()
+	c.send(cmd)
+	if got := c.line(); got != want {
+		c.t.Fatalf("%s: got %q want %q", cmd, got, want)
+	}
+}
+
+// linesUntilEND reads response lines up to (excluding) the END terminator.
+func (c *testClient) linesUntilEND() []string {
+	c.t.Helper()
+	var out []string
+	for {
+		l := c.line()
+		if l == "END" {
+			return out
+		}
+		out = append(out, l)
+	}
+}
+
+func newTestServer(t *testing.T) (*Service, *Server) {
+	t.Helper()
+	svc := newTestService(t, Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 9})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(svc, lis)
+	t.Cleanup(func() { srv.Close() })
+	return svc, srv
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	_, srv := newTestServer(t)
+	c := dialTest(t, srv.Addr().String())
+
+	c.expect("PING", "PONG")
+	c.expect("TENANT ADD alice", "OK 0")
+	c.expect("TENANT ADD alice", "OK 0") // idempotent
+	c.expect("TENANT ADD bob", "OK 1")
+
+	// PUT, then GET the value back.
+	c.sendRaw("PUT alice greeting 5\r\nhello\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("PUT: got %q", got)
+	}
+	c.send("GET alice greeting")
+	if got := c.line(); got != "VALUE 5" {
+		t.Fatalf("GET header: got %q", got)
+	}
+	val := make([]byte, 7) // 5 bytes + CRLF
+	if _, err := io.ReadFull(c.r, val); err != nil {
+		t.Fatal(err)
+	}
+	if string(val) != "hello\r\n" {
+		t.Fatalf("GET body: got %q", val)
+	}
+
+	// Tenants are isolated on the wire too.
+	c.expect("GET bob greeting", "MISS")
+
+	c.expect("DEL alice greeting", "DELETED")
+	c.expect("DEL alice greeting", "MISS")
+	c.expect("GET alice greeting", "MISS")
+
+	// TENANT LIST enumerates registered tenants.
+	c.send("TENANT LIST")
+	got := c.linesUntilEND()
+	want := []string{"TENANT alice 0", "TENANT bob 1"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("TENANT LIST: got %q want %q", got, want)
+	}
+
+	c.expect("TENANT DEL bob", "OK")
+
+	// Errors are reported, and the connection stays usable.
+	c.expect("GET nobody k", `ERR service: unknown tenant "nobody"`)
+	c.expect("FROB", `ERR unknown command "FROB"`)
+	c.expect("GET alice", "ERR usage: GET <tenant> <key>")
+	c.expect("PUT alice k notanumber", `ERR bad value length "notanumber"`)
+	c.expect("PING", "PONG")
+
+	// STATS <tenant> emits STAT lines ending in END.
+	c.send("STATS alice")
+	stats := c.linesUntilEND()
+	if len(stats) == 0 {
+		t.Fatal("STATS alice returned no STAT lines")
+	}
+	found := false
+	for _, l := range stats {
+		if strings.HasPrefix(l, "STAT gets ") {
+			found = true
+		}
+		if !strings.HasPrefix(l, "STAT ") {
+			t.Fatalf("STATS line %q lacks STAT prefix", l)
+		}
+	}
+	if !found {
+		t.Fatalf("STATS alice missing gets counter: %q", stats)
+	}
+
+	// Global STATS includes service-level and per-tenant keys.
+	c.send("STATS")
+	all := strings.Join(c.linesUntilEND(), "\n")
+	for _, want := range []string{"STAT ops ", "STAT shards 1", "STAT cache_lines 512", "STAT tenant.alice.gets "} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("global STATS missing %q in:\n%s", want, all)
+		}
+	}
+
+	c.expect("QUIT", "BYE")
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after QUIT")
+	}
+}
+
+func TestProtocolGracefulClose(t *testing.T) {
+	svc := newTestService(t, Config{Shards: 1, LinesPerShard: 256, MaxTenants: 2, Seed: 10})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(svc, lis)
+
+	c := dialTest(t, srv.Addr().String())
+	c.expect("PING", "PONG") // connection established and handled
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The open connection was shut down.
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after server Close")
+	}
+	// No new connections are accepted.
+	if conn, err := net.Dial("tcp", srv.Addr().String()); err == nil {
+		conn.Close()
+		t.Fatal("dial succeeded after server Close")
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	svc := newTestService(t, Config{Shards: 1, LinesPerShard: 256, MaxTenants: 2, Seed: 12})
+	svc.AddTenant("alice")
+	svc.Put("alice", "k", []byte("v"))
+	svc.Get("alice", "k")
+
+	rec := httptest.NewRecorder()
+	svc.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"vantaged_ops_total 2",
+		"vantaged_cache_lines 256",
+		`vantaged_tenant_gets_total{tenant="alice"} 1`,
+		`vantaged_tenant_hits_total{tenant="alice"} 1`,
+		`vantaged_tenant_hit_ratio{tenant="alice"} 1`,
+		"# TYPE vantaged_tenant_occupancy_lines gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics body:\n%s", body)
+	}
+}
+
+// TestProtocolConcurrentConnections exercises many concurrent protocol
+// clients against one server — the one-goroutine-per-connection path.
+func TestProtocolConcurrentConnections(t *testing.T) {
+	_, srv := newTestServer(t)
+	const conns = 8
+	done := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		go func(i int) {
+			done <- func() error {
+				conn, err := net.Dial("tcp", srv.Addr().String())
+				if err != nil {
+					return err
+				}
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				rt := func(line string) (string, error) {
+					if _, err := io.WriteString(conn, line+"\r\n"); err != nil {
+						return "", err
+					}
+					resp, err := r.ReadString('\n')
+					return strings.TrimRight(resp, "\r\n"), err
+				}
+				tenant := fmt.Sprintf("t%d", i%2)
+				if resp, err := rt("TENANT ADD " + tenant); err != nil || !strings.HasPrefix(resp, "OK") {
+					return fmt.Errorf("TENANT ADD: %q %v", resp, err)
+				}
+				for op := 0; op < 200; op++ {
+					key := fmt.Sprintf("c%d-k%d", i, op%20)
+					if _, err := io.WriteString(conn, fmt.Sprintf("PUT %s %s 3\r\nabc\r\n", tenant, key)); err != nil {
+						return err
+					}
+					if resp, err := r.ReadString('\n'); err != nil || strings.TrimRight(resp, "\r\n") != "STORED" {
+						return fmt.Errorf("PUT: %q %v", resp, err)
+					}
+					resp, err := rt("GET " + tenant + " " + key)
+					if err != nil {
+						return err
+					}
+					if strings.HasPrefix(resp, "VALUE ") {
+						if _, err := io.ReadFull(r, make([]byte, 3+2)); err != nil {
+							return err
+						}
+					} else if resp != "MISS" {
+						return fmt.Errorf("GET: %q", resp)
+					}
+				}
+				return nil
+			}()
+		}(i)
+	}
+	for i := 0; i < conns; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}

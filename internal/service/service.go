@@ -1,0 +1,337 @@
+// Package service turns the Vantage library into a servable system: a
+// thread-safe, sharded, multi-tenant in-memory key-value cache whose
+// capacity management is a live Vantage controller per shard.
+//
+// Keys are hashed to 64-bit line addresses in a per-tenant namespace, and
+// addresses are interleaved across shards by an H3 hash, exactly the way
+// internal/ctrl's Banked organization distributes a physical cache across
+// banks (Table 2). Each shard pairs a Vantage controller over a zcache tag
+// array with a value store; the tag array decides placement, demotion, and
+// eviction, and the store holds the bytes for the lines the array retains.
+// Tenants map 1:1 to Vantage partitions, so every tenant gets Vantage's
+// isolation guarantees — fine-grain capacity targets, demotions confined by
+// aperture, a shared unmanaged region absorbing churn — on real traffic.
+//
+// Capacity targets are set online by utility-based cache partitioning: each
+// shard owns a ucp.Policy whose UMON-DSS monitors are fed the shard's live
+// GET stream (the read stream defines utility; PUTs are the fill path), and
+// a background goroutine reruns Lookahead every RepartitionInterval.
+//
+// Concurrency model: one mutex per shard serializes that shard's controller,
+// monitors, and store; the tenant registry has its own RWMutex; per-tenant
+// request counters are atomics. The repartition loop takes shard locks one
+// at a time, so reconfiguration never stops the world.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vantage/internal/cache"
+	"vantage/internal/core"
+	"vantage/internal/ctrl"
+	"vantage/internal/hash"
+	"vantage/internal/ucp"
+)
+
+// Config configures a Service.
+type Config struct {
+	// Shards is the number of independent cache shards (power of two).
+	// Default 4.
+	Shards int
+	// LinesPerShard is each shard's capacity in cache lines (= stored
+	// entries). Default 8192.
+	LinesPerShard int
+	// Ways and Candidates set the zcache geometry (default 4/52, the
+	// paper's Z4/52).
+	Ways, Candidates int
+	// MaxTenants is the number of partition slots per shard controller
+	// (paper: Vantage scales to tens of partitions). Default 16, max 64.
+	MaxTenants int
+	// UnmanagedFrac, AMax and Slack are the Vantage knobs (§4.3); defaults
+	// 0.05, 0.5, 0.1 — the paper's evaluation settings.
+	UnmanagedFrac, AMax, Slack float64
+	// MonitorWays is the UMON associativity (default 16).
+	MonitorWays int
+	// RepartitionInterval is the period of the online UCP loop; 0 disables
+	// the background goroutine (call Repartition manually, e.g. in tests).
+	RepartitionInterval time.Duration
+	// Seed perturbs every hash in the service: shard routing, zcache H3
+	// functions, UMON sampling. Equal seeds give identical placement.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.LinesPerShard == 0 {
+		c.LinesPerShard = 8192
+	}
+	if c.Ways == 0 {
+		c.Ways = 4
+	}
+	if c.Candidates == 0 {
+		c.Candidates = 52
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 16
+	}
+	if c.UnmanagedFrac == 0 {
+		c.UnmanagedFrac = 0.05
+	}
+	if c.AMax == 0 {
+		c.AMax = 0.5
+	}
+	if c.Slack == 0 {
+		c.Slack = 0.1
+	}
+	if c.MonitorWays == 0 {
+		c.MonitorWays = 16
+	}
+}
+
+// entry is one stored value. The full key is kept to reject the (rare)
+// collisions of two keys on one 40-bit line address.
+type entry struct {
+	key string
+	val []byte
+}
+
+// shard is one bank of the service: a Vantage controller over a zcache tag
+// array, the UCP monitors fed by its GET stream, and the value store. mu
+// guards every field.
+type shard struct {
+	mu      sync.Mutex
+	ctl     *core.Controller
+	alloc   *ucp.Policy
+	store   map[uint64]entry
+	managed int // partitionable lines (capacity minus unmanaged target)
+	snap    []ctrl.PartitionSnapshot
+}
+
+// Service is a sharded multi-tenant key-value cache driven by Vantage
+// controllers. All methods are safe for concurrent use.
+type Service struct {
+	cfg    Config
+	shards []*shard
+	route  *hash.H3
+	mask   uint64
+
+	mu      sync.RWMutex // guards tenants and byPart
+	tenants map[string]*Tenant
+	byPart  []*Tenant
+
+	ops          atomic.Uint64
+	repartitions atomic.Uint64
+
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	start  time.Time
+}
+
+// New returns a running Service. If cfg.RepartitionInterval > 0 a background
+// goroutine repartitions every interval until Close.
+func New(cfg Config) (*Service, error) {
+	cfg.applyDefaults()
+	if cfg.Shards&(cfg.Shards-1) != 0 || cfg.Shards <= 0 {
+		return nil, fmt.Errorf("service: shard count %d must be a power of two", cfg.Shards)
+	}
+	if cfg.MaxTenants < 1 || cfg.MaxTenants > 64 {
+		return nil, fmt.Errorf("service: MaxTenants %d out of range [1,64]", cfg.MaxTenants)
+	}
+	if cfg.LinesPerShard < cfg.MaxTenants*4 {
+		return nil, fmt.Errorf("service: %d lines per shard too small for %d tenants", cfg.LinesPerShard, cfg.MaxTenants)
+	}
+	s := &Service{
+		cfg:     cfg,
+		route:   hash.NewH3(16, hash.Mix64(cfg.Seed^0xbabe)),
+		mask:    uint64(cfg.Shards - 1),
+		tenants: make(map[string]*Tenant),
+		byPart:  make([]*Tenant, cfg.MaxTenants),
+		done:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		seed := hash.Mix64(cfg.Seed ^ uint64(i)*0x9e3779b97f4a7c15)
+		arr := cache.NewZCache(cfg.LinesPerShard, cfg.Ways, cfg.Candidates, seed)
+		ctl := core.New(arr, core.Config{
+			Partitions:    cfg.MaxTenants,
+			UnmanagedFrac: cfg.UnmanagedFrac,
+			AMax:          cfg.AMax,
+			Slack:         cfg.Slack,
+			Seed:          seed,
+		})
+		unmanaged := int(cfg.UnmanagedFrac * float64(cfg.LinesPerShard))
+		if unmanaged < 1 {
+			unmanaged = 1
+		}
+		s.shards = append(s.shards, &shard{
+			ctl:     ctl,
+			alloc:   ucp.NewPolicy(cfg.MaxTenants, cfg.MonitorWays, cfg.LinesPerShard, ucp.GranLines, seed^0xa110c),
+			store:   make(map[uint64]entry, cfg.LinesPerShard),
+			managed: cfg.LinesPerShard - unmanaged,
+		})
+	}
+	// No tenants yet: park every partition at target 0 until traffic arrives.
+	zero := make([]int, cfg.MaxTenants)
+	for _, sh := range s.shards {
+		sh.ctl.SetTargets(zero)
+	}
+	if cfg.RepartitionInterval > 0 {
+		s.wg.Add(1)
+		go s.repartitionLoop()
+	}
+	return s, nil
+}
+
+// Close stops the repartition loop. The service remains usable for reads and
+// writes afterwards (shutdown ordering: stop the protocol server first).
+func (s *Service) Close() error {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.done)
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Config returns the effective configuration (defaults applied).
+func (s *Service) Config() Config { return s.cfg }
+
+// TotalLines returns the service's total capacity in lines.
+func (s *Service) TotalLines() int { return s.cfg.Shards * s.cfg.LinesPerShard }
+
+// addrOf maps a tenant partition and key to a line address: the tenant
+// selects a disjoint 40-bit address space (the idiom internal/sim uses for
+// per-core spaces), the key hash the line within it.
+func addrOf(part int, key string) uint64 {
+	// FNV-1a, then a SplitMix64 finalizer: H3 routing downstream needs
+	// well-mixed input bits.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return uint64(part+1)<<40 | hash.Mix64(h)&(1<<40-1)
+}
+
+// shardOf routes an address to its shard (ctrl.Banked's bankOf).
+func (s *Service) shardOf(addr uint64) *shard {
+	return s.shards[s.route.Hash(hash.Mix64(addr))&s.mask]
+}
+
+// Get looks key up in tenant's partition. It returns the stored value and
+// whether it hit; a miss does not install anything (the caller is expected
+// to fetch from its origin and Put, the cache-aside pattern).
+func (s *Service) Get(tenant, key string) ([]byte, bool, error) {
+	t, err := s.tenant(tenant)
+	if err != nil {
+		return nil, false, err
+	}
+	addr := addrOf(t.part, key)
+	sh := s.shardOf(addr)
+	var val []byte
+	hit := false
+	sh.mu.Lock()
+	sh.alloc.Access(t.part, addr) // UMON-DSS sees the live read stream
+	if _, ok := sh.ctl.Array().Lookup(addr); ok {
+		sh.ctl.Access(addr, t.part) // refresh recency; counted as a hit
+		if e, ok := sh.store[addr]; ok && e.key == key {
+			val = append([]byte(nil), e.val...)
+			hit = true
+		}
+	}
+	sh.mu.Unlock()
+	s.ops.Add(1)
+	t.gets.Add(1)
+	if hit {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+	return val, hit, nil
+}
+
+// Put stores val under key in tenant's partition, evicting whatever line
+// the Vantage replacement process selects if the shard is full.
+func (s *Service) Put(tenant, key string, val []byte) error {
+	t, err := s.tenant(tenant)
+	if err != nil {
+		return err
+	}
+	addr := addrOf(t.part, key)
+	sh := s.shardOf(addr)
+	v := append([]byte(nil), val...)
+	sh.mu.Lock()
+	res := sh.ctl.Access(addr, t.part) // hit refreshes; miss installs
+	if res.EvictedValid {
+		delete(sh.store, res.Evicted)
+	}
+	sh.store[addr] = entry{key: key, val: v}
+	sh.mu.Unlock()
+	s.ops.Add(1)
+	t.puts.Add(1)
+	if res.ForcedManagedEviction {
+		t.forced.Add(1)
+	}
+	return nil
+}
+
+// Delete removes key's value from tenant's partition, reporting whether it
+// was present. The tag line is left to age out of the array (the controller
+// has no invalidation path; a dead tag is demoted and evicted like any cold
+// line), so occupancy decays rather than dropping instantly.
+func (s *Service) Delete(tenant, key string) (bool, error) {
+	t, err := s.tenant(tenant)
+	if err != nil {
+		return false, err
+	}
+	addr := addrOf(t.part, key)
+	sh := s.shardOf(addr)
+	sh.mu.Lock()
+	e, ok := sh.store[addr]
+	present := ok && e.key == key
+	if present {
+		delete(sh.store, addr)
+	}
+	sh.mu.Unlock()
+	s.ops.Add(1)
+	return present, nil
+}
+
+// Repartition reruns UCP once on every shard: each shard's Lookahead
+// distributes its managed capacity among the active tenants from its own
+// UMON curves, and the Vantage controllers converge to the new targets by
+// churn-based demotion. Safe to call concurrently with requests.
+func (s *Service) Repartition() {
+	s.mu.RLock()
+	active := make([]bool, s.cfg.MaxTenants)
+	for _, t := range s.tenants {
+		active[t.part] = true
+	}
+	s.mu.RUnlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		targets := sh.alloc.AllocateActive(sh.managed, active)
+		sh.ctl.SetTargets(targets)
+		sh.mu.Unlock()
+	}
+	s.repartitions.Add(1)
+}
+
+func (s *Service) repartitionLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.RepartitionInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+			s.Repartition()
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vantage/internal/hash"
+)
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+func TestGetPutDelete(t *testing.T) {
+	svc := newTestService(t, Config{Shards: 2, LinesPerShard: 512, MaxTenants: 4, Seed: 1})
+	if _, err := svc.AddTenant("alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, hit, err := svc.Get("alice", "k1"); err != nil || hit {
+		t.Fatalf("cold GET: hit=%v err=%v", hit, err)
+	}
+	if err := svc.Put("alice", "k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	val, hit, err := svc.Get("alice", "k1")
+	if err != nil || !hit || string(val) != "v1" {
+		t.Fatalf("GET after PUT: val=%q hit=%v err=%v", val, hit, err)
+	}
+
+	// Overwrite.
+	if err := svc.Put("alice", "k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if val, _, _ := svc.Get("alice", "k1"); string(val) != "v2" {
+		t.Fatalf("overwrite lost: got %q", val)
+	}
+
+	// Delete removes the value.
+	if present, _ := svc.Delete("alice", "k1"); !present {
+		t.Fatal("DEL of present key reported absent")
+	}
+	if _, hit, _ := svc.Get("alice", "k1"); hit {
+		t.Fatal("GET hit after DEL")
+	}
+	if present, _ := svc.Delete("alice", "k1"); present {
+		t.Fatal("double DEL reported present")
+	}
+
+	// Unknown tenant errors.
+	if _, _, err := svc.Get("bob", "k"); err == nil {
+		t.Fatal("GET for unknown tenant succeeded")
+	}
+	if err := svc.Put("bob", "k", nil); err == nil {
+		t.Fatal("PUT for unknown tenant succeeded")
+	}
+}
+
+func TestTenantNamespacesAreDisjoint(t *testing.T) {
+	svc := newTestService(t, Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 2})
+	svc.AddTenant("a")
+	svc.AddTenant("b")
+	svc.Put("a", "shared-key", []byte("from-a"))
+	if _, hit, _ := svc.Get("b", "shared-key"); hit {
+		t.Fatal("tenant b sees tenant a's key")
+	}
+	svc.Put("b", "shared-key", []byte("from-b"))
+	if val, _, _ := svc.Get("a", "shared-key"); string(val) != "from-a" {
+		t.Fatalf("tenant b's PUT clobbered tenant a's value: %q", val)
+	}
+}
+
+func TestTenantLifecycle(t *testing.T) {
+	svc := newTestService(t, Config{Shards: 1, LinesPerShard: 512, MaxTenants: 2, Seed: 3})
+
+	p0, err := svc.AddTenant("t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := svc.AddTenant("t0"); p != p0 {
+		t.Fatalf("re-ADD moved tenant: %d != %d", p, p0)
+	}
+	if _, err := svc.AddTenant("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddTenant("t2"); err == nil {
+		t.Fatal("exceeded MaxTenants without error")
+	}
+	for _, bad := range []string{"", "has space", "quo\"te", string([]byte{0x01}), "x123456789012345678901234567890123456789012345678901234567890123456789"} {
+		if _, err := svc.AddTenant(bad); err == nil {
+			t.Fatalf("invalid name %q accepted", bad)
+		}
+	}
+
+	// Removal frees the slot and purges values.
+	svc.Put("t0", "k", []byte("v"))
+	if err := svc.RemoveTenant("t0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RemoveTenant("t0"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	p2, err := svc.AddTenant("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p0 {
+		t.Fatalf("freed slot not reused: got %d want %d", p2, p0)
+	}
+	if _, hit, _ := svc.Get("t2", "k"); hit {
+		t.Fatal("slot successor sees predecessor's value")
+	}
+	st, err := svc.TenantStats("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Puts != 0 || st.Hits != 0 {
+		t.Fatalf("slot successor inherited counters: %+v", st)
+	}
+}
+
+// TestConcurrentHammer is the service's concurrency test: N goroutines x M
+// tenants hammer GET/PUT/DEL while the background loop repartitions, and
+// every GET hit must return exactly the value most recently PUT for that
+// key (each goroutine owns a disjoint key range, so a mismatch is a lost
+// or corrupted update). Run under -race this also exercises the locking of
+// the controller, monitors, store, and registry.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 8
+		tenants    = 4
+		keysPerG   = 200
+		opsPerG    = 4000
+	)
+	svc := newTestService(t, Config{
+		Shards: 2, LinesPerShard: 1024, MaxTenants: tenants,
+		RepartitionInterval: time.Millisecond, Seed: 4,
+	})
+	for i := 0; i < tenants; i++ {
+		if _, err := svc.AddTenant(fmt.Sprintf("t%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%tenants)
+			rng := hash.NewRand(uint64(g + 1))
+			type state struct {
+				val     string
+				present bool
+			}
+			last := make([]state, keysPerG)
+			version := 0
+			for i := 0; i < opsPerG; i++ {
+				j := rng.Intn(keysPerG)
+				key := fmt.Sprintf("g%d-k%d", g, j)
+				switch op := rng.Intn(10); {
+				case op < 5: // PUT
+					version++
+					v := fmt.Sprintf("g%d-k%d-v%d", g, j, version)
+					if err := svc.Put(tenant, key, []byte(v)); err != nil {
+						errs <- err
+						return
+					}
+					last[j] = state{val: v, present: true}
+				case op < 9: // GET
+					val, hit, err := svc.Get(tenant, key)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if hit {
+						if !last[j].present {
+							errs <- fmt.Errorf("GET %s hit after DEL", key)
+							return
+						}
+						if string(val) != last[j].val {
+							errs <- fmt.Errorf("lost update on %s: got %q want %q", key, val, last[j].val)
+							return
+						}
+					}
+				default: // DEL
+					if _, err := svc.Delete(tenant, key); err != nil {
+						errs <- err
+						return
+					}
+					last[j].present = false
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Accounting must be coherent after the storm.
+	st := svc.Stats()
+	var gets, hits, misses uint64
+	occupancy := 0
+	for _, ts := range st.Tenants {
+		gets += ts.Gets
+		hits += ts.Hits
+		misses += ts.Misses
+		occupancy += ts.OccupancyLines
+	}
+	if hits+misses != gets {
+		t.Errorf("hits %d + misses %d != gets %d", hits, misses, gets)
+	}
+	if occupancy > st.TotalLines {
+		t.Errorf("occupancy %d exceeds capacity %d", occupancy, st.TotalLines)
+	}
+	if st.StoreEntries > st.TotalLines {
+		t.Errorf("store entries %d exceed capacity %d", st.StoreEntries, st.TotalLines)
+	}
+	if st.Repartitions == 0 {
+		t.Error("background repartition loop never ran")
+	}
+}
+
+// TestOccupancyConvergence checks the whole control loop end-to-end on live
+// traffic: UCP must award the cache-friendly tenant a much larger target
+// than the thrashing tenant, and the Vantage controllers must converge each
+// tenant's actual occupancy to its target.
+func TestOccupancyConvergence(t *testing.T) {
+	svc := newTestService(t, Config{Shards: 2, LinesPerShard: 4096, MaxTenants: 8, Seed: 5})
+	total := svc.TotalLines()
+	svc.AddTenant("friendly")
+	svc.AddTenant("stream")
+
+	friendly := driver{svc: svc, tenant: "friendly", app: newZipfDriver(total, 6)}
+	stream := driver{svc: svc, tenant: "stream", app: newStreamDriver(total, 7)}
+	for round := 0; round < 12; round++ {
+		for i := 0; i < 6000; i++ {
+			friendly.stepT(t)
+			stream.stepT(t)
+		}
+		svc.Repartition()
+	}
+
+	fr, _ := svc.TenantStats("friendly")
+	st, _ := svc.TenantStats("stream")
+	if fr.TargetLines < 3*st.TargetLines {
+		t.Errorf("UCP did not favor the friendly tenant: friendly target %d, stream target %d",
+			fr.TargetLines, st.TargetLines)
+	}
+	if dev := absInt(fr.OccupancyLines-fr.TargetLines) * 100 / max(fr.TargetLines, 1); dev > 35 {
+		t.Errorf("friendly occupancy %d is %d%% off target %d", fr.OccupancyLines, dev, fr.TargetLines)
+	}
+	if fr.OccupancyLines+st.OccupancyLines > total {
+		t.Errorf("occupancies %d+%d exceed capacity %d", fr.OccupancyLines, st.OccupancyLines, total)
+	}
+	if st.Demotions == 0 {
+		t.Error("thrashing tenant was never demoted")
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Tenant is one principal of the cache: a name bound to a partition slot,
+// with lifetime request counters. Counters are atomics so the request path
+// never takes the registry lock for accounting.
+type Tenant struct {
+	name string
+	part int
+
+	gets, puts   atomic.Uint64
+	hits, misses atomic.Uint64
+	forced       atomic.Uint64 // forced managed evictions caused by this tenant's fills
+}
+
+// Name returns the tenant name.
+func (t *Tenant) Name() string { return t.name }
+
+// Partition returns the Vantage partition slot the tenant maps to.
+func (t *Tenant) Partition() int { return t.part }
+
+// validTenantName reports whether name is usable in the text protocol and
+// in Prometheus label values: printable ASCII, no spaces, quotes, or
+// backslashes.
+func validTenantName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// AddTenant registers name, assigning it a free partition slot in every
+// shard, and triggers a repartitioning so the new tenant gets capacity
+// before its first UCP interval. Adding an existing tenant is idempotent
+// and returns its current slot.
+func (s *Service) AddTenant(name string) (int, error) {
+	if !validTenantName(name) {
+		return 0, fmt.Errorf("service: invalid tenant name %q", name)
+	}
+	s.mu.Lock()
+	if t, ok := s.tenants[name]; ok {
+		s.mu.Unlock()
+		return t.part, nil
+	}
+	part := -1
+	for p, t := range s.byPart {
+		if t == nil {
+			part = p
+			break
+		}
+	}
+	if part < 0 {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("service: tenant limit %d reached", s.cfg.MaxTenants)
+	}
+	t := &Tenant{name: name, part: part}
+	s.tenants[name] = t
+	s.byPart[part] = t
+	s.mu.Unlock()
+	s.Repartition()
+	return part, nil
+}
+
+// RemoveTenant deletes name: its partition target drops to zero in every
+// shard (the §3.4 deletion idiom — the partition's lines drain into the
+// unmanaged region and age out), its stored values are purged, and its
+// UMON slots are reset for the next occupant.
+func (s *Service) RemoveTenant(name string) error {
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("service: unknown tenant %q", name)
+	}
+	delete(s.tenants, name)
+	s.byPart[t.part] = nil
+	s.mu.Unlock()
+
+	space := uint64(t.part+1) << 40
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for addr := range sh.store {
+			if addr&^(1<<40-1) == space {
+				delete(sh.store, addr)
+			}
+		}
+		sh.alloc.Monitor(t.part).Reset()
+		sh.mu.Unlock()
+	}
+	s.Repartition()
+	return nil
+}
+
+// TenantNames returns the registered tenant names (unordered).
+func (s *Service) TenantNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	return names
+}
+
+// tenant resolves a name to its Tenant.
+func (s *Service) tenant(name string) (*Tenant, error) {
+	s.mu.RLock()
+	t, ok := s.tenants[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown tenant %q", name)
+	}
+	return t, nil
+}

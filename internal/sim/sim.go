@@ -84,8 +84,6 @@ type Config struct {
 	// Contention optionally models L2 bank conflicts and memory bandwidth
 	// (zero value: the paper's zero-load latencies).
 	Contention Contention
-	// Seed perturbs nothing directly but is kept for future knobs.
-	Seed uint64
 }
 
 // CoreStats accumulates one core's measurement-window counters.

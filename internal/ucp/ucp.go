@@ -129,6 +129,19 @@ func (u *UMON) MissCurve() []uint64 {
 // Accesses returns the sampled access count since the last Decay.
 func (u *UMON) Accesses() uint64 { return u.accesses }
 
+// Reset clears the monitor completely — auxiliary-tag stacks and all
+// counters — so a monitor slot can be reused for a fresh stream (e.g. a new
+// tenant taking over a freed partition slot in a serving layer).
+func (u *UMON) Reset() {
+	for i := range u.occupancy {
+		u.occupancy[i] = 0
+	}
+	for i := range u.hits {
+		u.hits[i] = 0
+	}
+	u.misses, u.accesses = 0, 0
+}
+
 // Decay halves all counters, aging the estimates across repartitioning
 // intervals as UCP prescribes.
 func (u *UMON) Decay() {
@@ -278,50 +291,63 @@ func (p *Policy) Monitor(part int) *UMON { return p.monitors[part] }
 // Allocate computes the next per-partition targets in lines, summing to
 // totalLines (the partitionable capacity), and decays the monitors.
 func (p *Policy) Allocate(totalLines int) []int {
+	return p.AllocateActive(totalLines, nil)
+}
+
+// AllocateActive is Allocate restricted to a subset of partitions: capacity
+// is distributed among the partitions with active[i] true only (a nil slice
+// means all are active); the rest get zero-line targets — the paper's §3.4
+// partition-deletion idiom, used by serving layers whose tenant population
+// changes at runtime. All monitors are decayed, active or not.
+func (p *Policy) AllocateActive(totalLines int, active []bool) []int {
 	parts := len(p.monitors)
-	var allocs []int
-	switch p.gran {
-	case GranWays:
-		curves := make([][]float64, parts)
-		for i, m := range p.monitors {
-			hc := m.HitCurve()
-			f := make([]float64, len(hc))
-			for j, v := range hc {
-				f[j] = float64(v)
+	allocs := make([]int, parts)
+	idx := make([]int, 0, parts)
+	for i := 0; i < parts; i++ {
+		if active == nil || (i < len(active) && active[i]) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) > 0 {
+		curves := make([][]float64, len(idx))
+		var units int
+		switch p.gran {
+		case GranWays:
+			units = p.ways
+			for k, i := range idx {
+				hc := p.monitors[i].HitCurve()
+				f := make([]float64, len(hc))
+				for j, v := range hc {
+					f[j] = float64(v)
+				}
+				curves[k] = f
 			}
-			curves[i] = f
+		case GranLines:
+			units = linePoints
+			for k, i := range idx {
+				curves[k] = InterpolateCurve(p.monitors[i].HitCurve(), linePoints)
+			}
+		default:
+			panic("ucp: unknown granularity")
 		}
-		ways := Lookahead(curves, p.ways, 1)
-		allocs = make([]int, parts)
-		for i, w := range ways {
-			allocs[i] = totalLines * w / p.ways
+		shares := Lookahead(curves, units, 1)
+		for k, i := range idx {
+			allocs[i] = totalLines * shares[k] / units
 		}
-	case GranLines:
-		curves := make([][]float64, parts)
-		for i, m := range p.monitors {
-			curves[i] = InterpolateCurve(m.HitCurve(), linePoints)
+		// Fix rounding drift so the targets sum exactly to totalLines.
+		sum := 0
+		for _, a := range allocs {
+			sum += a
 		}
-		pts := Lookahead(curves, linePoints, 1)
-		allocs = make([]int, parts)
-		for i, n := range pts {
-			allocs[i] = totalLines * n / linePoints
+		for k := 0; sum < totalLines; k = (k + 1) % len(idx) {
+			allocs[idx[k]]++
+			sum++
 		}
-	default:
-		panic("ucp: unknown granularity")
-	}
-	// Fix rounding drift so the targets sum exactly to totalLines.
-	sum := 0
-	for _, a := range allocs {
-		sum += a
-	}
-	for i := 0; sum < totalLines; i = (i + 1) % parts {
-		allocs[i]++
-		sum++
-	}
-	for i := 0; sum > totalLines; i = (i + 1) % parts {
-		if allocs[i] > 0 {
-			allocs[i]--
-			sum--
+		for k := 0; sum > totalLines; k = (k + 1) % len(idx) {
+			if allocs[idx[k]] > 0 {
+				allocs[idx[k]]--
+				sum--
+			}
 		}
 	}
 	for _, m := range p.monitors {

@@ -1,0 +1,36 @@
+package vantage
+
+import (
+	"net"
+
+	"vantage/internal/service"
+)
+
+// The serving layer: a thread-safe, sharded, multi-tenant key-value cache
+// where each shard is governed by a live Vantage controller, tenants map to
+// partitions, and capacity targets are set online by UCP from per-tenant
+// utility monitors fed by the real request stream. cmd/vantaged wraps this
+// in a daemon; see internal/service for the wire protocol.
+
+// Serving types.
+type (
+	// CacheService is the sharded multi-tenant cache service.
+	CacheService = service.Service
+	// ServiceConfig configures a CacheService.
+	ServiceConfig = service.Config
+	// ServiceServer serves the cache text protocol over TCP.
+	ServiceServer = service.Server
+	// ServiceStats is a whole-service statistics snapshot.
+	ServiceStats = service.Stats
+	// ServiceTenantStats is one tenant's statistics snapshot.
+	ServiceTenantStats = service.TenantStats
+)
+
+// NewService returns a running cache service.
+func NewService(cfg ServiceConfig) (*CacheService, error) { return service.New(cfg) }
+
+// ServeCache starts serving the cache protocol for svc on lis, one handler
+// goroutine per connection; close the returned server for graceful shutdown.
+func ServeCache(svc *CacheService, lis net.Listener) *ServiceServer {
+	return service.Serve(svc, lis)
+}
