@@ -19,17 +19,33 @@ import (
 // "name=class[:conns]" with class one of friendly, fitting, stream,
 // insensitive (the paper's Table 3 categories); working sets scale to
 // -lines the way internal/workload scales them to cache capacity.
+//
+// With -json <path>, bench instead runs the standard performance matrix —
+// the in-process sharded access path at 1/4/16 goroutines, then TCP loadgen
+// unbatched and with MGET pipelining — and writes the results as JSON, so
+// the repo can keep a benchmark trajectory across changes
+// (BENCH_service.json at the repo root).
 func benchMain(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	addr := fs.String("addr", "", "vantaged address; empty self-hosts an in-process server")
 	tenants := fs.String("tenants", "friendly=friendly:2,stream=stream:2", "tenant specs name=class[:conns]")
 	ops := fs.Int("ops", 20000, "operations per connection")
 	valueSize := fs.Int("value", 64, "value size in bytes")
+	batch := fs.Int("batch", 1, "keys per MGET batch (1 = plain GET round trips)")
 	lines := fs.Int("lines", 32768, "cache capacity in lines the workloads scale to (self-host size)")
 	shards := fs.Int("shards", 4, "shards when self-hosting")
 	repartition := fs.Duration("repartition", 50*time.Millisecond, "repartition interval when self-hosting")
 	seed := fs.Uint64("seed", 2011, "workload and cache seed")
+	jsonPath := fs.String("json", "", "run the standard benchmark matrix and write results to this JSON file")
 	fs.Parse(args)
+
+	if *jsonPath != "" {
+		if err := runBenchMatrix(*jsonPath, *lines, *shards, *valueSize, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "vantaged bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	specs, err := parseTenantSpecs(*tenants, *lines, *seed)
 	if err != nil {
@@ -66,6 +82,7 @@ func benchMain(args []string) {
 		Tenants:    specs,
 		OpsPerConn: *ops,
 		ValueSize:  *valueSize,
+		Batch:      *batch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vantaged bench:", err)

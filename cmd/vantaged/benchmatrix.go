@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vantage/internal/hash"
+	"vantage/internal/service"
+	"vantage/internal/service/loadgen"
+	"vantage/internal/workload"
+)
+
+// benchRow is one matrix cell in BENCH_service.json.
+type benchRow struct {
+	Name       string  `json:"name"`
+	Goroutines int     `json:"goroutines,omitempty"`
+	Conns      int     `json:"conns,omitempty"`
+	Batch      int     `json:"batch,omitempty"`
+	Ops        uint64  `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// benchReport is the BENCH_service.json schema.
+type benchReport struct {
+	GoVersion string     `json:"go_version"`
+	NumCPU    int        `json:"num_cpu"`
+	Shards    int        `json:"shards"`
+	Lines     int        `json:"cache_lines"`
+	ValueSize int        `json:"value_size"`
+	Seed      uint64     `json:"seed"`
+	Results   []benchRow `json:"results"`
+}
+
+// runBenchMatrix runs the standard performance matrix and writes it to path:
+// the in-process sharded access path at 1/4/16 goroutines (the same shape as
+// BenchmarkShardedAccess: per-goroutine tenants, zipf working sets, ~90/10
+// GET/PUT plus fills), then TCP loadgen against a self-hosted server with
+// plain GETs and with MGET batch=32 pipelining.
+func runBenchMatrix(path string, lines, shards, valueSize int, seed uint64) error {
+	rep := benchReport{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Shards:    shards,
+		Lines:     lines,
+		ValueSize: valueSize,
+		Seed:      seed,
+	}
+
+	for _, gs := range []int{1, 4, 16} {
+		row, err := runInprocBench(gs, lines, shards, valueSize, seed)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, row)
+		fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
+	}
+
+	for _, batch := range []int{1, 32} {
+		row, err := runTCPBench(batch, lines, shards, valueSize, seed)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, row)
+		fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runInprocBench measures the in-process Get/Put path at gs goroutines.
+func runInprocBench(gs, lines, shards, valueSize int, seed uint64) (benchRow, error) {
+	svc, err := service.New(service.Config{
+		Shards:        shards,
+		LinesPerShard: lines / shards,
+		MaxTenants:    16,
+		Seed:          seed,
+	})
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer svc.Close()
+	total := svc.TotalLines()
+	tenants := gs
+	if tenants > 16 {
+		tenants = 16
+	}
+	for i := 0; i < tenants; i++ {
+		if _, err := svc.AddTenant("t" + strconv.Itoa(i)); err != nil {
+			return benchRow{}, err
+		}
+	}
+
+	val := make([]byte, valueSize)
+	warm := loadgen.CategoryApp(workload.Friendly, total, seed^1)
+	for i := 0; i < 20000; i++ {
+		_, addr := warm.Next()
+		key := strconv.FormatUint(addr, 16)
+		if _, hit, err := svc.Get("t0", key); err != nil {
+			return benchRow{}, err
+		} else if !hit {
+			if err := svc.Put("t0", key, val); err != nil {
+				return benchRow{}, err
+			}
+		}
+	}
+	svc.Repartition()
+
+	const perGoroutine = 200000
+	var ops atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := "t" + strconv.Itoa(g%tenants)
+			app := loadgen.CategoryApp(workload.Friendly, total, seed^uint64(g+2))
+			rng := hash.NewRand(seed ^ uint64(g+100))
+			key := make([]byte, 0, 16)
+			for i := 0; i < perGoroutine; i++ {
+				_, addr := app.Next()
+				key = strconv.AppendUint(key[:0], addr, 16)
+				k := string(key)
+				if rng.Intn(10) == 0 {
+					if err := svc.Put(tenant, k, val); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					ops.Add(1)
+					continue
+				}
+				_, hit, err := svc.Get(tenant, k)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				ops.Add(1)
+				if !hit {
+					if err := svc.Put(tenant, k, val); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					ops.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok {
+		return benchRow{}, err
+	}
+	return benchRow{
+		Name:       fmt.Sprintf("inproc/goroutines=%d", gs),
+		Goroutines: gs,
+		Ops:        ops.Load(),
+		Seconds:    elapsed.Seconds(),
+		OpsPerSec:  float64(ops.Load()) / elapsed.Seconds(),
+	}, nil
+}
+
+// runTCPBench measures end-to-end throughput over the wire protocol against
+// a self-hosted server, with the loadgen's standard two-tenant mix.
+func runTCPBench(batch, lines, shards, valueSize int, seed uint64) (benchRow, error) {
+	svc, err := service.New(service.Config{
+		Shards:              shards,
+		LinesPerShard:       lines / shards,
+		RepartitionInterval: 50 * time.Millisecond,
+		Seed:                seed,
+	})
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer svc.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return benchRow{}, err
+	}
+	srv := service.Serve(svc, lis)
+	defer srv.Close()
+
+	specs, err := parseTenantSpecs("friendly=friendly:2,stream=stream:2", lines, seed)
+	if err != nil {
+		return benchRow{}, err
+	}
+	conns := 0
+	for _, t := range specs {
+		conns += t.Conns
+	}
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:       srv.Addr().String(),
+		Tenants:    specs,
+		OpsPerConn: 50000,
+		ValueSize:  valueSize,
+		Batch:      batch,
+	})
+	if err != nil {
+		return benchRow{}, err
+	}
+	return benchRow{
+		Name:      fmt.Sprintf("tcp/batch=%d", batch),
+		Conns:     conns,
+		Batch:     batch,
+		Ops:       res.Ops,
+		Seconds:   res.Elapsed.Seconds(),
+		OpsPerSec: res.OpsPerSec,
+	}, nil
+}

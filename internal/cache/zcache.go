@@ -111,7 +111,13 @@ func (z *ZCache) SetMoveHook(fn func(src, dst LineID)) { z.moveHook = fn }
 // probability); mixing spreads every address over all 64 key bits, matching
 // hardware that hashes the full tag.
 func (z *ZCache) slot(addr uint64, w int) LineID {
-	return LineID(w*z.setsPerWay + int(z.hashes[w].Hash(hash.Mix64(addr))))
+	return z.slotMixed(hash.Mix64(addr), w)
+}
+
+// slotMixed is slot with the Mix64 already applied, so callers probing all
+// ways (Lookup, Candidates) mix the address once instead of once per way.
+func (z *ZCache) slotMixed(mixed uint64, w int) LineID {
+	return LineID(w*z.setsPerWay + int(z.hashes[w].Hash(mixed)))
 }
 
 // wayOf returns the way a slot belongs to.
@@ -119,8 +125,9 @@ func (z *ZCache) wayOf(id LineID) int { return int(id) / z.setsPerWay }
 
 // Lookup implements Array. A lookup probes one position per way.
 func (z *ZCache) Lookup(addr uint64) (LineID, bool) {
+	mixed := hash.Mix64(addr)
 	for w := 0; w < z.ways; w++ {
-		id := z.slot(addr, w)
+		id := z.slotMixed(mixed, w)
 		l := &z.lines[id]
 		if l.Valid && l.Addr == addr {
 			return id, true
@@ -154,8 +161,9 @@ func (z *ZCache) Candidates(addr uint64, buf []LineID) []LineID {
 		return true
 	}
 
+	mixed := hash.Mix64(addr)
 	for w := 0; w < z.ways; w++ {
-		push(z.slot(addr, w), -1)
+		push(z.slotMixed(mixed, w), -1)
 		if len(z.candSlots) >= z.maxCands {
 			break
 		}
@@ -169,11 +177,12 @@ func (z *ZCache) Candidates(addr uint64, buf []LineID) []LineID {
 			continue
 		}
 		home := z.wayOf(id)
+		lm := hash.Mix64(l.Addr)
 		for w := 0; w < z.ways && len(z.candSlots) < z.maxCands; w++ {
 			if w == home {
 				continue
 			}
-			push(z.slot(l.Addr, w), int32(i))
+			push(z.slotMixed(lm, w), int32(i))
 		}
 	}
 

@@ -14,9 +14,14 @@ import "math/bits"
 
 // H3 is a single member of the H3 universal hash family mapping 64-bit keys
 // to values in [0, 2^outBits).
+//
+// Because H3 is XOR-linear in the key bits, the 64 random rows can be
+// precombined into eight 256-entry tables (one per key byte), turning the
+// per-bit XOR loop into eight table lookups on the hot path. The function
+// computed is bit-identical to the row-per-bit definition for any seed.
 type H3 struct {
-	table [64]uint64
-	mask  uint64
+	t8   [8][256]uint64
+	mask uint64
 }
 
 // NewH3 returns an H3 hash with outBits output bits, drawn deterministically
@@ -32,21 +37,30 @@ func NewH3(outBits int, seed uint64) *H3 {
 		h.mask = (uint64(1) << uint(outBits)) - 1
 	}
 	s := splitMix64(seed)
-	for i := range h.table {
-		h.table[i] = s.next() & h.mask
+	var rows [64]uint64
+	for i := range rows {
+		rows[i] = s.next() & h.mask
+	}
+	// t8[b][v] = XOR of rows[8b+i] over the set bits i of v, built
+	// incrementally from the next-smaller subset.
+	for b := 0; b < 8; b++ {
+		for v := 1; v < 256; v++ {
+			h.t8[b][v] = h.t8[b][v&(v-1)] ^ rows[8*b+bits.TrailingZeros8(uint8(v))]
+		}
 	}
 	return h
 }
 
 // Hash returns the hash of key.
 func (h *H3) Hash(key uint64) uint64 {
-	var out uint64
-	for key != 0 {
-		i := bits.TrailingZeros64(key)
-		out ^= h.table[i]
-		key &= key - 1
-	}
-	return out
+	return h.t8[0][byte(key)] ^
+		h.t8[1][byte(key>>8)] ^
+		h.t8[2][byte(key>>16)] ^
+		h.t8[3][byte(key>>24)] ^
+		h.t8[4][byte(key>>32)] ^
+		h.t8[5][byte(key>>40)] ^
+		h.t8[6][byte(key>>48)] ^
+		h.t8[7][byte(key>>56)]
 }
 
 // Mask returns the output mask (2^outBits - 1).

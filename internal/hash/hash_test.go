@@ -77,6 +77,34 @@ func TestH3Linearity(t *testing.T) {
 	}
 }
 
+func TestH3ByteTablesMatchBitwiseReference(t *testing.T) {
+	// The precombined byte tables must compute exactly the textbook H3:
+	// XOR of one random row per set key bit. The rows are recoverable from
+	// the tables as t8[b][1<<i].
+	h := NewH3(32, 777)
+	var rows [64]uint64
+	for b := 0; b < 8; b++ {
+		for i := 0; i < 8; i++ {
+			rows[8*b+i] = h.t8[b][1<<i]
+		}
+	}
+	ref := func(key uint64) uint64 {
+		var out uint64
+		for i := 0; i < 64; i++ {
+			if key&(1<<uint(i)) != 0 {
+				out ^= rows[i]
+			}
+		}
+		return out
+	}
+	for k := uint64(0); k < 5000; k++ {
+		key := Mix64(k)
+		if h.Hash(key) != ref(key) {
+			t.Fatalf("byte-table hash diverges from reference at key %#x", key)
+		}
+	}
+}
+
 func TestH3Uniformity(t *testing.T) {
 	// Hash sequential keys into 64 buckets; a chi-squared statistic far above
 	// the df=63 expectation indicates a broken table.

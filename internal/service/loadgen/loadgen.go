@@ -71,6 +71,12 @@ type Options struct {
 	OpsPerConn int
 	// ValueSize is the PUT value size in bytes (default 64).
 	ValueSize int
+	// Batch is the number of keys per MGET command (default 1: plain GETs,
+	// one synchronous round trip per operation). With Batch > 1 each round
+	// trip carries one MGET of Batch keys, and the fills for that batch's
+	// misses are pipelined PUTs sharing a single flush — the protocol's
+	// deferred-flush dispatcher answers them in one write.
+	Batch int
 }
 
 // TenantResult is one tenant's aggregate outcome.
@@ -158,6 +164,9 @@ func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
 	for i := range val {
 		val[i] = byte('a' + i%26)
 	}
+	if o.Batch > 1 {
+		return runConnBatched(o, tr, spec, app, c, val)
+	}
 	for i := 0; i < o.OpsPerConn; i++ {
 		_, addr := app.Next()
 		key := strconv.FormatUint(addr, 16)
@@ -175,6 +184,41 @@ func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
 			return err
 		}
 		atomic.AddUint64(&tr.Puts, 1)
+	}
+	return nil
+}
+
+// runConnBatched drives the budget in MGET batches: one round trip reads
+// o.Batch keys, then the misses are filled with pipelined PUTs sharing one
+// flush and one response read.
+func runConnBatched(o Options, tr *TenantResult, spec Tenant, app workload.App, c *client, val []byte) error {
+	keys := make([]string, 0, o.Batch)
+	missed := make([]string, 0, o.Batch)
+	for done := 0; done < o.OpsPerConn; {
+		n := o.Batch
+		if rest := o.OpsPerConn - done; n > rest {
+			n = rest
+		}
+		keys = keys[:0]
+		for i := 0; i < n; i++ {
+			_, addr := app.Next()
+			keys = append(keys, strconv.FormatUint(addr, 16))
+		}
+		hits, missIdx, err := c.mget(spec.Name, keys, missed[:0])
+		if err != nil {
+			return err
+		}
+		missed = missIdx
+		atomic.AddUint64(&tr.Gets, uint64(n))
+		atomic.AddUint64(&tr.Hits, uint64(hits))
+		atomic.AddUint64(&tr.Misses, uint64(n-hits))
+		if len(missed) > 0 {
+			if err := c.putPipelined(spec.Name, missed, val); err != nil {
+				return err
+			}
+			atomic.AddUint64(&tr.Puts, uint64(len(missed)))
+		}
+		done += n
 	}
 	return nil
 }
@@ -247,6 +291,77 @@ func (c *client) get(tenant, key string) (bool, error) {
 	default:
 		return false, fmt.Errorf("loadgen: GET: %s", resp)
 	}
+}
+
+// mget requests keys in one MGET round trip, returning the hit count and
+// the missed keys appended to missBuf.
+func (c *client) mget(tenant string, keys []string, missBuf []string) (int, []string, error) {
+	c.w.WriteString("MGET ")
+	c.w.WriteString(tenant)
+	c.w.WriteByte(' ')
+	c.w.WriteString(strconv.Itoa(len(keys)))
+	for _, k := range keys {
+		c.w.WriteByte(' ')
+		c.w.WriteString(k)
+	}
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return 0, missBuf, err
+	}
+	hits := 0
+	for _, k := range keys {
+		resp, err := c.readLine()
+		if err != nil {
+			return hits, missBuf, err
+		}
+		switch {
+		case resp == "MISS":
+			missBuf = append(missBuf, k)
+		case strings.HasPrefix(resp, "VALUE "):
+			n, err := strconv.Atoi(resp[len("VALUE "):])
+			if err != nil || n < 0 {
+				return hits, missBuf, fmt.Errorf("loadgen: bad VALUE header %q", resp)
+			}
+			if _, err := c.r.Discard(n + 2); err != nil { // value + CRLF
+				return hits, missBuf, err
+			}
+			hits++
+		default:
+			return hits, missBuf, fmt.Errorf("loadgen: MGET: %s", resp)
+		}
+	}
+	resp, err := c.readLine()
+	if err != nil {
+		return hits, missBuf, err
+	}
+	if resp != "END" {
+		return hits, missBuf, fmt.Errorf("loadgen: MGET missing END, got %q", resp)
+	}
+	return hits, missBuf, nil
+}
+
+// putPipelined stores val under every key, writing all PUT commands before
+// a single flush and then reading all responses — one round trip for the
+// whole fill batch.
+func (c *client) putPipelined(tenant string, keys []string, val []byte) error {
+	for _, key := range keys {
+		fmt.Fprintf(c.w, "PUT %s %s %d\r\n", tenant, key, len(val))
+		c.w.Write(val)
+		c.w.WriteString("\r\n")
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	for range keys {
+		resp, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		if resp != "STORED" {
+			return fmt.Errorf("loadgen: PUT: %s", resp)
+		}
+	}
+	return nil
 }
 
 // put stores val under key.

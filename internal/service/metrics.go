@@ -42,7 +42,9 @@ type Stats struct {
 	Tenants []TenantStats // sorted by name
 
 	Ops          uint64
+	MGets        uint64 // MGET batch commands served by the protocol layer
 	Repartitions uint64
+	UMONDrains   uint64 // deferred-UMON ring drains summed over shards
 
 	Shards, LinesPerShard, TotalLines int
 	StoreEntries                      int
@@ -54,6 +56,7 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Ops:           s.ops.Load(),
+		MGets:         s.mgets.Load(),
 		Repartitions:  s.repartitions.Load(),
 		Shards:        s.cfg.Shards,
 		LinesPerShard: s.cfg.LinesPerShard,
@@ -61,12 +64,11 @@ func (s *Service) Stats() Stats {
 		Uptime:        time.Since(s.start),
 	}
 
-	s.mu.RLock()
-	tenants := make([]*Tenant, 0, len(s.tenants))
-	for _, t := range s.tenants {
+	reg := s.reg.Load()
+	tenants := make([]*Tenant, 0, len(reg.tenants))
+	for _, t := range reg.tenants {
 		tenants = append(tenants, t)
 	}
-	s.mu.RUnlock()
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
 
 	// Per-partition sums over shards, one snapshot call per shard lock hold.
@@ -84,6 +86,9 @@ func (s *Service) Stats() Stats {
 		st.StoreEntries += len(sh.store)
 		st.UnmanagedLines += sh.ctl.UnmanagedSize()
 		sh.mu.Unlock()
+		sh.umu.Lock()
+		st.UMONDrains += sh.drains
+		sh.umu.Unlock()
 	}
 
 	for _, t := range tenants {
@@ -136,7 +141,9 @@ func writeMetrics(b *strings.Builder, st Stats) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	counter("vantaged_ops_total", "Requests served (GET+PUT+DEL).", st.Ops)
+	counter("vantaged_mgets_total", "MGET batch commands served.", st.MGets)
 	counter("vantaged_repartitions_total", "Online UCP repartitionings.", st.Repartitions)
+	counter("vantaged_umon_drains_total", "Deferred-UMON ring drains.", st.UMONDrains)
 	gauge("vantaged_shards", "Cache shards.", float64(st.Shards))
 	gauge("vantaged_cache_lines", "Total capacity in lines.", float64(st.TotalLines))
 	gauge("vantaged_store_entries", "Values currently stored.", float64(st.StoreEntries))

@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -16,6 +14,7 @@ import (
 // connection-handler goroutine per client:
 //
 //	GET <tenant> <key>                 -> VALUE <n>\r\n<bytes>\r\n | MISS
+//	MGET <tenant> <k> <key...>         -> k responses (VALUE block | MISS), then END
 //	PUT <tenant> <key> <n>\r\n<bytes>  -> STORED | ERR <msg>
 //	DEL <tenant> <key>                 -> DELETED | MISS
 //	TENANT ADD <name>                  -> OK <partition>
@@ -26,9 +25,24 @@ import (
 //	QUIT                               -> closes the connection
 //
 // Lines end in \r\n; bare \n is accepted. Errors are "ERR <msg>".
+//
+// The protocol is pipelining-safe: clients may send many commands without
+// waiting for responses, and responses come back in order. The server
+// defers flushing its write buffer until the read buffer drains, so one
+// round trip (and one syscall each way) carries a whole batch of commands.
+// MGET is the batch read: one line requests k keys and the k responses
+// arrive in key order, terminated by END.
+//
+// A PUT whose declared length is valid but whose key fails validation still
+// consumes the declared value block, so a validation error never desyncs
+// the stream. A PUT with an unparseable length cannot be skipped (the block
+// length is unknown) and a PUT with a length above the 1 MiB cap will not
+// be drained; the latter closes the connection.
 const (
 	maxKeyLen   = 250
 	maxValueLen = 1 << 20
+	// maxBatchKeys bounds the keys per MGET command.
+	maxBatchKeys = 1024
 )
 
 // Server serves the text protocol over a listener. Create with Serve.
@@ -92,6 +106,25 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connState is the per-connection scratch space: parsed fields alias the
+// read buffer, num holds strconv.Append output, and tenant/key/val are the
+// buffers a PUT copies its header fields into before the payload read
+// invalidates the read buffer. Pooled across connections so a steady-state
+// connection allocates nothing per command.
+type connState struct {
+	fields [][]byte
+	num    []byte
+	tenant []byte
+	key    []byte
+	val    []byte
+}
+
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 16<<10) }}
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 16<<10) }}
+	statePool  = sync.Pool{New: func() any { return &connState{num: make([]byte, 0, 24)} }}
+)
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -100,75 +133,262 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	r := readerPool.Get().(*bufio.Reader)
+	r.Reset(conn)
+	w := writerPool.Get().(*bufio.Writer)
+	w.Reset(conn)
+	cs := statePool.Get().(*connState)
+	defer func() {
+		r.Reset(nil)
+		readerPool.Put(r)
+		w.Reset(io.Discard)
+		writerPool.Put(w)
+		if cap(cs.val) > 64<<10 {
+			cs.val = nil // don't let one huge PUT pin a large buffer
+		}
+		statePool.Put(cs)
+	}()
 	for {
-		line, err := r.ReadString('\n')
+		line, err := readLine(r)
 		if err != nil {
 			return // EOF or closed connection
 		}
-		quit, err := s.dispatch(strings.TrimRight(line, "\r\n"), r, w)
+		quit, err := s.dispatch(line, r, w, cs)
 		if err != nil {
-			fmt.Fprintf(w, "ERR %s\r\n", err)
+			w.WriteString("ERR ")
+			w.WriteString(err.Error())
+			w.WriteString("\r\n")
 		}
-		if w.Flush() != nil || quit {
+		if quit {
+			w.Flush()
+			return
+		}
+		// Pipelining: only flush once the read buffer has drained, so the
+		// responses to a batch of commands leave in as few writes as
+		// possible. A client that pipelines K commands gets K responses in
+		// one round trip.
+		if r.Buffered() == 0 && w.Flush() != nil {
 			return
 		}
 	}
 }
 
+// readLine returns the next command line with its EOL trimmed. The returned
+// slice aliases the reader's buffer and is valid until the next read. Lines
+// longer than the buffer (large MGETs) fall back to an allocated copy.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == nil {
+		return trimEOL(line), nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	buf := append([]byte(nil), line...)
+	for {
+		line, err = r.ReadSlice('\n')
+		buf = append(buf, line...)
+		if err == nil {
+			return trimEOL(buf), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}
+
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// splitFields splits line on ASCII spaces and tabs into out (reused across
+// commands). The sub-slices alias line.
+func splitFields(line []byte, out [][]byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out
+}
+
+// cmdEq reports whether b equals the upper-case command word s,
+// ASCII-case-insensitively.
+func cmdEq(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseUintB parses a small non-negative decimal integer.
+func parseUintB(b []byte) (int, bool) {
+	if len(b) == 0 || len(b) > 10 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// writeUint appends n in decimal to w via the connection's scratch buffer.
+func (cs *connState) writeUint(w *bufio.Writer, n int) {
+	cs.num = appendUint(cs.num[:0], uint64(n))
+	w.Write(cs.num)
+}
+
+func appendUint(dst []byte, n uint64) []byte {
+	if n == 0 {
+		return append(dst, '0')
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(dst, buf[i:]...)
+}
+
+// writeValueResponse writes "VALUE <n>\r\n<bytes>\r\n" for a hit, or
+// "MISS\r\n".
+func (cs *connState) writeValueResponse(w *bufio.Writer, val []byte, hit bool) {
+	if !hit {
+		w.WriteString("MISS\r\n")
+		return
+	}
+	w.WriteString("VALUE ")
+	cs.writeUint(w, len(val))
+	w.WriteString("\r\n")
+	w.Write(val)
+	w.WriteString("\r\n")
+}
+
 // dispatch executes one command line, writing the response to w. It returns
-// quit=true when the connection should close.
-func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
-	fields := strings.Fields(line)
+// quit=true when the connection should close. fields and their contents
+// alias the read buffer; any field needed after a payload read must be
+// copied first (see PUT).
+func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer, cs *connState) (quit bool, err error) {
+	cs.fields = splitFields(line, cs.fields[:0])
+	fields := cs.fields
 	if len(fields) == 0 {
 		return false, nil // ignore empty lines
 	}
-	switch verb := strings.ToUpper(fields[0]); verb {
-	case "GET":
+	switch verb := fields[0]; {
+	case cmdEq(verb, "GET"):
 		if len(fields) != 3 {
 			return false, errors.New("usage: GET <tenant> <key>")
 		}
-		val, hit, err := s.svc.Get(fields[1], fields[2])
+		val, hit, err := s.svc.GetB(fields[1], fields[2])
 		if err != nil {
 			return false, err
 		}
-		if !hit {
-			w.WriteString("MISS\r\n")
-			return false, nil
-		}
-		fmt.Fprintf(w, "VALUE %d\r\n", len(val))
-		w.Write(val)
-		w.WriteString("\r\n")
+		cs.writeValueResponse(w, val, hit)
 		return false, nil
 
-	case "PUT":
+	case cmdEq(verb, "MGET"):
+		if len(fields) < 3 {
+			return false, errors.New("usage: MGET <tenant> <count> <key...>")
+		}
+		k, ok := parseUintB(fields[2])
+		if !ok || k < 1 || k > maxBatchKeys {
+			return false, fmt.Errorf("bad MGET count %q (max %d)", fields[2], maxBatchKeys)
+		}
+		if len(fields) != 3+k {
+			return false, fmt.Errorf("MGET count %d does not match %d keys", k, len(fields)-3)
+		}
+		// Resolve the tenant before writing anything so an unknown tenant
+		// yields a single ERR line, not a partial response.
+		if s.svc.reg.Load().tenants[string(fields[1])] == nil {
+			return false, fmt.Errorf("service: unknown tenant %q", fields[1])
+		}
+		for _, key := range fields[3 : 3+k] {
+			val, hit, err := s.svc.GetB(fields[1], key)
+			if err != nil {
+				return false, err
+			}
+			cs.writeValueResponse(w, val, hit)
+		}
+		w.WriteString("END\r\n")
+		s.svc.mgets.Add(1)
+		return false, nil
+
+	case cmdEq(verb, "PUT"):
 		if len(fields) != 4 {
 			return false, errors.New("usage: PUT <tenant> <key> <bytes>")
 		}
-		n, convErr := strconv.Atoi(fields[3])
-		if convErr != nil || n < 0 || n > maxValueLen {
+		n, ok := parseUintB(fields[3])
+		if !ok {
 			return false, fmt.Errorf("bad value length %q", fields[3])
 		}
+		if n > maxValueLen {
+			// The stream cannot be resynced without draining an oversized
+			// block; refuse and close.
+			return true, fmt.Errorf("value length %d exceeds maximum %d", n, maxValueLen)
+		}
 		if len(fields[2]) > maxKeyLen {
+			// Validation failed but the declared value block is still on
+			// the wire: drain it so the next line parses as a command.
+			if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+				return true, errors.New("short value")
+			}
+			discardEOL(r)
 			return false, errors.New("key too long")
 		}
-		val := make([]byte, n)
+		// The payload read below invalidates the read buffer the fields
+		// alias; copy tenant and key out first.
+		cs.tenant = append(cs.tenant[:0], fields[1]...)
+		cs.key = append(cs.key[:0], fields[2]...)
+		if cap(cs.val) < n {
+			cs.val = make([]byte, n)
+		}
+		val := cs.val[:n]
 		if _, err := io.ReadFull(r, val); err != nil {
 			return true, errors.New("short value")
 		}
 		discardEOL(r)
-		if err := s.svc.Put(fields[1], fields[2], val); err != nil {
+		if err := s.svc.PutB(cs.tenant, cs.key, val); err != nil {
 			return false, err
 		}
 		w.WriteString("STORED\r\n")
 		return false, nil
 
-	case "DEL":
+	case cmdEq(verb, "DEL"):
 		if len(fields) != 3 {
 			return false, errors.New("usage: DEL <tenant> <key>")
 		}
-		present, err := s.svc.Delete(fields[1], fields[2])
+		present, err := s.svc.DeleteB(fields[1], fields[2])
 		if err != nil {
 			return false, err
 		}
@@ -179,29 +399,31 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit b
 		}
 		return false, nil
 
-	case "TENANT":
+	case cmdEq(verb, "TENANT"):
 		if len(fields) < 2 {
 			return false, errors.New("usage: TENANT ADD|DEL|LIST ...")
 		}
-		switch strings.ToUpper(fields[1]) {
-		case "ADD":
+		switch sub := fields[1]; {
+		case cmdEq(sub, "ADD"):
 			if len(fields) != 3 {
 				return false, errors.New("usage: TENANT ADD <name>")
 			}
-			part, err := s.svc.AddTenant(fields[2])
+			part, err := s.svc.AddTenant(string(fields[2]))
 			if err != nil {
 				return false, err
 			}
-			fmt.Fprintf(w, "OK %d\r\n", part)
-		case "DEL":
+			w.WriteString("OK ")
+			cs.writeUint(w, part)
+			w.WriteString("\r\n")
+		case cmdEq(sub, "DEL"):
 			if len(fields) != 3 {
 				return false, errors.New("usage: TENANT DEL <name>")
 			}
-			if err := s.svc.RemoveTenant(fields[2]); err != nil {
+			if err := s.svc.RemoveTenant(string(fields[2])); err != nil {
 				return false, err
 			}
 			w.WriteString("OK\r\n")
-		case "LIST":
+		case cmdEq(sub, "LIST"):
 			for _, ts := range s.svc.Stats().Tenants {
 				fmt.Fprintf(w, "TENANT %s %d\r\n", ts.Name, ts.Partition)
 			}
@@ -211,14 +433,14 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit b
 		}
 		return false, nil
 
-	case "STATS":
+	case cmdEq(verb, "STATS"):
 		if len(fields) > 2 {
 			return false, errors.New("usage: STATS [<tenant>]")
 		}
 		st := s.svc.Stats()
 		if len(fields) == 2 {
 			for _, ts := range st.Tenants {
-				if ts.Name == fields[1] {
+				if ts.Name == string(fields[1]) {
 					writeTenantStats(w, "", ts)
 					w.WriteString("END\r\n")
 					return false, nil
@@ -227,7 +449,9 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit b
 			return false, fmt.Errorf("unknown tenant %q", fields[1])
 		}
 		fmt.Fprintf(w, "STAT ops %d\r\n", st.Ops)
+		fmt.Fprintf(w, "STAT mgets %d\r\n", st.MGets)
 		fmt.Fprintf(w, "STAT repartitions %d\r\n", st.Repartitions)
+		fmt.Fprintf(w, "STAT umon_drains %d\r\n", st.UMONDrains)
 		fmt.Fprintf(w, "STAT shards %d\r\n", st.Shards)
 		fmt.Fprintf(w, "STAT cache_lines %d\r\n", st.TotalLines)
 		fmt.Fprintf(w, "STAT store_entries %d\r\n", st.StoreEntries)
@@ -240,11 +464,11 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit b
 		w.WriteString("END\r\n")
 		return false, nil
 
-	case "PING":
+	case cmdEq(verb, "PING"):
 		w.WriteString("PONG\r\n")
 		return false, nil
 
-	case "QUIT":
+	case cmdEq(verb, "QUIT"):
 		w.WriteString("BYE\r\n")
 		return true, nil
 

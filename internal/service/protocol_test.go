@@ -168,6 +168,120 @@ func TestProtocolRoundTrip(t *testing.T) {
 	}
 }
 
+// readValue asserts a "VALUE <n>" header followed by the body.
+func (c *testClient) readValue(want string) {
+	c.t.Helper()
+	if got := c.line(); got != fmt.Sprintf("VALUE %d", len(want)) {
+		c.t.Fatalf("value header: got %q want VALUE %d", got, len(want))
+	}
+	body := make([]byte, len(want)+2)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		c.t.Fatal(err)
+	}
+	if string(body) != want+"\r\n" {
+		c.t.Fatalf("value body: got %q want %q", body, want+"\r\n")
+	}
+}
+
+func TestProtocolMGET(t *testing.T) {
+	_, srv := newTestServer(t)
+	c := dialTest(t, srv.Addr().String())
+	c.expect("TENANT ADD alice", "OK 0")
+	c.sendRaw("PUT alice k1 4\r\naaaa\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("PUT k1: %q", got)
+	}
+	c.sendRaw("PUT alice k3 2\r\ncc\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("PUT k3: %q", got)
+	}
+
+	// Responses arrive in key order: hit, miss, hit, then END.
+	c.send("MGET alice 3 k1 k2 k3")
+	c.readValue("aaaa")
+	if got := c.line(); got != "MISS" {
+		t.Fatalf("k2: got %q want MISS", got)
+	}
+	c.readValue("cc")
+	if got := c.line(); got != "END" {
+		t.Fatalf("terminator: got %q want END", got)
+	}
+
+	// Errors are a single ERR line — no partial response — and the
+	// connection stays usable.
+	c.expect("MGET alice 2 k1", "ERR MGET count 2 does not match 1 keys")
+	c.expect("MGET alice 0", `ERR bad MGET count "0" (max 1024)`)
+	c.expect("MGET alice", "ERR usage: MGET <tenant> <count> <key...>")
+	c.expect("MGET nobody 1 k1", `ERR service: unknown tenant "nobody"`)
+	c.expect("PING", "PONG")
+}
+
+// TestProtocolPipelining sends a batch of commands in one write and checks
+// all responses come back in order — the deferred-flush dispatcher must not
+// stall a response waiting for more input.
+func TestProtocolPipelining(t *testing.T) {
+	_, srv := newTestServer(t)
+	c := dialTest(t, srv.Addr().String())
+	c.expect("TENANT ADD alice", "OK 0")
+
+	c.sendRaw("PUT alice p1 3\r\nabc\r\n" +
+		"GET alice p1\r\n" +
+		"GET alice nosuch\r\n" +
+		"MGET alice 2 p1 nosuch\r\n" +
+		"PING\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("pipelined PUT: %q", got)
+	}
+	c.readValue("abc")
+	if got := c.line(); got != "MISS" {
+		t.Fatalf("pipelined GET miss: %q", got)
+	}
+	c.readValue("abc")
+	if got := c.line(); got != "MISS" {
+		t.Fatalf("pipelined MGET miss: %q", got)
+	}
+	if got := c.line(); got != "END" {
+		t.Fatalf("pipelined MGET terminator: %q", got)
+	}
+	if got := c.line(); got != "PONG" {
+		t.Fatalf("pipelined PING: %q", got)
+	}
+}
+
+// TestProtocolPutKeyTooLongKeepsStream covers the PUT desync bug: a PUT whose
+// key fails validation must still consume its declared value block. Before
+// the fix the handler returned the error with the payload unread, so the
+// payload bytes were parsed as commands — here "XXXXX" would produce a second
+// spurious ERR and desync every later response.
+func TestProtocolPutKeyTooLongKeepsStream(t *testing.T) {
+	_, srv := newTestServer(t)
+	c := dialTest(t, srv.Addr().String())
+	c.expect("TENANT ADD alice", "OK 0")
+
+	longKey := strings.Repeat("k", maxKeyLen+1)
+	c.sendRaw("PUT alice " + longKey + " 5\r\nXXXXX\r\n")
+	if got := c.line(); got != "ERR key too long" {
+		t.Fatalf("oversized-key PUT: got %q", got)
+	}
+	// The stream is still in sync: the payload was drained, not re-parsed.
+	c.expect("PING", "PONG")
+	c.sendRaw("PUT alice ok 2\r\nhi\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("PUT after drained error: %q", got)
+	}
+
+	// An oversized value length cannot be drained; the server refuses and
+	// closes the connection.
+	c2 := dialTest(t, srv.Addr().String())
+	c2.send(fmt.Sprintf("PUT alice k %d", maxValueLen+1))
+	if got := c2.line(); !strings.HasPrefix(got, "ERR value length") {
+		t.Fatalf("oversized-value PUT: got %q", got)
+	}
+	if _, err := c2.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after oversized-value PUT")
+	}
+}
+
 func TestProtocolGracefulClose(t *testing.T) {
 	svc := newTestService(t, Config{Shards: 1, LinesPerShard: 256, MaxTenants: 2, Seed: 10})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")

@@ -17,10 +17,26 @@
 // GET stream (the read stream defines utility; PUTs are the fill path), and
 // a background goroutine reruns Lookahead every RepartitionInterval.
 //
-// Concurrency model: one mutex per shard serializes that shard's controller,
-// monitors, and store; the tenant registry has its own RWMutex; per-tenant
-// request counters are atomics. The repartition loop takes shard locks one
-// at a time, so reconfiguration never stops the world.
+// Concurrency model: each shard has two locks. sh.mu serializes the shard's
+// controller and value store — these stay coupled under one lock because
+// the install/evict path must atomically pair a tag change with the store
+// mutation. sh.umu guards the UCP monitors and a fixed-size ring of sampled
+// GET addresses: the request path only appends to the ring (a few stores),
+// and the expensive UMON auxiliary-tag walks happen when the ring drains —
+// in the repartition loop, or inline when the ring fills. The tenant
+// registry is a copy-on-write snapshot behind an atomic pointer, so the
+// request path resolves tenants without any lock; registry mutations
+// serialize on a writers-only mutex. Per-tenant request counters are
+// atomics. The repartition loop takes shard locks one at a time, so
+// reconfiguration never stops the world.
+//
+// The request path is allocation-free in steady state: GET returns the
+// stored slice without copying (callers must treat it as immutable — every
+// PUT installs a freshly copied value, so returned slices are stable
+// snapshots), the address computation mixes the key once and shares the
+// mixed hash between shard routing and the UMON, and the byte-slice
+// variants (GetB/PutB/DeleteB) let protocol handlers avoid key/tenant
+// string conversions entirely.
 package service
 
 import (
@@ -100,16 +116,70 @@ type entry struct {
 	val []byte
 }
 
+// umonSample is one deferred UMON access: the line address plus its Mix64,
+// computed once on the request path and reused at drain time.
+type umonSample struct {
+	addr  uint64
+	mixed uint64
+	part  int32
+}
+
+// umonRingSize is the per-shard capacity of the deferred-UMON ring. When
+// the ring fills between repartitions, the producer drains it inline, so no
+// sample is ever dropped and per-partition feed order is preserved — the
+// monitor state at allocation time is identical to feeding synchronously.
+const umonRingSize = 4096
+
 // shard is one bank of the service: a Vantage controller over a zcache tag
-// array, the UCP monitors fed by its GET stream, and the value store. mu
-// guards every field.
+// array plus the value store (both guarded by mu), and the UCP monitors
+// plus their deferred-access ring (guarded by umu).
 type shard struct {
 	mu      sync.Mutex
 	ctl     *core.Controller
-	alloc   *ucp.Policy
 	store   map[uint64]entry
 	managed int // partitionable lines (capacity minus unmanaged target)
 	snap    []ctrl.PartitionSnapshot
+
+	umu    sync.Mutex
+	alloc  *ucp.Policy
+	ring   []umonSample
+	ringN  int
+	drains uint64
+}
+
+// observe queues one GET address for the shard's UMONs. Appending is a few
+// stores under umu; the auxiliary-tag walk happens at drain time, off the
+// tag/store critical path.
+func (sh *shard) observe(part int, addr, mixed uint64) {
+	sh.umu.Lock()
+	if sh.ringN == len(sh.ring) {
+		sh.drainLocked()
+	}
+	sh.ring[sh.ringN] = umonSample{addr: addr, mixed: mixed, part: int32(part)}
+	sh.ringN++
+	sh.umu.Unlock()
+}
+
+// drainLocked feeds every queued sample into the UMONs. Caller holds umu.
+func (sh *shard) drainLocked() {
+	for i := 0; i < sh.ringN; i++ {
+		s := &sh.ring[i]
+		sh.alloc.AccessMixed(int(s.part), s.addr, s.mixed)
+	}
+	if sh.ringN > 0 {
+		sh.drains++
+	}
+	sh.ringN = 0
+}
+
+// registry is an immutable snapshot of the tenant population. The request
+// path reads it through an atomic pointer; mutations build a fresh copy
+// under Service.regMu. byPart entries may outlive their tenants map entry:
+// RemoveTenant keeps the slot reserved until the purge completes, so a
+// concurrent AddTenant can never claim a slot whose cleanup is in flight.
+type registry struct {
+	tenants map[string]*Tenant
+	byPart  []*Tenant
 }
 
 // Service is a sharded multi-tenant key-value cache driven by Vantage
@@ -120,17 +190,22 @@ type Service struct {
 	route  *hash.H3
 	mask   uint64
 
-	mu      sync.RWMutex // guards tenants and byPart
-	tenants map[string]*Tenant
-	byPart  []*Tenant
+	reg   atomic.Pointer[registry]
+	regMu sync.Mutex // serializes registry writers
 
 	ops          atomic.Uint64
+	mgets        atomic.Uint64
 	repartitions atomic.Uint64
 
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
 	start  time.Time
+
+	// removePurgeHook, when non-nil, runs between RemoveTenant's
+	// unregistration and its purge — a test seam for the slot-reservation
+	// ordering. Always nil in production.
+	removePurgeHook func()
 }
 
 // New returns a running Service. If cfg.RepartitionInterval > 0 a background
@@ -147,14 +222,16 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: %d lines per shard too small for %d tenants", cfg.LinesPerShard, cfg.MaxTenants)
 	}
 	s := &Service{
-		cfg:     cfg,
-		route:   hash.NewH3(16, hash.Mix64(cfg.Seed^0xbabe)),
-		mask:    uint64(cfg.Shards - 1),
+		cfg:   cfg,
+		route: hash.NewH3(16, hash.Mix64(cfg.Seed^0xbabe)),
+		mask:  uint64(cfg.Shards - 1),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	s.reg.Store(&registry{
 		tenants: make(map[string]*Tenant),
 		byPart:  make([]*Tenant, cfg.MaxTenants),
-		done:    make(chan struct{}),
-		start:   time.Now(),
-	}
+	})
 	for i := 0; i < cfg.Shards; i++ {
 		seed := hash.Mix64(cfg.Seed ^ uint64(i)*0x9e3779b97f4a7c15)
 		arr := cache.NewZCache(cfg.LinesPerShard, cfg.Ways, cfg.Candidates, seed)
@@ -174,6 +251,7 @@ func New(cfg Config) (*Service, error) {
 			alloc:   ucp.NewPolicy(cfg.MaxTenants, cfg.MonitorWays, cfg.LinesPerShard, ucp.GranLines, seed^0xa110c),
 			store:   make(map[uint64]entry, cfg.LinesPerShard),
 			managed: cfg.LinesPerShard - unmanaged,
+			ring:    make([]umonSample, umonRingSize),
 		})
 	}
 	// No tenants yet: park every partition at target 0 until traffic arrives.
@@ -204,18 +282,37 @@ func (s *Service) Config() Config { return s.cfg }
 // TotalLines returns the service's total capacity in lines.
 func (s *Service) TotalLines() int { return s.cfg.Shards * s.cfg.LinesPerShard }
 
-// addrOf maps a tenant partition and key to a line address: the tenant
-// selects a disjoint 40-bit address space (the idiom internal/sim uses for
-// per-core spaces), the key hash the line within it.
-func addrOf(part int, key string) uint64 {
-	// FNV-1a, then a SplitMix64 finalizer: H3 routing downstream needs
-	// well-mixed input bits.
+// fnv1a is FNV-1a over the key bytes; addrOf/addrOfB finish it with the
+// SplitMix64 finalizer because H3 routing downstream needs well-mixed input
+// bits.
+func fnv1a(key string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
-	return uint64(part+1)<<40 | hash.Mix64(h)&(1<<40-1)
+	return h
+}
+
+func fnv1aB(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// addrOf maps a tenant partition and key to a line address: the tenant
+// selects a disjoint 40-bit address space (the idiom internal/sim uses for
+// per-core spaces), the key hash the line within it.
+func addrOf(part int, key string) uint64 {
+	return uint64(part+1)<<40 | hash.Mix64(fnv1a(key))&(1<<40-1)
+}
+
+// addrOfB is addrOf for byte-slice keys.
+func addrOfB(part int, key []byte) uint64 {
+	return uint64(part+1)<<40 | hash.Mix64(fnv1aB(key))&(1<<40-1)
 }
 
 // shardOf routes an address to its shard (ctrl.Banked's bankOf).
@@ -226,25 +323,62 @@ func (s *Service) shardOf(addr uint64) *shard {
 // Get looks key up in tenant's partition. It returns the stored value and
 // whether it hit; a miss does not install anything (the caller is expected
 // to fetch from its origin and Put, the cache-aside pattern).
+//
+// The returned slice aliases the store and must not be modified. It is a
+// stable snapshot: overwrites install fresh copies, so a slice returned
+// here is never mutated afterwards.
 func (s *Service) Get(tenant, key string) ([]byte, bool, error) {
-	t, err := s.tenant(tenant)
-	if err != nil {
-		return nil, false, err
+	t := s.reg.Load().tenants[tenant]
+	if t == nil {
+		return nil, false, fmt.Errorf("service: unknown tenant %q", tenant)
 	}
 	addr := addrOf(t.part, key)
-	sh := s.shardOf(addr)
+	mixed := hash.Mix64(addr)
+	sh := s.shards[s.route.Hash(mixed)&s.mask]
 	var val []byte
 	hit := false
 	sh.mu.Lock()
-	sh.alloc.Access(t.part, addr) // UMON-DSS sees the live read stream
-	if _, ok := sh.ctl.Array().Lookup(addr); ok {
-		sh.ctl.Access(addr, t.part) // refresh recency; counted as a hit
-		if e, ok := sh.store[addr]; ok && e.key == key {
-			val = append([]byte(nil), e.val...)
-			hit = true
-		}
+	if e, ok := sh.store[addr]; ok && e.key == key {
+		// Tag presence is implied: a stored entry's tag can only leave the
+		// array via eviction, which purges the entry. Refresh recency for
+		// real hits only — a dead tag (deleted key, or a 40-bit collision
+		// with a different key) must age out like any cold line, so it is
+		// deliberately not promoted here.
+		sh.ctl.Access(addr, t.part)
+		val, hit = e.val, true
 	}
 	sh.mu.Unlock()
+	sh.observe(t.part, addr, mixed) // UMON-DSS sees the live read stream
+	s.ops.Add(1)
+	t.gets.Add(1)
+	if hit {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+	return val, hit, nil
+}
+
+// GetB is Get with byte-slice tenant and key, for protocol handlers that
+// parse requests into shared buffers; it performs no allocation on any
+// path but the unknown-tenant error.
+func (s *Service) GetB(tenant, key []byte) ([]byte, bool, error) {
+	t := s.reg.Load().tenants[string(tenant)]
+	if t == nil {
+		return nil, false, fmt.Errorf("service: unknown tenant %q", tenant)
+	}
+	addr := addrOfB(t.part, key)
+	mixed := hash.Mix64(addr)
+	sh := s.shards[s.route.Hash(mixed)&s.mask]
+	var val []byte
+	hit := false
+	sh.mu.Lock()
+	if e, ok := sh.store[addr]; ok && e.key == string(key) {
+		sh.ctl.Access(addr, t.part)
+		val, hit = e.val, true
+	}
+	sh.mu.Unlock()
+	sh.observe(t.part, addr, mixed)
 	s.ops.Add(1)
 	t.gets.Add(1)
 	if hit {
@@ -256,11 +390,12 @@ func (s *Service) Get(tenant, key string) ([]byte, bool, error) {
 }
 
 // Put stores val under key in tenant's partition, evicting whatever line
-// the Vantage replacement process selects if the shard is full.
+// the Vantage replacement process selects if the shard is full. The value
+// is copied; the caller may reuse val.
 func (s *Service) Put(tenant, key string, val []byte) error {
-	t, err := s.tenant(tenant)
-	if err != nil {
-		return err
+	t := s.reg.Load().tenants[tenant]
+	if t == nil {
+		return fmt.Errorf("service: unknown tenant %q", tenant)
 	}
 	addr := addrOf(t.part, key)
 	sh := s.shardOf(addr)
@@ -280,14 +415,44 @@ func (s *Service) Put(tenant, key string, val []byte) error {
 	return nil
 }
 
+// PutB is Put with byte-slice tenant, key, and value. Key and value are
+// copied as needed; on an overwrite of the same key the stored key string
+// is reused, so steady-state overwrites allocate only the value copy.
+func (s *Service) PutB(tenant, key, val []byte) error {
+	t := s.reg.Load().tenants[string(tenant)]
+	if t == nil {
+		return fmt.Errorf("service: unknown tenant %q", tenant)
+	}
+	addr := addrOfB(t.part, key)
+	sh := s.shardOf(addr)
+	v := append([]byte(nil), val...)
+	sh.mu.Lock()
+	res := sh.ctl.Access(addr, t.part)
+	if res.EvictedValid {
+		delete(sh.store, res.Evicted)
+	}
+	if e, ok := sh.store[addr]; ok && e.key == string(key) {
+		sh.store[addr] = entry{key: e.key, val: v}
+	} else {
+		sh.store[addr] = entry{key: string(key), val: v}
+	}
+	sh.mu.Unlock()
+	s.ops.Add(1)
+	t.puts.Add(1)
+	if res.ForcedManagedEviction {
+		t.forced.Add(1)
+	}
+	return nil
+}
+
 // Delete removes key's value from tenant's partition, reporting whether it
 // was present. The tag line is left to age out of the array (the controller
 // has no invalidation path; a dead tag is demoted and evicted like any cold
 // line), so occupancy decays rather than dropping instantly.
 func (s *Service) Delete(tenant, key string) (bool, error) {
-	t, err := s.tenant(tenant)
-	if err != nil {
-		return false, err
+	t := s.reg.Load().tenants[tenant]
+	if t == nil {
+		return false, fmt.Errorf("service: unknown tenant %q", tenant)
 	}
 	addr := addrOf(t.part, key)
 	sh := s.shardOf(addr)
@@ -302,20 +467,42 @@ func (s *Service) Delete(tenant, key string) (bool, error) {
 	return present, nil
 }
 
-// Repartition reruns UCP once on every shard: each shard's Lookahead
-// distributes its managed capacity among the active tenants from its own
-// UMON curves, and the Vantage controllers converge to the new targets by
-// churn-based demotion. Safe to call concurrently with requests.
+// DeleteB is Delete with byte-slice tenant and key.
+func (s *Service) DeleteB(tenant, key []byte) (bool, error) {
+	t := s.reg.Load().tenants[string(tenant)]
+	if t == nil {
+		return false, fmt.Errorf("service: unknown tenant %q", tenant)
+	}
+	addr := addrOfB(t.part, key)
+	sh := s.shardOf(addr)
+	sh.mu.Lock()
+	e, ok := sh.store[addr]
+	present := ok && e.key == string(key)
+	if present {
+		delete(sh.store, addr)
+	}
+	sh.mu.Unlock()
+	s.ops.Add(1)
+	return present, nil
+}
+
+// Repartition reruns UCP once on every shard: each shard first drains its
+// deferred-UMON ring (so the monitors reflect the full GET stream), then
+// Lookahead distributes its managed capacity among the active tenants from
+// its own UMON curves, and the Vantage controllers converge to the new
+// targets by churn-based demotion. Safe to call concurrently with requests.
 func (s *Service) Repartition() {
-	s.mu.RLock()
+	reg := s.reg.Load()
 	active := make([]bool, s.cfg.MaxTenants)
-	for _, t := range s.tenants {
+	for _, t := range reg.tenants {
 		active[t.part] = true
 	}
-	s.mu.RUnlock()
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		sh.umu.Lock()
+		sh.drainLocked()
 		targets := sh.alloc.AllocateActive(sh.managed, active)
+		sh.umu.Unlock()
+		sh.mu.Lock()
 		sh.ctl.SetTargets(targets)
 		sh.mu.Unlock()
 	}

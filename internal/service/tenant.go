@@ -7,7 +7,7 @@ import (
 
 // Tenant is one principal of the cache: a name bound to a partition slot,
 // with lifetime request counters. Counters are atomics so the request path
-// never takes the registry lock for accounting.
+// never takes a lock for accounting.
 type Tenant struct {
 	name string
 	part int
@@ -39,34 +39,52 @@ func validTenantName(name string) bool {
 	return true
 }
 
+// cloneRegistry returns a mutable deep copy of reg's containers (the
+// *Tenant values are shared; they are never mutated, only replaced).
+func cloneRegistry(reg *registry) *registry {
+	next := &registry{
+		tenants: make(map[string]*Tenant, len(reg.tenants)+1),
+		byPart:  make([]*Tenant, len(reg.byPart)),
+	}
+	for name, t := range reg.tenants {
+		next.tenants[name] = t
+	}
+	copy(next.byPart, reg.byPart)
+	return next
+}
+
 // AddTenant registers name, assigning it a free partition slot in every
 // shard, and triggers a repartitioning so the new tenant gets capacity
 // before its first UCP interval. Adding an existing tenant is idempotent
-// and returns its current slot.
+// and returns its current slot. Slots belonging to tenants whose removal
+// is still purging are not eligible (see RemoveTenant).
 func (s *Service) AddTenant(name string) (int, error) {
 	if !validTenantName(name) {
 		return 0, fmt.Errorf("service: invalid tenant name %q", name)
 	}
-	s.mu.Lock()
-	if t, ok := s.tenants[name]; ok {
-		s.mu.Unlock()
+	s.regMu.Lock()
+	reg := s.reg.Load()
+	if t, ok := reg.tenants[name]; ok {
+		s.regMu.Unlock()
 		return t.part, nil
 	}
 	part := -1
-	for p, t := range s.byPart {
+	for p, t := range reg.byPart {
 		if t == nil {
 			part = p
 			break
 		}
 	}
 	if part < 0 {
-		s.mu.Unlock()
+		s.regMu.Unlock()
 		return 0, fmt.Errorf("service: tenant limit %d reached", s.cfg.MaxTenants)
 	}
 	t := &Tenant{name: name, part: part}
-	s.tenants[name] = t
-	s.byPart[part] = t
-	s.mu.Unlock()
+	next := cloneRegistry(reg)
+	next.tenants[name] = t
+	next.byPart[part] = t
+	s.reg.Store(next)
+	s.regMu.Unlock()
 	s.Repartition()
 	return part, nil
 }
@@ -75,38 +93,63 @@ func (s *Service) AddTenant(name string) (int, error) {
 // shard (the §3.4 deletion idiom — the partition's lines drain into the
 // unmanaged region and age out), its stored values are purged, and its
 // UMON slots are reset for the next occupant.
+//
+// The partition slot stays reserved (byPart non-nil) until the purge and
+// monitor reset complete; only then is it released for reuse. A concurrent
+// AddTenant therefore can never claim a slot whose previous occupant's
+// values are still being purged — the purge would silently delete the new
+// tenant's fresh data and wipe its monitor.
 func (s *Service) RemoveTenant(name string) error {
-	s.mu.Lock()
-	t, ok := s.tenants[name]
+	s.regMu.Lock()
+	reg := s.reg.Load()
+	t, ok := reg.tenants[name]
 	if !ok {
-		s.mu.Unlock()
+		s.regMu.Unlock()
 		return fmt.Errorf("service: unknown tenant %q", name)
 	}
-	delete(s.tenants, name)
-	s.byPart[t.part] = nil
-	s.mu.Unlock()
+	// Phase 1: unregister the name so new requests fail, but keep the slot
+	// reserved while cleanup runs.
+	next := cloneRegistry(reg)
+	delete(next.tenants, name)
+	s.reg.Store(next)
+	s.regMu.Unlock()
+
+	if h := s.removePurgeHook; h != nil {
+		h()
+	}
 
 	space := uint64(t.part+1) << 40
 	for _, sh := range s.shards {
+		// Flush pending monitor samples into the outgoing tenant's UMON
+		// before resetting it, so none leak into the slot's next occupant.
+		sh.umu.Lock()
+		sh.drainLocked()
+		sh.alloc.Monitor(t.part).Reset()
+		sh.umu.Unlock()
 		sh.mu.Lock()
 		for addr := range sh.store {
 			if addr&^(1<<40-1) == space {
 				delete(sh.store, addr)
 			}
 		}
-		sh.alloc.Monitor(t.part).Reset()
 		sh.mu.Unlock()
 	}
+
+	// Phase 2: cleanup done — release the slot for reuse.
+	s.regMu.Lock()
+	next = cloneRegistry(s.reg.Load())
+	next.byPart[t.part] = nil
+	s.reg.Store(next)
+	s.regMu.Unlock()
 	s.Repartition()
 	return nil
 }
 
 // TenantNames returns the registered tenant names (unordered).
 func (s *Service) TenantNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.tenants))
-	for name := range s.tenants {
+	reg := s.reg.Load()
+	names := make([]string, 0, len(reg.tenants))
+	for name := range reg.tenants {
 		names = append(names, name)
 	}
 	return names
@@ -114,11 +157,8 @@ func (s *Service) TenantNames() []string {
 
 // tenant resolves a name to its Tenant.
 func (s *Service) tenant(name string) (*Tenant, error) {
-	s.mu.RLock()
-	t, ok := s.tenants[name]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("service: unknown tenant %q", name)
+	if t := s.reg.Load().tenants[name]; t != nil {
+		return t, nil
 	}
-	return t, nil
+	return nil, fmt.Errorf("service: unknown tenant %q", name)
 }

@@ -77,7 +77,15 @@ func (u *UMON) SampledSets() int { return u.sampled }
 // Access feeds one address from the monitored core's access stream. Only
 // addresses mapping to sampled sets touch the auxiliary tags.
 func (u *UMON) Access(addr uint64) {
-	hv := u.h.Hash(hash.Mix64(addr))
+	u.AccessMixed(addr, hash.Mix64(addr))
+}
+
+// AccessMixed is Access with the Mix64 finalizer already applied to addr.
+// Serving layers that route the same address through several hashed
+// structures (shard routing, the controller's array, the UMON) compute the
+// mix once and share it; the result is identical to Access(addr).
+func (u *UMON) AccessMixed(addr, mixed uint64) {
+	hv := u.h.Hash(mixed)
 	modelSet := int(hv) & (u.totalSets - 1)
 	if modelSet%u.ratio != 0 {
 		return
@@ -284,6 +292,12 @@ func NewPolicy(parts, ways, cacheLines int, gran Granularity, seed uint64) *Poli
 
 // Access feeds one address of partition part's access stream into its UMON.
 func (p *Policy) Access(part int, addr uint64) { p.monitors[part].Access(addr) }
+
+// AccessMixed is Access with the Mix64 finalizer already applied to addr
+// (see UMON.AccessMixed).
+func (p *Policy) AccessMixed(part int, addr, mixed uint64) {
+	p.monitors[part].AccessMixed(addr, mixed)
+}
 
 // Monitor exposes partition part's UMON (for tests and instrumentation).
 func (p *Policy) Monitor(part int) *UMON { return p.monitors[part] }

@@ -77,6 +77,27 @@ func TestUMONSamplingReducesAccesses(t *testing.T) {
 	}
 }
 
+func TestUMONAccessMixedMatchesAccess(t *testing.T) {
+	// AccessMixed with the caller-computed Mix64 must be observationally
+	// identical to Access: same sampling decisions, same hit curve.
+	a := NewUMON(16, 2048, 64, 17)
+	b := NewUMON(16, 2048, 64, 17)
+	for i := 0; i < 50000; i++ {
+		addr := hash.Mix64(uint64(i)) % 4096
+		a.Access(addr)
+		b.AccessMixed(addr, hash.Mix64(addr))
+	}
+	if a.Accesses() != b.Accesses() {
+		t.Fatalf("sampled access counts differ: %d vs %d", a.Accesses(), b.Accesses())
+	}
+	ca, cb := a.HitCurve(), b.HitCurve()
+	for w := range ca {
+		if ca[w] != cb[w] {
+			t.Fatalf("hit curves differ at way %d: %d vs %d", w, ca[w], cb[w])
+		}
+	}
+}
+
 func TestUMONDecay(t *testing.T) {
 	u := NewUMON(4, 64, 64, 13)
 	for i := 0; i < 1000; i++ {
