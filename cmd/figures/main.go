@@ -6,8 +6,11 @@
 // Usage:
 //
 //	figures [-fig 1|2|5] [-table 1|2|state] [-csv dir] [-all]
+//	        [-cpuprofile file] [-memprofile file]
 //
-// With -csv, the figure data is also written as CSV files into dir.
+// With -csv, the figure data is also written as CSV files into dir. The
+// profiling flags write pprof CPU and heap profiles covering the figure
+// regeneration, for chasing regressions in the analytical kernels.
 package main
 
 import (
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"vantage/internal/exp"
 )
@@ -24,7 +29,38 @@ func main() {
 	table := flag.String("table", "", "table to print (1, 2 or state)")
 	csvDir := flag.String("csv", "", "directory to write CSV data into")
 	all := flag.Bool("all", false, "print every analytical figure and table")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to `file` on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if !*all && *fig == 0 && *table == "" {
 		*all = true

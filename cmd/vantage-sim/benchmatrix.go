@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vantage/internal/exp"
+)
+
+// simBenchRow is one matrix cell in BENCH_sim.json: a full sim.Run of one
+// mix on one machine/scheme configuration.
+type simBenchRow struct {
+	Name        string  `json:"name"`
+	Cores       int     `json:"cores"`
+	L1Lines     int     `json:"l1_lines"`
+	L2Lines     int     `json:"l2_lines"`
+	UCP         bool    `json:"ucp"`
+	Accesses    uint64  `json:"accesses"`
+	Seconds     float64 `json:"seconds"`
+	NsPerAccess float64 `json:"ns_per_access"`
+	Throughput  float64 `json:"sim_throughput"` // ΣIPC, a correctness canary
+}
+
+// simBenchReport is the BENCH_sim.json schema, mirroring the service
+// benchmark report (cmd/vantaged).
+type simBenchReport struct {
+	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
+	Scale     string        `json:"scale"`
+	Results   []simBenchRow `json:"results"`
+}
+
+// runSimBenchMatrix times the simulator kernel across the standard matrix —
+// {4-core, 32-core} × {with L1s, without} × {shared LRU, Vantage+UCP} — and
+// writes the report to path. Each cell is one complete sim.Run; ns_per_access
+// divides wall time by the measurement-window memory references.
+func runSimBenchMatrix(path, scaleName string, sc exp.Scale) error {
+	rep := simBenchReport{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Scale:     scaleName,
+	}
+
+	machines := []struct {
+		name string
+		m    exp.Machine
+	}{
+		{"4core", exp.SmallCMP(sc)},
+		{"32core", exp.LargeCMP(sc)},
+	}
+	schemes := []struct {
+		name string
+		sch  exp.Scheme
+		ucp  bool
+	}{
+		{"LRU", exp.LRUBaseline(), false},
+		{"Vantage-UCP", exp.DefaultVantageScheme(), true},
+	}
+
+	for _, mc := range machines {
+		for _, noL1 := range []bool{false, true} {
+			m := mc.m
+			l1 := "L1"
+			if noL1 {
+				m.L1Lines, m.L1Ways = 0, 0
+				l1 = "noL1"
+			}
+			mix := m.Mixes(1)[0]
+			for _, sc := range schemes {
+				start := time.Now()
+				res := m.RunMix(mix, sc.sch)
+				secs := time.Since(start).Seconds()
+				accesses := uint64(0)
+				for _, c := range res.Cores {
+					accesses += c.L1Accesses
+				}
+				row := simBenchRow{
+					Name:       fmt.Sprintf("%s/%s/%s", mc.name, l1, sc.name),
+					Cores:      m.Cores,
+					L1Lines:    m.L1Lines,
+					L2Lines:    m.L2Lines,
+					UCP:        sc.ucp,
+					Accesses:   accesses,
+					Seconds:    secs,
+					Throughput: res.Throughput,
+				}
+				if accesses > 0 {
+					row.NsPerAccess = secs * 1e9 / float64(accesses)
+				}
+				rep.Results = append(rep.Results, row)
+				fmt.Fprintf(os.Stderr, "vantage-sim bench: %s: %.2fs (%.0f ns/access)\n",
+					row.Name, row.Seconds, row.NsPerAccess)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

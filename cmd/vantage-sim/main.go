@@ -10,6 +10,7 @@
 //
 // Configs: all (full report), fig6a, fig6b, fig7, fig8, fig9, fig10, fig11,
 // table3, validation,
+// bench (kernel timing matrix written to BENCH_sim.json),
 // fairness (weighted/harmonic speedup metrics, §5's footnote), assoc
 // (empirical associativity CDFs vs FA(x)=x^R), transient (resize
 // convergence speed, the Fig 8 adaptation claim).
@@ -33,6 +34,7 @@ func main() {
 	mixes := flag.Int("mixes", 35, "number of mixes (350 = paper)")
 	csvDir := flag.String("csv", "", "directory to write CSV data into")
 	mixID := flag.String("mix", "ttnn4", "mix for -config fig8")
+	benchOut := flag.String("o", "BENCH_sim.json", "output path for -config bench")
 	contention := flag.Bool("contention", false, "model L2 banks and memory bandwidth (Table 2)")
 	partition := flag.Int("partition", 0, "partition to trace for -config fig8")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -168,6 +170,12 @@ func main() {
 		m := applyContention(exp.SmallCMP(sc))
 		r := exp.RunAssociativity(nil, m.L2Lines, 8000, m.Seed)
 		fmt.Println(r.Table())
+	case "bench":
+		if err := runSimBenchMatrix(*benchOut, *scale, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "vantage-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *benchOut)
 	case "fairness":
 		m := applyContention(exp.SmallCMP(sc))
 		r := exp.RunFairness(m, exp.LRUBaseline(),

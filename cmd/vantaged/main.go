@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	vantaged [-listen :7171] [-metrics :7172] [flags]
+//	vantaged [-listen :7171] [-metrics :7172] [-pprof] [flags]
 //	vantaged bench [-addr host:port] [flags]
 //
 // The daemon speaks a memcached-style text protocol (GET/PUT/DEL, TENANT
@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,6 +54,7 @@ func main() {
 	repartition := flag.Duration("repartition", 250*time.Millisecond, "online UCP repartition interval")
 	seed := flag.Uint64("seed", 2011, "hash seed (perturbs shard routing, arrays, monitors)")
 	tenants := flag.String("tenants", "", "comma-separated tenant names to pre-register")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the metrics address")
 	flag.Parse()
 
 	svc, err := service.New(service.Config{
@@ -96,6 +98,17 @@ func main() {
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		if *pprofOn {
+			// Opt-in: the handlers expose stack traces and timings, so they
+			// are off unless explicitly requested, and the explicit mux keeps
+			// them off http.DefaultServeMux.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			fmt.Fprintf(os.Stderr, "vantaged: pprof on http://%s/debug/pprof/\n", *metrics)
+		}
 		httpSrv = &http.Server{Addr: *metrics, Handler: mux}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -63,6 +63,35 @@ type Array interface {
 	Name() string
 }
 
+// LinesAccessor is implemented by arrays that can expose their backing line
+// store as a flat slice. Controllers that scan many candidates per miss
+// resolve it once at construction and index the slice directly, instead of
+// paying an interface call to Line per candidate. The slice aliases the
+// array's own storage (arrays never reallocate it), so a.Lines()[id] and
+// a.Line(id) are always the same line.
+type LinesAccessor interface {
+	Lines() []Line
+}
+
+// MixedArray is implemented by arrays whose indexing consumes the address
+// through the hash.Mix64 finalizer (hashed set-associative arrays and
+// zcaches, which mix the address before their H3 hashes). Callers that route
+// one address through several such structures — the simulator threads each
+// post-L1 reference through the UMON feed, the L2 controller, and the array —
+// compute the mix once and pass it down, instead of re-mixing in every layer.
+// Mix64 is a pure function, so for mixed == hash.Mix64(addr) each method is
+// bit-for-bit identical to its unmixed counterpart; unhashed arrays ignore
+// mixed entirely.
+type MixedArray interface {
+	Array
+	// LookupMixed is Lookup with the Mix64 of addr precomputed.
+	LookupMixed(addr, mixed uint64) (LineID, bool)
+	// CandidatesMixed is Candidates with the Mix64 of addr precomputed.
+	CandidatesMixed(addr, mixed uint64, buf []LineID) []LineID
+	// InstallMixed is Install with the Mix64 of addr precomputed.
+	InstallMixed(addr, mixed uint64, victim LineID) (id LineID, relocated int)
+}
+
 // Relocator is implemented by arrays that move lines between slots during
 // Install (zcaches). Policies and schemes that keep per-LineID state must
 // observe moves to keep their state attached to the logical line.

@@ -48,6 +48,9 @@ func (a *RandomCands) Name() string { return a.name }
 // Line implements Array.
 func (a *RandomCands) Line(id LineID) *Line { return &a.lines[id] }
 
+// Lines implements LinesAccessor.
+func (a *RandomCands) Lines() []Line { return a.lines }
+
 // Lookup implements Array.
 func (a *RandomCands) Lookup(addr uint64) (LineID, bool) {
 	id, ok := a.index[addr]

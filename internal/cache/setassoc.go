@@ -14,9 +14,14 @@ import (
 // On a miss, the replacement candidates are exactly the ways of the indexed
 // set.
 type SetAssoc struct {
-	sets   int
-	ways   int
-	lines  []Line
+	sets  int
+	ways  int
+	lines []Line
+	// tags mirrors the lines' addresses in a packed array so the lookup scan
+	// touches 8 bytes per way instead of a whole Line record; a tag match is
+	// confirmed against the line's Valid bit (invalidated slots keep a zero
+	// tag, which can collide with address zero but never pass that check).
+	tags   []uint64
 	h      *hash.H3 // nil => low-bits indexing
 	name   string
 	setBuf []LineID
@@ -38,6 +43,7 @@ func NewSetAssoc(numLines, ways int, hashed bool, seed uint64) *SetAssoc {
 		sets:  sets,
 		ways:  ways,
 		lines: make([]Line, numLines),
+		tags:  make([]uint64, numLines),
 		name:  fmt.Sprintf("SA%d", ways),
 	}
 	if hashed {
@@ -61,12 +67,24 @@ func (a *SetAssoc) Name() string { return a.name }
 // Line implements Array.
 func (a *SetAssoc) Line(id LineID) *Line { return &a.lines[id] }
 
+// Lines implements LinesAccessor.
+func (a *SetAssoc) Lines() []Line { return a.lines }
+
 // SetIndex returns the set an address maps to. Hashed arrays mix the
 // address before the H3 hash so that workloads touching few address bits
 // still spread over every set (see ZCache.slot for the rationale).
 func (a *SetAssoc) SetIndex(addr uint64) int {
 	if a.h != nil {
 		return int(a.h.Hash(hash.Mix64(addr)))
+	}
+	return int(addr & uint64(a.sets-1))
+}
+
+// SetIndexMixed is SetIndex with the Mix64 of addr precomputed (see
+// MixedArray); unhashed arrays ignore mixed and index by low address bits.
+func (a *SetAssoc) SetIndexMixed(addr, mixed uint64) int {
+	if a.h != nil {
+		return int(a.h.Hash(mixed))
 	}
 	return int(addr & uint64(a.sets-1))
 }
@@ -82,10 +100,21 @@ func (a *SetAssoc) SlotAt(set, way int) LineID { return LineID(set*a.ways + way)
 
 // Lookup implements Array.
 func (a *SetAssoc) Lookup(addr uint64) (LineID, bool) {
-	base := a.SetIndex(addr) * a.ways
-	for w := 0; w < a.ways; w++ {
-		l := &a.lines[base+w]
-		if l.Valid && l.Addr == addr {
+	return a.scanSet(a.SetIndex(addr)*a.ways, addr)
+}
+
+// LookupMixed implements MixedArray.
+func (a *SetAssoc) LookupMixed(addr, mixed uint64) (LineID, bool) {
+	return a.scanSet(a.SetIndexMixed(addr, mixed)*a.ways, addr)
+}
+
+// scanSet finds addr among the ways starting at base, matching on the packed
+// tag array first and confirming against the line's Valid bit. The first
+// valid way holding addr wins, exactly as a scan over the Line records.
+func (a *SetAssoc) scanSet(base int, addr uint64) (LineID, bool) {
+	tags := a.tags[base : base+a.ways]
+	for w := range tags {
+		if tags[w] == addr && a.lines[base+w].Valid {
 			return LineID(base + w), true
 		}
 	}
@@ -102,14 +131,39 @@ func (a *SetAssoc) Candidates(addr uint64, buf []LineID) []LineID {
 	return buf
 }
 
+// CandidatesMixed implements MixedArray.
+func (a *SetAssoc) CandidatesMixed(addr, mixed uint64, buf []LineID) []LineID {
+	base := a.SetIndexMixed(addr, mixed) * a.ways
+	for w := 0; w < a.ways; w++ {
+		buf = append(buf, LineID(base+w))
+	}
+	return buf
+}
+
 // Install implements Array. The victim must belong to addr's set.
 func (a *SetAssoc) Install(addr uint64, victim LineID) (LineID, int) {
 	if a.SetOf(victim) != a.SetIndex(addr) {
 		panic("cache: set-assoc install victim outside the address's set")
 	}
 	a.lines[victim] = Line{Addr: addr, Valid: true}
+	a.tags[victim] = addr
+	return victim, 0
+}
+
+// InstallMixed implements MixedArray.
+func (a *SetAssoc) InstallMixed(addr, mixed uint64, victim LineID) (LineID, int) {
+	if a.SetOf(victim) != a.SetIndexMixed(addr, mixed) {
+		panic("cache: set-assoc install victim outside the address's set")
+	}
+	a.lines[victim] = Line{Addr: addr, Valid: true}
+	a.tags[victim] = addr
 	return victim, 0
 }
 
 // Invalidate implements Array.
-func (a *SetAssoc) Invalidate(id LineID) { a.lines[id] = Line{} }
+func (a *SetAssoc) Invalidate(id LineID) {
+	a.lines[id] = Line{}
+	a.tags[id] = 0
+}
+
+var _ MixedArray = (*SetAssoc)(nil)

@@ -34,6 +34,7 @@ type ZCache struct {
 	epoch      uint32
 	lastAddr   uint64
 	lastValid  bool
+	pathBuf    []int32
 
 	// Statistics.
 	walks       uint64
@@ -101,6 +102,9 @@ func (z *ZCache) MaxCandidates() int { return z.maxCands }
 // Line implements Array.
 func (z *ZCache) Line(id LineID) *Line { return &z.lines[id] }
 
+// Lines implements LinesAccessor.
+func (z *ZCache) Lines() []Line { return z.lines }
+
 // SetMoveHook implements Relocator.
 func (z *ZCache) SetMoveHook(fn func(src, dst LineID)) { z.moveHook = fn }
 
@@ -125,7 +129,11 @@ func (z *ZCache) wayOf(id LineID) int { return int(id) / z.setsPerWay }
 
 // Lookup implements Array. A lookup probes one position per way.
 func (z *ZCache) Lookup(addr uint64) (LineID, bool) {
-	mixed := hash.Mix64(addr)
+	return z.LookupMixed(addr, hash.Mix64(addr))
+}
+
+// LookupMixed implements MixedArray.
+func (z *ZCache) LookupMixed(addr, mixed uint64) (LineID, bool) {
 	for w := 0; w < z.ways; w++ {
 		id := z.slotMixed(mixed, w)
 		l := &z.lines[id]
@@ -141,6 +149,11 @@ func (z *ZCache) Lookup(addr uint64) (LineID, bool) {
 // positions, capped at MaxCandidates. Invalid slots are included as
 // candidates but not expanded.
 func (z *ZCache) Candidates(addr uint64, buf []LineID) []LineID {
+	return z.CandidatesMixed(addr, hash.Mix64(addr), buf)
+}
+
+// CandidatesMixed implements MixedArray.
+func (z *ZCache) CandidatesMixed(addr, mixed uint64, buf []LineID) []LineID {
 	z.epoch++
 	if z.epoch == 0 { // wrapped: clear stamps
 		for i := range z.visited {
@@ -148,48 +161,62 @@ func (z *ZCache) Candidates(addr uint64, buf []LineID) []LineID {
 		}
 		z.epoch = 1
 	}
-	z.candSlots = z.candSlots[:0]
-	z.candParent = z.candParent[:0]
+	// The walk runs on locals (visited stamps, slot/parent lists) so the
+	// compiler keeps them in registers instead of reloading struct fields
+	// through the receiver on every push; the order of pushes — and hence
+	// the candidate list — is exactly the closure-based version's.
+	epoch := z.epoch
+	visited := z.visited
+	slots := z.candSlots[:0]
+	parents := z.candParent[:0]
+	maxCands := z.maxCands
 
-	push := func(id LineID, parent int32) bool {
-		if z.visited[id] == z.epoch {
-			return false
-		}
-		z.visited[id] = z.epoch
-		z.candSlots = append(z.candSlots, id)
-		z.candParent = append(z.candParent, parent)
-		return true
-	}
-
-	mixed := hash.Mix64(addr)
 	for w := 0; w < z.ways; w++ {
-		push(z.slotMixed(mixed, w), -1)
-		if len(z.candSlots) >= z.maxCands {
+		id := z.slotMixed(mixed, w)
+		if visited[id] != epoch {
+			visited[id] = epoch
+			slots = append(slots, id)
+			parents = append(parents, -1)
+		}
+		if len(slots) >= maxCands {
 			break
 		}
 	}
 	// BFS expansion: each valid candidate's line could live at its positions
 	// in the other ways.
-	for i := 0; i < len(z.candSlots) && len(z.candSlots) < z.maxCands; i++ {
-		id := z.candSlots[i]
+	for i := 0; i < len(slots) && len(slots) < maxCands; i++ {
+		id := slots[i]
 		l := &z.lines[id]
 		if !l.Valid {
 			continue
 		}
 		home := z.wayOf(id)
 		lm := hash.Mix64(l.Addr)
-		for w := 0; w < z.ways && len(z.candSlots) < z.maxCands; w++ {
+		for w := 0; w < z.ways && len(slots) < maxCands; w++ {
 			if w == home {
 				continue
 			}
-			push(z.slotMixed(lm, w), int32(i))
+			cid := z.slotMixed(lm, w)
+			if visited[cid] != epoch {
+				visited[cid] = epoch
+				slots = append(slots, cid)
+				parents = append(parents, int32(i))
+			}
 		}
 	}
+	z.candSlots, z.candParent = slots, parents
 
 	z.lastAddr, z.lastValid = addr, true
 	z.walks++
-	z.candsTotal += uint64(len(z.candSlots))
-	return append(buf, z.candSlots...)
+	z.candsTotal += uint64(len(slots))
+	return append(buf, slots...)
+}
+
+// InstallMixed implements MixedArray: the zcache install is driven entirely
+// by the candidate tree of the preceding Candidates call, so the mix is
+// unused and Install and InstallMixed are the same operation.
+func (z *ZCache) InstallMixed(addr, mixed uint64, victim LineID) (LineID, int) {
+	return z.Install(addr, victim)
 }
 
 // Install implements Array. The victim must come from the immediately
@@ -213,10 +240,11 @@ func (z *ZCache) Install(addr uint64, victim LineID) (LineID, int) {
 		panic("cache: zcache Install victim was not a candidate")
 	}
 	// Build the path root..victim following parent links.
-	var path []int32
+	path := z.pathBuf[:0]
 	for i := int32(vi); i >= 0; i = z.candParent[i] {
 		path = append(path, i)
 	}
+	z.pathBuf = path
 	// path is victim..root; relocate from the deep end: the line at path[k+1]
 	// (one step shallower) moves into the slot at path[k].
 	moves := 0
@@ -254,3 +282,5 @@ func (z *ZCache) Stats() (walks uint64, avgCands, avgRelocs float64) {
 
 // Invalidate implements Array.
 func (z *ZCache) Invalidate(id LineID) { z.lines[id] = Line{} }
+
+var _ MixedArray = (*ZCache)(nil)

@@ -6,10 +6,14 @@ package core
 import (
 	"vantage/internal/cache"
 	"vantage/internal/ctrl"
+	"vantage/internal/hash"
 )
 
 // Access implements ctrl.Controller.
 func (c *Controller) Access(addr uint64, part int) ctrl.AccessResult {
+	if c.marr != nil {
+		return c.AccessMixed(addr, hash.Mix64(addr), part)
+	}
 	if id, ok := c.arr.Lookup(addr); ok {
 		c.hits++
 		c.parts[part].hits++
@@ -18,14 +22,33 @@ func (c *Controller) Access(addr uint64, part int) ctrl.AccessResult {
 	}
 	c.misses++
 	c.parts[part].misses++
-	return c.replace(addr, part)
+	return c.replace(addr, 0, part)
+}
+
+// AccessMixed implements ctrl.MixedController: Access with the Mix64 of addr
+// precomputed, so the zcache probes, the candidate walk, and the install
+// share one mix instead of re-hashing per layer.
+func (c *Controller) AccessMixed(addr, mixed uint64, part int) ctrl.AccessResult {
+	if c.marr == nil {
+		return c.Access(addr, part)
+	}
+	if id, ok := c.marr.LookupMixed(addr, mixed); ok {
+		c.hits++
+		c.parts[part].hits++
+		c.onHit(id, part)
+		return ctrl.AccessResult{Hit: true}
+	}
+	c.misses++
+	c.parts[part].misses++
+	return c.replace(addr, mixed, part)
 }
 
 // onHit handles the §4.3 hit path: refresh the timestamp, tick the clock,
 // and promote unmanaged lines into the accessor's partition.
 func (c *Controller) onHit(id cache.LineID, part int) {
 	p := &c.parts[part]
-	owner := c.partOf[id]
+	m := &c.meta[id]
+	owner := m.part
 	switch {
 	case owner == c.unmanagedID:
 		// Promotion: the line rejoins the accessor's partition.
@@ -33,10 +56,10 @@ func (c *Controller) onHit(id cache.LineID, part int) {
 		p.promotedLines++
 		c.unmanagedSize--
 		if c.track {
-			c.quant[c.unmanagedID].Remove(c.ts[id])
+			c.quant[c.unmanagedID].Remove(m.ts)
 			c.quant[part].Add(p.currentTS)
 		}
-		c.partOf[id] = int16(part)
+		m.part = int16(part)
 		p.actual++
 	case int(owner) != part:
 		// Cross-partition hit (shared line): migrate to the accessor. The
@@ -44,29 +67,35 @@ func (c *Controller) onHit(id cache.LineID, part int) {
 		if owner >= 0 {
 			c.parts[owner].actual--
 			if c.track {
-				c.quant[owner].Remove(c.ts[id])
+				c.quant[owner].Remove(m.ts)
 			}
 		}
-		c.partOf[id] = int16(part)
+		m.part = int16(part)
 		p.actual++
 		if c.track {
 			c.quant[part].Add(p.currentTS)
 		}
 	default:
 		if c.track {
-			c.quant[part].Move(c.ts[id], p.currentTS)
+			c.quant[part].Move(m.ts, p.currentTS)
 		}
 	}
-	c.ts[id] = p.currentTS
+	m.ts = p.currentTS
 	if c.cfg.Mode == ModeRRIP {
-		c.rrpv[id] = 0
+		m.rrpv = 0
 	}
 	c.tick(p)
 }
 
-// replace implements the §4.3 miss path.
-func (c *Controller) replace(addr uint64, part int) ctrl.AccessResult {
-	c.candBuf = c.arr.Candidates(addr, c.candBuf[:0])
+// replace implements the §4.3 miss path. mixed is the Mix64 of addr; it is
+// consulted only when the array has a mixed fast path (c.marr != nil) —
+// generic-array callers pass 0.
+func (c *Controller) replace(addr, mixed uint64, part int) ctrl.AccessResult {
+	if c.marr != nil {
+		c.candBuf = c.marr.CandidatesMixed(addr, mixed, c.candBuf[:0])
+	} else {
+		c.candBuf = c.arr.Candidates(addr, c.candBuf[:0])
+	}
 
 	var (
 		res            ctrl.AccessResult
@@ -84,47 +113,62 @@ func (c *Controller) replace(addr uint64, part int) ctrl.AccessResult {
 		onePerPart int
 	)
 
+	// Index the backing line store directly when the array exposes it: the
+	// scan reads one line per candidate and an interface call each would
+	// dominate it. The per-line metadata, the partition table, and the
+	// loop-invariant config are hoisted into locals; demotions mutate
+	// elements through the same backing arrays, so the aliases stay exact.
+	// c.unmanagedTS is NOT hoisted: each demotion can advance it.
+	lines := c.lines
+	meta, parts := c.meta, c.parts
+	mode, unmanagedID := c.cfg.Mode, c.unmanagedID
 	for _, id := range c.candBuf {
-		line := c.arr.Line(id)
+		var line *cache.Line
+		if lines != nil {
+			line = &lines[id]
+		} else {
+			line = c.arr.Line(id)
+		}
 		if !line.Valid {
 			if freeSlot == cache.InvalidLine {
 				freeSlot = id
 			}
 			continue
 		}
-		owner := c.partOf[id]
-		if owner == c.unmanagedID {
-			age := c.unmanagedTS - c.ts[id]
+		m := &meta[id]
+		owner := m.part
+		if owner == unmanagedID {
+			age := c.unmanagedTS - m.ts
 			if !sawUnmanaged || age > bestUnmanAge {
 				bestUnmanStale, bestUnmanAge, sawUnmanaged = id, age, true
 			}
 			continue
 		}
 		q := int(owner)
-		p := &c.parts[q]
+		p := &parts[q]
 		p.candsSeen++
 		wasDemoted := false
-		if c.cfg.Mode == ModeOnePerEviction {
+		if mode == ModeOnePerEviction {
 			// Ablation (§3.3, Fig 2b): remember the best over-target
 			// candidate; exactly one is demoted after the scan.
 			if p.actual > p.target || p.target == 0 {
-				if age := int(p.currentTS - c.ts[id]); age > onePerAge {
+				if age := int(p.currentTS - m.ts); age > onePerAge {
 					onePerBest, onePerAge, onePerPart = id, age, q
 				}
 			}
 		} else if c.shouldDemote(q, id) {
 			c.demote(q, id)
 			wasDemoted = true
-			age := c.unmanagedTS - c.ts[id] // 0: just demoted
+			age := c.unmanagedTS - m.ts // 0: just demoted
 			if bestDemoted == cache.InvalidLine || age > bestDemAge {
 				bestDemoted, bestDemAge = id, age
 			}
-		} else if c.cfg.Mode == ModeRRIP && p.actual > p.target && c.rrpv[id] < 7 {
+		} else if mode == ModeRRIP && p.actual > p.target && m.rrpv < 7 {
 			// RRIP aging, restricted to over-target partitions (§6.2).
-			c.rrpv[id]++
+			m.rrpv++
 		}
 		if !wasDemoted {
-			if age := int(p.currentTS - c.ts[id]); age > fallbackAge {
+			if age := int(p.currentTS - m.ts); age > fallbackAge {
 				fallback, fallbackAge = id, age
 			}
 		}
@@ -160,36 +204,44 @@ func (c *Controller) replace(addr uint64, part int) ctrl.AccessResult {
 		if res.ForcedManagedEviction {
 			c.forcedEvictions++
 		}
-		owner := c.partOf[victim]
+		vm := &c.meta[victim]
+		owner := vm.part
 		if owner == c.unmanagedID {
 			if c.observer != nil {
-				c.observer(int(c.unmanagedID), c.quant[c.unmanagedID].EvictionPriority(c.ts[victim], c.unmanagedTS), false)
+				c.observer(int(c.unmanagedID), c.quant[c.unmanagedID].EvictionPriority(vm.ts, c.unmanagedTS), false)
 			}
 			c.unmanagedSize--
 			if c.track {
-				c.quant[c.unmanagedID].Remove(c.ts[victim])
+				c.quant[c.unmanagedID].Remove(vm.ts)
 			}
 		} else if owner >= 0 {
 			q := int(owner)
 			if c.observer != nil {
-				c.observer(q, c.quant[q].EvictionPriority(c.ts[victim], c.parts[q].currentTS), false)
+				c.observer(q, c.quant[q].EvictionPriority(vm.ts, c.parts[q].currentTS), false)
 			}
 			c.parts[q].actual--
 			if c.track {
-				c.quant[q].Remove(c.ts[victim])
+				c.quant[q].Remove(vm.ts)
 			}
 		}
-		c.partOf[victim] = -1
+		vm.part = -1
 	}
 
-	id, moves := c.arr.Install(addr, victim)
+	var id cache.LineID
+	var moves int
+	if c.marr != nil {
+		id, moves = c.marr.InstallMixed(addr, mixed, victim)
+	} else {
+		id, moves = c.arr.Install(addr, victim)
+	}
 	res.Relocations = moves
 
 	p := &c.parts[part]
-	c.partOf[id] = int16(part)
-	c.ts[id] = p.currentTS
+	im := &c.meta[id]
+	im.part = int16(part)
+	im.ts = p.currentTS
 	if c.cfg.Mode == ModeRRIP {
-		c.rrpv[id] = c.insertRRPV(part)
+		im.rrpv = c.insertRRPV(part)
 	}
 	p.actual++
 	p.insertions++

@@ -57,11 +57,11 @@ func (c *Controller) shouldDemote(q int, id cache.LineID) bool {
 		a := feedbackAperture(float64(p.actual), float64(p.target), c.cfg.AMax, c.cfg.Slack)
 		// Demote the top-a fraction by age: lines with fewer than a·size
 		// strictly-older lines in the partition.
-		return c.quant[q].FracOlder(c.ts[id], p.currentTS) < a
+		return c.quant[q].FracOlder(c.meta[id].ts, p.currentTS) < a
 	case ModeRRIP:
-		return c.rrpv[id] >= p.setpointRRPV
+		return c.meta[id].rrpv >= p.setpointRRPV
 	default:
-		age := p.currentTS - c.ts[id]
+		age := p.currentTS - c.meta[id].ts
 		return age > p.keepWindow()
 	}
 }
@@ -85,18 +85,19 @@ func feedbackAperture(s, t, aMax, slack float64) float64 {
 // demote moves candidate id (owned by q) into the unmanaged region.
 func (c *Controller) demote(q int, id cache.LineID) {
 	p := &c.parts[q]
+	m := &c.meta[id]
 	if c.observer != nil {
-		c.observer(q, c.quant[q].EvictionPriority(c.ts[id], p.currentTS), true)
+		c.observer(q, c.quant[q].EvictionPriority(m.ts, p.currentTS), true)
 	}
 	if c.track {
-		c.quant[q].Remove(c.ts[id])
+		c.quant[q].Remove(m.ts)
 		c.quant[c.unmanagedID].Add(c.unmanagedTS)
 	}
 	p.actual--
 	p.candsDemoted++
 	p.demotedLines++
-	c.partOf[id] = c.unmanagedID
-	c.ts[id] = c.unmanagedTS
+	m.part = c.unmanagedID
+	m.ts = c.unmanagedTS
 	c.demotions++
 	c.unmanagedSize++
 	c.unmanagedTick()

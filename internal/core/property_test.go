@@ -33,7 +33,7 @@ func TestPropertyConservation(t *testing.T) {
 		}
 		valid, owned := 0, 0
 		for id := 0; id < arr.NumLines(); id++ {
-			hasOwner := c.partOf[id] >= 0
+			hasOwner := c.meta[id].part >= 0
 			if arr.Line(cache.LineID(id)).Valid {
 				valid++
 				if !hasOwner {

@@ -119,18 +119,30 @@ type partState struct {
 	hits, misses, demotedLines, promotedLines uint64
 }
 
+// lineMeta is one line's controller state: the owning partition (partition
+// index, unmanagedID, or -1 when none) and the replacement state (coarse
+// timestamp, plus RRPV in ModeRRIP). The three fields share a four-byte
+// record because the miss path reads all of them for every replacement
+// candidate — 52 per miss on the paper's zcache — and split arrays would
+// cost a cache miss each.
+type lineMeta struct {
+	part int16
+	ts   uint8
+	rrpv uint8
+}
+
 // Controller is a Vantage cache controller implementing ctrl.Controller.
 type Controller struct {
-	arr  cache.Array
-	cfg  Config
-	name string
+	arr   cache.Array
+	marr  cache.MixedArray // arr's mixed fast path, or nil
+	lines []cache.Line     // arr's backing line store, or nil (see cache.LinesAccessor)
+	cfg   Config
+	name  string
 
 	parts []partState
-	// Per-line state: owning partition (partition index, or unmanagedID)
-	// and replacement state (coarse timestamp, or RRPV in ModeRRIP).
-	partOf []int16
-	ts     []uint8
-	rrpv   []uint8
+	// Per-line state, packed so the candidate scan of replace touches one
+	// word per candidate instead of three parallel arrays.
+	meta []lineMeta
 
 	unmanagedID     int16
 	unmanagedTS     uint8
@@ -175,20 +187,22 @@ func New(arr cache.Array, cfg Config) *Controller {
 		cfg:             cfg,
 		name:            cfg.Mode.String(),
 		parts:           make([]partState, cfg.Partitions),
-		partOf:          make([]int16, n),
-		ts:              make([]uint8, n),
-		rrpv:            make([]uint8, n),
+		meta:            make([]lineMeta, n),
 		unmanagedID:     int16(cfg.Partitions),
 		unmanagedTarget: int(cfg.UnmanagedFrac * float64(n)),
 		rng:             hash.NewRand(cfg.Seed ^ 0xa17a9e),
 		duelMask:        63,
 		duelH:           hash.NewH3(16, hash.Mix64(cfg.Seed^0x7a91)),
 	}
+	c.marr, _ = arr.(cache.MixedArray)
+	if la, ok := arr.(cache.LinesAccessor); ok {
+		c.lines = la.Lines()
+	}
 	if c.unmanagedTarget < 1 {
 		c.unmanagedTarget = 1
 	}
-	for i := range c.partOf {
-		c.partOf[i] = -1
+	for i := range c.meta {
+		c.meta[i].part = -1
 	}
 	for i := range c.parts {
 		p := &c.parts[i]
@@ -209,10 +223,8 @@ func New(arr cache.Array, cfg Config) *Controller {
 	c.SetTargets(targets)
 	if rel, ok := arr.(cache.Relocator); ok {
 		rel.SetMoveHook(func(src, dst cache.LineID) {
-			c.partOf[dst] = c.partOf[src]
-			c.ts[dst] = c.ts[src]
-			c.rrpv[dst] = c.rrpv[src]
-			c.partOf[src] = -1
+			c.meta[dst] = c.meta[src]
+			c.meta[src].part = -1
 		})
 	}
 	return c
@@ -246,8 +258,8 @@ func (c *Controller) SetEvictionObserver(fn ctrl.EvictionObserver) {
 		c.quant = make([]stats.TSQuantiler, c.cfg.Partitions+1)
 		// Populate from current contents.
 		for id := 0; id < c.arr.NumLines(); id++ {
-			if p := c.partOf[id]; p >= 0 {
-				c.quant[p].Add(c.ts[id])
+			if m := &c.meta[id]; m.part >= 0 {
+				c.quant[m.part].Add(m.ts)
 			}
 		}
 	}
@@ -363,5 +375,6 @@ func (c *Controller) KeepWindow(part int) uint8 { return c.parts[part].keepWindo
 func (c *Controller) InsertionPolicy(part int) (brrip bool) { return c.parts[part].brrip }
 
 var _ ctrl.Controller = (*Controller)(nil)
+var _ ctrl.MixedController = (*Controller)(nil)
 var _ ctrl.Observable = (*Controller)(nil)
 var _ ctrl.Snapshotter = (*Controller)(nil)

@@ -153,12 +153,12 @@ func TestPartOfConsistency(t *testing.T) {
 	counts := make([]int, 4) // 3 partitions + unmanaged
 	for id := 0; id < c.Array().NumLines(); id++ {
 		if c.Array().Line(cache.LineID(id)).Valid {
-			o := c.partOf[id]
+			o := c.meta[id].part
 			if o < 0 {
 				t.Fatal("valid line with no owner")
 			}
 			counts[o]++
-		} else if c.partOf[id] >= 0 {
+		} else if c.meta[id].part >= 0 {
 			t.Fatal("invalid line with an owner")
 		}
 	}
@@ -293,7 +293,7 @@ func TestPromotionDirect(t *testing.T) {
 	c.SetTargets([]int{0, 900})
 	// Drive partition 1 until the line is demoted or evicted.
 	rng := hash.NewRand(31)
-	for i := 0; i < 20000 && c.partOf[id] != c.unmanagedID; i++ {
+	for i := 0; i < 20000 && c.meta[id].part != c.unmanagedID; i++ {
 		c.Access(uint64(1)<<40|uint64(rng.Intn(2000)), 1)
 		if nid, ok2 := c.Array().Lookup(0x42); ok2 {
 			id = nid
@@ -301,7 +301,7 @@ func TestPromotionDirect(t *testing.T) {
 			t.Skip("line evicted before demotion could be observed")
 		}
 	}
-	if c.partOf[id] != c.unmanagedID {
+	if c.meta[id].part != c.unmanagedID {
 		t.Fatal("deleted partition's line never demoted")
 	}
 	um := c.UnmanagedSize()
@@ -312,7 +312,7 @@ func TestPromotionDirect(t *testing.T) {
 	if c.UnmanagedSize() != um-1 {
 		t.Fatal("promotion did not shrink unmanaged region")
 	}
-	if c.partOf[id] != 1 {
+	if c.meta[id].part != 1 {
 		t.Fatal("promoted line not owned by accessor")
 	}
 	if c.Counters().Promotions != 1 {

@@ -16,9 +16,12 @@ import (
 // implement a global target of T.
 type Banked struct {
 	banks []Controller
-	h     *hash.H3
-	mask  uint64
-	parts int
+	// mixedBanks[i] is banks[i]'s mixed fast path, or nil; pre-resolved so
+	// the per-access path does no type assertions.
+	mixedBanks []MixedController
+	h          *hash.H3
+	mask       uint64
+	parts      int
 }
 
 // NewBanked returns a banked controller over the given per-bank
@@ -34,11 +37,16 @@ func NewBanked(banks []Controller, seed uint64) *Banked {
 			panic("ctrl: banks disagree on partition count")
 		}
 	}
+	mixed := make([]MixedController, len(banks))
+	for i, b := range banks {
+		mixed[i], _ = b.(MixedController)
+	}
 	return &Banked{
-		banks: banks,
-		h:     hash.NewH3(16, hash.Mix64(seed^0xbabe)),
-		mask:  uint64(len(banks) - 1),
-		parts: parts,
+		banks:      banks,
+		mixedBanks: mixed,
+		h:          hash.NewH3(16, hash.Mix64(seed^0xbabe)),
+		mask:       uint64(len(banks) - 1),
+		parts:      parts,
 	}
 }
 
@@ -51,14 +59,19 @@ func (b *Banked) Name() string {
 // caches have no single array — use Bank to reach the others).
 func (b *Banked) Array() cache.Array { return b.banks[0].Array() }
 
-// bankOf routes an address to its bank.
-func (b *Banked) bankOf(addr uint64) Controller {
-	return b.banks[b.h.Hash(hash.Mix64(addr))&b.mask]
-}
-
 // Access implements Controller.
 func (b *Banked) Access(addr uint64, part int) AccessResult {
-	return b.bankOf(addr).Access(addr, part)
+	return b.AccessMixed(addr, hash.Mix64(addr), part)
+}
+
+// AccessMixed implements MixedController: the bank routing hash and the
+// bank's own access path share one Mix64 of the address.
+func (b *Banked) AccessMixed(addr, mixed uint64, part int) AccessResult {
+	i := b.h.Hash(mixed) & b.mask
+	if mb := b.mixedBanks[i]; mb != nil {
+		return mb.AccessMixed(addr, mixed, part)
+	}
+	return b.banks[i].Access(addr, part)
 }
 
 // SetTargets implements Controller: global line targets are divided evenly
@@ -127,3 +140,4 @@ func (b *Banked) Banks() int { return len(b.banks) }
 func (b *Banked) Bank(i int) Controller { return b.banks[i] }
 
 var _ Controller = (*Banked)(nil)
+var _ MixedController = (*Banked)(nil)

@@ -11,6 +11,7 @@ package ctrl
 
 import (
 	"vantage/internal/cache"
+	"vantage/internal/hash"
 	"vantage/internal/repl"
 )
 
@@ -46,6 +47,16 @@ type Controller interface {
 	Size(part int) int
 	// NumPartitions returns the partition count.
 	NumPartitions() int
+}
+
+// MixedController is implemented by controllers whose access path can reuse
+// a precomputed hash.Mix64 of the address (see cache.MixedArray). Callers
+// that feed one address to several hashed structures — the simulator's UMON
+// feed plus the L2 — resolve this interface once and mix once per reference;
+// for mixed == hash.Mix64(addr) the result is bit-for-bit identical to
+// Access(addr, part).
+type MixedController interface {
+	AccessMixed(addr, mixed uint64, part int) AccessResult
 }
 
 // EvictionObserver receives the eviction (or demotion) priority of each
@@ -89,6 +100,8 @@ type Snapshotter interface {
 // per-partition occupancy so experiments can observe how capacity is shared.
 type Unpartitioned struct {
 	arr     cache.Array
+	marr    cache.MixedArray // arr's mixed fast path, or nil
+	lines   []cache.Line     // arr's backing line store, or nil (see cache.LinesAccessor)
 	pol     repl.Policy
 	parts   int
 	partOf  []int16
@@ -105,6 +118,10 @@ func NewUnpartitioned(arr cache.Array, pol repl.Policy, parts int) *Unpartitione
 		parts:  parts,
 		partOf: make([]int16, arr.NumLines()),
 		sizes:  make([]int, parts),
+	}
+	u.marr, _ = arr.(cache.MixedArray)
+	if la, ok := arr.(cache.LinesAccessor); ok {
+		u.lines = la.Lines()
 	}
 	for i := range u.partOf {
 		u.partOf[i] = -1
@@ -147,27 +164,75 @@ func (u *Unpartitioned) SnapshotPartitions(dst []PartitionSnapshot) []PartitionS
 
 // Access implements Controller.
 func (u *Unpartitioned) Access(addr uint64, part int) AccessResult {
-	if id, ok := u.arr.Lookup(addr); ok {
-		u.pol.OnHit(id, part)
-		if old := u.partOf[id]; int(old) != part {
-			// A line shared across partitions migrates to the last accessor;
-			// in multiprogrammed runs address spaces are disjoint so this
-			// only happens on first touch after warmup.
-			if old >= 0 {
-				u.sizes[old]--
-			}
-			u.partOf[id] = int16(part)
-			u.sizes[part]++
-		}
-		return AccessResult{Hit: true}
+	if u.marr != nil {
+		return u.AccessMixed(addr, hash.Mix64(addr), part)
+	}
+	var id cache.LineID
+	var ok bool
+	if id, ok = u.arr.Lookup(addr); ok {
+		return u.onHit(id, part)
 	}
 	u.pol.OnMiss(addr, part)
 	u.candBuf = u.arr.Candidates(addr, u.candBuf[:0])
+	res, victim := u.pickVictim()
+	id, moves := u.arr.Install(addr, victim)
+	res.Relocations = moves
+	u.onInsert(id, addr, part)
+	return res
+}
+
+// AccessMixed implements MixedController: Access with the Mix64 of addr
+// precomputed, so the hashed array is not re-mixed for the lookup, the
+// candidate walk, and the install.
+func (u *Unpartitioned) AccessMixed(addr, mixed uint64, part int) AccessResult {
+	if u.marr == nil {
+		return u.Access(addr, part)
+	}
+	if id, ok := u.marr.LookupMixed(addr, mixed); ok {
+		return u.onHit(id, part)
+	}
+	u.pol.OnMiss(addr, part)
+	u.candBuf = u.marr.CandidatesMixed(addr, mixed, u.candBuf[:0])
+	res, victim := u.pickVictim()
+	id, moves := u.marr.InstallMixed(addr, mixed, victim)
+	res.Relocations = moves
+	u.onInsert(id, addr, part)
+	return res
+}
+
+// onHit performs the hit-path bookkeeping shared by Access and AccessMixed.
+func (u *Unpartitioned) onHit(id cache.LineID, part int) AccessResult {
+	u.pol.OnHit(id, part)
+	if old := u.partOf[id]; int(old) != part {
+		// A line shared across partitions migrates to the last accessor;
+		// in multiprogrammed runs address spaces are disjoint so this
+		// only happens on first touch after warmup.
+		if old >= 0 {
+			u.sizes[old]--
+		}
+		u.partOf[id] = int16(part)
+		u.sizes[part]++
+	}
+	return AccessResult{Hit: true}
+}
+
+// pickVictim selects the replacement victim from u.candBuf: the first
+// invalid slot, else the policy's choice (with eviction bookkeeping).
+func (u *Unpartitioned) pickVictim() (AccessResult, cache.LineID) {
 	victim := cache.InvalidLine
-	for _, c := range u.candBuf {
-		if !u.arr.Line(c).Valid {
-			victim = c
-			break
+	if lines := u.lines; lines != nil {
+		for _, c := range u.candBuf {
+			if !lines[c].Valid {
+				victim = c
+				break
+			}
+		}
+	} else {
+		for _, c := range u.candBuf {
+			if !u.arr.Line(c).Valid {
+				victim = c
+				break
+			}
 		}
 	}
 	var res AccessResult
@@ -181,10 +246,15 @@ func (u *Unpartitioned) Access(addr uint64, part int) AccessResult {
 			u.partOf[victim] = -1
 		}
 	}
-	id, moves := u.arr.Install(addr, victim)
-	res.Relocations = moves
+	return res, victim
+}
+
+// onInsert performs the insert-path bookkeeping shared by Access and
+// AccessMixed.
+func (u *Unpartitioned) onInsert(id cache.LineID, addr uint64, part int) {
 	u.pol.OnInsert(id, addr, part)
 	u.partOf[id] = int16(part)
 	u.sizes[part]++
-	return res
 }
+
+var _ MixedController = (*Unpartitioned)(nil)

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"vantage/internal/sim"
+)
+
+// These tests pin the simulator kernel's outputs bit-for-bit: the
+// fingerprints below were captured from the pre-optimization kernel (PR 3's
+// seed state), and every optimization of the per-access hot path must leave
+// them exactly unchanged. A mismatch here means a behavioral change in the
+// simulated machine — a correctness bug in a perf PR, however plausible the
+// new numbers look. If a change is *intended* to alter simulated outcomes
+// (e.g. a modeling fix), recapture deliberately: run the test, copy the "got"
+// fingerprints into the table, and say so in the PR description.
+//
+// The fingerprint encodes Repartitions, WeightedCycles, the per-core sums of
+// every integer counter, and an FNV-1a hash over the full per-core counter
+// stream, so any drift in any core's instructions, cycles, or hit/miss counts
+// flips it.
+
+// goldenFingerprint compresses a sim.Result into a deterministic string.
+func goldenFingerprint(r sim.Result) string {
+	h := fnv.New64a()
+	var sumInstr, sumCycles, sumL1M, sumL2A, sumL2M uint64
+	for _, c := range r.Cores {
+		for _, v := range []uint64{c.Instructions, c.Cycles, c.L1Accesses, c.L1Misses, c.L2Accesses, c.L2Misses} {
+			var b [8]byte
+			for i := range b {
+				b[i] = byte(v >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+		sumInstr += c.Instructions
+		sumCycles += c.Cycles
+		sumL1M += c.L1Misses
+		sumL2A += c.L2Accesses
+		sumL2M += c.L2Misses
+	}
+	return fmt.Sprintf("rep=%d wc=%d instr=%d cycles=%d l1m=%d l2a=%d l2m=%d fnv=%016x",
+		r.Repartitions, r.WeightedCycles, sumInstr, sumCycles, sumL1M, sumL2A, sumL2M, h.Sum64())
+}
+
+// goldenSmall are the 4-core ScaleUnit fingerprints: the first three mixes of
+// the machine's deterministic mix order under each scheme family (LRU
+// baseline, Vantage, way-partitioning, PIPP, and Vantage-DRRIP with the
+// UMON-RRIP allocator).
+var goldenSmall = map[string]string{
+	"4core/LRU-SA/nnft1":                   "rep=0 wc=6295634 instr=600022 cycles=5568976 l1m=29414 l2a=29414 l2m=23227 fnv=22ecda1a58922ce9",
+	"4core/LRU-SA/nfts1":                   "rep=0 wc=10852534 instr=600014 cycles=10499650 l1m=52876 l2a=52876 l2m=46590 fnv=493e23d60fd3f55a",
+	"4core/LRU-SA/nfff1":                   "rep=0 wc=7079238 instr=600016 cycles=9488595 l1m=57489 l2a=57489 l2m=41281 fnv=6d09658ccde07b06",
+	"4core/Vantage-Z4/52/nnft1":            "rep=53 wc=5349234 instr=600022 cycles=5080576 l1m=29414 l2a=29414 l2m=20785 fnv=63f556132d84b482",
+	"4core/Vantage-Z4/52/nfts1":            "rep=108 wc=10852534 instr=600014 cycles=9460850 l1m=52876 l2a=52876 l2m=41396 fnv=2807bf70b32cd0b2",
+	"4core/Vantage-Z4/52/nfff1":            "rep=79 wc=7926638 instr=600016 cycles=9467995 l1m=57489 l2a=57489 l2m=41178 fnv=3a9fd5fbda07b042",
+	"4core/WayPart-SA/nnft1":               "rep=58 wc=5841834 instr=600022 cycles=5325176 l1m=29414 l2a=29414 l2m=22008 fnv=0c578a275a47096e",
+	"4core/WayPart-SA/nfts1":               "rep=108 wc=10852534 instr=600014 cycles=9643850 l1m=52876 l2a=52876 l2m=42311 fnv=94797f9f151783b1",
+	"4core/WayPart-SA/nfff1":               "rep=79 wc=7948238 instr=600016 cycles=9813795 l1m=57489 l2a=57489 l2m=42907 fnv=a8207e9e09516270",
+	"4core/PIPP-SA/nnft1":                  "rep=63 wc=6322834 instr=600022 cycles=4613976 l1m=29414 l2a=29414 l2m=18452 fnv=65a383ce7a8db0b7",
+	"4core/PIPP-SA/nfts1":                  "rep=108 wc=10852534 instr=600014 cycles=10008650 l1m=52876 l2a=52876 l2m=44135 fnv=dddca134e0430c4b",
+	"4core/PIPP-SA/nfff1":                  "rep=70 wc=7054438 instr=600016 cycles=9543795 l1m=57489 l2a=57489 l2m=41557 fnv=a501539183f34a7f",
+	"4core/Vantage-DRRIP-UMON-Z4/52/nnft1": "rep=73 wc=7355234 instr=600022 cycles=4653576 l1m=29414 l2a=29414 l2m=18650 fnv=a4ba7f9f50f8919e",
+	"4core/Vantage-DRRIP-UMON-Z4/52/nfts1": "rep=108 wc=10852534 instr=600014 cycles=9872250 l1m=52876 l2a=52876 l2m=43453 fnv=14d61103d33189e5",
+	"4core/Vantage-DRRIP-UMON-Z4/52/nfff1": "rep=78 wc=7888238 instr=600016 cycles=9343395 l1m=57489 l2a=57489 l2m=40555 fnv=ffa48725ac38fc64",
+}
+
+// goldenSpecial are single-run fingerprints covering kernel paths the small
+// matrix misses: the 32-core machine (heap scheduler at scale), bank/memory
+// contention, and the no-L1 configuration.
+var goldenSpecial = map[string]string{
+	"32core/LRU-SA/nnft1":           "rep=0 wc=8335479 instr=1920211 cycles=21338038 l1m=108457 l2a=108457 l2m=91124 fnv=4b480822328ef931",
+	"32core/Vantage-Z4/52/nnft1":    "rep=167 wc=8384879 instr=1920211 cycles=20823638 l1m=108457 l2a=108457 l2m=88552 fnv=ada74367c9d20380",
+	"4core-contended/Vantage/nnft1": "rep=53 wc=5356213 instr=600022 cycles=5090534 l1m=29414 l2a=29414 l2m=20800 fnv=a4e4fca69c17b115",
+	"4core-noL1/LRU/nnft1":          "rep=0 wc=6702099 instr=600022 cycles=6301183 l1m=108251 l2a=108251 l2m=22552 fnv=086ca927d4e182cd",
+}
+
+func goldenSchemes() []Scheme {
+	return []Scheme{
+		LRUBaseline(),
+		DefaultVantageScheme(),
+		WayPartScheme(),
+		PIPPScheme(),
+		VantageDRRIPUMONScheme(),
+	}
+}
+
+func checkGolden(t *testing.T, table map[string]string, name string, res sim.Result) {
+	t.Helper()
+	got := goldenFingerprint(res)
+	want, ok := table[name]
+	if !ok {
+		t.Errorf("missing golden entry:\n\t%q: %q,", name, got)
+		return
+	}
+	if got != want {
+		t.Errorf("%s: simulated outcome drifted from the pre-optimization kernel\n got %q\nwant %q", name, got, want)
+	}
+}
+
+// TestGoldenDeterminismSmall pins the 4-core machine across all scheme
+// families.
+func TestGoldenDeterminismSmall(t *testing.T) {
+	m := SmallCMP(ScaleUnit)
+	for _, sch := range goldenSchemes() {
+		mixes := m.Mixes(3)
+		for _, mix := range mixes {
+			name := fmt.Sprintf("4core/%s/%s", sch.Name, mix.ID)
+			checkGolden(t, goldenSmall, name, m.RunMix(mix, sch))
+		}
+	}
+}
+
+// TestGoldenDeterminismSpecial pins the 32-core machine, the contention
+// model, and the no-L1 configuration.
+func TestGoldenDeterminismSpecial(t *testing.T) {
+	m32 := LargeCMP(ScaleUnit)
+	for _, sch := range []Scheme{LRUBaseline(), DefaultVantageScheme()} {
+		mix := m32.Mixes(1)[0]
+		checkGolden(t, goldenSpecial, "32core/"+sch.Name+"/"+mix.ID, m32.RunMix(mix, sch))
+	}
+
+	mc := SmallCMP(ScaleUnit).WithContention()
+	mix := mc.Mixes(1)[0]
+	checkGolden(t, goldenSpecial, "4core-contended/Vantage/"+mix.ID, mc.RunMix(mix, DefaultVantageScheme()))
+
+	mn := SmallCMP(ScaleUnit)
+	mn.L1Lines = 0
+	mix = mn.Mixes(1)[0]
+	checkGolden(t, goldenSpecial, "4core-noL1/LRU/"+mix.ID, mn.RunMix(mix, LRUBaseline()))
+}

@@ -160,6 +160,22 @@ func (m Machine) Mixes(limit int) []workload.Mix {
 }
 
 // RunMix simulates one mix on one scheme and returns the result.
+// Mix regenerates the single named mix with fresh app state. Mix generation
+// is deterministic per (class, index, machine seed), so the returned mix has
+// byte-identical app streams to the same entry of Mixes — but its own stream
+// positions and PRNGs, which is what concurrent runs need: sharing one
+// workload.Mix between runs lets one run's progress leak into the next.
+func (m Machine) Mix(id string) (workload.Mix, error) {
+	class, idx, err := workload.ParseMixID(id)
+	if err != nil {
+		return workload.Mix{}, err
+	}
+	if idx < 1 || idx > m.MixesPerClass {
+		return workload.Mix{}, fmt.Errorf("exp: mix index %d outside 1..%d", idx, m.MixesPerClass)
+	}
+	return workload.NewMix(class, idx, m.Cores/4, workload.Params{CacheLines: m.L2Lines}, m.Seed), nil
+}
+
 func (m Machine) RunMix(mix workload.Mix, sch Scheme) sim.Result {
 	l2 := sch.Build(m, uint64(len(mix.ID))*1337+m.Seed)
 	// Note the sim.Allocator interface type: assigning a nil *ucp.Policy

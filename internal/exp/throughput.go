@@ -88,12 +88,17 @@ func RunThroughput(m Machine, baseline Scheme, schemes []Scheme, limit int, prog
 	var done atomic.Int64
 	var progMu sync.Mutex
 	tick := func() {
-		d := int(done.Add(1))
-		if progress != nil {
-			progMu.Lock()
-			progress(d, total)
-			progMu.Unlock()
+		if progress == nil {
+			done.Add(1)
+			return
 		}
+		// Increment under the same lock as the callback: a worker that
+		// incremented first but locked second would otherwise deliver its
+		// higher count before the earlier one, making progress jump
+		// backwards.
+		progMu.Lock()
+		progress(int(done.Add(1)), total)
+		progMu.Unlock()
 	}
 	forEachMix(len(mixes), func(i int) {
 		res.BaselineThroughput[i] = m.RunMix(mixes[i], baseline).Throughput
@@ -197,13 +202,13 @@ type SelectedMixes struct {
 }
 
 // RunSelected runs the Fig 6b experiment: the named mixes (paper: sftn1,
-// ffft4, ssst7, fffn7, ffnn3, ttnn4, sfff6, sssf6) across schemes.
+// ffft4, ssst7, fffn7, ffnn3, ttnn4, sfff6, sssf6) across schemes. Every
+// (mix, scheme) run is an independent simulation, so they all run in
+// parallel; each regenerates its mix via Machine.Mix, which also means every
+// scheme sees the mix's app streams from the start (the serial version
+// reused one set of App instances across the baseline and all schemes, so
+// later schemes continued wherever the previous run left the streams).
 func RunSelected(m Machine, baseline Scheme, schemes []Scheme, mixIDs []string) SelectedMixes {
-	all := m.Mixes(0)
-	byID := map[string]workload.Mix{}
-	for _, mix := range all {
-		byID[mix.ID] = mix
-	}
 	out := SelectedMixes{Machine: m, MixIDs: mixIDs}
 	for _, sch := range schemes {
 		out.Schemes = append(out.Schemes, sch.Name)
@@ -212,15 +217,27 @@ func RunSelected(m Machine, baseline Scheme, schemes []Scheme, mixIDs []string) 
 	for si := range schemes {
 		out.Improv[si] = make([]float64, len(mixIDs))
 	}
-	for mi, id := range mixIDs {
-		mix, ok := byID[workload.CanonicalMixID(id)]
-		if !ok {
-			panic(fmt.Sprintf("exp: unknown mix %q", id))
+	for _, id := range mixIDs {
+		if _, err := m.Mix(id); err != nil {
+			panic(fmt.Sprintf("exp: unknown mix %q: %v", id, err))
 		}
-		base := m.RunMix(mix, baseline).Throughput
-		for si, sch := range schemes {
-			thr := m.RunMix(mix, sch).Throughput
-			out.Improv[si][mi] = (thr/base - 1) * 100
+	}
+	// One work unit per (mix, baseline-or-scheme) pair; ratios are taken
+	// after the barrier, once every absolute throughput is in.
+	perMix := len(schemes) + 1
+	base := make([]float64, len(mixIDs))
+	forEachMix(len(mixIDs)*perMix, func(i int) {
+		mi, si := i/perMix, i%perMix
+		mix, _ := m.Mix(mixIDs[mi])
+		if si == 0 {
+			base[mi] = m.RunMix(mix, baseline).Throughput
+		} else {
+			out.Improv[si-1][mi] = m.RunMix(mix, schemes[si-1]).Throughput
+		}
+	})
+	for si := range schemes {
+		for mi := range mixIDs {
+			out.Improv[si][mi] = (out.Improv[si][mi]/base[mi] - 1) * 100
 		}
 	}
 	return out

@@ -39,7 +39,7 @@ type PIPP struct {
 	partOf   []int16
 	sizes    []int
 	rng      *hash.Rand
-	cands    []cache.LineID
+	lines    []cache.Line // arr's backing line store
 	// Streaming detection state.
 	accesses, missesCnt []uint64
 	streaming           []bool
@@ -52,6 +52,7 @@ func NewPIPP(arr *cache.SetAssoc, parts int, seed uint64) *PIPP {
 	}
 	p := &PIPP{
 		arr:       arr,
+		lines:     arr.Lines(),
 		parts:     parts,
 		chain:     make([]cache.LineID, arr.NumLines()),
 		pos:       make([]int16, arr.NumLines()),
@@ -139,9 +140,15 @@ func (p *PIPP) promProb(part int) float64 {
 
 // Access implements ctrl.Controller.
 func (p *PIPP) Access(addr uint64, part int) ctrl.AccessResult {
+	return p.AccessMixed(addr, hash.Mix64(addr), part)
+}
+
+// AccessMixed implements ctrl.MixedController: the set index, the candidate
+// scan, and the install share one precomputed Mix64.
+func (p *PIPP) AccessMixed(addr, mixed uint64, part int) ctrl.AccessResult {
 	p.accesses[part]++
 	ways := p.arr.Ways()
-	if id, ok := p.arr.Lookup(addr); ok {
+	if id, ok := p.arr.LookupMixed(addr, mixed); ok {
 		// Promote one position with the partition's probability.
 		if int(p.pos[id]) < ways-1 && p.rng.Float64() < p.promProb(part) {
 			p.swapUp(id)
@@ -149,14 +156,15 @@ func (p *PIPP) Access(addr uint64, part int) ctrl.AccessResult {
 		return ctrl.AccessResult{Hit: true}
 	}
 	p.missesCnt[part]++
-	set := p.arr.SetIndex(addr)
+	set := p.arr.SetIndexMixed(addr, mixed)
 	base := set * ways
 	// Victim: prefer an invalid line; otherwise the LRU end of the chain.
+	// The candidates of a set-associative array are exactly its ways in way
+	// order, so the set is walked directly instead of materializing them.
 	victim := cache.InvalidLine
-	p.cands = p.arr.Candidates(addr, p.cands[:0])
-	for _, id := range p.cands {
-		if !p.arr.Line(id).Valid {
-			victim = id
+	for w := 0; w < ways; w++ {
+		if !p.lines[base+w].Valid {
+			victim = cache.LineID(base + w)
 			break
 		}
 	}
@@ -171,7 +179,7 @@ func (p *PIPP) Access(addr uint64, part int) ctrl.AccessResult {
 			p.sizes[old]--
 		}
 	}
-	id, _ := p.arr.Install(addr, victim)
+	id, _ := p.arr.InstallMixed(addr, mixed, victim)
 	p.partOf[id] = int16(part)
 	p.sizes[part]++
 	// Place the new line at the partition's insertion priority: move it to
@@ -229,3 +237,4 @@ func clamp(x, lo, hi int) int {
 }
 
 var _ ctrl.Controller = (*PIPP)(nil)
+var _ ctrl.MixedController = (*PIPP)(nil)

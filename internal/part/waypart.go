@@ -9,6 +9,7 @@ import (
 
 	"vantage/internal/cache"
 	"vantage/internal/ctrl"
+	"vantage/internal/hash"
 	"vantage/internal/repl"
 )
 
@@ -20,13 +21,13 @@ import (
 // associativity w.
 type WayPartition struct {
 	arr    *cache.SetAssoc
+	lines  []cache.Line // arr's backing line store
 	pol    *repl.LRUTimestamp
 	parts  int
 	wayOf  []int16 // way index -> owning partition
 	ways   []int   // partition -> way count
 	partOf []int16 // line -> inserting partition (for Size reporting)
 	sizes  []int
-	cands  []cache.LineID
 	// victim scratch: candidate ways owned by the inserting partition
 	own []cache.LineID
 }
@@ -39,6 +40,7 @@ func NewWayPartition(arr *cache.SetAssoc, parts int) *WayPartition {
 	}
 	w := &WayPartition{
 		arr:    arr,
+		lines:  arr.Lines(),
 		pol:    repl.NewLRUTimestamp(arr.NumLines()),
 		parts:  parts,
 		wayOf:  make([]int16, arr.Ways()),
@@ -93,19 +95,30 @@ func (w *WayPartition) SetTargets(targets []int) {
 
 // Access implements ctrl.Controller.
 func (w *WayPartition) Access(addr uint64, part int) ctrl.AccessResult {
-	if id, ok := w.arr.Lookup(addr); ok {
+	return w.AccessMixed(addr, hash.Mix64(addr), part)
+}
+
+// AccessMixed implements ctrl.MixedController: the set-associative array is
+// probed, walked, and installed into with one precomputed Mix64.
+func (w *WayPartition) AccessMixed(addr, mixed uint64, part int) ctrl.AccessResult {
+	if id, ok := w.arr.LookupMixed(addr, mixed); ok {
 		w.pol.OnHit(id, part)
 		return ctrl.AccessResult{Hit: true}
 	}
-	w.cands = w.arr.Candidates(addr, w.cands[:0])
-	// Restrict to the partition's ways; prefer an invalid slot among them.
+	// Walk the set directly — the candidates of a set-associative array are
+	// exactly its ways in way order, so the way index is the loop counter and
+	// the set hash is computed once. Restrict to the partition's ways; prefer
+	// an invalid slot among them.
+	ways := w.arr.Ways()
+	base := w.arr.SetIndexMixed(addr, mixed) * ways
 	w.own = w.own[:0]
 	victim := cache.InvalidLine
-	for _, id := range w.cands {
-		if int(w.wayOf[w.arr.WayOf(id)]) != part {
+	for wi := 0; wi < ways; wi++ {
+		if int(w.wayOf[wi]) != part {
 			continue
 		}
-		if !w.arr.Line(id).Valid {
+		id := cache.LineID(base + wi)
+		if !w.lines[id].Valid {
 			victim = id
 			break
 		}
@@ -116,7 +129,11 @@ func (w *WayPartition) Access(addr uint64, part int) ctrl.AccessResult {
 			// The partition's way assignment can transiently leave it with
 			// zero ways only if parts > ways, which the constructor forbids;
 			// this is unreachable but kept defensive.
-			victim = w.pol.Victim(w.cands)
+			w.own = w.own[:0]
+			for wi := 0; wi < ways; wi++ {
+				w.own = append(w.own, cache.LineID(base+wi))
+			}
+			victim = w.pol.Victim(w.own)
 		} else {
 			victim = w.pol.Victim(w.own)
 		}
@@ -130,7 +147,7 @@ func (w *WayPartition) Access(addr uint64, part int) ctrl.AccessResult {
 			w.sizes[old]--
 		}
 	}
-	id, _ := w.arr.Install(addr, victim)
+	id, _ := w.arr.InstallMixed(addr, mixed, victim)
 	w.pol.OnInsert(id, addr, part)
 	w.partOf[id] = int16(part)
 	w.sizes[part]++
@@ -208,3 +225,4 @@ func ApportionWays(targets []int, totalWays int) []int {
 }
 
 var _ ctrl.Controller = (*WayPartition)(nil)
+var _ ctrl.MixedController = (*WayPartition)(nil)

@@ -1,0 +1,99 @@
+package sim
+
+import "fmt"
+
+// The simulator's private L1s are always the same structure: an unhashed
+// set-associative array with coarse-timestamp LRU and a single partition
+// (ctrl.Unpartitioned over cache.NewSetAssoc(lines, ways, false, 0) with
+// repl.NewLRUTimestamp(lines)). The generic stack pays for that flexibility
+// on every reference — interface dispatch into the controller, a candidate
+// slice walk, per-line partition bookkeeping nobody reads. l1Cache is the
+// same cache flattened into one struct: set index from the low address bits,
+// way-order lookup, first-invalid fill, oldest-timestamp victim, one
+// timestamp tick per access. Every decision is bit-identical to the generic
+// stack's (the golden determinism tests in internal/exp lock this down).
+type l1Line struct {
+	addr  uint64
+	ts    uint8
+	valid bool
+}
+
+type l1Cache struct {
+	lines   []l1Line
+	setMask uint64
+	ways    int
+	// Coarse-timestamp LRU state, exactly repl.LRUTimestamp's: an 8-bit
+	// global timestamp incremented every numLines/16 accesses; ages compare
+	// in modulo-256 arithmetic.
+	current  uint8
+	accesses int
+	period   int
+}
+
+// newL1Cache returns a private-L1 model with numLines lines and the given
+// associativity, with the same geometry constraints as cache.NewSetAssoc.
+func newL1Cache(numLines, ways int) *l1Cache {
+	if ways <= 0 || numLines <= 0 || numLines%ways != 0 {
+		panic(fmt.Sprintf("sim: invalid L1 geometry: %d lines, %d ways", numLines, ways))
+	}
+	sets := numLines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("sim: L1 set count %d is not a power of two", sets))
+	}
+	period := numLines / 16
+	if period < 1 {
+		period = 1
+	}
+	return &l1Cache{
+		lines:   make([]l1Line, numLines),
+		setMask: uint64(sets - 1),
+		ways:    ways,
+		period:  period,
+	}
+}
+
+// access performs one L1 reference and reports whether it hit.
+func (c *l1Cache) access(addr uint64) bool {
+	base := int(addr&c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		l := &set[w]
+		if l.valid && l.addr == addr {
+			l.ts = c.current
+			c.tick()
+			return true
+		}
+	}
+	// Miss: fill the first invalid way; otherwise evict the oldest line,
+	// ties to the lowest way (strict greater-than keeps the first maximum,
+	// matching repl.LRUTimestamp.Victim over way-ordered candidates).
+	victim := -1
+	for w := range set {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		bestAge := c.current - set[0].ts
+		for w := 1; w < len(set); w++ {
+			if age := c.current - set[w].ts; age > bestAge {
+				victim, bestAge = w, age
+			}
+		}
+	}
+	set[victim] = l1Line{addr: addr, ts: c.current, valid: true}
+	c.tick()
+	return false
+}
+
+// tick advances the coarse timestamp: one tick per access (hit or insert),
+// never on evictions, exactly like the generic policy.
+func (c *l1Cache) tick() {
+	c.accesses++
+	if c.accesses >= c.period {
+		c.accesses = 0
+		c.current++
+	}
+}

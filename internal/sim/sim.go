@@ -14,9 +14,8 @@ package sim
 import (
 	"fmt"
 
-	"vantage/internal/cache"
 	"vantage/internal/ctrl"
-	"vantage/internal/repl"
+	"vantage/internal/hash"
 	"vantage/internal/ucp"
 	"vantage/internal/workload"
 )
@@ -32,6 +31,25 @@ type Allocator interface {
 }
 
 var _ Allocator = (*ucp.Policy)(nil)
+
+// MixedAllocator is implemented by allocators whose access feed can reuse a
+// precomputed hash.Mix64 of the address (all the ucp policies). The
+// simulator mixes each post-L1 reference once and shares the value between
+// the allocator's monitors and the L2 controller; for
+// mixed == hash.Mix64(addr) the result is bit-for-bit identical to
+// Access(part, addr).
+type MixedAllocator interface {
+	Allocator
+	// AccessMixed is Access with the Mix64 finalizer already applied to addr.
+	AccessMixed(part int, addr, mixed uint64)
+}
+
+var (
+	_ MixedAllocator = (*ucp.Policy)(nil)
+	_ MixedAllocator = (*ucp.PolicyRRIP)(nil)
+	_ MixedAllocator = (*ucp.Static)(nil)
+	_ MixedAllocator = (*ucp.Proportional)(nil)
+)
 
 // PolicyChooser is implemented by allocators that also pick per-partition
 // insertion policies (UMON-RRIP for Vantage-DRRIP, §6.2): true = BRRIP.
@@ -112,7 +130,7 @@ type Result struct {
 // coreState is one core's runtime state.
 type coreState struct {
 	app      workload.App
-	l1       *ctrl.Unpartitioned
+	l1       *l1Cache
 	cycle    uint64
 	instrs   uint64 // instructions retired in the measurement window
 	warmLeft uint64
@@ -127,6 +145,38 @@ type coreState struct {
 	startCycle uint64
 	doneCycle  uint64
 	stats      CoreStats
+}
+
+// runState is the execution state of one Run with every per-reference
+// dynamic decision resolved up front: latencies and capability probes
+// (mixed fast paths, insertion-policy hooks) live in flat fields instead of
+// being re-derived from Config inside the hot loop.
+// heapEntry is one scheduler heap slot: a core's local clock paired with its
+// index. Keeping the key inside the heap keeps the sift-down's comparisons on
+// one small contiguous array instead of chasing into the (much larger)
+// coreState records; the clock is copied back into the root entry after each
+// step.
+type heapEntry struct {
+	cycle uint64
+	ci    int32
+}
+
+type runState struct {
+	cores []coreState
+	heap  []heapEntry // min-heap ordered by (cycle, index)
+
+	l2         ctrl.Controller
+	l2Mixed    ctrl.MixedController // l2's mixed fast path, or nil
+	alloc      Allocator
+	allocMixed MixedAllocator        // alloc's mixed fast path, or nil
+	chooser    PolicyChooser         // alloc's insertion-policy choices, or nil
+	setter     InsertionPolicySetter // l2's insertion-policy hook, or nil
+
+	latL1Hit  int
+	latL2Hit  int
+	latL2Miss int // L2 hit latency plus memory latency
+
+	cont *contentionState
 }
 
 // Run executes the configured simulation to completion.
@@ -144,48 +194,58 @@ func Run(cfg Config) Result {
 	if cfg.Lat == (Latencies{}) {
 		cfg.Lat = DefaultLatencies()
 	}
-	cores := make([]*coreState, n)
-	for i := range cores {
-		cs := &coreState{app: cfg.Apps[i], warmLeft: cfg.WarmupInstr}
+	rs := &runState{
+		cores:     make([]coreState, n),
+		heap:      make([]heapEntry, n),
+		l2:        cfg.L2,
+		alloc:     cfg.Alloc,
+		latL1Hit:  cfg.Lat.L1Hit,
+		latL2Hit:  cfg.Lat.L2Hit,
+		latL2Miss: cfg.Lat.L2Hit + cfg.Lat.Memory,
+		cont:      newContentionState(cfg.Contention),
+	}
+	rs.l2Mixed, _ = cfg.L2.(ctrl.MixedController)
+	rs.allocMixed, _ = cfg.Alloc.(MixedAllocator)
+	rs.chooser, _ = cfg.Alloc.(PolicyChooser)
+	rs.setter, _ = cfg.L2.(InsertionPolicySetter)
+	for i := range rs.cores {
+		c := &rs.cores[i]
+		c.app = cfg.Apps[i]
+		c.warmLeft = cfg.WarmupInstr
 		if cfg.L1Lines > 0 {
-			arr := cache.NewSetAssoc(cfg.L1Lines, cfg.L1Ways, false, 0)
-			cs.l1 = ctrl.NewUnpartitioned(arr, repl.NewLRUTimestamp(cfg.L1Lines), 1)
+			c.l1 = newL1Cache(cfg.L1Lines, cfg.L1Ways)
 		}
-		cores[i] = cs
+		// The identity order is a valid heap: all clocks start at zero and
+		// ties order by core index, so every parent precedes its children.
+		rs.heap[i] = heapEntry{cycle: 0, ci: int32(i)}
 	}
 
 	var res Result
-	cont := newContentionState(cfg.Contention)
 	nextRepart := cfg.RepartitionCycles
 	remaining := n
 	for remaining > 0 {
 		// Step the core with the lowest local clock (the global low-water
 		// mark), so shared-cache accesses interleave in time order. Frozen
-		// cores keep running so the cache keeps seeing their traffic.
-		var c *coreState
-		ci := -1
-		for i, cand := range cores {
-			if c == nil || cand.cycle < c.cycle {
-				c, ci = cand, i
-			}
-		}
+		// cores keep running so the cache keeps seeing their traffic. Only
+		// the stepped core's clock changes, so restoring heap order after
+		// the step is a single sift-down from the root.
+		ci := int(rs.heap[0].ci)
+		c := &rs.cores[ci]
 
 		// Repartition when global time crosses the boundary.
-		if cfg.Alloc != nil && cfg.RepartitionCycles > 0 && c.cycle >= nextRepart {
-			targets := cfg.Alloc.Allocate(cfg.PartitionableLines)
-			cfg.L2.SetTargets(targets)
-			if chooser, ok := cfg.Alloc.(PolicyChooser); ok {
-				if setter, ok2 := cfg.L2.(InsertionPolicySetter); ok2 {
-					for p, brrip := range chooser.InsertionPolicies() {
-						setter.SetInsertionPolicy(p, brrip)
-					}
+		if rs.alloc != nil && cfg.RepartitionCycles > 0 && c.cycle >= nextRepart {
+			targets := rs.alloc.Allocate(cfg.PartitionableLines)
+			rs.l2.SetTargets(targets)
+			if rs.chooser != nil && rs.setter != nil {
+				for p, brrip := range rs.chooser.InsertionPolicies() {
+					rs.setter.SetInsertionPolicy(p, brrip)
 				}
 			}
 			res.Repartitions++
 			if cfg.OnRepartition != nil {
-				actual := make([]int, cfg.L2.NumPartitions())
+				actual := make([]int, rs.l2.NumPartitions())
 				for p := range actual {
-					actual[p] = cfg.L2.Size(p)
+					actual[p] = rs.l2.Size(p)
 				}
 				cfg.OnRepartition(c.cycle, targets, actual)
 			}
@@ -194,12 +254,12 @@ func Run(cfg Config) Result {
 
 		gap, addr := c.app.Next()
 		addr = uint64(ci+1)<<40 | addr // disjoint address spaces
-		lat, l1Miss, l2Hit, l2Acc := access(cfg, cores[ci], addr, ci)
+		lat, l1Miss, l2Hit, l2Acc := rs.access(c, addr, ci)
 		if l2Acc {
 			now := c.cycle + uint64(gap)
-			lat += int(cont.l2Delay(addr, now))
+			lat += int(rs.cont.l2Delay(addr, now))
 			if !l2Hit {
-				lat += int(cont.memDelay(now))
+				lat += int(rs.cont.memDelay(now))
 			}
 		}
 
@@ -233,10 +293,13 @@ func Run(cfg Config) Result {
 				c.startCycle = c.cycle
 			}
 		}
+		rs.heap[0].cycle = c.cycle
+		rs.fixRoot()
 	}
 
 	res.Cores = make([]CoreStats, n)
-	for i, c := range cores {
+	for i := range rs.cores {
+		c := &rs.cores[i]
 		s := c.stats
 		if s.Cycles > 0 {
 			s.IPC = float64(s.Instructions) / float64(s.Cycles)
@@ -255,25 +318,81 @@ func Run(cfg Config) Result {
 
 // access performs one memory reference through the hierarchy and returns
 // its latency plus what happened at each level.
-func access(cfg Config, c *coreState, addr uint64, core int) (lat int, l1Miss, l2Hit, l2Acc bool) {
-	if c.l1 != nil {
-		if r := c.l1.Access(addr, 0); r.Hit {
-			return cfg.Lat.L1Hit, false, false, false
-		}
-		l1Miss = true
+func (rs *runState) access(c *coreState, addr uint64, core int) (lat int, l1Miss, l2Hit, l2Acc bool) {
+	if c.l1 != nil && c.l1.access(addr) {
+		return rs.latL1Hit, false, false, false
+	}
+	// L2 access; feed the allocator's monitors with the post-L1 stream.
+	// Mix the address once here and share the value between the monitors
+	// and the controller's hashed arrays; the L1 indexes by low address
+	// bits, so hits above never need the mix.
+	mixed := hash.Mix64(addr)
+	if rs.allocMixed != nil {
+		rs.allocMixed.AccessMixed(core, addr, mixed)
+	} else if rs.alloc != nil {
+		rs.alloc.Access(core, addr)
+	}
+	var r ctrl.AccessResult
+	if rs.l2Mixed != nil {
+		r = rs.l2Mixed.AccessMixed(addr, mixed, core)
 	} else {
-		l1Miss = true
+		r = rs.l2.Access(addr, core)
 	}
-	// L2 access; feed the UMON with the post-L1 stream.
-	if cfg.Alloc != nil {
-		cfg.Alloc.Access(core, addr)
-	}
-	l2Acc = true
-	r := cfg.L2.Access(addr, core)
 	if r.Hit {
-		return cfg.Lat.L2Hit, l1Miss, true, l2Acc
+		return rs.latL2Hit, true, true, true
 	}
-	return cfg.Lat.L2Hit + cfg.Lat.Memory, l1Miss, false, l2Acc
+	return rs.latL2Miss, true, false, true
+}
+
+// lessEntry reports whether heap entry a schedules before entry b: strictly
+// lower local clock, ties broken by core index. This is exactly the order
+// the linear min-scan produced (strict less-than keeps the first, i.e.
+// lowest-index, minimum), so the heap scheduler replays the same
+// interleaving.
+func lessEntry(a, b heapEntry) bool {
+	return a.cycle < b.cycle || (a.cycle == b.cycle && a.ci < b.ci)
+}
+
+// fixRoot restores the heap invariant after the root core's clock advanced:
+// a hole-based sift-down (children move up into the hole, the root entry is
+// written once at its final level) with the (cycle, index) comparisons of
+// lessEntry inlined.
+//
+// The heap is 4-ary: lessEntry is a strict total order (core indices are
+// unique), so the minimum core is unique and any valid heap shape pops the
+// same schedule — the wider fan-out just halves the number of sift levels,
+// which a stepped core usually traverses in full (its clock jumps past most
+// peers every step). The identity layout remains a valid initial heap: every
+// parent index is below its children's, matching the all-zero-clock tie
+// order.
+func (rs *runState) fixRoot() {
+	h := rs.heap
+	n := len(h)
+	root := h[0]
+	i := 0
+	for {
+		c0 := 4*i + 1
+		if c0 >= n {
+			break
+		}
+		end := c0 + 4
+		if end > n {
+			end = n
+		}
+		best := c0
+		bc, bi := h[c0].cycle, h[c0].ci
+		for j := c0 + 1; j < end; j++ {
+			if cj, ij := h[j].cycle, h[j].ci; cj < bc || (cj == bc && ij < bi) {
+				best, bc, bi = j, cj, ij
+			}
+		}
+		if !(bc < root.cycle || (bc == root.cycle && bi < root.ci)) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = root
 }
 
 // String formats a result compactly.

@@ -38,6 +38,9 @@ func NewStatic(shares []float64) *Static {
 // Access implements the allocator contract (static policies ignore traffic).
 func (s *Static) Access(part int, addr uint64) {}
 
+// AccessMixed is Access with the Mix64 finalizer already applied to addr.
+func (s *Static) AccessMixed(part int, addr, mixed uint64) {}
+
 // Allocate returns the fixed shares scaled to totalLines.
 func (s *Static) Allocate(totalLines int) []int {
 	out := make([]int, len(s.shares))
@@ -89,6 +92,9 @@ func NewProportional(parts int, floor float64) *Proportional {
 
 // Access implements the allocator contract.
 func (p *Proportional) Access(part int, addr uint64) { p.counts[part]++ }
+
+// AccessMixed is Access with the Mix64 finalizer already applied to addr.
+func (p *Proportional) AccessMixed(part int, addr, mixed uint64) { p.counts[part]++ }
 
 // Allocate sizes partitions by access counts (with the floor) and halves
 // the counters, like UCP's decay.

@@ -12,6 +12,7 @@ package ucp
 
 import (
 	"fmt"
+	"math/bits"
 
 	"vantage/internal/hash"
 )
@@ -25,13 +26,18 @@ type UMON struct {
 	ways      int
 	totalSets int // sets of the modeled cache (cacheLines / ways)
 	sampled   int // instantiated ATD sets
-	ratio     int // totalSets / sampled
-	h         *hash.H3
-	tags      [][]uint64 // per sampled set, MRU-first LRU stack
-	occupancy []int
-	hits      []uint64 // per stack position
-	misses    uint64
-	accesses  uint64
+	ratio     int // totalSets / sampled, a power of two
+	// sampleMask (ratio-1) and ratioShift (log2 ratio) express the sampling
+	// filter and set compaction as mask/shift: the filter runs on every
+	// monitored access and a runtime-divisor modulo would dominate it.
+	sampleMask int
+	ratioShift uint
+	h          *hash.H3
+	tags       [][]uint64 // per sampled set, MRU-first LRU stack
+	occupancy  []int
+	hits       []uint64 // per stack position
+	misses     uint64
+	accesses   uint64
 }
 
 // NewUMON returns a monitor modeling a cache with the given associativity
@@ -52,15 +58,18 @@ func NewUMON(ways, totalSets, sampledSets int, seed uint64) *UMON {
 	for totalSets%sampledSets != 0 || sampledSets&(sampledSets-1) != 0 {
 		sampledSets--
 	}
+	ratio := totalSets / sampledSets
 	u := &UMON{
-		ways:      ways,
-		totalSets: totalSets,
-		sampled:   sampledSets,
-		ratio:     totalSets / sampledSets,
-		h:         hash.NewH3(32, hash.Mix64(seed^0x0e0e)),
-		tags:      make([][]uint64, sampledSets),
-		occupancy: make([]int, sampledSets),
-		hits:      make([]uint64, ways),
+		ways:       ways,
+		totalSets:  totalSets,
+		sampled:    sampledSets,
+		ratio:      ratio,
+		sampleMask: ratio - 1,
+		ratioShift: uint(bits.TrailingZeros(uint(ratio))),
+		h:          hash.NewH3(32, hash.Mix64(seed^0x0e0e)),
+		tags:       make([][]uint64, sampledSets),
+		occupancy:  make([]int, sampledSets),
+		hits:       make([]uint64, ways),
 	}
 	for i := range u.tags {
 		u.tags[i] = make([]uint64, ways)
@@ -87,10 +96,10 @@ func (u *UMON) Access(addr uint64) {
 func (u *UMON) AccessMixed(addr, mixed uint64) {
 	hv := u.h.Hash(mixed)
 	modelSet := int(hv) & (u.totalSets - 1)
-	if modelSet%u.ratio != 0 {
+	if modelSet&u.sampleMask != 0 {
 		return
 	}
-	set := modelSet / u.ratio
+	set := modelSet >> u.ratioShift
 	u.accesses++
 	stack := u.tags[set]
 	n := u.occupancy[set]

@@ -2,6 +2,7 @@ package ucp
 
 import (
 	"fmt"
+	"math/bits"
 
 	"vantage/internal/hash"
 )
@@ -17,15 +18,19 @@ type UMONRRIP struct {
 	ways      int
 	totalSets int
 	sampled   int
-	ratio     int
-	h         *hash.H3
-	rng       *hash.Rand
-	tags      [][]uint64
-	rrpv      [][]uint8
-	occupancy []int
-	hits      []uint64 // per RRPV-rank position
-	misses    uint64
-	accesses  uint64
+	ratio     int // totalSets / sampled, a power of two
+	// Mask/shift forms of the ratio, as in UMON: the sampling filter runs on
+	// every monitored access.
+	sampleMask int
+	ratioShift uint
+	h          *hash.H3
+	rng        *hash.Rand
+	tags       [][]uint64
+	rrpv       [][]uint8
+	occupancy  []int
+	hits       []uint64 // per RRPV-rank position
+	misses     uint64
+	accesses   uint64
 	// Dueling: per-half hit/access counts since the last Decay.
 	halfHits [2]uint64
 	halfAcc  [2]uint64
@@ -49,17 +54,20 @@ func NewUMONRRIP(ways, totalSets, sampledSets int, seed uint64) *UMONRRIP {
 			panic("ucp: cannot sample at least two sets")
 		}
 	}
+	ratio := totalSets / sampledSets
 	u := &UMONRRIP{
-		ways:      ways,
-		totalSets: totalSets,
-		sampled:   sampledSets,
-		ratio:     totalSets / sampledSets,
-		h:         hash.NewH3(32, hash.Mix64(seed^0x0e1e)),
-		rng:       hash.NewRand(seed ^ 0x4449),
-		tags:      make([][]uint64, sampledSets),
-		rrpv:      make([][]uint8, sampledSets),
-		occupancy: make([]int, sampledSets),
-		hits:      make([]uint64, ways),
+		ways:       ways,
+		totalSets:  totalSets,
+		sampled:    sampledSets,
+		ratio:      ratio,
+		sampleMask: ratio - 1,
+		ratioShift: uint(bits.TrailingZeros(uint(ratio))),
+		h:          hash.NewH3(32, hash.Mix64(seed^0x0e1e)),
+		rng:        hash.NewRand(seed ^ 0x4449),
+		tags:       make([][]uint64, sampledSets),
+		rrpv:       make([][]uint8, sampledSets),
+		occupancy:  make([]int, sampledSets),
+		hits:       make([]uint64, ways),
 	}
 	for i := range u.tags {
 		u.tags[i] = make([]uint64, ways)
@@ -76,12 +84,18 @@ func (u *UMONRRIP) half(set int) int { return set & 1 }
 
 // Access feeds one address from the monitored partition's stream.
 func (u *UMONRRIP) Access(addr uint64) {
-	hv := u.h.Hash(hash.Mix64(addr))
+	u.AccessMixed(addr, hash.Mix64(addr))
+}
+
+// AccessMixed is Access with the Mix64 finalizer already applied to addr
+// (see UMON.AccessMixed); the result is identical to Access(addr).
+func (u *UMONRRIP) AccessMixed(addr, mixed uint64) {
+	hv := u.h.Hash(mixed)
 	modelSet := int(hv) & (u.totalSets - 1)
-	if modelSet%u.ratio != 0 {
+	if modelSet&u.sampleMask != 0 {
 		return
 	}
-	set := modelSet / u.ratio
+	set := modelSet >> u.ratioShift
 	u.accesses++
 	u.halfAcc[u.half(set)]++
 	tags, rrpvs := u.tags[set], u.rrpv[set]
@@ -210,6 +224,11 @@ func NewPolicyRRIP(parts, ways, cacheLines int, seed uint64) *PolicyRRIP {
 
 // Access feeds one address of partition part's stream.
 func (p *PolicyRRIP) Access(part int, addr uint64) { p.monitors[part].Access(addr) }
+
+// AccessMixed is Access with the Mix64 finalizer already applied to addr.
+func (p *PolicyRRIP) AccessMixed(part int, addr, mixed uint64) {
+	p.monitors[part].AccessMixed(addr, mixed)
+}
 
 // Monitor exposes partition part's monitor.
 func (p *PolicyRRIP) Monitor(part int) *UMONRRIP { return p.monitors[part] }

@@ -111,19 +111,27 @@ func (b *burster) next(gen func() uint64, burst int) uint64 {
 type gapGen struct {
 	rng  *hash.Rand
 	mean float64
+	// logQ caches math.Log(1-p) for the instance's success probability.
+	// Dividing by the cached value is the same float64 operation as
+	// dividing by a freshly computed one, so samples are bit-identical;
+	// caching halves the math.Log calls on the per-reference path.
+	logQ float64
 }
 
 func (g *gapGen) next() int {
 	if g.mean <= 0 {
 		return 0
 	}
-	// Geometric via inversion; mean = (1-p)/p with success prob p.
-	p := 1 / (1 + g.mean)
+	if g.logQ == 0 {
+		// Geometric via inversion; mean = (1-p)/p with success prob p.
+		p := 1 / (1 + g.mean)
+		g.logQ = math.Log(1 - p)
+	}
 	u := g.rng.Float64()
 	if u >= 1 {
 		u = math.Nextafter(1, 0)
 	}
-	return int(math.Log(1-u) / math.Log(1-p))
+	return int(math.Log(1-u) / g.logQ)
 }
 
 // ZipfApp models cache-friendly behavior: accesses are Zipf-distributed
@@ -138,6 +146,12 @@ type ZipfApp struct {
 	b     burster
 	cdf   []float64
 	perm  []uint32 // rank -> address permutation, so hot lines spread out
+	// guide is an inverse-CDF index: guide[k] is the lower bound of k/K in
+	// cdf (K = len(guide)-1), so a draw u only needs a binary search within
+	// [guide[k], guide[k+1]] for its bucket k. The lower bound an u resolves
+	// to is a pure function of (cdf, u) — the same index whatever search
+	// range finds it — so the guided search is bit-identical to a full one.
+	guide []uint32
 	lines uint64
 }
 
@@ -164,6 +178,20 @@ func NewZipfApp(cat Category, lines int, alpha float64, gapMean float64, burst i
 	for i := range a.cdf {
 		a.cdf[i] /= sum
 	}
+	// Build the guide table with one merge pass: advance i to the first rank
+	// with cdf[i] >= k/K for each bucket boundary. K = lines keeps the table
+	// a third the size of the cdf while leaving head buckets (where the Zipf
+	// mass concentrates) only a handful of ranks wide.
+	a.guide = make([]uint32, lines+1)
+	scale := float64(lines)
+	i := 0
+	for k := 1; k <= lines; k++ {
+		b := float64(k) / scale
+		for i < lines-1 && a.cdf[i] < b {
+			i++
+		}
+		a.guide[k] = uint32(i)
+	}
 	// A Fisher-Yates permutation maps popularity ranks to addresses, so the
 	// hot lines are spread across the address space (a hash mod lines is
 	// not injective and would shrink the working set by ~1/e).
@@ -187,21 +215,38 @@ func (a *ZipfApp) Category() Category { return a.cat }
 // Next implements App.
 func (a *ZipfApp) Next() (int, uint64) {
 	addr := a.b.next(func() uint64 {
-		u := a.rng.Float64()
-		// Binary search the CDF for rank, then scramble the rank into an
-		// address so that hot lines don't cluster in nearby sets.
-		lo, hi := 0, len(a.cdf)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if a.cdf[mid] < u {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		return uint64(a.perm[lo]) + 1
+		// Draw the rank, then scramble it into an address so that hot lines
+		// don't cluster in nearby sets.
+		return uint64(a.perm[a.rank(a.rng.Float64())]) + 1
 	}, a.burst)
 	return a.gaps.next(), addr
+}
+
+// rank returns the lower bound of u in the CDF: the smallest rank i with
+// cdf[i] >= u. The guide table narrows the binary search to u's bucket; the
+// nudge handles int(u*scale) rounding into a neighboring bucket (off by at
+// most one, since the product's error is below one ulp).
+func (a *ZipfApp) rank(u float64) int {
+	scale := float64(len(a.guide) - 1)
+	k := int(u * scale)
+	if k >= len(a.guide)-1 {
+		k = len(a.guide) - 2
+	}
+	if u < float64(k)/scale {
+		k--
+	} else if u >= float64(k+1)/scale {
+		k++
+	}
+	lo, hi := int(a.guide[k]), int(a.guide[k+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // ScanApp models cache-fitting behavior: a cyclic scan over a fixed working

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 
 	"vantage/internal/hash"
@@ -271,5 +272,57 @@ func TestPhasedFraction(t *testing.T) {
 	app = NewApp(Fitting, p, rng)
 	if _, ok := app.(*ScanApp); !ok {
 		t.Fatalf("PhasedFraction=0 produced %T", app)
+	}
+}
+
+// TestZipfRankMatchesFullSearch pins the guide-table search to the plain
+// full-range lower bound: the rank an u resolves to must be identical, for
+// random draws and for draws sitting exactly on (and one ulp around) every
+// CDF boundary, across skews and working-set sizes.
+func TestZipfRankMatchesFullSearch(t *testing.T) {
+	fullSearch := func(a *ZipfApp, u float64) int {
+		lo, hi := 0, len(a.cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if a.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	for _, tc := range []struct {
+		lines int
+		alpha float64
+	}{{17, 0}, {100, 0.5}, {1000, 0.9}, {4096, 1.2}} {
+		a := NewZipfApp(Friendly, tc.lines, tc.alpha, 3, 1, 7)
+		check := func(u float64) {
+			t.Helper()
+			if u < 0 || u >= 1 {
+				return
+			}
+			if got, want := a.rank(u), fullSearch(a, u); got != want {
+				t.Fatalf("lines=%d alpha=%g u=%v: rank %d, full search %d",
+					tc.lines, tc.alpha, u, got, want)
+			}
+		}
+		rng := hash.NewRand(99)
+		for i := 0; i < 20000; i++ {
+			check(rng.Float64())
+		}
+		for _, c := range a.cdf {
+			check(c)
+			check(math.Nextafter(c, 0))
+			check(math.Nextafter(c, 2))
+		}
+		// Bucket boundaries k/K, where the int(u*scale) nudge matters.
+		scale := float64(len(a.guide) - 1)
+		for k := 0; k < len(a.guide)-1; k++ {
+			b := float64(k) / scale
+			check(b)
+			check(math.Nextafter(b, 0))
+			check(math.Nextafter(b, 2))
+		}
 	}
 }
