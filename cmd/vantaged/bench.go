@@ -37,6 +37,10 @@ func benchMain(args []string) {
 	repartition := fs.Duration("repartition", 50*time.Millisecond, "repartition interval when self-hosting")
 	seed := fs.Uint64("seed", 2011, "workload and cache seed")
 	jsonPath := fs.String("json", "", "run the standard benchmark matrix and write results to this JSON file")
+	chaos := fs.Bool("chaos", false, "overload-tolerant mode: count BUSY/shed/fault/dropped instead of aborting")
+	maxConns := fs.Int("max-conns", 0, "self-host: max concurrent connections, extras get BUSY (0 = unlimited)")
+	maxInflight := fs.Int("max-inflight", 0, "self-host: max data commands in flight (0 = unlimited)")
+	faultSpec := fs.String("fault", "", "self-host: fault injection spec (see vantaged -fault)")
 	fs.Parse(args)
 
 	if *jsonPath != "" {
@@ -67,12 +71,23 @@ func benchMain(args []string) {
 			fmt.Fprintln(os.Stderr, "vantaged bench:", err)
 			os.Exit(1)
 		}
+		if *faultSpec != "" {
+			plan, err := service.ParseFaultSpec(*faultSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vantaged bench:", err)
+				os.Exit(1)
+			}
+			svc.SetFaultInjector(plan)
+		}
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vantaged bench:", err)
 			os.Exit(1)
 		}
-		srv = service.Serve(svc, lis)
+		srv = service.ServeWith(svc, lis, service.ServerConfig{
+			MaxConns:    *maxConns,
+			MaxInflight: *maxInflight,
+		})
 		target = srv.Addr().String()
 		fmt.Fprintf(os.Stderr, "vantaged bench: self-hosted server on %s\n", target)
 	}
@@ -83,6 +98,7 @@ func benchMain(args []string) {
 		OpsPerConn: *ops,
 		ValueSize:  *valueSize,
 		Batch:      *batch,
+		Chaos:      *chaos,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vantaged bench:", err)
@@ -94,6 +110,10 @@ func benchMain(args []string) {
 		fmt.Printf("%-12s %10d %10d %10d %7.1f%%\n", t.Name, t.Gets, t.Hits, t.Puts, 100*t.HitRate())
 	}
 	fmt.Printf("total: %d ops in %.2fs = %.0f ops/sec\n", res.Ops, res.Elapsed.Seconds(), res.OpsPerSec)
+	if *chaos {
+		fmt.Printf("chaos: rejected=%d shed=%d injected=%d dropped=%d\n",
+			res.Rejected, res.Shed, res.Injected, res.Dropped)
+	}
 
 	if srv != nil {
 		srv.Close()

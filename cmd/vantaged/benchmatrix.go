@@ -23,9 +23,13 @@ type benchRow struct {
 	Goroutines int     `json:"goroutines,omitempty"`
 	Conns      int     `json:"conns,omitempty"`
 	Batch      int     `json:"batch,omitempty"`
+	MaxConns   int     `json:"max_conns,omitempty"`
 	Ops        uint64  `json:"ops"`
 	Seconds    float64 `json:"seconds"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	Rejected   uint64  `json:"rejected,omitempty"`
+	Shed       uint64  `json:"shed,omitempty"`
+	Dropped    uint64  `json:"dropped,omitempty"`
 }
 
 // benchReport is the BENCH_service.json schema.
@@ -71,6 +75,13 @@ func runBenchMatrix(path string, lines, shards, valueSize int, seed uint64) erro
 		rep.Results = append(rep.Results, row)
 		fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
 	}
+
+	row, err := runOverloadBench(lines, shards, valueSize, seed)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, row)
+	fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec (rejected=%d)\n", row.Name, row.OpsPerSec, row.Rejected)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -217,5 +228,64 @@ func runTCPBench(batch, lines, shards, valueSize int, seed uint64) (benchRow, er
 		Ops:       res.Ops,
 		Seconds:   res.Elapsed.Seconds(),
 		OpsPerSec: res.OpsPerSec,
+	}, nil
+}
+
+// runOverloadBench drives the server past its connection cap in chaos mode:
+// 8 loadgen connections against MaxConns=4, so half the dials must be
+// fast-rejected with BUSY while the in-cap connections run at full speed.
+// The row records both the surviving throughput and the reject count, so
+// the trajectory shows degradation staying graceful (the overload analogue
+// of Vantage shrinking partitions instead of collapsing them).
+func runOverloadBench(lines, shards, valueSize int, seed uint64) (benchRow, error) {
+	const maxConns = 4
+	svc, err := service.New(service.Config{
+		Shards:              shards,
+		LinesPerShard:       lines / shards,
+		RepartitionInterval: 50 * time.Millisecond,
+		Seed:                seed,
+	})
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer svc.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return benchRow{}, err
+	}
+	srv := service.ServeWith(svc, lis, service.ServerConfig{MaxConns: maxConns})
+	defer srv.Close()
+
+	specs, err := parseTenantSpecs("friendly=friendly:4,stream=stream:4", lines, seed)
+	if err != nil {
+		return benchRow{}, err
+	}
+	conns := 0
+	for _, t := range specs {
+		conns += t.Conns
+	}
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:       srv.Addr().String(),
+		Tenants:    specs,
+		OpsPerConn: 50000,
+		ValueSize:  valueSize,
+		Chaos:      true,
+	})
+	if err != nil {
+		return benchRow{}, err
+	}
+	if res.Rejected == 0 {
+		return benchRow{}, fmt.Errorf("overload bench: %d conns against max-conns=%d produced no BUSY rejects", conns, maxConns)
+	}
+	return benchRow{
+		Name:      "tcp/overload",
+		Conns:     conns,
+		MaxConns:  maxConns,
+		Ops:       res.Ops,
+		Seconds:   res.Elapsed.Seconds(),
+		OpsPerSec: res.OpsPerSec,
+		Rejected:  res.Rejected,
+		Shed:      res.Shed,
+		Dropped:   res.Dropped,
 	}, nil
 }

@@ -55,6 +55,14 @@ func main() {
 	seed := flag.Uint64("seed", 2011, "hash seed (perturbs shard routing, arrays, monitors)")
 	tenants := flag.String("tenants", "", "comma-separated tenant names to pre-register")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the metrics address")
+	maxConns := flag.Int("max-conns", 0, "max concurrent connections; extras are fast-rejected with BUSY (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "max data commands in flight across all connections (0 = unlimited)")
+	maxTenantInflight := flag.Int("max-inflight-tenant", 0, "max data commands in flight per tenant (0 = unlimited)")
+	inflightWait := flag.Duration("inflight-wait", 0, "backpressure wait for a global in-flight slot before shedding (0 = 10ms default when -max-inflight is set)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle (or dribbling a command line) longer than this (0 = never)")
+	readTimeout := flag.Duration("read-timeout", 0, "deadline for reading a PUT value block (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 0, "deadline for flushing responses (0 = never)")
+	faultSpec := flag.String("fault", "", "fault injection spec, e.g. 'err=0.01,drop=0.001,delay=0.05:2ms,ops=get|put,tenants=a|b,seed=1' (empty disables)")
 	flag.Parse()
 
 	svc, err := service.New(service.Config{
@@ -82,12 +90,30 @@ func main() {
 		}
 	}
 
+	if *faultSpec != "" {
+		plan, err := service.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vantaged:", err)
+			os.Exit(1)
+		}
+		svc.SetFaultInjector(plan)
+		fmt.Fprintf(os.Stderr, "vantaged: fault injection active: %s\n", *faultSpec)
+	}
+
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vantaged:", err)
 		os.Exit(1)
 	}
-	srv := service.Serve(svc, lis)
+	srv := service.ServeWith(svc, lis, service.ServerConfig{
+		MaxConns:          *maxConns,
+		MaxInflight:       *maxInflight,
+		MaxTenantInflight: *maxTenantInflight,
+		InflightWait:      *inflightWait,
+		IdleTimeout:       *idleTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+	})
 	fmt.Fprintf(os.Stderr, "vantaged: serving on %s (%d shards x %d lines, %d tenant slots)\n",
 		srv.Addr(), *shards, *lines / *shards, *maxTenants)
 

@@ -14,6 +14,7 @@ package loadgen
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -24,6 +25,18 @@ import (
 	"time"
 
 	"vantage/internal/workload"
+)
+
+// Overload signals a chaos-mode run classifies instead of failing on.
+// They mirror the server's degrade-don't-collapse responses (see
+// internal/service/protocol.go "Overload behavior").
+var (
+	// ErrBusy: the server fast-rejected the connection at its -max-conns cap.
+	ErrBusy = errors.New("loadgen: connection rejected (BUSY)")
+	// ErrShed: a data command was refused by an in-flight limit.
+	ErrShed = errors.New("loadgen: request shed")
+	// ErrInjected: the server's fault injector failed the command.
+	ErrInjected = errors.New("loadgen: injected fault")
 )
 
 // CategoryApp builds one Table 3 category's address-stream model scaled to
@@ -77,6 +90,13 @@ type Options struct {
 	// misses are pipelined PUTs sharing a single flush — the protocol's
 	// deferred-flush dispatcher answers them in one write.
 	Batch int
+	// Chaos makes the run overload-tolerant: BUSY connection rejects, shed
+	// replies, injected faults, and dropped connections are counted in the
+	// per-tenant results and the run continues (reconnecting as needed)
+	// instead of aborting on the first error. BUSY dials are retried a few
+	// times with backoff; a connection that is still rejected gives up its
+	// budget rather than hammering an overloaded server.
+	Chaos bool
 }
 
 // TenantResult is one tenant's aggregate outcome.
@@ -85,6 +105,12 @@ type TenantResult struct {
 	Gets, Hits, Misses uint64
 	Puts               uint64
 	Errors             uint64
+
+	// Chaos-mode overload accounting (zero outside chaos runs).
+	Rejected uint64 // connections refused with BUSY (one per rejected dial)
+	Shed     uint64 // commands refused by in-flight limits ("ERR SHED")
+	Injected uint64 // commands failed by the fault injector ("ERR FAULT")
+	Dropped  uint64 // connection losses: drop faults or server deadline closes
 }
 
 // HitRate returns hits/gets in [0,1].
@@ -102,6 +128,9 @@ type Result struct {
 	Ops       uint64
 	Elapsed   time.Duration
 	OpsPerSec float64
+
+	// Totals of the chaos-mode counters across tenants.
+	Rejected, Shed, Injected, Dropped uint64
 }
 
 // Run executes the configured load against the server and blocks until
@@ -142,6 +171,10 @@ func Run(o Options) (Result, error) {
 	res := Result{Tenants: counters, Elapsed: time.Since(start)}
 	for i := range counters {
 		res.Ops += counters[i].Gets + counters[i].Puts
+		res.Rejected += counters[i].Rejected
+		res.Shed += counters[i].Shed
+		res.Injected += counters[i].Injected
+		res.Dropped += counters[i].Dropped
 	}
 	if res.Elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / res.Elapsed.Seconds()
@@ -152,13 +185,78 @@ func Run(o Options) (Result, error) {
 	return res, nil
 }
 
+// busyRetries is how many times a chaos-mode dial retries a BUSY reject
+// (with backoff) before the connection gives up its budget.
+const busyRetries = 3
+
+// dialChaos dials with the run's overload policy. In chaos mode a BUSY
+// reject is counted and retried with backoff; exhausting the retries
+// returns ErrBusy, which callers treat as "this connection yields" rather
+// than a run failure.
+func dialChaos(o Options, tr *TenantResult, tenant string) (*client, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var c *client
+		c, err = dial(o.Addr, tenant)
+		if err == nil {
+			return c, nil
+		}
+		if !o.Chaos || !errors.Is(err, ErrBusy) {
+			return nil, err
+		}
+		atomic.AddUint64(&tr.Rejected, 1)
+		if attempt >= busyRetries {
+			return nil, ErrBusy
+		}
+		time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+	}
+}
+
+// chaosOpErr folds one failed command into the chaos counters. It returns
+// reconnect=true when the error means the connection is gone (a drop fault
+// or a server deadline close) and the worker should redial, and fatal
+// non-nil when the error is a real protocol failure that should end the run
+// even in chaos mode.
+func chaosOpErr(err error, tr *TenantResult) (reconnect bool, fatal error) {
+	switch {
+	case errors.Is(err, ErrShed):
+		atomic.AddUint64(&tr.Shed, 1)
+		return false, nil
+	case errors.Is(err, ErrInjected):
+		atomic.AddUint64(&tr.Injected, 1)
+		return false, nil
+	case isConnErr(err):
+		atomic.AddUint64(&tr.Dropped, 1)
+		return true, nil
+	default:
+		return false, err
+	}
+}
+
+// isConnErr reports whether err is a transport-level loss (EOF, reset,
+// timeout) rather than a protocol reply.
+func isConnErr(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
 // runConn drives one connection's operation budget.
 func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
-	c, err := dial(o.Addr, spec.Name)
+	c, err := dialChaos(o, tr, spec.Name)
 	if err != nil {
+		if o.Chaos && errors.Is(err, ErrBusy) {
+			return nil // rejected conns yield; the Rejected counter has the story
+		}
 		return err
 	}
-	defer c.close()
+	defer func() { c.close() }()
 	app := spec.MakeApp(conn)
 	val := make([]byte, o.ValueSize)
 	for i := range val {
@@ -167,12 +265,39 @@ func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
 	if o.Batch > 1 {
 		return runConnBatched(o, tr, spec, app, c, val)
 	}
+	// redial replaces the connection after a drop; it reports whether the
+	// worker can keep going.
+	redial := func() (bool, error) {
+		c.close()
+		nc, err := dialChaos(o, tr, spec.Name)
+		if err != nil {
+			if errors.Is(err, ErrBusy) {
+				return false, nil
+			}
+			return false, err
+		}
+		c = nc
+		return true, nil
+	}
 	for i := 0; i < o.OpsPerConn; i++ {
 		_, addr := app.Next()
 		key := strconv.FormatUint(addr, 16)
 		hit, err := c.get(spec.Name, key)
 		if err != nil {
-			return err
+			if !o.Chaos {
+				return err
+			}
+			reconnect, fatal := chaosOpErr(err, tr)
+			if fatal != nil {
+				return fatal
+			}
+			if reconnect {
+				ok, err := redial()
+				if !ok || err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		atomic.AddUint64(&tr.Gets, 1)
 		if hit {
@@ -181,7 +306,20 @@ func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
 		}
 		atomic.AddUint64(&tr.Misses, 1)
 		if err := c.put(spec.Name, key, val); err != nil {
-			return err
+			if !o.Chaos {
+				return err
+			}
+			reconnect, fatal := chaosOpErr(err, tr)
+			if fatal != nil {
+				return fatal
+			}
+			if reconnect {
+				ok, err := redial()
+				if !ok || err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		atomic.AddUint64(&tr.Puts, 1)
 	}
@@ -192,8 +330,21 @@ func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
 // o.Batch keys, then the misses are filled with pipelined PUTs sharing one
 // flush and one response read.
 func runConnBatched(o Options, tr *TenantResult, spec Tenant, app workload.App, c *client, val []byte) error {
+	defer func() { c.close() }() // closes the current conn, which redial may have replaced
 	keys := make([]string, 0, o.Batch)
 	missed := make([]string, 0, o.Batch)
+	redial := func() (bool, error) {
+		c.close()
+		nc, err := dialChaos(o, tr, spec.Name)
+		if err != nil {
+			if errors.Is(err, ErrBusy) {
+				return false, nil
+			}
+			return false, err
+		}
+		c = nc
+		return true, nil
+	}
 	for done := 0; done < o.OpsPerConn; {
 		n := o.Batch
 		if rest := o.OpsPerConn - done; n > rest {
@@ -204,19 +355,48 @@ func runConnBatched(o Options, tr *TenantResult, spec Tenant, app workload.App, 
 			_, addr := app.Next()
 			keys = append(keys, strconv.FormatUint(addr, 16))
 		}
-		hits, missIdx, err := c.mget(spec.Name, keys, missed[:0])
-		if err != nil {
-			return err
-		}
+		hits, seen, missIdx, err := c.mget(spec.Name, keys, missed[:0])
 		missed = missIdx
-		atomic.AddUint64(&tr.Gets, uint64(n))
+		// Responses received before a mid-batch abort are real GETs the
+		// server performed and accounted; count them either way.
+		atomic.AddUint64(&tr.Gets, uint64(seen))
 		atomic.AddUint64(&tr.Hits, uint64(hits))
-		atomic.AddUint64(&tr.Misses, uint64(n-hits))
-		if len(missed) > 0 {
-			if err := c.putPipelined(spec.Name, missed, val); err != nil {
+		atomic.AddUint64(&tr.Misses, uint64(seen-hits))
+		if err != nil {
+			if !o.Chaos {
 				return err
 			}
-			atomic.AddUint64(&tr.Puts, uint64(len(missed)))
+			reconnect, fatal := chaosOpErr(err, tr)
+			if fatal != nil {
+				return fatal
+			}
+			if reconnect {
+				ok, err := redial()
+				if !ok || err != nil {
+					return err
+				}
+			}
+			done += n // the batch's budget is spent even when it aborted
+			continue
+		}
+		if len(missed) > 0 {
+			stored, err := c.putPipelined(spec.Name, missed, val, o.Chaos, tr)
+			atomic.AddUint64(&tr.Puts, stored)
+			if err != nil {
+				if !o.Chaos {
+					return err
+				}
+				reconnect, fatal := chaosOpErr(err, tr)
+				if fatal != nil {
+					return fatal
+				}
+				if reconnect {
+					ok, err := redial()
+					if !ok || err != nil {
+						return err
+					}
+				}
+			}
 		}
 		done += n
 	}
@@ -240,13 +420,35 @@ func dial(addr, tenant string) (*client, error) {
 	resp, err := c.roundTrip("TENANT ADD " + tenant)
 	if err != nil {
 		conn.Close()
+		// A fast-rejecting server writes BUSY and closes before reading our
+		// command; depending on timing the client sees the BUSY line, an
+		// EOF, or a reset. All mean the same thing at dial time.
+		if isConnErr(err) {
+			return nil, fmt.Errorf("%w (%v)", ErrBusy, err)
+		}
 		return nil, err
+	}
+	if resp == "BUSY" {
+		conn.Close()
+		return nil, ErrBusy
 	}
 	if !strings.HasPrefix(resp, "OK") {
 		conn.Close()
 		return nil, fmt.Errorf("loadgen: TENANT ADD: %s", resp)
 	}
 	return c, nil
+}
+
+// classifyErr maps a protocol ERR reply to its overload sentinel, or wraps
+// it as a generic failure.
+func classifyErr(ctx, resp string) error {
+	switch {
+	case strings.HasPrefix(resp, "ERR SHED"):
+		return ErrShed
+	case strings.HasPrefix(resp, "ERR FAULT"):
+		return ErrInjected
+	}
+	return fmt.Errorf("loadgen: %s: %s", ctx, resp)
 }
 
 func (c *client) close() { c.conn.Close() }
@@ -289,13 +491,17 @@ func (c *client) get(tenant, key string) (bool, error) {
 		}
 		return true, nil
 	default:
-		return false, fmt.Errorf("loadgen: GET: %s", resp)
+		return false, classifyErr("GET", resp)
 	}
 }
 
-// mget requests keys in one MGET round trip, returning the hit count and
-// the missed keys appended to missBuf.
-func (c *client) mget(tenant string, keys []string, missBuf []string) (int, []string, error) {
+// mget requests keys in one MGET round trip, returning the hit count, the
+// number of per-key responses actually received, and the missed keys
+// appended to missBuf. A server that sheds the batch or hits an injected
+// fault mid-batch aborts with a single ERR line in place of the remaining
+// responses and no END (the line stream stays in sync); that surfaces here
+// as ErrShed/ErrInjected with seen < len(keys).
+func (c *client) mget(tenant string, keys []string, missBuf []string) (hits, seen int, _ []string, _ error) {
 	c.w.WriteString("MGET ")
 	c.w.WriteString(tenant)
 	c.w.WriteByte(' ')
@@ -306,62 +512,79 @@ func (c *client) mget(tenant string, keys []string, missBuf []string) (int, []st
 	}
 	c.w.WriteString("\r\n")
 	if err := c.w.Flush(); err != nil {
-		return 0, missBuf, err
+		return 0, 0, missBuf, err
 	}
-	hits := 0
 	for _, k := range keys {
 		resp, err := c.readLine()
 		if err != nil {
-			return hits, missBuf, err
+			return hits, seen, missBuf, err
 		}
 		switch {
 		case resp == "MISS":
 			missBuf = append(missBuf, k)
+			seen++
 		case strings.HasPrefix(resp, "VALUE "):
 			n, err := strconv.Atoi(resp[len("VALUE "):])
 			if err != nil || n < 0 {
-				return hits, missBuf, fmt.Errorf("loadgen: bad VALUE header %q", resp)
+				return hits, seen, missBuf, fmt.Errorf("loadgen: bad VALUE header %q", resp)
 			}
 			if _, err := c.r.Discard(n + 2); err != nil { // value + CRLF
-				return hits, missBuf, err
+				return hits, seen, missBuf, err
 			}
 			hits++
+			seen++
 		default:
-			return hits, missBuf, fmt.Errorf("loadgen: MGET: %s", resp)
+			return hits, seen, missBuf, classifyErr("MGET", resp)
 		}
 	}
 	resp, err := c.readLine()
 	if err != nil {
-		return hits, missBuf, err
+		return hits, seen, missBuf, err
 	}
 	if resp != "END" {
-		return hits, missBuf, fmt.Errorf("loadgen: MGET missing END, got %q", resp)
+		return hits, seen, missBuf, fmt.Errorf("loadgen: MGET missing END, got %q", resp)
 	}
-	return hits, missBuf, nil
+	return hits, seen, missBuf, nil
 }
 
 // putPipelined stores val under every key, writing all PUT commands before
 // a single flush and then reading all responses — one round trip for the
-// whole fill batch.
-func (c *client) putPipelined(tenant string, keys []string, val []byte) error {
+// whole fill batch. It returns how many PUTs the server acknowledged as
+// STORED. In chaos mode, per-command shed/fault replies are folded into tr
+// and the remaining responses are still drained (every PUT gets exactly one
+// reply line, so the stream stays in sync).
+func (c *client) putPipelined(tenant string, keys []string, val []byte, chaos bool, tr *TenantResult) (stored uint64, _ error) {
 	for _, key := range keys {
 		fmt.Fprintf(c.w, "PUT %s %s %d\r\n", tenant, key, len(val))
 		c.w.Write(val)
 		c.w.WriteString("\r\n")
 	}
 	if err := c.w.Flush(); err != nil {
-		return err
+		return 0, err
 	}
 	for range keys {
 		resp, err := c.readLine()
 		if err != nil {
-			return err
+			return stored, err
 		}
-		if resp != "STORED" {
-			return fmt.Errorf("loadgen: PUT: %s", resp)
+		if resp == "STORED" {
+			stored++
+			continue
+		}
+		err = classifyErr("PUT", resp)
+		if !chaos {
+			return stored, err
+		}
+		switch {
+		case errors.Is(err, ErrShed):
+			atomic.AddUint64(&tr.Shed, 1)
+		case errors.Is(err, ErrInjected):
+			atomic.AddUint64(&tr.Injected, 1)
+		default:
+			return stored, err
 		}
 	}
-	return nil
+	return stored, nil
 }
 
 // put stores val under key.
@@ -377,7 +600,7 @@ func (c *client) put(tenant, key string, val []byte) error {
 		return err
 	}
 	if resp != "STORED" {
-		return fmt.Errorf("loadgen: PUT: %s", resp)
+		return classifyErr("PUT", resp)
 	}
 	return nil
 }

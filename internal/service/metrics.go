@@ -26,6 +26,10 @@ type TenantStats struct {
 	// region, and forced managed evictions this tenant's fills caused.
 	Demotions       uint64
 	ForcedEvictions uint64
+
+	// Shed counts data commands refused by the per-tenant in-flight limit
+	// (serving-layer overload protection; see protocol.go).
+	Shed uint64
 }
 
 // HitRate returns hits/gets in [0,1] (zero when the tenant has no gets).
@@ -46,6 +50,11 @@ type Stats struct {
 	Repartitions uint64
 	UMONDrains   uint64 // deferred-UMON ring drains summed over shards
 
+	// Overload counters from the protocol layer (see protocol.go).
+	ConnsRejected  uint64 // connections fast-rejected with BUSY
+	RequestsShed   uint64 // data commands refused by in-flight limits
+	DeadlineCloses uint64 // connections reaped by read/write deadlines
+
 	Shards, LinesPerShard, TotalLines int
 	StoreEntries                      int
 	UnmanagedLines                    int
@@ -55,9 +64,12 @@ type Stats struct {
 // Stats snapshots the service.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Ops:           s.ops.Load(),
-		MGets:         s.mgets.Load(),
-		Repartitions:  s.repartitions.Load(),
+		Ops:            s.ops.Load(),
+		MGets:          s.mgets.Load(),
+		ConnsRejected:  s.connsRejected.Load(),
+		RequestsShed:   s.requestsShed.Load(),
+		DeadlineCloses: s.deadlineCloses.Load(),
+		Repartitions:   s.repartitions.Load(),
 		Shards:        s.cfg.Shards,
 		LinesPerShard: s.cfg.LinesPerShard,
 		TotalLines:    s.TotalLines(),
@@ -103,6 +115,7 @@ func (s *Service) Stats() Stats {
 			TargetLines:     targets[t.part],
 			Demotions:       demotions[t.part],
 			ForcedEvictions: t.forced.Load(),
+			Shed:            t.shed.Load(),
 		})
 	}
 	return st
@@ -142,6 +155,9 @@ func writeMetrics(b *strings.Builder, st Stats) {
 	}
 	counter("vantaged_ops_total", "Requests served (GET+PUT+DEL).", st.Ops)
 	counter("vantaged_mgets_total", "MGET batch commands served.", st.MGets)
+	counter("vantaged_conns_rejected_total", "Connections fast-rejected with BUSY at the connection cap.", st.ConnsRejected)
+	counter("vantaged_requests_shed_total", "Data commands refused by in-flight limits.", st.RequestsShed)
+	counter("vantaged_deadline_closes_total", "Connections reaped by read/write deadlines.", st.DeadlineCloses)
 	counter("vantaged_repartitions_total", "Online UCP repartitionings.", st.Repartitions)
 	counter("vantaged_umon_drains_total", "Deferred-UMON ring drains.", st.UMONDrains)
 	gauge("vantaged_shards", "Cache shards.", float64(st.Shards))
@@ -164,6 +180,7 @@ func writeMetrics(b *strings.Builder, st Stats) {
 		{"vantaged_tenant_target_lines", "Vantage capacity target by tenant.", "gauge", func(t TenantStats) float64 { return float64(t.TargetLines) }},
 		{"vantaged_tenant_demotions_total", "Lines demoted to the unmanaged region by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Demotions) }},
 		{"vantaged_tenant_forced_managed_evictions_total", "Forced managed evictions caused by tenant fills.", "counter", func(t TenantStats) float64 { return float64(t.ForcedEvictions) }},
+		{"vantaged_tenant_shed_total", "Data commands refused by the per-tenant in-flight limit.", "counter", func(t TenantStats) float64 { return float64(t.Shed) }},
 	}
 	for _, m := range perTenant {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)

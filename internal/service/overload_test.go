@@ -1,0 +1,377 @@
+package service
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newOverloadServer starts a server with explicit overload limits.
+func newOverloadServer(t *testing.T, cfg Config, scfg ServerConfig) (*Service, *Server) {
+	t.Helper()
+	svc := newTestService(t, cfg)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeWith(svc, lis, scfg)
+	t.Cleanup(func() { srv.Close() })
+	return svc, srv
+}
+
+// injectorFunc adapts a function to FaultInjector.
+type injectorFunc func(op Op, tenant string) Fault
+
+func (f injectorFunc) Fault(op Op, tenant string) Fault { return f(op, tenant) }
+
+// waitForGoroutines polls until the goroutine count settles back to at most
+// want, failing the test if it does not within 3s.
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d goroutines alive, want <= %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMaxConnsFastReject: connections beyond MaxConns get a single BUSY line
+// and an immediate close instead of queueing, the rejection is counted, a
+// freed slot is reusable, and nothing leaks goroutines.
+func TestMaxConnsFastReject(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	svc, err := New(Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeWith(svc, lis, ServerConfig{MaxConns: 2})
+	addr := srv.Addr().String()
+
+	c1 := dialTest(t, addr)
+	c1.expect("PING", "PONG")
+	c2 := dialTest(t, addr)
+	c2.expect("PING", "PONG")
+
+	// Third connection: fast-rejected.
+	c3 := dialTest(t, addr)
+	if got := c3.line(); got != "BUSY" {
+		t.Fatalf("over-cap connection: got %q want BUSY", got)
+	}
+	if _, err := c3.r.ReadString('\n'); err == nil {
+		t.Fatal("rejected connection left open")
+	}
+	if got := svc.Stats().ConnsRejected; got != 1 {
+		t.Fatalf("ConnsRejected = %d, want 1", got)
+	}
+
+	// Freeing a slot re-admits new connections (the handler's cleanup is
+	// asynchronous, so poll).
+	c1.expect("QUIT", "BYE")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, first := dialProbe(t, addr)
+		if first == "PONG" {
+			break
+		}
+		if first != "BUSY" {
+			t.Fatalf("unexpected first line %q", first)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after QUIT")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	srv.Close()
+	svc.Close()
+	waitForGoroutines(t, before)
+}
+
+// dialProbe connects and immediately PINGs, returning the first response
+// line ("PONG" or "BUSY").
+func dialProbe(t *testing.T, addr string) (*testClient, string) {
+	t.Helper()
+	c := dialTest(t, addr)
+	c.send("PING")
+	return c, c.line()
+}
+
+// TestSlowLorisReaped: a client dribbling one byte per 50ms must be closed
+// by the idle deadline (which is absolute per command line, not per read),
+// with the close counted, and the service must keep serving others.
+func TestSlowLorisReaped(t *testing.T) {
+	svc, srv := newOverloadServer(t,
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 22},
+		ServerConfig{IdleTimeout: 250 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	closed := make(chan error, 1)
+	go func() {
+		// The read only returns when the server closes the connection (the
+		// dribbled command line never completes, so no response is due).
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		_, err := conn.Read(make([]byte, 1))
+		closed <- err
+	}()
+	for _, b := range []byte("STATS and more and more and more") {
+		if _, err := conn.Write([]byte{b}); err != nil {
+			break // server already closed on us — expected
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	err = <-closed
+	elapsed := time.Since(start)
+	if err == nil || isTimeout(err) {
+		t.Fatalf("slow-loris connection not reaped (read err %v after %v)", err, elapsed)
+	}
+	if elapsed < 200*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("reaped after %v, want ~250ms", elapsed)
+	}
+	if got := svc.Stats().DeadlineCloses; got == 0 {
+		t.Error("DeadlineCloses not incremented")
+	}
+
+	// The server is unharmed: a well-behaved client is served.
+	c := dialTest(t, srv.Addr().String())
+	c.expect("PING", "PONG")
+}
+
+// TestHalfWritePutReaped: a PUT that declares a value length and then stalls
+// mid-payload must be reaped by the read deadline, leaving the shard
+// consistent (no partial value installed).
+func TestHalfWritePutReaped(t *testing.T) {
+	svc, srv := newOverloadServer(t,
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 23},
+		ServerConfig{IdleTimeout: time.Second, ReadTimeout: 250 * time.Millisecond})
+
+	c := dialTest(t, srv.Addr().String())
+	c.expect("TENANT ADD alice", "OK 0")
+
+	start := time.Now()
+	c.sendRaw("PUT alice stalled 100\r\nonly-ten-") // 9 of 100 payload bytes
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// The reaper fails the command ("ERR short value") and closes.
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("no error reply before close: %v", err)
+	}
+	if got := strings.TrimRight(line, "\r\n"); got != "ERR short value" {
+		t.Fatalf("half-written PUT: got %q", got)
+	}
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection left open after half-written PUT")
+	}
+	elapsed := time.Since(start)
+	if elapsed < 200*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("half-write reaped after %v, want ~250ms", elapsed)
+	}
+	if got := svc.Stats().DeadlineCloses; got == 0 {
+		t.Error("DeadlineCloses not incremented")
+	}
+
+	// Shard consistency: the partial value was never installed, and the
+	// tenant still works on a fresh connection.
+	c2 := dialTest(t, srv.Addr().String())
+	c2.expect("GET alice stalled", "MISS")
+	c2.sendRaw("PUT alice stalled 2\r\nok\r\n")
+	if got := c2.line(); got != "STORED" {
+		t.Fatalf("PUT after reap: %q", got)
+	}
+}
+
+// TestInflightShed: with MaxInflight=1 and a slow in-flight request, the
+// next data command waits out the backpressure window and is shed with an
+// ERR SHED reply; the connection stays usable and the shed is counted.
+func TestInflightShed(t *testing.T) {
+	svc, srv := newOverloadServer(t,
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 24},
+		ServerConfig{MaxInflight: 1, InflightWait: 10 * time.Millisecond})
+	svc.SetFaultInjector(injectorFunc(func(op Op, tenant string) Fault {
+		if tenant == "slow" {
+			return Fault{Delay: 400 * time.Millisecond}
+		}
+		return Fault{}
+	}))
+	if _, err := svc.AddTenant("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddTenant("fast"); err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := dialTest(t, srv.Addr().String())
+	c2 := dialTest(t, srv.Addr().String())
+	c1.send("GET slow k") // holds the single in-flight slot for 400ms
+	time.Sleep(100 * time.Millisecond)
+	c2.send("GET fast k")
+	if got := c2.line(); got != "ERR SHED server overloaded" {
+		t.Fatalf("over-limit GET: got %q", got)
+	}
+	c2.expect("PING", "PONG") // connection survives shedding
+	if got := c1.line(); got != "MISS" {
+		t.Fatalf("slow GET: got %q", got)
+	}
+	if got := svc.Stats().RequestsShed; got != 1 {
+		t.Fatalf("RequestsShed = %d, want 1", got)
+	}
+	// Once the slot frees, the same command succeeds.
+	c2.expect("GET fast k", "MISS")
+}
+
+// TestTenantInflightShed: the per-tenant limit sheds the saturated tenant
+// immediately while other tenants proceed, and the shed is attributed to
+// the tenant.
+func TestTenantInflightShed(t *testing.T) {
+	svc, srv := newOverloadServer(t,
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 25},
+		ServerConfig{MaxTenantInflight: 1})
+	svc.SetFaultInjector(injectorFunc(func(op Op, tenant string) Fault {
+		if tenant == "hog" {
+			return Fault{Delay: 400 * time.Millisecond}
+		}
+		return Fault{}
+	}))
+	svc.AddTenant("hog")
+	svc.AddTenant("quiet")
+
+	c1 := dialTest(t, srv.Addr().String())
+	c2 := dialTest(t, srv.Addr().String())
+	c3 := dialTest(t, srv.Addr().String())
+	c1.send("GET hog k")
+	time.Sleep(100 * time.Millisecond)
+	c2.send("GET hog k2")
+	if got := c2.line(); got != "ERR SHED server overloaded" {
+		t.Fatalf("over-limit tenant GET: got %q", got)
+	}
+	c3.expect("GET quiet k", "MISS") // other tenants unaffected
+	if got := c1.line(); got != "MISS" {
+		t.Fatalf("in-limit GET: got %q", got)
+	}
+	ts, err := svc.TenantStats("hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Shed != 1 {
+		t.Errorf("hog shed = %d, want 1", ts.Shed)
+	}
+	if qs, _ := svc.TenantStats("quiet"); qs.Shed != 0 {
+		t.Errorf("quiet shed = %d, want 0", qs.Shed)
+	}
+}
+
+// TestLineTooLong: a command line over maxLineLen draws a protocol error and
+// a close — not unbounded buffering, not a panic.
+func TestLineTooLong(t *testing.T) {
+	_, srv := newOverloadServer(t,
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 26},
+		ServerConfig{})
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	junk := strings.Repeat("x", 64<<10)
+	for written := 0; written <= maxLineLen+(64<<10); written += len(junk) {
+		if _, err := conn.Write([]byte(junk)); err != nil {
+			break // server gave up mid-write; response below
+		}
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("no response to oversized line: %v", err)
+	}
+	if got := strings.TrimRight(line, "\r\n"); got != "ERR line too long" {
+		t.Fatalf("oversized line: got %q", got)
+	}
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("connection left open after oversized line")
+	}
+}
+
+// TestOverloadGoroutineHygiene drives rejected, reaped, and served
+// connections through one server and verifies everything winds down to the
+// starting goroutine count — the acceptance gate for "no goroutine leaks
+// under overload".
+func TestOverloadGoroutineHygiene(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	svc, err := New(Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeWith(svc, lis, ServerConfig{
+		MaxConns:    4,
+		IdleTimeout: 100 * time.Millisecond,
+	})
+	addr := srv.Addr().String()
+
+	// A full house of served conns, a burst of rejected ones, and a few
+	// stalled ones left to the reaper.
+	var held []net.Conn
+	for i := 0; i < 4; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, conn)
+		io.WriteString(conn, "PING\r\n")
+		bufio.NewReader(conn).ReadString('\n')
+	}
+	for i := 0; i < 8; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, conn) // BUSY then EOF
+		conn.Close()
+	}
+	// The held conns go idle; the reaper closes them.
+	time.Sleep(300 * time.Millisecond)
+	for _, conn := range held {
+		conn.Close()
+	}
+
+	st := svc.Stats()
+	// All 8 burst dials raced the idle reaper for the 4 held slots; at least
+	// the first burst must have been rejected.
+	if st.ConnsRejected == 0 {
+		t.Error("no connection was fast-rejected at the cap")
+	}
+	if st.DeadlineCloses == 0 {
+		t.Error("idle reaper never fired")
+	}
+
+	srv.Close()
+	svc.Close()
+	waitForGoroutines(t, before)
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The vantaged wire protocol is a memcached-style CRLF text protocol, one
@@ -38,17 +39,85 @@ import (
 // the stream. A PUT with an unparseable length cannot be skipped (the block
 // length is unknown) and a PUT with a length above the 1 MiB cap will not
 // be drained; the latter closes the connection.
+//
+// # Overload behavior
+//
+// The server degrades instead of collapsing, the same philosophy Vantage
+// applies to cache capacity (§3.4: shed the weakest demands, never fail the
+// mechanism). Every limit below is off (0) by default and enabled via
+// ServerConfig:
+//
+//   - Connections beyond MaxConns are fast-rejected: the server writes the
+//     single line "BUSY" and closes, instead of letting the accept queue
+//     pile up. Rejections count toward vantaged_conns_rejected_total.
+//   - Data commands (GET/MGET/PUT/DEL) beyond MaxInflight wait up to
+//     InflightWait for a slot (backpressure), then are shed with
+//     "ERR SHED server overloaded"; the connection stays usable. Per-tenant
+//     MaxTenantInflight sheds immediately — blocking behind one saturated
+//     tenant would leak its overload into everyone else's latency.
+//     Shed requests count toward vantaged_requests_shed_total.
+//   - IdleTimeout bounds the wall-clock time a whole command line may take
+//     to arrive (it is an absolute deadline armed before each command, so a
+//     slow-loris client dribbling one byte at a time is reaped, not just a
+//     silent one). ReadTimeout re-arms the deadline for a PUT's payload;
+//     WriteTimeout bounds each flush. Deadline closes count toward
+//     vantaged_deadline_closes_total.
+//   - Command lines are capped at maxLineLen; an oversized line gets
+//     "ERR line too long" and the connection closes (the line cannot be
+//     resynced without reading it).
+//
+// An installed FaultInjector (see fault.go) adds induced failures: shard-path
+// faults surface as "ERR FAULT injected" replies, dispatcher drop faults
+// close the connection before the command executes. An MGET whose per-key
+// reads fail mid-batch aborts with a single ERR line in place of the
+// remaining responses (no END); clients must treat an ERR line as
+// terminating the batch. The stream itself stays in sync.
 const (
 	maxKeyLen   = 250
 	maxValueLen = 1 << 20
 	// maxBatchKeys bounds the keys per MGET command.
 	maxBatchKeys = 1024
+	// maxLineLen bounds one command line. The largest legitimate line is an
+	// MGET of maxBatchKeys maximum-length keys (~256 KiB); 512 KiB leaves
+	// headroom while still bounding what a hostile client can pin.
+	maxLineLen = 512 << 10
 )
 
-// Server serves the text protocol over a listener. Create with Serve.
+// ServerConfig are the serving-layer overload knobs. The zero value imposes
+// no limits, no deadlines, and no fault injection — the pre-hardening
+// behavior.
+type ServerConfig struct {
+	// MaxConns caps concurrently served connections; excess connections are
+	// fast-rejected with "BUSY". 0 = unlimited.
+	MaxConns int
+	// MaxInflight caps data commands executing concurrently across all
+	// connections. 0 = unlimited.
+	MaxInflight int
+	// MaxTenantInflight caps data commands executing concurrently per
+	// tenant. 0 = unlimited.
+	MaxTenantInflight int
+	// InflightWait is how long a command waits for a global in-flight slot
+	// before being shed (the backpressure window). Default 10ms when
+	// MaxInflight > 0.
+	InflightWait time.Duration
+	// IdleTimeout is the absolute deadline for a full command line to
+	// arrive, armed before each read of the next command; it reaps idle and
+	// slow-loris connections alike. 0 = no deadline.
+	IdleTimeout time.Duration
+	// ReadTimeout re-arms the read deadline for a PUT value block. 0 =
+	// inherit the command's IdleTimeout deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response flush. 0 = no deadline.
+	WriteTimeout time.Duration
+}
+
+// Server serves the text protocol over a listener. Create with Serve or
+// ServeWith.
 type Server struct {
 	svc *Service
 	lis net.Listener
+	cfg ServerConfig
+	sem chan struct{} // global in-flight slots; nil when MaxInflight == 0
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -57,9 +126,21 @@ type Server struct {
 }
 
 // Serve starts accepting connections on lis and handling them against svc,
-// one goroutine per connection. It returns immediately.
+// one goroutine per connection, with no limits or deadlines. It returns
+// immediately.
 func Serve(svc *Service, lis net.Listener) *Server {
-	s := &Server{svc: svc, lis: lis, conns: make(map[net.Conn]struct{})}
+	return ServeWith(svc, lis, ServerConfig{})
+}
+
+// ServeWith is Serve with overload limits (see ServerConfig).
+func ServeWith(svc *Service, lis net.Listener, cfg ServerConfig) *Server {
+	if cfg.MaxInflight > 0 && cfg.InflightWait == 0 {
+		cfg.InflightWait = 10 * time.Millisecond
+	}
+	s := &Server{svc: svc, lis: lis, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -98,6 +179,21 @@ func (s *Server) acceptLoop() {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.svc.connsRejected.Add(1)
+			// Fast-reject off the accept loop: a client that never reads
+			// must not be able to stall accepting. The write deadline bounds
+			// the goroutine's lifetime.
+			s.wg.Add(1)
+			go func(c net.Conn) {
+				defer s.wg.Done()
+				c.SetWriteDeadline(time.Now().Add(time.Second))
+				io.WriteString(c, "BUSY\r\n")
+				c.Close()
+			}(conn)
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -149,11 +245,25 @@ func (s *Server) handle(conn net.Conn) {
 		statePool.Put(cs)
 	}()
 	for {
+		// The idle deadline is absolute across all reads of this command
+		// line: a slow-loris client dribbling bytes gets exactly IdleTimeout
+		// of wall clock for the whole line, same as a silent one.
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		line, err := readLine(r)
 		if err != nil {
-			return // EOF or closed connection
+			if isTimeout(err) {
+				s.svc.deadlineCloses.Add(1)
+			} else if err == errLineTooLong {
+				// The rest of the line cannot be skipped without reading it;
+				// report and close.
+				w.WriteString("ERR line too long\r\n")
+				w.Flush()
+			}
+			return // EOF, deadline, or closed connection
 		}
-		quit, err := s.dispatch(line, r, w, cs)
+		quit, err := s.dispatch(conn, line, r, w, cs)
 		if err != nil {
 			w.WriteString("ERR ")
 			w.WriteString(err.Error())
@@ -167,15 +277,37 @@ func (s *Server) handle(conn net.Conn) {
 		// responses to a batch of commands leave in as few writes as
 		// possible. A client that pipelines K commands gets K responses in
 		// one round trip.
-		if r.Buffered() == 0 && w.Flush() != nil {
-			return
+		if r.Buffered() == 0 {
+			if s.cfg.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
+			if err := w.Flush(); err != nil {
+				if isTimeout(err) {
+					s.svc.deadlineCloses.Add(1)
+				}
+				return
+			}
 		}
 	}
 }
 
+// isTimeout reports whether err is a connection deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// errLineTooLong marks a command line over maxLineLen.
+var errLineTooLong = errors.New("line exceeds maximum length")
+
+// errShed is the reply for a data command refused by an in-flight limit.
+var errShed = errors.New("SHED server overloaded")
+
 // readLine returns the next command line with its EOL trimmed. The returned
 // slice aliases the reader's buffer and is valid until the next read. Lines
-// longer than the buffer (large MGETs) fall back to an allocated copy.
+// longer than the buffer (large MGETs) fall back to an allocated copy,
+// bounded at maxLineLen (errLineTooLong beyond that — an unbounded line
+// would otherwise grow the copy until memory ran out).
 func readLine(r *bufio.Reader) ([]byte, error) {
 	line, err := r.ReadSlice('\n')
 	if err == nil {
@@ -193,6 +325,9 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 		}
 		if err != bufio.ErrBufferFull {
 			return nil, err
+		}
+		if len(buf) > maxLineLen {
+			return nil, errLineTooLong
 		}
 	}
 }
@@ -295,11 +430,78 @@ func (cs *connState) writeValueResponse(w *bufio.Writer, val []byte, hit bool) {
 	w.WriteString("\r\n")
 }
 
+// beginOp reserves the in-flight slots a data command on tenant needs. It
+// returns release (nil when no limit is configured, so the unlimited path
+// costs two compares) and ok=false when the command must be shed. The
+// per-tenant reservation is taken first and sheds immediately; the global
+// reservation waits up to InflightWait (backpressure) before shedding.
+func (s *Server) beginOp(tenant []byte) (release func(), ok bool) {
+	var t *Tenant
+	if s.cfg.MaxTenantInflight > 0 {
+		t = s.svc.reg.Load().tenants[string(tenant)]
+		if t != nil {
+			for {
+				cur := t.inflight.Load()
+				if cur >= int64(s.cfg.MaxTenantInflight) {
+					t.shed.Add(1)
+					s.svc.requestsShed.Add(1)
+					return nil, false
+				}
+				if t.inflight.CompareAndSwap(cur, cur+1) {
+					break
+				}
+			}
+		}
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			timer := time.NewTimer(s.cfg.InflightWait)
+			select {
+			case s.sem <- struct{}{}:
+				timer.Stop()
+			case <-timer.C:
+				if t != nil {
+					t.inflight.Add(-1)
+					t.shed.Add(1)
+				}
+				s.svc.requestsShed.Add(1)
+				return nil, false
+			}
+		}
+	}
+	if t == nil && s.sem == nil {
+		return nil, true
+	}
+	return func() {
+		if s.sem != nil {
+			<-s.sem
+		}
+		if t != nil {
+			t.inflight.Add(-1)
+		}
+	}, true
+}
+
+// dataOp applies the per-command overload gates for a data command: the
+// dispatcher-path fault draw (drop) and the in-flight reservations. It
+// returns the release func (possibly nil), drop=true when the connection
+// must close without replying, and shed=true when the command is refused.
+func (s *Server) dataOp(op Op, tenant []byte) (release func(), drop, shed bool) {
+	if s.svc.fault.Load() != nil && s.svc.dropFault(op, string(tenant)) {
+		return nil, true, false
+	}
+	release, ok := s.beginOp(tenant)
+	return release, false, !ok
+}
+
 // dispatch executes one command line, writing the response to w. It returns
 // quit=true when the connection should close. fields and their contents
 // alias the read buffer; any field needed after a payload read must be
-// copied first (see PUT).
-func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer, cs *connState) (quit bool, err error) {
+// copied first (see PUT). conn may be nil in tests that drive dispatch
+// directly; deadlines are then skipped.
+func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.Writer, cs *connState) (quit bool, err error) {
 	cs.fields = splitFields(line, cs.fields[:0])
 	fields := cs.fields
 	if len(fields) == 0 {
@@ -310,7 +512,17 @@ func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer, cs *con
 		if len(fields) != 3 {
 			return false, errors.New("usage: GET <tenant> <key>")
 		}
+		release, drop, shed := s.dataOp(OpGet, fields[1])
+		if drop {
+			return true, nil
+		}
+		if shed {
+			return false, errShed
+		}
 		val, hit, err := s.svc.GetB(fields[1], fields[2])
+		if release != nil {
+			release()
+		}
 		if err != nil {
 			return false, err
 		}
@@ -333,9 +545,22 @@ func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer, cs *con
 		if s.svc.reg.Load().tenants[string(fields[1])] == nil {
 			return false, fmt.Errorf("service: unknown tenant %q", fields[1])
 		}
+		release, drop, shed := s.dataOp(OpMGet, fields[1])
+		if drop {
+			return true, nil
+		}
+		if shed {
+			return false, errShed
+		}
+		if release != nil {
+			defer release()
+		}
 		for _, key := range fields[3 : 3+k] {
 			val, hit, err := s.svc.GetB(fields[1], key)
 			if err != nil {
+				// Mid-batch failure (an injected shard fault): the batch
+				// aborts with this ERR line in place of the remaining
+				// responses and no END. The line stream stays in sync.
 				return false, err
 			}
 			cs.writeValueResponse(w, val, hit)
@@ -357,10 +582,19 @@ func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer, cs *con
 			// block; refuse and close.
 			return true, fmt.Errorf("value length %d exceeds maximum %d", n, maxValueLen)
 		}
+		// The value block is part of the command, so its reads get a fresh
+		// deadline: a client that stalls mid-payload is reaped just like a
+		// slow-loris command line.
+		if conn != nil && s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		if len(fields[2]) > maxKeyLen {
 			// Validation failed but the declared value block is still on
 			// the wire: drain it so the next line parses as a command.
 			if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+				if isTimeout(err) {
+					s.svc.deadlineCloses.Add(1)
+				}
 				return true, errors.New("short value")
 			}
 			discardEOL(r)
@@ -375,10 +609,24 @@ func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer, cs *con
 		}
 		val := cs.val[:n]
 		if _, err := io.ReadFull(r, val); err != nil {
+			if isTimeout(err) {
+				s.svc.deadlineCloses.Add(1)
+			}
 			return true, errors.New("short value")
 		}
 		discardEOL(r)
-		if err := s.svc.PutB(cs.tenant, cs.key, val); err != nil {
+		release, drop, shed := s.dataOp(OpPut, cs.tenant)
+		if drop {
+			return true, nil
+		}
+		if shed {
+			return false, errShed
+		}
+		err = s.svc.PutB(cs.tenant, cs.key, val)
+		if release != nil {
+			release()
+		}
+		if err != nil {
 			return false, err
 		}
 		w.WriteString("STORED\r\n")
@@ -388,7 +636,17 @@ func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer, cs *con
 		if len(fields) != 3 {
 			return false, errors.New("usage: DEL <tenant> <key>")
 		}
+		release, drop, shed := s.dataOp(OpDelete, fields[1])
+		if drop {
+			return true, nil
+		}
+		if shed {
+			return false, errShed
+		}
 		present, err := s.svc.DeleteB(fields[1], fields[2])
+		if release != nil {
+			release()
+		}
 		if err != nil {
 			return false, err
 		}
@@ -450,6 +708,9 @@ func (s *Server) dispatch(line []byte, r *bufio.Reader, w *bufio.Writer, cs *con
 		}
 		fmt.Fprintf(w, "STAT ops %d\r\n", st.Ops)
 		fmt.Fprintf(w, "STAT mgets %d\r\n", st.MGets)
+		fmt.Fprintf(w, "STAT conns_rejected %d\r\n", st.ConnsRejected)
+		fmt.Fprintf(w, "STAT requests_shed %d\r\n", st.RequestsShed)
+		fmt.Fprintf(w, "STAT deadline_closes %d\r\n", st.DeadlineCloses)
 		fmt.Fprintf(w, "STAT repartitions %d\r\n", st.Repartitions)
 		fmt.Fprintf(w, "STAT umon_drains %d\r\n", st.UMONDrains)
 		fmt.Fprintf(w, "STAT shards %d\r\n", st.Shards)
@@ -487,6 +748,7 @@ func writeTenantStats(w *bufio.Writer, prefix string, ts TenantStats) {
 	fmt.Fprintf(w, "STAT %starget_lines %d\r\n", prefix, ts.TargetLines)
 	fmt.Fprintf(w, "STAT %sdemotions %d\r\n", prefix, ts.Demotions)
 	fmt.Fprintf(w, "STAT %sforced_evictions %d\r\n", prefix, ts.ForcedEvictions)
+	fmt.Fprintf(w, "STAT %sshed %d\r\n", prefix, ts.Shed)
 }
 
 // discardEOL consumes the \r\n (or \n) terminating a value block.

@@ -197,6 +197,16 @@ type Service struct {
 	mgets        atomic.Uint64
 	repartitions atomic.Uint64
 
+	// Overload counters, incremented by the protocol server(s) attached to
+	// this service (several Servers may share one Service; these aggregate).
+	connsRejected  atomic.Uint64 // connections fast-rejected with BUSY
+	requestsShed   atomic.Uint64 // data ops refused by in-flight limits
+	deadlineCloses atomic.Uint64 // connections reaped by read/write deadlines
+
+	// fault, when non-nil, injects delays/errors into the shard path and
+	// connection drops into the dispatcher (see fault.go).
+	fault atomic.Pointer[faultHolder]
+
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -328,6 +338,9 @@ func (s *Service) shardOf(addr uint64) *shard {
 // stable snapshot: overwrites install fresh copies, so a slice returned
 // here is never mutated afterwards.
 func (s *Service) Get(tenant, key string) ([]byte, bool, error) {
+	if err := s.injectFault(OpGet, tenant); err != nil {
+		return nil, false, err
+	}
 	t := s.reg.Load().tenants[tenant]
 	if t == nil {
 		return nil, false, fmt.Errorf("service: unknown tenant %q", tenant)
@@ -363,6 +376,11 @@ func (s *Service) Get(tenant, key string) ([]byte, bool, error) {
 // parse requests into shared buffers; it performs no allocation on any
 // path but the unknown-tenant error.
 func (s *Service) GetB(tenant, key []byte) ([]byte, bool, error) {
+	if s.fault.Load() != nil {
+		if err := s.injectFault(OpGet, string(tenant)); err != nil {
+			return nil, false, err
+		}
+	}
 	t := s.reg.Load().tenants[string(tenant)]
 	if t == nil {
 		return nil, false, fmt.Errorf("service: unknown tenant %q", tenant)
@@ -393,6 +411,9 @@ func (s *Service) GetB(tenant, key []byte) ([]byte, bool, error) {
 // the Vantage replacement process selects if the shard is full. The value
 // is copied; the caller may reuse val.
 func (s *Service) Put(tenant, key string, val []byte) error {
+	if err := s.injectFault(OpPut, tenant); err != nil {
+		return err
+	}
 	t := s.reg.Load().tenants[tenant]
 	if t == nil {
 		return fmt.Errorf("service: unknown tenant %q", tenant)
@@ -419,6 +440,11 @@ func (s *Service) Put(tenant, key string, val []byte) error {
 // copied as needed; on an overwrite of the same key the stored key string
 // is reused, so steady-state overwrites allocate only the value copy.
 func (s *Service) PutB(tenant, key, val []byte) error {
+	if s.fault.Load() != nil {
+		if err := s.injectFault(OpPut, string(tenant)); err != nil {
+			return err
+		}
+	}
 	t := s.reg.Load().tenants[string(tenant)]
 	if t == nil {
 		return fmt.Errorf("service: unknown tenant %q", tenant)
@@ -450,6 +476,9 @@ func (s *Service) PutB(tenant, key, val []byte) error {
 // has no invalidation path; a dead tag is demoted and evicted like any cold
 // line), so occupancy decays rather than dropping instantly.
 func (s *Service) Delete(tenant, key string) (bool, error) {
+	if err := s.injectFault(OpDelete, tenant); err != nil {
+		return false, err
+	}
 	t := s.reg.Load().tenants[tenant]
 	if t == nil {
 		return false, fmt.Errorf("service: unknown tenant %q", tenant)
@@ -469,6 +498,11 @@ func (s *Service) Delete(tenant, key string) (bool, error) {
 
 // DeleteB is Delete with byte-slice tenant and key.
 func (s *Service) DeleteB(tenant, key []byte) (bool, error) {
+	if s.fault.Load() != nil {
+		if err := s.injectFault(OpDelete, string(tenant)); err != nil {
+			return false, err
+		}
+	}
 	t := s.reg.Load().tenants[string(tenant)]
 	if t == nil {
 		return false, fmt.Errorf("service: unknown tenant %q", tenant)

@@ -15,6 +15,13 @@ type Tenant struct {
 	gets, puts   atomic.Uint64
 	hits, misses atomic.Uint64
 	forced       atomic.Uint64 // forced managed evictions caused by this tenant's fills
+
+	// inflight is the number of protocol data ops currently executing for
+	// this tenant; shed counts ops refused because inflight was at the
+	// per-tenant limit. Both belong to the serving layer (see protocol.go)
+	// but live here so the limit is enforced across every connection.
+	inflight atomic.Int64
+	shed     atomic.Uint64
 }
 
 // Name returns the tenant name.
