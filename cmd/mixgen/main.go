@@ -45,8 +45,22 @@ func main() {
 		}
 		fmt.Println()
 		if *mrc {
-			for _, app := range m.Apps {
-				curve := workload.MissRateCurve(app, *mrcRefs, sizes)
+			for ai, app := range m.Apps {
+				// Compute the curve over a recording of a fresh app instance
+				// rather than consuming the mix's app in place: the listed
+				// mix stays at reference zero, and the recorded stream is
+				// shared if more consumers appear. The budget covers the
+				// full pass; the remake factory only runs past it.
+				ai, id := ai, m.ID
+				remake := func() workload.App {
+					cls, idx, err := workload.ParseMixID(id)
+					if err != nil {
+						panic(fmt.Sprintf("mixgen: cannot rebuild mix %q: %v", id, err))
+					}
+					return workload.NewMix(cls, idx, *cores/4, workload.Params{CacheLines: *lines}, *seed).Apps[ai]
+				}
+				rec := workload.NewRecording(remake(), remake, *mrcRefs+64)
+				curve := workload.MissRateCurveRecorded(rec, *mrcRefs, sizes)
 				fmt.Printf("  %-28s miss%%:", app.Name())
 				for i, v := range curve {
 					fmt.Printf(" %d:%0.1f", sizes[i], 100*v)

@@ -5,13 +5,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"syscall"
 	"time"
 
 	"vantage/internal/exp"
+	"vantage/internal/workload"
 )
 
 // simBenchRow is one matrix cell in BENCH_sim.json: a full sim.Run of one
-// mix on one machine/scheme configuration.
+// mix on one machine/scheme configuration. Seconds is wall-clock time;
+// CPUSeconds is process CPU time over the same interval — on a single-CPU
+// host the two coincide, while a gap between them is what substantiates (or
+// debunks) any mix-level parallelism claim.
 type simBenchRow struct {
 	Name        string  `json:"name"`
 	Cores       int     `json:"cores"`
@@ -20,28 +25,136 @@ type simBenchRow struct {
 	UCP         bool    `json:"ucp"`
 	Accesses    uint64  `json:"accesses"`
 	Seconds     float64 `json:"seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
 	NsPerAccess float64 `json:"ns_per_access"`
 	Throughput  float64 `json:"sim_throughput"` // ΣIPC, a correctness canary
+}
+
+// genBenchRow times one reference-generation strategy over the standard
+// generation micro-workload (the BenchmarkWorkloadGen* family, reproduced
+// here so the committed report carries the memoization speedup).
+type genBenchRow struct {
+	Name        string  `json:"name"`
+	Refs        int     `json:"refs"`
+	Seconds     float64 `json:"seconds"`
+	NsPerRef    float64 `json:"ns_per_ref"`
+	SpeedupLive float64 `json:"speedup_vs_live"`
+}
+
+// fig7Bench records the Fig 7 regeneration wall-clock (the tentpole metric
+// of the memoization work) next to the measured history of earlier releases
+// on the same bench host, so before/after is auditable from the report
+// alone.
+type fig7Bench struct {
+	Mixes          int     `json:"mixes"`
+	InstrLimit     uint64  `json:"instr_limit"`
+	Seconds        float64 `json:"seconds"`
+	CPUSeconds     float64 `json:"cpu_seconds"`
+	GmeanVantage   float64 `json:"gmean_vantage"` // correctness canary
+	PR2WallSeconds float64 `json:"pr2_wall_seconds"`
+	PR3WallSeconds float64 `json:"pr3_wall_seconds"`
 }
 
 // simBenchReport is the BENCH_sim.json schema, mirroring the service
 // benchmark report (cmd/vantaged).
 type simBenchReport struct {
-	GoVersion string        `json:"go_version"`
-	NumCPU    int           `json:"num_cpu"`
-	Scale     string        `json:"scale"`
-	Results   []simBenchRow `json:"results"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Scale       string        `json:"scale"`
+	Results     []simBenchRow `json:"results"`
+	WorkloadGen []genBenchRow `json:"workload_gen"`
+	Fig7        *fig7Bench    `json:"fig7,omitempty"`
+}
+
+// cpuSeconds returns the process's cumulative user+system CPU time.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}
+
+// runWorkloadGenBench times the three generation strategies the harness can
+// use — per-call live, batched live, and recorded replay — over identical
+// Zipf draws, mirroring internal/workload's BenchmarkWorkloadGen* family.
+func runWorkloadGenBench() []genBenchRow {
+	const refs = 1 << 21
+	const batch = 1 << 14
+	mk := func() workload.App { return workload.NewZipfApp(workload.Friendly, 64<<10, 0.9, 3, 2, 42) }
+
+	rows := make([]genBenchRow, 0, 3)
+	timeIt := func(name string, fn func()) {
+		// Collect garbage left by earlier sections so a mid-row GC pause
+		// doesn't skew these sub-100ms measurements on a 1-CPU host.
+		runtime.GC()
+		start := time.Now()
+		fn()
+		secs := time.Since(start).Seconds()
+		rows = append(rows, genBenchRow{
+			Name:     name,
+			Refs:     refs,
+			Seconds:  secs,
+			NsPerRef: secs * 1e9 / refs,
+		})
+	}
+	timeIt("live", func() {
+		app := mk()
+		var sink uint64
+		for i := 0; i < refs; i++ {
+			g, a := app.Next()
+			sink += uint64(g) + a
+		}
+		_ = sink
+	})
+	timeIt("batched", func() {
+		app := mk().(workload.BatchApp)
+		gaps := make([]int32, batch)
+		addrs := make([]uint64, batch)
+		for done := 0; done < refs; done += batch {
+			app.NextBatch(gaps, addrs)
+		}
+	})
+	rec := workload.NewRecording(mk(), mk, refs)
+	warm := rec.Replay()
+	{
+		gaps := make([]int32, batch)
+		addrs := make([]uint64, batch)
+		for done := 0; done < refs; done += batch {
+			warm.NextBatch(gaps, addrs)
+		}
+	}
+	timeIt("replay", func() {
+		r := rec.Replay()
+		var sink uint64
+		for i := 0; i < refs; i++ {
+			g, a := r.Next()
+			sink += uint64(g) + a
+		}
+		_ = sink
+	})
+	for i := range rows {
+		rows[i].SpeedupLive = rows[0].NsPerRef / rows[i].NsPerRef
+	}
+	return rows
 }
 
 // runSimBenchMatrix times the simulator kernel across the standard matrix —
-// {4-core, 32-core} × {with L1s, without} × {shared LRU, Vantage+UCP} — and
-// writes the report to path. Each cell is one complete sim.Run; ns_per_access
-// divides wall time by the measurement-window memory references.
-func runSimBenchMatrix(path, scaleName string, sc exp.Scale) error {
+// {4-core, 32-core} × {with L1s, without} × {shared LRU, Vantage+UCP} — plus
+// the generation micro-bench, and writes the report to path. Each cell is one
+// complete sim.Run; ns_per_access divides wall time by the measurement-window
+// memory references. With fig7 set it also times the Fig 7 regeneration
+// microcosm (the root BenchmarkFig7LargeScale configuration; adds ~25s).
+func runSimBenchMatrix(path, scaleName string, sc exp.Scale, fig7 bool) error {
 	rep := simBenchReport{
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Scale:     scaleName,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      scaleName,
 	}
 
 	machines := []struct {
@@ -71,8 +184,10 @@ func runSimBenchMatrix(path, scaleName string, sc exp.Scale) error {
 			mix := m.Mixes(1)[0]
 			for _, sc := range schemes {
 				start := time.Now()
+				cpuStart := cpuSeconds()
 				res := m.RunMix(mix, sc.sch)
 				secs := time.Since(start).Seconds()
+				cpu := cpuSeconds() - cpuStart
 				accesses := uint64(0)
 				for _, c := range res.Cores {
 					accesses += c.L1Accesses
@@ -85,16 +200,53 @@ func runSimBenchMatrix(path, scaleName string, sc exp.Scale) error {
 					UCP:        sc.ucp,
 					Accesses:   accesses,
 					Seconds:    secs,
+					CPUSeconds: cpu,
 					Throughput: res.Throughput,
 				}
 				if accesses > 0 {
 					row.NsPerAccess = secs * 1e9 / float64(accesses)
 				}
 				rep.Results = append(rep.Results, row)
-				fmt.Fprintf(os.Stderr, "vantage-sim bench: %s: %.2fs (%.0f ns/access)\n",
-					row.Name, row.Seconds, row.NsPerAccess)
+				fmt.Fprintf(os.Stderr, "vantage-sim bench: %s: %.2fs wall / %.2fs cpu (%.0f ns/access)\n",
+					row.Name, row.Seconds, row.CPUSeconds, row.NsPerAccess)
 			}
 		}
+	}
+
+	rep.WorkloadGen = runWorkloadGenBench()
+	for _, g := range rep.WorkloadGen {
+		fmt.Fprintf(os.Stderr, "vantage-sim bench: gen/%s: %.1f ns/ref (%.1fx vs live)\n",
+			g.Name, g.NsPerRef, g.SpeedupLive)
+	}
+
+	if fig7 {
+		m := exp.LargeCMP(exp.ScaleUnit)
+		m.InstrLimit = 25_000 // the root BenchmarkFig7LargeScale configuration
+		const mixCount = 6
+		// Collect the matrix and micro-bench garbage first so the timed
+		// region matches a standalone run of the root benchmark.
+		runtime.GC()
+		start := time.Now()
+		cpuStart := cpuSeconds()
+		r := exp.Fig7(m, mixCount, nil)
+		secs := time.Since(start).Seconds()
+		cpu := cpuSeconds() - cpuStart
+		f := &fig7Bench{
+			Mixes:      mixCount,
+			InstrLimit: m.InstrLimit,
+			Seconds:    secs,
+			CPUSeconds: cpu,
+			// Wall-clock history measured on this bench host: PR 2's
+			// pre-overhaul harness and PR 3's kernel overhaul.
+			PR2WallSeconds: 49.4,
+			PR3WallSeconds: 36.0,
+		}
+		if c := r.Curve("Vantage-Z4/52"); c != nil {
+			f.GmeanVantage = c.Summary.GeoMean
+		}
+		rep.Fig7 = f
+		fmt.Fprintf(os.Stderr, "vantage-sim bench: fig7: %.1fs wall / %.1fs cpu (gmean %.4f)\n",
+			secs, cpu, f.GmeanVantage)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -102,4 +254,64 @@ func runSimBenchMatrix(path, scaleName string, sc exp.Scale) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareSimBench is the CI perf-regression smoke: it loads a freshly
+// written report and a committed baseline and fails only on a gross
+// (> factor) ns/access regression in a matrix cell present in both, so real
+// kernel regressions are caught without flaking on shared-runner noise.
+// Rows are matched by name; throughput canaries must match exactly (they
+// are deterministic — any drift is a correctness bug, not noise).
+func compareSimBench(newPath, basePath string, factor float64) error {
+	load := func(p string) (simBenchReport, error) {
+		var rep simBenchReport
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return rep, err
+		}
+		return rep, json.Unmarshal(data, &rep)
+	}
+	fresh, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	if fresh.Scale != base.Scale {
+		return fmt.Errorf("scale mismatch: fresh %q vs committed %q", fresh.Scale, base.Scale)
+	}
+	baseRows := make(map[string]simBenchRow, len(base.Results))
+	for _, r := range base.Results {
+		baseRows[r.Name] = r
+	}
+	matched := 0
+	var failures []string
+	for _, r := range fresh.Results {
+		b, ok := baseRows[r.Name]
+		if !ok || b.NsPerAccess <= 0 {
+			continue
+		}
+		matched++
+		if r.NsPerAccess > factor*b.NsPerAccess {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/access vs committed %.0f (>%.1fx)",
+				r.Name, r.NsPerAccess, b.NsPerAccess, factor))
+		}
+		if r.Throughput != b.Throughput {
+			failures = append(failures, fmt.Sprintf("%s: throughput canary %.6f != committed %.6f",
+				r.Name, r.Throughput, b.Throughput))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no matrix rows matched between %s and %s", newPath, basePath)
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "vantage-sim bench:", f)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d perf-regression check(s) failed against %s", len(failures), basePath)
+	}
+	fmt.Fprintf(os.Stderr, "vantage-sim bench: %d rows within %.1fx of %s\n", matched, factor, basePath)
+	return nil
 }

@@ -35,6 +35,8 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV data into")
 	mixID := flag.String("mix", "ttnn4", "mix for -config fig8")
 	benchOut := flag.String("o", "BENCH_sim.json", "output path for -config bench")
+	benchFig7 := flag.Bool("fig7", false, "also time the Fig 7 regeneration microcosm in -config bench (~25s)")
+	benchCompare := flag.String("compare", "", "committed BENCH_sim.json to regression-check the fresh -config bench run against")
 	contention := flag.Bool("contention", false, "model L2 banks and memory bandwidth (Table 2)")
 	partition := flag.Int("partition", 0, "partition to trace for -config fig8")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -171,11 +173,19 @@ func main() {
 		r := exp.RunAssociativity(nil, m.L2Lines, 8000, m.Seed)
 		fmt.Println(r.Table())
 	case "bench":
-		if err := runSimBenchMatrix(*benchOut, *scale, sc); err != nil {
+		if err := runSimBenchMatrix(*benchOut, *scale, sc, *benchFig7); err != nil {
 			fmt.Fprintln(os.Stderr, "vantage-sim:", err)
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *benchOut)
+		if *benchCompare != "" {
+			// CI perf-regression smoke: generous 2x tolerance so only
+			// gross kernel/workload regressions fail the gate.
+			if err := compareSimBench(*benchOut, *benchCompare, 2.0); err != nil {
+				fmt.Fprintln(os.Stderr, "vantage-sim:", err)
+				os.Exit(1)
+			}
+		}
 	case "fairness":
 		m := applyContention(exp.SmallCMP(sc))
 		r := exp.RunFairness(m, exp.LRUBaseline(),

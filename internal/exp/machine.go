@@ -40,6 +40,11 @@ type Machine struct {
 	// Contention optionally models L2 banking and memory bandwidth
 	// (zero value: the paper's zero-load latencies).
 	Contention sim.Contention
+	// StreamBudget caps the references memoized per app when the harness
+	// records reference streams (see Record). 0 derives the budget from the
+	// instruction limits; negative disables recording entirely (every run
+	// generates its streams live).
+	StreamBudget int
 }
 
 // Scale adjusts a machine's size by dividing cache capacity and instruction
@@ -177,7 +182,24 @@ func (m Machine) Mix(id string) (workload.Mix, error) {
 }
 
 func (m Machine) RunMix(mix workload.Mix, sch Scheme) sim.Result {
-	l2 := sch.Build(m, uint64(len(mix.ID))*1337+m.Seed)
+	cfg := m.runConfig(mix.ID, sch)
+	cfg.Apps = mix.Apps
+	return sim.Run(cfg)
+}
+
+// RunMixMiss simulates one mix on one scheme over memoized post-L1 segment
+// streams (see RecordMisses): bit-identical results to RunMix on the same
+// mix, with the private L1s' work done once instead of once per scheme.
+func (m Machine) RunMixMiss(mixID string, miss []*sim.MissReplay, sch Scheme) sim.Result {
+	cfg := m.runConfig(mixID, sch)
+	cfg.Miss = miss
+	return sim.Run(cfg)
+}
+
+// runConfig assembles the simulator configuration for one scheme run, with
+// the reference source (Apps or Miss) left to the caller.
+func (m Machine) runConfig(mixID string, sch Scheme) sim.Config {
+	l2 := sch.Build(m, uint64(len(mixID))*1337+m.Seed)
 	// Note the sim.Allocator interface type: assigning a nil *ucp.Policy
 	// would produce a non-nil interface and crash the baseline runs.
 	var alloc sim.Allocator
@@ -190,8 +212,7 @@ func (m Machine) RunMix(mix workload.Mix, sch Scheme) sim.Result {
 		}
 		partLines = sch.PartitionableLines(m.L2Lines)
 	}
-	return sim.Run(sim.Config{
-		Apps:               mix.Apps,
+	return sim.Config{
 		L2:                 l2,
 		L1Lines:            m.L1Lines,
 		L1Ways:             m.L1Ways,
@@ -201,7 +222,98 @@ func (m Machine) RunMix(mix workload.Mix, sch Scheme) sim.Result {
 		RepartitionCycles:  m.RepartitionCycles,
 		PartitionableLines: partLines,
 		Contention:         m.Contention,
-	})
+	}
+}
+
+// streamBudget is the per-app recorded-reference budget. Consumption is not
+// bounded by the instruction budget alone: frozen cores keep issuing
+// references until the last core finishes, so a fast core consumes roughly
+// (slowest CPI / own CPI) times its own instruction count — measured at
+// about 4x on the bench configurations. 16x leaves ample headroom, and the
+// cap (8 Mi references ≈ 100 MB/app) bounds pathological ScaleFull cases;
+// chunks materialize lazily, so the budget bounds worst-case memory, not
+// actual use. Runs that outrun the budget fall through to live generation.
+func (m Machine) streamBudget() int {
+	if m.StreamBudget != 0 {
+		return m.StreamBudget
+	}
+	b := 16 * int(m.InstrLimit+m.WarmupInstr)
+	if b > 8<<20 {
+		b = 8 << 20
+	}
+	return b + 64
+}
+
+// Record memoizes the mix's app streams so the baseline and every scheme
+// replay identical references without regenerating them (App.Next has no
+// feedback from the cache, so a stream is a pure function of its app's
+// construction). The recording's remake factory rebuilds single apps via
+// Mix — needed only by replay cursors that outrun the budget. Returns nil
+// when recording is disabled (StreamBudget < 0); callers fall back to live
+// generation.
+func (m Machine) Record(mix workload.Mix) *workload.MixRecording {
+	budget := m.streamBudget()
+	if budget <= 0 {
+		return nil
+	}
+	remake := func(i int) workload.App {
+		fresh, err := m.Mix(mix.ID)
+		if err != nil {
+			panic(fmt.Sprintf("exp: cannot rebuild mix %q: %v", mix.ID, err))
+		}
+		return fresh.Apps[i]
+	}
+	return workload.NewMixRecording(mix, remake, budget)
+}
+
+// RecordMisses layers post-L1 segment recorders (sim.MissRecorder) over a
+// mix recording, one per app: the L1s are simulated once per (mix, app) and
+// the baseline plus every scheme replay the shared post-L1 stream. Each
+// recorder consumes the raw recording through its own single replay cursor,
+// so raw chunks release right behind the filter and past the raw budget the
+// cursor claims the live source transparently. Returns nil — callers fall
+// back to raw replay — when recording is disabled or the machine has no L1s.
+func (m Machine) RecordMisses(rec *workload.MixRecording) []*sim.MissRecorder {
+	if rec == nil || m.L1Lines <= 0 {
+		return nil
+	}
+	out := make([]*sim.MissRecorder, len(rec.Recs))
+	for i, r := range rec.Recs {
+		out[i] = sim.NewMissRecorder(r.ReplaySet(1)[0], m.L1Lines, m.L1Ways,
+			sim.DefaultLatencies(), m.WarmupInstr, m.InstrLimit)
+	}
+	return out
+}
+
+// MissSets opens n replay cursors on each recorder and transposes them into
+// n per-run cursor slices (one cursor per app), ready for RunMixMiss.
+func MissSets(recs []*sim.MissRecorder, n int) [][]*sim.MissReplay {
+	byApp := make([][]*sim.MissReplay, len(recs))
+	for i, mr := range recs {
+		byApp[i] = mr.MissSet(n)
+	}
+	out := make([][]*sim.MissReplay, n)
+	for r := range out {
+		out[r] = make([]*sim.MissReplay, len(recs))
+		for i := range recs {
+			out[r][i] = byApp[i][r]
+		}
+	}
+	return out
+}
+
+// ReplayOrRemake returns a fresh pass over the mix's streams: a replay
+// cursor set when rec is non-nil, otherwise a regenerated mix (recording
+// disabled). Both start at reference zero with byte-identical streams.
+func (m Machine) ReplayOrRemake(rec *workload.MixRecording, id string) workload.Mix {
+	if rec != nil {
+		return rec.Replay()
+	}
+	fresh, err := m.Mix(id)
+	if err != nil {
+		panic(fmt.Sprintf("exp: cannot rebuild mix %q: %v", id, err))
+	}
+	return fresh
 }
 
 // WithContention returns a copy of the machine with the paper's Table 2

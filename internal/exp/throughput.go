@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"vantage/internal/plot"
+	"vantage/internal/sim"
 	"vantage/internal/stats"
 	"vantage/internal/workload"
 )
@@ -72,8 +73,10 @@ type ThroughputResult struct {
 // RunThroughput evaluates schemes against the baseline over the machine's
 // mixes (limit caps the mix count; <= 0 runs all 350). This is the engine
 // behind Figures 6a, 7, 9a, 10 and 11. Mixes run in parallel (they are
-// independent simulations); each scheme pass regenerates the mixes so every
-// scheme sees identical app streams.
+// independent simulations). Each mix's app streams are recorded once and
+// replayed by the baseline and every scheme — identical references without
+// regenerating them per scheme — with the recording scoped to the mix's
+// work item so memory stays bounded by the number of in-flight mixes.
 func RunThroughput(m Machine, baseline Scheme, schemes []Scheme, limit int, progress func(done, total int)) ThroughputResult {
 	mixes := m.Mixes(limit)
 	res := ThroughputResult{
@@ -83,6 +86,10 @@ func RunThroughput(m Machine, baseline Scheme, schemes []Scheme, limit int, prog
 	}
 	for _, mix := range mixes {
 		res.MixIDs = append(res.MixIDs, mix.ID)
+	}
+	curves := make([]SchemeCurve, len(schemes))
+	for si, sch := range schemes {
+		curves[si] = SchemeCurve{Scheme: sch.Name, PerMix: make([]float64, len(mixes))}
 	}
 	total := len(mixes) * (len(schemes) + 1)
 	var done atomic.Int64
@@ -101,29 +108,64 @@ func RunThroughput(m Machine, baseline Scheme, schemes []Scheme, limit int, prog
 		progMu.Unlock()
 	}
 	forEachMix(len(mixes), func(i int) {
-		res.BaselineThroughput[i] = m.RunMix(mixes[i], baseline).Throughput
-		tick()
-	})
-	for _, sch := range schemes {
-		sch := sch
-		// Fresh app instances: App state (stream positions, PRNGs) must not
-		// leak between scheme passes.
-		schemeMixes := m.Mixes(limit)
-		curve := SchemeCurve{Scheme: sch.Name, PerMix: make([]float64, len(mixes))}
-		forEachMix(len(schemeMixes), func(i int) {
-			thr := m.RunMix(schemeMixes[i], sch).Throughput
-			base := res.BaselineThroughput[i]
-			if base <= 0 {
-				base = 1e-9
+		runs := len(schemes) + 1
+		rec := m.Record(mixes[i])
+		// Preferred path: memoize the post-L1 segment stream over the raw
+		// recording, so the private L1s run once per (mix, app) and every
+		// scheme replays the shared filtered stream (bit-identical results;
+		// see sim.MissRecorder). Falls back to raw replay when the machine
+		// has no L1s, and to live generation when recording is disabled.
+		var missSets [][]*sim.MissReplay
+		var replayed []workload.Mix
+		if recs := m.RecordMisses(rec); recs != nil {
+			missSets = MissSets(recs, runs)
+		} else if rec != nil {
+			replayed = rec.ReplayAll(runs)
+		} else {
+			replayed = make([]workload.Mix, runs)
+			for ri := range replayed {
+				replayed[ri] = m.ReplayOrRemake(nil, mixes[i].ID)
 			}
-			curve.PerMix[i] = thr / base
-			tick()
-		})
-		curve.Sorted = append([]float64(nil), curve.PerMix...)
-		sort.Float64s(curve.Sorted)
-		curve.Summary = stats.Summarize(curve.PerMix)
-		res.Curves = append(res.Curves, curve)
+		}
+		// Fan the baseline and every scheme out as goroutines sharing the
+		// windowed recording: each chunk is generated once (by whichever
+		// run gets there first) and consumed by all runs while it is still
+		// cache-hot, then dropped. The runs are independent simulations, so
+		// concurrency cannot change their results.
+		thr := make([]float64, runs)
+		var wg sync.WaitGroup
+		for ri := 0; ri < runs; ri++ {
+			wg.Add(1)
+			go func(ri int) {
+				defer wg.Done()
+				sch := baseline
+				if ri > 0 {
+					sch = schemes[ri-1]
+				}
+				if missSets != nil {
+					thr[ri] = m.RunMixMiss(mixes[i].ID, missSets[ri], sch).Throughput
+				} else {
+					thr[ri] = m.RunMix(replayed[ri], sch).Throughput
+				}
+				tick()
+			}(ri)
+		}
+		wg.Wait()
+		res.BaselineThroughput[i] = thr[0]
+		base := thr[0]
+		if base <= 0 {
+			base = 1e-9
+		}
+		for si := range schemes {
+			curves[si].PerMix[i] = thr[si+1] / base
+		}
+	})
+	for si := range curves {
+		curves[si].Sorted = append([]float64(nil), curves[si].PerMix...)
+		sort.Float64s(curves[si].Sorted)
+		curves[si].Summary = stats.Summarize(curves[si].PerMix)
 	}
+	res.Curves = curves
 	return res
 }
 
@@ -204,10 +246,10 @@ type SelectedMixes struct {
 // RunSelected runs the Fig 6b experiment: the named mixes (paper: sftn1,
 // ffft4, ssst7, fffn7, ffnn3, ttnn4, sfff6, sssf6) across schemes. Every
 // (mix, scheme) run is an independent simulation, so they all run in
-// parallel; each regenerates its mix via Machine.Mix, which also means every
-// scheme sees the mix's app streams from the start (the serial version
-// reused one set of App instances across the baseline and all schemes, so
-// later schemes continued wherever the previous run left the streams).
+// parallel; each replays its mix's shared recording from the start, so every
+// scheme sees identical app streams without regenerating them (replay
+// cursors are independent and extend the recording safely under
+// concurrency).
 func RunSelected(m Machine, baseline Scheme, schemes []Scheme, mixIDs []string) SelectedMixes {
 	out := SelectedMixes{Machine: m, MixIDs: mixIDs}
 	for _, sch := range schemes {
@@ -217,22 +259,47 @@ func RunSelected(m Machine, baseline Scheme, schemes []Scheme, mixIDs []string) 
 	for si := range schemes {
 		out.Improv[si] = make([]float64, len(mixIDs))
 	}
-	for _, id := range mixIDs {
-		if _, err := m.Mix(id); err != nil {
+	// One work unit per (mix, baseline-or-scheme) pair; ratios are taken
+	// after the barrier, once every absolute throughput is in. Each mix's
+	// runs share one windowed recording, with the cursor set built up front
+	// (chunks are dropped once every run of the mix has consumed them).
+	perMix := len(schemes) + 1
+	missSets := make([][][]*sim.MissReplay, len(mixIDs))
+	replayed := make([][]workload.Mix, len(mixIDs))
+	for mi, id := range mixIDs {
+		mix, err := m.Mix(id)
+		if err != nil {
 			panic(fmt.Sprintf("exp: unknown mix %q: %v", id, err))
 		}
+		rec := m.Record(mix)
+		if recs := m.RecordMisses(rec); recs != nil {
+			missSets[mi] = MissSets(recs, perMix)
+		} else if rec != nil {
+			replayed[mi] = rec.ReplayAll(perMix)
+		} else {
+			replayed[mi] = make([]workload.Mix, perMix)
+			for si := range replayed[mi] {
+				replayed[mi][si] = m.ReplayOrRemake(nil, id)
+			}
+		}
 	}
-	// One work unit per (mix, baseline-or-scheme) pair; ratios are taken
-	// after the barrier, once every absolute throughput is in.
-	perMix := len(schemes) + 1
 	base := make([]float64, len(mixIDs))
 	forEachMix(len(mixIDs)*perMix, func(i int) {
 		mi, si := i/perMix, i%perMix
-		mix, _ := m.Mix(mixIDs[mi])
-		if si == 0 {
-			base[mi] = m.RunMix(mix, baseline).Throughput
+		sch := baseline
+		if si > 0 {
+			sch = schemes[si-1]
+		}
+		var thr float64
+		if missSets[mi] != nil {
+			thr = m.RunMixMiss(mixIDs[mi], missSets[mi][si], sch).Throughput
 		} else {
-			out.Improv[si-1][mi] = m.RunMix(mix, schemes[si-1]).Throughput
+			thr = m.RunMix(replayed[mi][si], sch).Throughput
+		}
+		if si == 0 {
+			base[mi] = thr
+		} else {
+			out.Improv[si-1][mi] = thr
 		}
 	})
 	for si := range schemes {

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vantage/internal/cache"
+	"vantage/internal/core"
+	"vantage/internal/ctrl"
+	"vantage/internal/ucp"
+	"vantage/internal/workload"
+)
+
+// filterApps builds a four-app mix covering every Table 3 category (fitting
+// scan, streaming, friendly zipf, insensitive zipf) with fresh state per
+// call; app construction is deterministic, so every call yields
+// draw-for-draw identical streams.
+func filterApps() []workload.App {
+	return []workload.App{
+		workload.NewScanApp(workload.Fitting, 900, 2, 1, 13),
+		workload.NewStreamApp(1<<20, 1, 1, 17),
+		workload.NewZipfApp(workload.Friendly, 2048, 0.9, 3, 2, 19),
+		workload.NewZipfApp(workload.Insensitive, 256, 0.8, 4, 4, 23),
+	}
+}
+
+// filterRecorders wraps fresh copies of the mix in post-L1 recorders matching
+// the given simulator geometry.
+func filterRecorders(l1Lines, l1Ways int, warmup, limit uint64) []*MissRecorder {
+	apps := filterApps()
+	out := make([]*MissRecorder, len(apps))
+	for i, a := range apps {
+		out[i] = NewMissRecorder(a, l1Lines, l1Ways, DefaultLatencies(), warmup, limit)
+	}
+	return out
+}
+
+// TestFilteredMatchesUnfiltered is the bit-identity contract of the filtered
+// path: Config.Miss must reproduce the per-reference loop's Result exactly —
+// per-core counters, IPC, throughput and finish cycles — on both an
+// unpartitioned LRU baseline and a repartitioning Vantage+UCP scheme
+// (covering warmup splits, freeze splits and repartition firing).
+func TestFilteredMatchesUnfiltered(t *testing.T) {
+	const (
+		l1Lines = 64
+		l1Ways  = 4
+		warmup  = 150000
+		limit   = 300000
+	)
+	type build func() (ctrl.Controller, Allocator, int)
+	schemes := map[string]build{
+		"lru": func() (ctrl.Controller, Allocator, int) {
+			return lruL2(1024), nil, 0
+		},
+		"vantage-ucp": func() (ctrl.Controller, Allocator, int) {
+			arr := cache.NewZCache(1024, 4, 52, 21)
+			vc := core.New(arr, core.Config{Partitions: 4, UnmanagedFrac: 0.05, AMax: 0.5, Slack: 0.1})
+			return vc, ucp.NewPolicy(4, 16, 1024, ucp.GranLines, 23), 972
+		},
+	}
+	for name, mk := range schemes {
+		l2, alloc, partLines := mk()
+		want := Run(Config{
+			Apps:               filterApps(),
+			L2:                 l2,
+			L1Lines:            l1Lines,
+			L1Ways:             l1Ways,
+			InstrLimit:         limit,
+			WarmupInstr:        warmup,
+			Alloc:              alloc,
+			RepartitionCycles:  200000,
+			PartitionableLines: partLines,
+		})
+		recs := filterRecorders(l1Lines, l1Ways, warmup, limit)
+		miss := make([]*MissReplay, len(recs))
+		for i, mr := range recs {
+			miss[i] = mr.MissSet(1)[0]
+		}
+		l2, alloc, partLines = mk()
+		got := Run(Config{
+			Miss:               miss,
+			L2:                 l2,
+			InstrLimit:         limit,
+			WarmupInstr:        warmup,
+			Alloc:              alloc,
+			RepartitionCycles:  200000,
+			PartitionableLines: partLines,
+		})
+		if !reflect.DeepEqual(got.Cores, want.Cores) {
+			t.Errorf("%s: filtered per-core stats diverge:\n got %+v\nwant %+v", name, got.Cores, want.Cores)
+		}
+		if got.Throughput != want.Throughput || got.WeightedCycles != want.WeightedCycles {
+			t.Errorf("%s: filtered aggregate diverges: throughput %.6f/%.6f cycles %d/%d",
+				name, got.Throughput, want.Throughput, got.WeightedCycles, want.WeightedCycles)
+		}
+		if want.Repartitions > 0 && got.Repartitions == 0 {
+			t.Errorf("%s: filtered run never repartitioned", name)
+		}
+	}
+}
+
+// TestMissReplayConcurrentCursors runs three identical scheme configurations
+// concurrently over one shared recorder set: results must match a solo run
+// exactly, and the windowed chunk release must never free a chunk a cursor
+// still needs. The instruction budget spans several segment chunks.
+func TestMissReplayConcurrentCursors(t *testing.T) {
+	const (
+		l1Lines = 32
+		l1Ways  = 4
+		limit   = 300000
+		readers = 3
+	)
+	runOne := func(miss []*MissReplay) Result {
+		arr := cache.NewZCache(1024, 4, 52, 21)
+		vc := core.New(arr, core.Config{Partitions: 4, UnmanagedFrac: 0.05, AMax: 0.5, Slack: 0.1})
+		return Run(Config{
+			Miss:               miss,
+			L2:                 vc,
+			InstrLimit:         limit,
+			Alloc:              ucp.NewPolicy(4, 16, 1024, ucp.GranLines, 23),
+			RepartitionCycles:  200000,
+			PartitionableLines: 972,
+		})
+	}
+	solo := filterRecorders(l1Lines, l1Ways, 0, limit)
+	soloMiss := make([]*MissReplay, len(solo))
+	for i, mr := range solo {
+		soloMiss[i] = mr.MissSet(1)[0]
+	}
+	want := runOne(soloMiss)
+
+	recs := filterRecorders(l1Lines, l1Ways, 0, limit)
+	sets := make([][]*MissReplay, readers) // [run][app]
+	for i, mr := range recs {
+		for r, cur := range mr.MissSet(readers) {
+			if sets[r] == nil {
+				sets[r] = make([]*MissReplay, len(recs))
+			}
+			sets[r][i] = cur
+		}
+	}
+	got := make([]Result, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			got[r] = runOne(sets[r])
+		}(r)
+	}
+	wg.Wait()
+	for r := range got {
+		if !reflect.DeepEqual(got[r], want) {
+			t.Errorf("concurrent reader %d diverged:\n got %+v\nwant %+v", r, got[r], want)
+		}
+	}
+}
+
+// TestMissRecorderPanics pins the loud-failure contract of the filtered path.
+func TestMissRecorderPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	app := func() workload.App { return workload.NewStreamApp(1000, 1, 1, 1) }
+	expectPanic("nil source", func() {
+		NewMissRecorder(nil, 32, 4, Latencies{}, 0, 1000)
+	})
+	expectPanic("zero limit", func() {
+		NewMissRecorder(app(), 32, 4, Latencies{}, 0, 0)
+	})
+	expectPanic("MissSet(0)", func() {
+		NewMissRecorder(app(), 32, 4, Latencies{}, 0, 1000).MissSet(0)
+	})
+	expectPanic("MissSet twice", func() {
+		mr := NewMissRecorder(app(), 32, 4, Latencies{}, 0, 1000)
+		mr.MissSet(1)
+		mr.MissSet(1)
+	})
+	expectPanic("OnRepartition with Miss", func() {
+		mr := NewMissRecorder(app(), 32, 4, Latencies{}, 0, 1000)
+		Run(Config{
+			Miss:          mr.MissSet(1),
+			L2:            lruL2(256),
+			InstrLimit:    1000,
+			OnRepartition: func(uint64, []int, []int) {},
+		})
+	})
+	expectPanic("Apps/Miss length mismatch", func() {
+		mr := NewMissRecorder(app(), 32, 4, Latencies{}, 0, 1000)
+		Run(Config{
+			Apps:       []workload.App{app(), app()},
+			Miss:       mr.MissSet(1),
+			L2:         lruL2(256),
+			InstrLimit: 1000,
+		})
+	})
+}

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"vantage/internal/ctrl"
 	"vantage/internal/hash"
@@ -99,6 +100,13 @@ type Config struct {
 	PartitionableLines int
 	// OnRepartition, if set, observes every repartitioning decision.
 	OnRepartition func(cycle uint64, targets, actual []int)
+	// Miss, if non-nil, replaces per-reference simulation with memoized
+	// post-L1 segment streams (one cursor per core; see MissRecorder). The
+	// private L1s are then not modeled per run — their behavior is baked
+	// into the segments — so L1Lines/L1Ways and Apps are ignored. Mutually
+	// exclusive with OnRepartition (cycle stamps would differ; see
+	// filter.go).
+	Miss []*MissReplay
 	// Contention optionally models L2 bank conflicts and memory bandwidth
 	// (zero value: the paper's zero-load latencies).
 	Contention Contention
@@ -129,11 +137,28 @@ type Result struct {
 
 // coreState is one core's runtime state.
 type coreState struct {
-	app      workload.App
-	l1       *l1Cache
-	cycle    uint64
-	instrs   uint64 // instructions retired in the measurement window
-	warmLeft uint64
+	app workload.App
+	// packed is app's zero-copy bulk read path (recorded streams), or nil.
+	// refs/refPos are the current packed view; when packed reads run dry
+	// (budget fall-through) packed is cleared and the core reverts to
+	// per-reference app.Next calls.
+	packed workload.PackedApp
+	refs   []uint64
+	refPos int
+	l1     *l1Cache
+	// Filtered-stream state (Config.Miss): the segment cursor, the current
+	// chunk view, and the decoded pending miss the scheduler key points at.
+	mstream   *MissReplay
+	msegs     []uint64
+	mpos      int
+	missCycle uint64 // clock at the pending miss (clock + hit-prefix cycles)
+	missAddr  uint64 // core-tagged line address of the pending miss
+	missGap   uint64
+	segHits   uint64
+	segSteps  uint64
+	cycle     uint64
+	instrs    uint64 // instructions retired in the measurement window
+	warmLeft  uint64
 	// frozen cores have finished their measurement window; they keep
 	// running (so the cache keeps seeing their traffic, as in the paper's
 	// methodology) but their stats no longer change.
@@ -151,19 +176,20 @@ type coreState struct {
 // dynamic decision resolved up front: latencies and capability probes
 // (mixed fast paths, insertion-policy hooks) live in flat fields instead of
 // being re-derived from Config inside the hot loop.
-// heapEntry is one scheduler heap slot: a core's local clock paired with its
-// index. Keeping the key inside the heap keeps the sift-down's comparisons on
-// one small contiguous array instead of chasing into the (much larger)
-// coreState records; the clock is copied back into the root entry after each
-// step.
-type heapEntry struct {
-	cycle uint64
-	ci    int32
-}
-
+//
+// Each scheduler heap slot packs a core's local clock and its index into one
+// uint64, cycle<<ciBits | ci. Because ci < 1<<ciBits, plain integer order on
+// the packed key equals lexicographic (cycle, index) order, so the sift-down
+// compares one word per slot and the heap is half the size of a struct-based
+// one. Clocks stay far below 1<<(64-ciBits) (2^58 even at 64 cores), so the
+// shift cannot overflow in any configured run.
 type runState struct {
-	cores []coreState
-	heap  []heapEntry // min-heap ordered by (cycle, index)
+	cores      []coreState
+	heap       []uint64 // min-heap of cycle<<ciBits | core index
+	ciBits     uint     // bits reserved for the core index in a heap key
+	ciMask     uint64
+	remaining  int    // cores still inside their measurement window
+	instrLimit uint64 // cached for the filtered loop's hit-segment freezes
 
 	l2         ctrl.Controller
 	l2Mixed    ctrl.MixedController // l2's mixed fast path, or nil
@@ -182,6 +208,15 @@ type runState struct {
 // Run executes the configured simulation to completion.
 func Run(cfg Config) Result {
 	n := len(cfg.Apps)
+	if len(cfg.Miss) > 0 {
+		if n > 0 && n != len(cfg.Miss) {
+			panic("sim: Apps and Miss lengths differ")
+		}
+		if cfg.OnRepartition != nil {
+			panic("sim: OnRepartition requires unfiltered streams (see filter.go)")
+		}
+		n = len(cfg.Miss)
+	}
 	if n == 0 {
 		panic("sim: no apps")
 	}
@@ -196,7 +231,8 @@ func Run(cfg Config) Result {
 	}
 	rs := &runState{
 		cores:     make([]coreState, n),
-		heap:      make([]heapEntry, n),
+		heap:      make([]uint64, n),
+		ciBits:    uint(bits.Len(uint(n - 1))),
 		l2:        cfg.L2,
 		alloc:     cfg.Alloc,
 		latL1Hit:  cfg.Lat.L1Hit,
@@ -204,44 +240,48 @@ func Run(cfg Config) Result {
 		latL2Miss: cfg.Lat.L2Hit + cfg.Lat.Memory,
 		cont:      newContentionState(cfg.Contention),
 	}
+	rs.ciMask = 1<<rs.ciBits - 1
 	rs.l2Mixed, _ = cfg.L2.(ctrl.MixedController)
 	rs.allocMixed, _ = cfg.Alloc.(MixedAllocator)
 	rs.chooser, _ = cfg.Alloc.(PolicyChooser)
 	rs.setter, _ = cfg.L2.(InsertionPolicySetter)
+	rs.remaining = n
 	for i := range rs.cores {
 		c := &rs.cores[i]
-		c.app = cfg.Apps[i]
 		c.warmLeft = cfg.WarmupInstr
+		if len(cfg.Miss) > 0 {
+			c.mstream = cfg.Miss[i]
+			continue
+		}
+		c.app = cfg.Apps[i]
+		c.packed, _ = cfg.Apps[i].(workload.PackedApp)
 		if cfg.L1Lines > 0 {
 			c.l1 = newL1Cache(cfg.L1Lines, cfg.L1Ways)
 		}
 		// The identity order is a valid heap: all clocks start at zero and
 		// ties order by core index, so every parent precedes its children.
-		rs.heap[i] = heapEntry{cycle: 0, ci: int32(i)}
+		rs.heap[i] = uint64(i) // cycle 0 packed with index i
 	}
 
 	var res Result
+	if len(cfg.Miss) > 0 {
+		rs.runFiltered(&cfg, &res)
+		return rs.finish(res)
+	}
 	nextRepart := cfg.RepartitionCycles
-	remaining := n
-	for remaining > 0 {
+	repartEnabled := rs.alloc != nil && cfg.RepartitionCycles > 0
+	for rs.remaining > 0 {
 		// Step the core with the lowest local clock (the global low-water
 		// mark), so shared-cache accesses interleave in time order. Frozen
 		// cores keep running so the cache keeps seeing their traffic. Only
 		// the stepped core's clock changes, so restoring heap order after
 		// the step is a single sift-down from the root.
-		ci := int(rs.heap[0].ci)
+		ci := int(rs.heap[0] & rs.ciMask)
 		c := &rs.cores[ci]
 
 		// Repartition when global time crosses the boundary.
-		if rs.alloc != nil && cfg.RepartitionCycles > 0 && c.cycle >= nextRepart {
-			targets := rs.alloc.Allocate(cfg.PartitionableLines)
-			rs.l2.SetTargets(targets)
-			if rs.chooser != nil && rs.setter != nil {
-				for p, brrip := range rs.chooser.InsertionPolicies() {
-					rs.setter.SetInsertionPolicy(p, brrip)
-				}
-			}
-			res.Repartitions++
+		if repartEnabled && c.cycle >= nextRepart {
+			targets := rs.repartition(&cfg, &res)
 			if cfg.OnRepartition != nil {
 				actual := make([]int, rs.l2.NumPartitions())
 				for p := range actual {
@@ -252,7 +292,25 @@ func Run(cfg Config) Result {
 			nextRepart += cfg.RepartitionCycles
 		}
 
-		gap, addr := c.app.Next()
+		var gap int
+		var addr uint64
+		if c.refPos < len(c.refs) {
+			// Recorded-stream fast path: one load from the packed chunk,
+			// no interface call.
+			gap, addr = workload.UnpackRef(c.refs[c.refPos])
+			c.refPos++
+		} else if c.packed != nil {
+			if c.refs = c.packed.NextPacked(); len(c.refs) > 0 {
+				gap, addr = workload.UnpackRef(c.refs[0])
+				c.refPos = 1
+			} else {
+				// Budget fall-through: the replay cursor went live.
+				c.packed = nil
+				gap, addr = c.app.Next()
+			}
+		} else {
+			gap, addr = c.app.Next()
+		}
 		addr = uint64(ci+1)<<40 | addr // disjoint address spaces
 		lat, l1Miss, l2Hit, l2Acc := rs.access(c, addr, ci)
 		if l2Acc {
@@ -279,11 +337,7 @@ func Run(cfg Config) Result {
 			}
 			c.instrs += steps
 			if c.instrs >= cfg.InstrLimit {
-				c.frozen = true
-				c.doneCycle = c.cycle
-				c.stats.Instructions = c.instrs
-				c.stats.Cycles = c.cycle - c.startCycle
-				remaining--
+				rs.freeze(c)
 			}
 		} else if c.warmLeft > 0 {
 			if c.warmLeft > steps {
@@ -293,11 +347,37 @@ func Run(cfg Config) Result {
 				c.startCycle = c.cycle
 			}
 		}
-		rs.heap[0].cycle = c.cycle
+		rs.heap[0] = c.cycle<<rs.ciBits | uint64(ci)
 		rs.fixRoot()
 	}
+	return rs.finish(res)
+}
 
-	res.Cores = make([]CoreStats, n)
+// repartition runs one allocator invocation and applies its decisions.
+func (rs *runState) repartition(cfg *Config, res *Result) []int {
+	targets := rs.alloc.Allocate(cfg.PartitionableLines)
+	rs.l2.SetTargets(targets)
+	if rs.chooser != nil && rs.setter != nil {
+		for p, brrip := range rs.chooser.InsertionPolicies() {
+			rs.setter.SetInsertionPolicy(p, brrip)
+		}
+	}
+	res.Repartitions++
+	return targets
+}
+
+// freeze closes a core's measurement window at its current clock.
+func (rs *runState) freeze(c *coreState) {
+	c.frozen = true
+	c.doneCycle = c.cycle
+	c.stats.Instructions = c.instrs
+	c.stats.Cycles = c.cycle - c.startCycle
+	rs.remaining--
+}
+
+// finish derives the per-core rates and the aggregate result.
+func (rs *runState) finish(res Result) Result {
+	res.Cores = make([]CoreStats, len(rs.cores))
 	for i := range rs.cores {
 		c := &rs.cores[i]
 		s := c.stats
@@ -322,10 +402,16 @@ func (rs *runState) access(c *coreState, addr uint64, core int) (lat int, l1Miss
 	if c.l1 != nil && c.l1.access(addr) {
 		return rs.latL1Hit, false, false, false
 	}
-	// L2 access; feed the allocator's monitors with the post-L1 stream.
-	// Mix the address once here and share the value between the monitors
-	// and the controller's hashed arrays; the L1 indexes by low address
-	// bits, so hits above never need the mix.
+	lat, l2Hit = rs.accessL2(addr, core)
+	return lat, true, l2Hit, true
+}
+
+// accessL2 performs one post-L1 reference: it feeds the allocator's monitors
+// and the shared controller, and returns the access latency and whether the
+// L2 hit. The address is mixed once here and the value shared between the
+// monitors and the controller's hashed arrays; the L1 indexes by low address
+// bits, so hits there never need the mix.
+func (rs *runState) accessL2(addr uint64, core int) (lat int, hit bool) {
 	mixed := hash.Mix64(addr)
 	if rs.allocMixed != nil {
 		rs.allocMixed.AccessMixed(core, addr, mixed)
@@ -339,37 +425,31 @@ func (rs *runState) access(c *coreState, addr uint64, core int) (lat int, l1Miss
 		r = rs.l2.Access(addr, core)
 	}
 	if r.Hit {
-		return rs.latL2Hit, true, true, true
+		return rs.latL2Hit, true
 	}
-	return rs.latL2Miss, true, false, true
-}
-
-// lessEntry reports whether heap entry a schedules before entry b: strictly
-// lower local clock, ties broken by core index. This is exactly the order
-// the linear min-scan produced (strict less-than keeps the first, i.e.
-// lowest-index, minimum), so the heap scheduler replays the same
-// interleaving.
-func lessEntry(a, b heapEntry) bool {
-	return a.cycle < b.cycle || (a.cycle == b.cycle && a.ci < b.ci)
+	return rs.latL2Miss, false
 }
 
 // fixRoot restores the heap invariant after the root core's clock advanced:
-// a hole-based sift-down (children move up into the hole, the root entry is
-// written once at its final level) with the (cycle, index) comparisons of
-// lessEntry inlined.
+// a hole-based sift-down (children move up into the hole, the root key is
+// written once at its final level). Keys pack (cycle, index) so each
+// comparison is a single integer compare; the order is a strict total order
+// (core indices are unique), so the minimum core is unique and any valid
+// heap shape pops the same schedule as the original linear min-scan (strict
+// less-than keeps the lowest-index minimum).
 //
-// The heap is 4-ary: lessEntry is a strict total order (core indices are
-// unique), so the minimum core is unique and any valid heap shape pops the
-// same schedule — the wider fan-out just halves the number of sift levels,
+// The heap is 4-ary: the wider fan-out halves the number of sift levels,
 // which a stepped core usually traverses in full (its clock jumps past most
 // peers every step). The identity layout remains a valid initial heap: every
 // parent index is below its children's, matching the all-zero-clock tie
 // order.
-func (rs *runState) fixRoot() {
+func (rs *runState) fixRoot() { rs.siftDown(0) }
+
+// siftDown restores the heap invariant below slot i after its key grew.
+func (rs *runState) siftDown(i int) {
 	h := rs.heap
 	n := len(h)
-	root := h[0]
-	i := 0
+	root := h[i]
 	for {
 		c0 := 4*i + 1
 		if c0 >= n {
@@ -380,13 +460,13 @@ func (rs *runState) fixRoot() {
 			end = n
 		}
 		best := c0
-		bc, bi := h[c0].cycle, h[c0].ci
+		bk := h[c0]
 		for j := c0 + 1; j < end; j++ {
-			if cj, ij := h[j].cycle, h[j].ci; cj < bc || (cj == bc && ij < bi) {
-				best, bc, bi = j, cj, ij
+			if h[j] < bk {
+				best, bk = j, h[j]
 			}
 		}
-		if !(bc < root.cycle || (bc == root.cycle && bi < root.ci)) {
+		if bk >= root {
 			break
 		}
 		h[i] = h[best]

@@ -28,8 +28,28 @@ func MissRateCurve(app App, n int, sizes []int) []float64 {
 	}
 	hist := make([]int, maxSize+1)
 	infinite := 0 // cold misses / distances beyond maxSize
+	// Consume the stream through the packed bulk path when the app offers
+	// one (replay cursors do): one chunk load instead of an interface call
+	// per reference, same draws either way.
+	packed, _ := app.(PackedApp)
+	var refs []uint64
+	pos := 0
 	for i := 0; i < n; i++ {
-		_, addr := app.Next()
+		var addr uint64
+		if pos < len(refs) {
+			_, addr = UnpackRef(refs[pos])
+			pos++
+		} else if packed != nil {
+			if refs = packed.NextPacked(); len(refs) > 0 {
+				_, addr = UnpackRef(refs[0])
+				pos = 1
+			} else {
+				packed = nil // budget fall-through: cursor went live
+				_, addr = app.Next()
+			}
+		} else {
+			_, addr = app.Next()
+		}
 		dist := d.access(addr)
 		if dist < 0 || dist >= len(hist) {
 			infinite++
@@ -49,6 +69,15 @@ func MissRateCurve(app App, n int, sizes []int) []float64 {
 		curve[i] = 1 - float64(cum)/float64(n)
 	}
 	return curve
+}
+
+// MissRateCurveRecorded computes the curve over a recording's replay cursor
+// instead of a live app, so miss-curve construction shares the memoized
+// stream with the simulation runs rather than regenerating it (and leaves
+// the recording's other cursors untouched). Identical to MissRateCurve over
+// the source app: replay is draw-for-draw equivalent.
+func MissRateCurveRecorded(rec *Recording, n int, sizes []int) []float64 {
+	return MissRateCurve(rec.Replay(), n, sizes)
 }
 
 // distanceTracker computes exact LRU stack distances with an order-statistic

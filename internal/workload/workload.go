@@ -84,6 +84,36 @@ type App interface {
 	Next() (gap int, addr uint64)
 }
 
+// BatchApp is implemented by apps that can generate many references at once.
+// NextBatch fills gaps and addrs (which must have equal lengths) with the
+// next len(gaps) references and leaves the app in exactly the state that
+// many successive Next calls would: every PRNG stream advances by the same
+// draws in the same order, so both the filled values and all subsequent
+// output are bit-identical to the per-call path. Batching exists purely to
+// amortize call overhead (interface dispatch, closure calls, per-draw
+// bookkeeping) around the irreducible per-sample math.
+type BatchApp interface {
+	App
+	NextBatch(gaps []int32, addrs []uint64)
+}
+
+// fillRefs advances src by len(gaps) references into the buffers, using the
+// batched generator when src supports it.
+func fillRefs(src App, gaps []int32, addrs []uint64) {
+	if b, ok := src.(BatchApp); ok {
+		b.NextBatch(gaps, addrs)
+		return
+	}
+	for i := range gaps {
+		g, a := src.Next()
+		if g > math.MaxInt32 {
+			panic("workload: instruction gap overflows int32")
+		}
+		gaps[i] = int32(g)
+		addrs[i] = a
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Generators
 // ---------------------------------------------------------------------------
@@ -132,6 +162,35 @@ func (g *gapGen) next() int {
 		u = math.Nextafter(1, 0)
 	}
 	return int(math.Log(1-u) / g.logQ)
+}
+
+// nextBatch draws len(out) gaps in one tight loop. Each sample performs the
+// identical float64 operations (and consumes the identical rng draws) as
+// next, so the batch is bit-identical to len(out) sequential calls; the
+// per-call branches and pointer chasing are hoisted out of the loop.
+func (g *gapGen) nextBatch(out []int32) {
+	if g.mean <= 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	if g.logQ == 0 {
+		p := 1 / (1 + g.mean)
+		g.logQ = math.Log(1 - p)
+	}
+	rng, logQ := g.rng, g.logQ
+	for i := range out {
+		u := rng.Float64()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		v := int(math.Log(1-u) / logQ)
+		if v > math.MaxInt32 {
+			panic("workload: instruction gap overflows int32")
+		}
+		out[i] = int32(v)
+	}
 }
 
 // ZipfApp models cache-friendly behavior: accesses are Zipf-distributed
@@ -222,6 +281,28 @@ func (a *ZipfApp) Next() (int, uint64) {
 	return a.gaps.next(), addr
 }
 
+// NextBatch implements BatchApp. Rank draws (a.rng) and gap draws
+// (a.gaps.rng) come from independent generators, so filling the address run
+// first and the gap run second consumes each stream in exactly the per-call
+// order and the batch is bit-identical to len(gaps) Next calls.
+func (a *ZipfApp) NextBatch(gaps []int32, addrs []uint64) {
+	if len(gaps) != len(addrs) {
+		panic("workload: NextBatch buffer lengths differ")
+	}
+	rem, last := a.b.remaining, a.b.last
+	for i := range addrs {
+		if rem > 0 {
+			rem--
+		} else {
+			last = uint64(a.perm[a.rank(a.rng.Float64())]) + 1
+			rem = a.burst - 1
+		}
+		addrs[i] = last
+	}
+	a.b.remaining, a.b.last = rem, last
+	a.gaps.nextBatch(gaps)
+}
+
 // rank returns the lower bound of u in the CDF: the smallest rank i with
 // cdf[i] >= u. The guide table narrows the binary search to u's bucket; the
 // nudge handles int(u*scale) rounding into a neighboring bucket (off by at
@@ -292,6 +373,27 @@ func (a *ScanApp) Next() (int, uint64) {
 	return a.gaps.next(), addr
 }
 
+// NextBatch implements BatchApp (see ZipfApp.NextBatch for the equivalence
+// argument; the scan position is not random at all).
+func (a *ScanApp) NextBatch(gaps []int32, addrs []uint64) {
+	if len(gaps) != len(addrs) {
+		panic("workload: NextBatch buffer lengths differ")
+	}
+	rem, last, pos := a.b.remaining, a.b.last, a.pos
+	for i := range addrs {
+		if rem > 0 {
+			rem--
+		} else {
+			pos = (pos + 1) % a.lines
+			last = pos + 1
+			rem = a.burst - 1
+		}
+		addrs[i] = last
+	}
+	a.b.remaining, a.b.last, a.pos = rem, last, pos
+	a.gaps.nextBatch(gaps)
+}
+
 // StreamApp models thrashing/streaming behavior: a sequential walk over a
 // region far larger than any cache, with optional wraparound.
 type StreamApp struct {
@@ -329,6 +431,27 @@ func (a *StreamApp) Next() (int, uint64) {
 		return a.pos + 1
 	}, a.burst)
 	return a.gaps.next(), addr
+}
+
+// NextBatch implements BatchApp (see ZipfApp.NextBatch for the equivalence
+// argument; the stream position is not random at all).
+func (a *StreamApp) NextBatch(gaps []int32, addrs []uint64) {
+	if len(gaps) != len(addrs) {
+		panic("workload: NextBatch buffer lengths differ")
+	}
+	rem, last, pos := a.b.remaining, a.b.last, a.pos
+	for i := range addrs {
+		if rem > 0 {
+			rem--
+		} else {
+			pos = (pos + 1) % a.region
+			last = pos + 1
+			rem = a.burst - 1
+		}
+		addrs[i] = last
+	}
+	a.b.remaining, a.b.last, a.pos = rem, last, pos
+	a.gaps.nextBatch(gaps)
 }
 
 // PhasedApp alternates between two inner apps every phaseLen memory
@@ -375,4 +498,21 @@ func (p *PhasedApp) Next() (int, uint64) {
 		return p.b.Next()
 	}
 	return p.a.Next()
+}
+
+// NextBatch implements BatchApp. Phase switches depend only on the reference
+// count, so the per-call path is reproduced exactly; the inner apps draw in
+// the same interleaved order as under Next.
+func (p *PhasedApp) NextBatch(gaps []int32, addrs []uint64) {
+	if len(gaps) != len(addrs) {
+		panic("workload: NextBatch buffer lengths differ")
+	}
+	for i := range gaps {
+		g, a := p.Next()
+		if g > math.MaxInt32 {
+			panic("workload: instruction gap overflows int32")
+		}
+		gaps[i] = int32(g)
+		addrs[i] = a
+	}
 }
