@@ -30,6 +30,8 @@ type benchRow struct {
 	Rejected   uint64  `json:"rejected,omitempty"`
 	Shed       uint64  `json:"shed,omitempty"`
 	Dropped    uint64  `json:"dropped,omitempty"`
+	Expired    uint64  `json:"expired,omitempty"`
+	SweepLines uint64  `json:"sweep_lines,omitempty"`
 }
 
 // benchReport is the BENCH_service.json schema.
@@ -82,6 +84,13 @@ func runBenchMatrix(path string, lines, shards, valueSize int, seed uint64) erro
 	}
 	rep.Results = append(rep.Results, row)
 	fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec (rejected=%d)\n", row.Name, row.OpsPerSec, row.Rejected)
+
+	row, err = runTTLStormBench(lines, shards, valueSize, seed)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, row)
+	fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec (expired=%d swept=%d)\n", row.Name, row.OpsPerSec, row.Expired, row.SweepLines)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -287,5 +296,64 @@ func runOverloadBench(lines, shards, valueSize int, seed uint64) (benchRow, erro
 		Rejected:  res.Rejected,
 		Shed:      res.Shed,
 		Dropped:   res.Dropped,
+	}, nil
+}
+
+// runTTLStormBench measures throughput under TTL churn with the background
+// sweeper on: a quarter of the friendly tenant's fills carry 50ms TTLs, so
+// the sweeper is continuously reclaiming expired lines and handing them to
+// the Vantage controller while the workload runs. The row records the
+// expired-read and sweep-reclaim counters alongside throughput, so the
+// trajectory shows what expiry pressure costs the serving path.
+func runTTLStormBench(lines, shards, valueSize int, seed uint64) (benchRow, error) {
+	svc, err := service.New(service.Config{
+		Shards:              shards,
+		LinesPerShard:       lines / shards,
+		RepartitionInterval: 50 * time.Millisecond,
+		SweepInterval:       5 * time.Millisecond,
+		Seed:                seed,
+	})
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer svc.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return benchRow{}, err
+	}
+	srv := service.Serve(svc, lis)
+	defer srv.Close()
+
+	specs, err := parseTenantSpecs("friendly=friendly:2,stream=stream:2", lines, seed)
+	if err != nil {
+		return benchRow{}, err
+	}
+	conns := 0
+	for i := range specs {
+		conns += specs[i].Conns
+		if specs[i].Name == "friendly" {
+			specs[i].TTLMode = loadgen.TTLUniform
+			specs[i].TTL = 50 * time.Millisecond
+			specs[i].TTLFrac = 0.25
+		}
+	}
+	res, err := loadgen.Run(loadgen.Options{
+		Addr:       srv.Addr().String(),
+		Tenants:    specs,
+		OpsPerConn: 50000,
+		ValueSize:  valueSize,
+	})
+	if err != nil {
+		return benchRow{}, err
+	}
+	st := svc.Stats()
+	return benchRow{
+		Name:       "tcp/ttl-storm",
+		Conns:      conns,
+		Ops:        res.Ops,
+		Seconds:    res.Elapsed.Seconds(),
+		OpsPerSec:  res.OpsPerSec,
+		Expired:    st.Expired,
+		SweepLines: st.SweepLines,
 	}, nil
 }

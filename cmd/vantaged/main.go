@@ -52,6 +52,9 @@ func main() {
 	amax := flag.Float64("amax", 0.5, "maximum aperture")
 	slack := flag.Float64("slack", 0.1, "feedback slack")
 	repartition := flag.Duration("repartition", 250*time.Millisecond, "online UCP repartition interval")
+	defaultTTL := flag.Duration("default-ttl", 0, "TTL applied to PUTs without an EXPIRE clause (0 = entries never expire)")
+	sweepInterval := flag.Duration("sweep-interval", 0, "background expiry sweep interval per shard (0 = lazy expiry only)")
+	sweepBatch := flag.Int("sweep-batch", 0, "max expired entries reclaimed per sweep pass per shard (0 = 128 default)")
 	seed := flag.Uint64("seed", 2011, "hash seed (perturbs shard routing, arrays, monitors)")
 	tenants := flag.String("tenants", "", "comma-separated tenant names to pre-register")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the metrics address")
@@ -75,6 +78,9 @@ func main() {
 		AMax:                *amax,
 		Slack:               *slack,
 		RepartitionInterval: *repartition,
+		DefaultTTL:          *defaultTTL,
+		SweepInterval:       *sweepInterval,
+		SweepBatch:          *sweepBatch,
 		Seed:                *seed,
 	})
 	if err != nil {

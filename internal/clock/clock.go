@@ -1,0 +1,71 @@
+// Package clock abstracts time behind an injectable interface so every
+// temporal behavior in the service — TTL expiry, sweep pacing, overload
+// deadlines, repartition intervals — can run on a deterministic fake in
+// tests. The real implementation (System) is a thin veneer over package
+// time; the fake (Fake) advances only when told to, firing pending timers
+// in deadline order, so a test can drive hours of simulated time in
+// microseconds and observe every intermediate state.
+package clock
+
+import "time"
+
+// Clock is the time source. Two implementations exist: System (wall clock)
+// and Fake (manually advanced). All methods are safe for concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d. On a Fake it blocks until another goroutine
+	// advances the clock past the wakeup.
+	Sleep(d time.Duration)
+	// NewTimer returns a Timer that delivers the time on its channel after d.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a Ticker delivering ticks every d. Panics if d <= 0.
+	NewTicker(d time.Duration) Ticker
+	// AfterFunc returns a Timer that calls fn after d. On a Fake, fn runs
+	// synchronously inside Advance, in the advancing goroutine.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer matches the useful surface of time.Timer. Stop and Reset carry the
+// standard library's semantics (and caveats) for the return value.
+type Timer interface {
+	// C returns the delivery channel (nil for AfterFunc timers).
+	C() <-chan time.Time
+	// Stop deactivates the timer, reporting whether it was still pending.
+	Stop() bool
+	// Reset re-arms the timer to fire after d, reporting whether it was
+	// still pending.
+	Reset(d time.Duration) bool
+}
+
+// Ticker matches the useful surface of time.Ticker.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// System returns the real clock backed by package time.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                 { return time.Now() }
+func (systemClock) Sleep(d time.Duration)          { time.Sleep(d) }
+func (systemClock) NewTimer(d time.Duration) Timer { return systemTimer{time.NewTimer(d)} }
+func (systemClock) NewTicker(d time.Duration) Ticker {
+	return systemTicker{time.NewTicker(d)}
+}
+func (systemClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return systemTimer{time.AfterFunc(d, fn)}
+}
+
+type systemTimer struct{ t *time.Timer }
+
+func (t systemTimer) C() <-chan time.Time        { return t.t.C }
+func (t systemTimer) Stop() bool                 { return t.t.Stop() }
+func (t systemTimer) Reset(d time.Duration) bool { return t.t.Reset(d) }
+
+type systemTicker struct{ t *time.Ticker }
+
+func (t systemTicker) C() <-chan time.Time { return t.t.C }
+func (t systemTicker) Stop()               { t.t.Stop() }

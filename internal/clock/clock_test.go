@@ -1,0 +1,217 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFakeNowAdvances(t *testing.T) {
+	f := NewFake(t0)
+	if got := f.Now(); !got.Equal(t0) {
+		t.Fatalf("Now = %v, want %v", got, t0)
+	}
+	f.Advance(3 * time.Second)
+	if got, want := f.Now(), t0.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now after Advance = %v, want %v", got, want)
+	}
+}
+
+// TestFakeTimerOrdering pins the firing order: deadlines ascending, ties
+// broken by creation order, regardless of the order timers were created in.
+func TestFakeTimerOrdering(t *testing.T) {
+	f := NewFake(t0)
+	var order []string
+	add := func(name string, d time.Duration) {
+		f.AfterFunc(d, func() { order = append(order, name) })
+	}
+	add("c30", 30*time.Millisecond)
+	add("a10", 10*time.Millisecond)
+	add("tie1", 20*time.Millisecond)
+	add("tie2", 20*time.Millisecond)
+	f.Advance(50 * time.Millisecond)
+	want := []string{"a10", "tie1", "tie2", "c30"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFakeAdvancePastMultipleTimers checks that one Advance stepping past
+// several deadlines fires them all, and that each callback observes the
+// clock at its own deadline, not the final target.
+func TestFakeAdvancePastMultipleTimers(t *testing.T) {
+	f := NewFake(t0)
+	var seen []time.Time
+	for _, d := range []time.Duration{10, 20, 40} {
+		f.AfterFunc(d*time.Millisecond, func() { seen = append(seen, f.Now()) })
+	}
+	f.Advance(time.Second)
+	if len(seen) != 3 {
+		t.Fatalf("fired %d timers, want 3", len(seen))
+	}
+	for i, d := range []time.Duration{10, 20, 40} {
+		if want := t0.Add(d * time.Millisecond); !seen[i].Equal(want) {
+			t.Fatalf("callback %d saw Now=%v, want %v", i, seen[i], want)
+		}
+	}
+	if got, want := f.Now(), t0.Add(time.Second); !got.Equal(want) {
+		t.Fatalf("final Now = %v, want %v", got, want)
+	}
+}
+
+func TestFakeTimerChannelAndStop(t *testing.T) {
+	f := NewFake(t0)
+	tm := f.NewTimer(10 * time.Millisecond)
+	stopped := f.NewTimer(10 * time.Millisecond)
+	if !stopped.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	f.Advance(20 * time.Millisecond)
+	select {
+	case at := <-tm.C():
+		if want := t0.Add(10 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("delivered %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not deliver")
+	}
+	select {
+	case <-stopped.C():
+		t.Fatal("stopped timer delivered")
+	default:
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on fired timer returned true")
+	}
+}
+
+func TestFakeTimerReset(t *testing.T) {
+	f := NewFake(t0)
+	tm := f.NewTimer(10 * time.Millisecond)
+	f.Advance(15 * time.Millisecond)
+	<-tm.C()
+	if tm.Reset(10 * time.Millisecond) {
+		t.Fatal("Reset on fired timer returned true")
+	}
+	f.Advance(5 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("reset timer fired early")
+	default:
+	}
+	f.Advance(5 * time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire at its new deadline")
+	}
+}
+
+func TestFakeTicker(t *testing.T) {
+	f := NewFake(t0)
+	tk := f.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		f.Advance(10 * time.Millisecond)
+		select {
+		case <-tk.C():
+		default:
+			t.Fatalf("tick %d not delivered", i)
+		}
+	}
+	tk.Stop()
+	f.Advance(50 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker delivered")
+	default:
+	}
+}
+
+func TestFakeSleepWakesOnAdvance(t *testing.T) {
+	f := NewFake(t0)
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(100 * time.Millisecond)
+		close(done)
+	}()
+	// Wait for the sleeper to register its timer, then release it.
+	for f.Pending() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	f.Advance(100 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+	f.Sleep(0) // non-positive sleeps return immediately
+}
+
+// TestFakeConcurrentAdvanceNow is the race-detector test: timers are
+// created, read, stopped, and fired while other goroutines advance and read
+// the clock.
+func TestFakeConcurrentAdvanceNow(t *testing.T) {
+	f := NewFake(t0)
+	var fired sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					f.Advance(time.Millisecond)
+				case 1:
+					_ = f.Now()
+				case 2:
+					id := g*1000 + i
+					f.AfterFunc(time.Duration(i%7)*time.Millisecond, func() { fired.Store(id, true) })
+				default:
+					tm := f.NewTimer(time.Duration(i%5) * time.Millisecond)
+					tm.Stop()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	f.Advance(time.Second) // drain whatever is still pending
+}
+
+func TestSystemClock(t *testing.T) {
+	c := System()
+	before := c.Now()
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("system timer did not fire")
+	}
+	fired := make(chan struct{})
+	af := c.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("system AfterFunc did not fire")
+	}
+	af.Stop()
+	tk := c.NewTicker(time.Millisecond)
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("system ticker did not tick")
+	}
+	tk.Stop()
+	c.Sleep(time.Millisecond)
+	if c.Now().Before(before) {
+		t.Fatal("system clock went backwards")
+	}
+}

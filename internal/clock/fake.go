@@ -1,0 +1,201 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Fake is a deterministic Clock for tests. Time stands still until Advance
+// moves it; Advance fires every timer whose deadline falls inside the step,
+// in (deadline, creation-order) order, setting Now to each timer's deadline
+// while it fires so callbacks observe the time they were scheduled for.
+//
+// Channel timers (NewTimer, NewTicker) deliver with a buffered, non-blocking
+// send, matching the standard library: a receiver that has not drained the
+// previous delivery loses the new one. AfterFunc callbacks run synchronously
+// in the advancing goroutine, outside the Fake's lock, so a callback may
+// call back into the Fake (Reset, Stop, NewTimer, ...) freely — but a
+// callback that re-arms its own timer to fire within the remaining step will
+// fire again in the same Advance.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers []*fakeTimer
+}
+
+// NewFake returns a Fake whose Now is start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now returns the fake's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Pending returns the number of armed timers (including tickers). Tests use
+// it to wait until some other goroutine has scheduled its wakeup before
+// advancing past it.
+func (f *Fake) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, t := range f.timers {
+		if t.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Sleep blocks until the clock has been advanced d past the current time.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := f.NewTimer(d)
+	<-t.C()
+}
+
+// NewTimer returns a one-shot timer firing when the clock advances d.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	return f.newTimer(d, 0, nil)
+}
+
+// NewTicker returns a ticker firing every d of advanced time.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	return fakeTicker{f.newTimer(d, d, nil)}
+}
+
+// fakeTicker narrows fakeTimer to the Ticker surface (Stop returns nothing).
+type fakeTicker struct{ t *fakeTimer }
+
+func (t fakeTicker) C() <-chan time.Time { return t.t.ch }
+func (t fakeTicker) Stop()               { t.t.Stop() }
+
+// AfterFunc returns a timer that runs fn when the clock advances d.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	return f.newTimer(d, 0, fn)
+}
+
+func (f *Fake) newTimer(d, period time.Duration, fn func()) *fakeTimer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{
+		f:      f,
+		when:   f.now.Add(d),
+		seq:    f.seq,
+		period: period,
+		fn:     fn,
+		active: true,
+		queued: true,
+	}
+	f.seq++
+	if fn == nil {
+		t.ch = make(chan time.Time, 1)
+	}
+	f.timers = append(f.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing due timers along the way.
+// It returns once every timer with a deadline in [now, now+d] has fired and
+// the clock reads now+d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		next := f.nextDueLocked(target)
+		if next == nil {
+			break
+		}
+		if next.when.After(f.now) {
+			f.now = next.when
+		}
+		if next.period > 0 {
+			next.when = next.when.Add(next.period)
+			next.seq = f.seq
+			f.seq++
+		} else {
+			next.active = false
+		}
+		ch, fn, at := next.ch, next.fn, f.now
+		// Fire outside the lock: callbacks may re-enter the Fake.
+		f.mu.Unlock()
+		if fn != nil {
+			fn()
+		} else {
+			select {
+			case ch <- at:
+			default:
+			}
+		}
+		f.mu.Lock()
+	}
+	f.now = target
+	f.mu.Unlock()
+}
+
+// nextDueLocked returns the armed timer with the earliest deadline not after
+// target, ties broken by creation order. Caller holds f.mu.
+func (f *Fake) nextDueLocked(target time.Time) *fakeTimer {
+	var best *fakeTimer
+	live := f.timers[:0]
+	for _, t := range f.timers {
+		if !t.active {
+			t.queued = false // pruned; a later Reset re-appends it
+			continue
+		}
+		live = append(live, t)
+		if t.when.After(target) {
+			continue
+		}
+		if best == nil || t.when.Before(best.when) || (t.when.Equal(best.when) && t.seq < best.seq) {
+			best = t
+		}
+	}
+	f.timers = live
+	return best
+}
+
+type fakeTimer struct {
+	f      *Fake
+	when   time.Time
+	seq    uint64
+	period time.Duration // > 0 for tickers
+	ch     chan time.Time
+	fn     func()
+	active bool
+	queued bool // present in f.timers
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	was := t.active
+	t.active = false
+	return was
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	was := t.active
+	t.when = t.f.now.Add(d)
+	t.seq = t.f.seq
+	t.f.seq++
+	t.active = true
+	if !t.queued {
+		t.queued = true
+		t.f.timers = append(t.f.timers, t)
+	}
+	return was
+}

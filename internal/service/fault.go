@@ -29,6 +29,7 @@ const (
 	OpPut
 	OpDelete
 	OpMGet
+	OpTouch
 )
 
 // String returns the lower-case operation name.
@@ -42,6 +43,8 @@ func (op Op) String() string {
 		return "del"
 	case OpMGet:
 		return "mget"
+	case OpTouch:
+		return "touch"
 	}
 	return "op(" + strconv.Itoa(int(op)) + ")"
 }
@@ -57,6 +60,8 @@ func parseOp(s string) (Op, bool) {
 		return OpDelete, true
 	case "mget":
 		return OpMGet, true
+	case "touch", "expire":
+		return OpTouch, true
 	}
 	return 0, false
 }
@@ -134,7 +139,7 @@ func (p *FaultPlan) Fault(op Op, tenant string) Fault {
 //	err=<p>          error-fault probability
 //	drop=<p>         connection-drop probability
 //	delay=<p>:<dur>  delay probability and duration (e.g. delay=0.05:2ms)
-//	ops=a|b          restrict to operations (get, put, del, mget)
+//	ops=a|b          restrict to operations (get, put, del, mget, touch)
 //	tenants=a|b      restrict to tenant names
 //	seed=<n>         draw-sequence seed (default 1)
 //
@@ -230,7 +235,7 @@ func (s *Service) injectFault(op Op, tenant string) error {
 	}
 	f := h.fi.Fault(op, tenant)
 	if f.Delay > 0 {
-		time.Sleep(f.Delay)
+		s.clk.Sleep(f.Delay)
 	}
 	if f.Err {
 		return ErrInjected

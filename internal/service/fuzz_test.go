@@ -62,6 +62,20 @@ func FuzzParseRequest(f *testing.F) {
 		[]byte("get T K\n"),
 		[]byte(" \t \r\n"),
 		[]byte("PUT t " + string(bytes.Repeat([]byte("K"), 300)) + " 4\r\nxxxx\r\n"),
+		// TTL grammar: the EXPIRE clause and the TOUCH/EXPIRE verb.
+		[]byte("PUT t k 5 EXPIRE 100\r\nhello\r\n"),
+		[]byte("PUT t k 5 EXPIRE 0\r\nhello\r\n"),
+		[]byte("PUT t k 2 EXPIRE nope\r\nhi\r\n"), // malformed clause, payload must drain
+		[]byte("PUT t k 2 EXPIRE -1\r\nhi\r\n"),
+		[]byte("PUT t k 2 EXPIRE 99999999999999999999\r\nhi\r\n"),
+		[]byte("PUT t k 2 EXPIRES 5\r\nhi\r\n"), // wrong keyword
+		[]byte("PUT t k 2 EXPIRE\r\n"),          // arity 5: usage error, no drain
+		[]byte("TOUCH t k 100\r\n"),
+		[]byte("TOUCH t k 0\r\n"),
+		[]byte("EXPIRE t k 100\r\n"),
+		[]byte("TOUCH t k\r\n"),
+		[]byte("TOUCH t k -5\r\n"),
+		[]byte("EXPIRE t k 100 extra\r\n"),
 	} {
 		f.Add(seed)
 	}

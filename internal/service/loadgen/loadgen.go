@@ -62,6 +62,22 @@ func CategoryApp(cat workload.Category, cacheLines int, seed uint64) workload.Ap
 	panic("loadgen: unknown category")
 }
 
+// TTLMode selects how a tenant's fill PUTs carry expiry.
+type TTLMode int
+
+const (
+	// TTLNone: fills carry no EXPIRE clause (the server's default TTL, if
+	// any, applies).
+	TTLNone TTLMode = iota
+	// TTLUniform: each selected fill expires TTL after it is stored — the
+	// steady TTL-churn workload.
+	TTLUniform
+	// TTLStorm: each selected fill expires at the same absolute instant,
+	// run start + TTL — the whole working set dies in one window, the
+	// mass-expiry transient the sweeper and repartitioner must absorb.
+	TTLStorm
+)
+
 // Tenant describes one load-generating tenant.
 type Tenant struct {
 	// Name is the tenant name (registered with TENANT ADD; idempotent).
@@ -72,6 +88,45 @@ type Tenant struct {
 	MakeApp func(conn int) workload.App
 	// Conns is the number of concurrent connections (default 1).
 	Conns int
+
+	// TTLMode, TTL and TTLFrac attach expiry to this tenant's fill PUTs:
+	// TTLFrac (default 1) is the fraction of fills carrying an EXPIRE
+	// clause, selected deterministically so every run with the same
+	// parameters marks the same fills.
+	TTLMode TTLMode
+	TTL     time.Duration
+	TTLFrac float64
+}
+
+// nextTTLMS returns the EXPIRE argument in milliseconds for this tenant's
+// next fill, or -1 when the fill carries none. fills counts the
+// connection's TTL-eligible fills so far and is advanced by the call.
+func (spec Tenant) nextTTLMS(o Options, fills *uint64) int {
+	if spec.TTLMode == TTLNone || spec.TTL <= 0 {
+		return -1
+	}
+	frac := spec.TTLFrac
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	n := *fills
+	*fills = n + 1
+	// Every fill where the scaled counter crosses an integer is selected:
+	// a uniform frac-of-fills pattern with no RNG state.
+	if uint64(float64(n+1)*frac) == uint64(float64(n)*frac) {
+		return -1
+	}
+	var ms int64
+	switch spec.TTLMode {
+	case TTLUniform:
+		ms = spec.TTL.Milliseconds()
+	case TTLStorm:
+		ms = time.Until(o.start.Add(spec.TTL)).Milliseconds()
+	}
+	if ms < 1 {
+		ms = 1 // already-due deadlines still get a valid EXPIRE clause
+	}
+	return int(ms)
 }
 
 // Options configures a load-generation run.
@@ -97,6 +152,10 @@ type Options struct {
 	// times with backoff; a connection that is still rejected gives up its
 	// budget rather than hammering an overloaded server.
 	Chaos bool
+
+	// start is the run's t0, recorded by Run so TTLStorm tenants can aim
+	// every fill at the same absolute deadline.
+	start time.Time
 }
 
 // TenantResult is one tenant's aggregate outcome.
@@ -149,6 +208,7 @@ func Run(o Options) (Result, error) {
 	var wg sync.WaitGroup
 	var firstErr atomic.Value
 	start := time.Now()
+	o.start = start
 	for ti := range o.Tenants {
 		t := o.Tenants[ti]
 		conns := t.Conns
@@ -265,6 +325,7 @@ func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
 	if o.Batch > 1 {
 		return runConnBatched(o, tr, spec, app, c, val)
 	}
+	var fills uint64
 	// redial replaces the connection after a drop; it reports whether the
 	// worker can keep going.
 	redial := func() (bool, error) {
@@ -305,7 +366,7 @@ func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
 			continue
 		}
 		atomic.AddUint64(&tr.Misses, 1)
-		if err := c.put(spec.Name, key, val); err != nil {
+		if err := c.put(spec.Name, key, val, spec.nextTTLMS(o, &fills)); err != nil {
 			if !o.Chaos {
 				return err
 			}
@@ -333,6 +394,8 @@ func runConnBatched(o Options, tr *TenantResult, spec Tenant, app workload.App, 
 	defer func() { c.close() }() // closes the current conn, which redial may have replaced
 	keys := make([]string, 0, o.Batch)
 	missed := make([]string, 0, o.Batch)
+	ttls := make([]int, 0, o.Batch)
+	var fills uint64
 	redial := func() (bool, error) {
 		c.close()
 		nc, err := dialChaos(o, tr, spec.Name)
@@ -380,7 +443,11 @@ func runConnBatched(o Options, tr *TenantResult, spec Tenant, app workload.App, 
 			continue
 		}
 		if len(missed) > 0 {
-			stored, err := c.putPipelined(spec.Name, missed, val, o.Chaos, tr)
+			ttls = ttls[:0]
+			for range missed {
+				ttls = append(ttls, spec.nextTTLMS(o, &fills))
+			}
+			stored, err := c.putPipelined(spec.Name, missed, val, ttls, o.Chaos, tr)
 			atomic.AddUint64(&tr.Puts, stored)
 			if err != nil {
 				if !o.Chaos {
@@ -549,13 +616,18 @@ func (c *client) mget(tenant string, keys []string, missBuf []string) (hits, see
 
 // putPipelined stores val under every key, writing all PUT commands before
 // a single flush and then reading all responses — one round trip for the
-// whole fill batch. It returns how many PUTs the server acknowledged as
+// whole fill batch. ttls carries one EXPIRE argument in milliseconds per
+// key, -1 meaning none. It returns how many PUTs the server acknowledged as
 // STORED. In chaos mode, per-command shed/fault replies are folded into tr
 // and the remaining responses are still drained (every PUT gets exactly one
 // reply line, so the stream stays in sync).
-func (c *client) putPipelined(tenant string, keys []string, val []byte, chaos bool, tr *TenantResult) (stored uint64, _ error) {
-	for _, key := range keys {
-		fmt.Fprintf(c.w, "PUT %s %s %d\r\n", tenant, key, len(val))
+func (c *client) putPipelined(tenant string, keys []string, val []byte, ttls []int, chaos bool, tr *TenantResult) (stored uint64, _ error) {
+	for i, key := range keys {
+		if len(ttls) > i && ttls[i] >= 0 {
+			fmt.Fprintf(c.w, "PUT %s %s %d EXPIRE %d\r\n", tenant, key, len(val), ttls[i])
+		} else {
+			fmt.Fprintf(c.w, "PUT %s %s %d\r\n", tenant, key, len(val))
+		}
 		c.w.Write(val)
 		c.w.WriteString("\r\n")
 	}
@@ -587,9 +659,13 @@ func (c *client) putPipelined(tenant string, keys []string, val []byte, chaos bo
 	return stored, nil
 }
 
-// put stores val under key.
-func (c *client) put(tenant, key string, val []byte) error {
-	fmt.Fprintf(c.w, "PUT %s %s %d\r\n", tenant, key, len(val))
+// put stores val under key; ttlMS >= 0 attaches an EXPIRE clause.
+func (c *client) put(tenant, key string, val []byte, ttlMS int) error {
+	if ttlMS >= 0 {
+		fmt.Fprintf(c.w, "PUT %s %s %d EXPIRE %d\r\n", tenant, key, len(val), ttlMS)
+	} else {
+		fmt.Fprintf(c.w, "PUT %s %s %d\r\n", tenant, key, len(val))
+	}
 	c.w.Write(val)
 	c.w.WriteString("\r\n")
 	if err := c.w.Flush(); err != nil {

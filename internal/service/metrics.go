@@ -15,9 +15,12 @@ type TenantStats struct {
 	Name      string
 	Partition int
 
-	// Request-path counters (service layer).
+	// Request-path counters (service layer). Expired counts reads and
+	// touches that found an entry past its TTL; such reads are misses but
+	// are not included in Misses (gets = hits + misses + expired).
 	Gets, Puts   uint64
 	Hits, Misses uint64
+	Expired      uint64
 
 	// Capacity state summed over shards.
 	OccupancyLines, TargetLines int
@@ -50,6 +53,12 @@ type Stats struct {
 	Repartitions uint64
 	UMONDrains   uint64 // deferred-UMON ring drains summed over shards
 
+	// TTL/expiry counters: reads that observed an expired entry, and the
+	// background sweeper's reclaimed lines and passes summed over shards.
+	Expired     uint64
+	SweepLines  uint64
+	SweepPasses uint64
+
 	// Overload counters from the protocol layer (see protocol.go).
 	ConnsRejected  uint64 // connections fast-rejected with BUSY
 	RequestsShed   uint64 // data commands refused by in-flight limits
@@ -70,10 +79,11 @@ func (s *Service) Stats() Stats {
 		RequestsShed:   s.requestsShed.Load(),
 		DeadlineCloses: s.deadlineCloses.Load(),
 		Repartitions:   s.repartitions.Load(),
+		Expired:        s.expired.Load(),
 		Shards:        s.cfg.Shards,
 		LinesPerShard: s.cfg.LinesPerShard,
 		TotalLines:    s.TotalLines(),
-		Uptime:        time.Since(s.start),
+		Uptime:        s.clk.Now().Sub(s.start),
 	}
 
 	reg := s.reg.Load()
@@ -97,6 +107,8 @@ func (s *Service) Stats() Stats {
 		}
 		st.StoreEntries += len(sh.store)
 		st.UnmanagedLines += sh.ctl.UnmanagedSize()
+		st.SweepLines += sh.sweepLines
+		st.SweepPasses += sh.sweepPasses
 		sh.mu.Unlock()
 		sh.umu.Lock()
 		st.UMONDrains += sh.drains
@@ -111,6 +123,7 @@ func (s *Service) Stats() Stats {
 			Puts:            t.puts.Load(),
 			Hits:            t.hits.Load(),
 			Misses:          t.misses.Load(),
+			Expired:         t.expired.Load(),
 			OccupancyLines:  sizes[t.part],
 			TargetLines:     targets[t.part],
 			Demotions:       demotions[t.part],
@@ -160,6 +173,9 @@ func writeMetrics(b *strings.Builder, st Stats) {
 	counter("vantaged_deadline_closes_total", "Connections reaped by read/write deadlines.", st.DeadlineCloses)
 	counter("vantaged_repartitions_total", "Online UCP repartitionings.", st.Repartitions)
 	counter("vantaged_umon_drains_total", "Deferred-UMON ring drains.", st.UMONDrains)
+	counter("vantaged_expired_total", "Reads and touches that found an expired entry.", st.Expired)
+	counter("vantaged_sweep_lines_total", "Expired entries reclaimed by the background sweeper.", st.SweepLines)
+	counter("vantaged_sweep_passes_total", "Expiry sweep passes executed.", st.SweepPasses)
 	gauge("vantaged_shards", "Cache shards.", float64(st.Shards))
 	gauge("vantaged_cache_lines", "Total capacity in lines.", float64(st.TotalLines))
 	gauge("vantaged_store_entries", "Values currently stored.", float64(st.StoreEntries))
@@ -175,6 +191,7 @@ func writeMetrics(b *strings.Builder, st Stats) {
 		{"vantaged_tenant_puts_total", "PUT requests by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Puts) }},
 		{"vantaged_tenant_hits_total", "GET hits by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Hits) }},
 		{"vantaged_tenant_misses_total", "GET misses by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Misses) }},
+		{"vantaged_tenant_expired_total", "Reads and touches that found an expired entry, by tenant.", "counter", func(t TenantStats) float64 { return float64(t.Expired) }},
 		{"vantaged_tenant_hit_ratio", "Lifetime hit ratio by tenant.", "gauge", func(t TenantStats) float64 { return t.HitRate() }},
 		{"vantaged_tenant_occupancy_lines", "Actual partition size by tenant.", "gauge", func(t TenantStats) float64 { return float64(t.OccupancyLines) }},
 		{"vantaged_tenant_target_lines", "Vantage capacity target by tenant.", "gauge", func(t TenantStats) float64 { return float64(t.TargetLines) }},

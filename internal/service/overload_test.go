@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"vantage/internal/clock"
 )
 
 // newOverloadServer starts a server with explicit overload limits.
@@ -155,6 +157,55 @@ func TestSlowLorisReaped(t *testing.T) {
 	}
 
 	// The server is unharmed: a well-behaved client is served.
+	c := dialTest(t, srv.Addr().String())
+	c.expect("PING", "PONG")
+}
+
+// TestSlowLorisReapedFakeClock is TestSlowLorisReaped with the deadline
+// machinery on the injected fake clock: no dribble pacing, no waiting out a
+// real 250ms. The test parks a silent connection, waits (bounded poll) for
+// the handler's watchdog timer to arm, then advances the clock past the
+// idle deadline — the watchdog must poison the connection's kernel deadline
+// and the server must reap it.
+func TestSlowLorisReapedFakeClock(t *testing.T) {
+	fc := clock.NewFake(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	svc, srv := newOverloadServer(t,
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 28, Clock: fc},
+		ServerConfig{IdleTimeout: 250 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("STATS without a newline")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The handler arms its read watchdog at the top of the command loop;
+	// poll until the timer exists (the accept/handle goroutines run
+	// asynchronously), then advance past the deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for fc.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog timer never armed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fc.Advance(300 * time.Millisecond)
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil || isTimeout(err) {
+		t.Fatalf("connection not reaped after fake-clock advance: read err %v", err)
+	}
+	for svc.Stats().DeadlineCloses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("DeadlineCloses not incremented")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The server keeps serving well-behaved clients.
 	c := dialTest(t, srv.Addr().String())
 	c.expect("PING", "PONG")
 }

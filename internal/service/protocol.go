@@ -9,21 +9,92 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vantage/internal/clock"
 )
+
+// aLongTimeAgo is a time far in the past. Setting a connection deadline to
+// it forces any blocked or future read/write to return a timeout
+// immediately (the net-package idiom for interrupting I/O).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// watchdog enforces one side's I/O window (read or write) on a connection
+// using a clock.Clock timer instead of kernel deadline arithmetic, so the
+// overload windows run on the fake clock in tests. When the window expires,
+// the timer callback sets the connection deadline to aLongTimeAgo, forcing
+// the pending I/O to return a timeout — which the handler classifies with
+// isTimeout exactly as a kernel deadline expiry. The fire path revalidates
+// against the armed deadline under a mutex, so a stale fire from a
+// superseded window (timer raced with a successful I/O and a re-arm) cannot
+// poison the new window.
+type watchdog struct {
+	clk clock.Clock
+	set func(time.Time) error
+
+	mu       sync.Mutex
+	deadline time.Time // zero when disarmed
+	poisoned bool      // fire has set a past deadline not yet cleared
+	t        clock.Timer
+}
+
+func newWatchdog(clk clock.Clock, set func(time.Time) error) *watchdog {
+	w := &watchdog{clk: clk, set: set}
+	w.t = clk.AfterFunc(time.Hour, w.fire)
+	w.t.Stop()
+	return w
+}
+
+func (w *watchdog) fire() {
+	w.mu.Lock()
+	if !w.deadline.IsZero() && !w.clk.Now().Before(w.deadline) {
+		w.deadline = time.Time{}
+		w.poisoned = true
+		w.set(aLongTimeAgo)
+	}
+	w.mu.Unlock()
+}
+
+// arm starts a fresh window of d, clearing any poison a previous fire left.
+func (w *watchdog) arm(d time.Duration) {
+	w.mu.Lock()
+	w.deadline = w.clk.Now().Add(d)
+	if w.poisoned {
+		w.poisoned = false
+		w.set(time.Time{})
+	}
+	w.t.Reset(d)
+	w.mu.Unlock()
+}
+
+// disarm cancels the window. A poison already applied stays (the I/O it
+// interrupted has its timeout either way); the next arm clears it.
+func (w *watchdog) disarm() {
+	w.mu.Lock()
+	w.deadline = time.Time{}
+	w.t.Stop()
+	w.mu.Unlock()
+}
 
 // The vantaged wire protocol is a memcached-style CRLF text protocol, one
 // connection-handler goroutine per client:
 //
 //	GET <tenant> <key>                 -> VALUE <n>\r\n<bytes>\r\n | MISS
 //	MGET <tenant> <k> <key...>         -> k responses (VALUE block | MISS), then END
-//	PUT <tenant> <key> <n>\r\n<bytes>  -> STORED | ERR <msg>
+//	PUT <tenant> <key> <n> [EXPIRE <ms>]\r\n<bytes>
+//	                                   -> STORED | ERR <msg>
 //	DEL <tenant> <key>                 -> DELETED | MISS
+//	TOUCH <tenant> <key> <ms>          -> TOUCHED | MISS   (EXPIRE is an alias)
 //	TENANT ADD <name>                  -> OK <partition>
 //	TENANT DEL <name>                  -> OK
 //	TENANT LIST                        -> TENANT <name> <part> ... END
 //	STATS [<tenant>]                   -> STAT <k> <v> ... END
 //	PING                               -> PONG
 //	QUIT                               -> closes the connection
+//
+// A PUT's optional EXPIRE clause gives the entry a TTL in milliseconds;
+// EXPIRE 0 stores a non-expiring entry even when the service has a default
+// TTL. TOUCH resets a live entry's TTL to <ms> from now (0 clears it) and
+// answers MISS for absent or already-expired entries.
 //
 // Lines end in \r\n; bare \n is accepted. Errors are "ERR <msg>".
 //
@@ -57,11 +128,13 @@ import (
 //     tenant would leak its overload into everyone else's latency.
 //     Shed requests count toward vantaged_requests_shed_total.
 //   - IdleTimeout bounds the wall-clock time a whole command line may take
-//     to arrive (it is an absolute deadline armed before each command, so a
+//     to arrive (it is an absolute window armed before each command, so a
 //     slow-loris client dribbling one byte at a time is reaped, not just a
-//     silent one). ReadTimeout re-arms the deadline for a PUT's payload;
+//     silent one). ReadTimeout re-arms the window for a PUT's payload;
 //     WriteTimeout bounds each flush. Deadline closes count toward
-//     vantaged_deadline_closes_total.
+//     vantaged_deadline_closes_total. The windows run on the service's
+//     injected clock via watchdog timers (see watchdog), not on kernel
+//     deadline arithmetic, so overload tests drive them with a fake clock.
 //   - Command lines are capped at maxLineLen; an oversized line gets
 //     "ERR line too long" and the connection closes (the line cannot be
 //     resynced without reading it).
@@ -189,8 +262,10 @@ func (s *Server) acceptLoop() {
 			s.wg.Add(1)
 			go func(c net.Conn) {
 				defer s.wg.Done()
-				c.SetWriteDeadline(time.Now().Add(time.Second))
+				wd := newWatchdog(s.svc.clk, c.SetWriteDeadline)
+				wd.arm(time.Second)
 				io.WriteString(c, "BUSY\r\n")
+				wd.disarm()
 				c.Close()
 			}(conn)
 			continue
@@ -213,6 +288,10 @@ type connState struct {
 	tenant []byte
 	key    []byte
 	val    []byte
+	// rwd is the connection's read watchdog, set by handle when read
+	// windows are configured; PUT re-arms it for the payload. nil for
+	// tests that drive dispatch directly and for unconfigured servers.
+	rwd *watchdog
 }
 
 var (
@@ -234,7 +313,22 @@ func (s *Server) handle(conn net.Conn) {
 	w := writerPool.Get().(*bufio.Writer)
 	w.Reset(conn)
 	cs := statePool.Get().(*connState)
+	var rwd, wwd *watchdog
+	if s.cfg.IdleTimeout > 0 || s.cfg.ReadTimeout > 0 {
+		rwd = newWatchdog(s.svc.clk, conn.SetReadDeadline)
+		cs.rwd = rwd
+	}
+	if s.cfg.WriteTimeout > 0 {
+		wwd = newWatchdog(s.svc.clk, conn.SetWriteDeadline)
+	}
 	defer func() {
+		if rwd != nil {
+			rwd.disarm()
+		}
+		if wwd != nil {
+			wwd.disarm()
+		}
+		cs.rwd = nil
 		r.Reset(nil)
 		readerPool.Put(r)
 		w.Reset(io.Discard)
@@ -245,11 +339,15 @@ func (s *Server) handle(conn net.Conn) {
 		statePool.Put(cs)
 	}()
 	for {
-		// The idle deadline is absolute across all reads of this command
+		// The idle window is absolute across all reads of this command
 		// line: a slow-loris client dribbling bytes gets exactly IdleTimeout
 		// of wall clock for the whole line, same as a silent one.
-		if s.cfg.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if rwd != nil {
+			if s.cfg.IdleTimeout > 0 {
+				rwd.arm(s.cfg.IdleTimeout)
+			} else {
+				rwd.disarm() // ReadTimeout-only: windows cover PUT payloads
+			}
 		}
 		line, err := readLine(r)
 		if err != nil {
@@ -278,10 +376,14 @@ func (s *Server) handle(conn net.Conn) {
 		// possible. A client that pipelines K commands gets K responses in
 		// one round trip.
 		if r.Buffered() == 0 {
-			if s.cfg.WriteTimeout > 0 {
-				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if wwd != nil {
+				wwd.arm(s.cfg.WriteTimeout)
 			}
-			if err := w.Flush(); err != nil {
+			err := w.Flush()
+			if wwd != nil {
+				wwd.disarm()
+			}
+			if err != nil {
 				if isTimeout(err) {
 					s.svc.deadlineCloses.Add(1)
 				}
@@ -457,11 +559,11 @@ func (s *Server) beginOp(tenant []byte) (release func(), ok bool) {
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			timer := time.NewTimer(s.cfg.InflightWait)
+			timer := s.svc.clk.NewTimer(s.cfg.InflightWait)
 			select {
 			case s.sem <- struct{}{}:
 				timer.Stop()
-			case <-timer.C:
+			case <-timer.C():
 				if t != nil {
 					t.inflight.Add(-1)
 					t.shed.Add(1)
@@ -570,8 +672,8 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 		return false, nil
 
 	case cmdEq(verb, "PUT"):
-		if len(fields) != 4 {
-			return false, errors.New("usage: PUT <tenant> <key> <bytes>")
+		if len(fields) != 4 && len(fields) != 6 {
+			return false, errors.New("usage: PUT <tenant> <key> <bytes> [EXPIRE <ms>]")
 		}
 		n, ok := parseUintB(fields[3])
 		if !ok {
@@ -582,13 +684,23 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 			// block; refuse and close.
 			return true, fmt.Errorf("value length %d exceeds maximum %d", n, maxValueLen)
 		}
-		// The value block is part of the command, so its reads get a fresh
-		// deadline: a client that stalls mid-payload is reaped just like a
-		// slow-loris command line.
-		if conn != nil && s.cfg.ReadTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		// ttlMS: -1 = no EXPIRE clause (use the service default TTL),
+		// -2 = malformed clause (drain the block, then report).
+		ttlMS := -1
+		if len(fields) == 6 {
+			if v, ok := parseUintB(fields[5]); ok && cmdEq(fields[4], "EXPIRE") {
+				ttlMS = v
+			} else {
+				ttlMS = -2
+			}
 		}
-		if len(fields[2]) > maxKeyLen {
+		// The value block is part of the command, so its reads get a fresh
+		// window: a client that stalls mid-payload is reaped just like a
+		// slow-loris command line.
+		if cs.rwd != nil && s.cfg.ReadTimeout > 0 {
+			cs.rwd.arm(s.cfg.ReadTimeout)
+		}
+		if len(fields[2]) > maxKeyLen || ttlMS == -2 {
 			// Validation failed but the declared value block is still on
 			// the wire: drain it so the next line parses as a command.
 			if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
@@ -598,7 +710,10 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 				return true, errors.New("short value")
 			}
 			discardEOL(r)
-			return false, errors.New("key too long")
+			if len(fields[2]) > maxKeyLen {
+				return false, errors.New("key too long")
+			}
+			return false, errors.New("bad EXPIRE clause (want EXPIRE <ms>)")
 		}
 		// The payload read below invalidates the read buffer the fields
 		// alias; copy tenant and key out first.
@@ -622,7 +737,11 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 		if shed {
 			return false, errShed
 		}
-		err = s.svc.PutB(cs.tenant, cs.key, val)
+		if ttlMS >= 0 {
+			err = s.svc.PutBTTL(cs.tenant, cs.key, val, time.Duration(ttlMS)*time.Millisecond)
+		} else {
+			err = s.svc.PutB(cs.tenant, cs.key, val)
+		}
 		if release != nil {
 			release()
 		}
@@ -652,6 +771,35 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 		}
 		if present {
 			w.WriteString("DELETED\r\n")
+		} else {
+			w.WriteString("MISS\r\n")
+		}
+		return false, nil
+
+	case cmdEq(verb, "TOUCH"), cmdEq(verb, "EXPIRE"):
+		if len(fields) != 4 {
+			return false, errors.New("usage: TOUCH <tenant> <key> <ms>")
+		}
+		ms, ok := parseUintB(fields[3])
+		if !ok {
+			return false, fmt.Errorf("bad TTL milliseconds %q", fields[3])
+		}
+		release, drop, shed := s.dataOp(OpTouch, fields[1])
+		if drop {
+			return true, nil
+		}
+		if shed {
+			return false, errShed
+		}
+		live, err := s.svc.TouchB(fields[1], fields[2], time.Duration(ms)*time.Millisecond)
+		if release != nil {
+			release()
+		}
+		if err != nil {
+			return false, err
+		}
+		if live {
+			w.WriteString("TOUCHED\r\n")
 		} else {
 			w.WriteString("MISS\r\n")
 		}
@@ -713,6 +861,9 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 		fmt.Fprintf(w, "STAT deadline_closes %d\r\n", st.DeadlineCloses)
 		fmt.Fprintf(w, "STAT repartitions %d\r\n", st.Repartitions)
 		fmt.Fprintf(w, "STAT umon_drains %d\r\n", st.UMONDrains)
+		fmt.Fprintf(w, "STAT expired_total %d\r\n", st.Expired)
+		fmt.Fprintf(w, "STAT sweep_lines %d\r\n", st.SweepLines)
+		fmt.Fprintf(w, "STAT sweep_passes %d\r\n", st.SweepPasses)
 		fmt.Fprintf(w, "STAT shards %d\r\n", st.Shards)
 		fmt.Fprintf(w, "STAT cache_lines %d\r\n", st.TotalLines)
 		fmt.Fprintf(w, "STAT store_entries %d\r\n", st.StoreEntries)
@@ -743,6 +894,7 @@ func writeTenantStats(w *bufio.Writer, prefix string, ts TenantStats) {
 	fmt.Fprintf(w, "STAT %sputs %d\r\n", prefix, ts.Puts)
 	fmt.Fprintf(w, "STAT %shits %d\r\n", prefix, ts.Hits)
 	fmt.Fprintf(w, "STAT %smisses %d\r\n", prefix, ts.Misses)
+	fmt.Fprintf(w, "STAT %sexpired %d\r\n", prefix, ts.Expired)
 	fmt.Fprintf(w, "STAT %shit_rate %.4f\r\n", prefix, ts.HitRate())
 	fmt.Fprintf(w, "STAT %soccupancy_lines %d\r\n", prefix, ts.OccupancyLines)
 	fmt.Fprintf(w, "STAT %starget_lines %d\r\n", prefix, ts.TargetLines)

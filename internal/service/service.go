@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"vantage/internal/cache"
+	"vantage/internal/clock"
 	"vantage/internal/core"
 	"vantage/internal/ctrl"
 	"vantage/internal/hash"
@@ -77,6 +78,22 @@ type Config struct {
 	// Seed perturbs every hash in the service: shard routing, zcache H3
 	// functions, UMON sampling. Equal seeds give identical placement.
 	Seed uint64
+	// Clock is the time source for TTLs, sweeping, protocol deadlines, and
+	// the repartition loop. nil means the system clock; tests inject a
+	// clock.Fake to drive all temporal behavior deterministically.
+	Clock clock.Clock
+	// DefaultTTL is applied to PUTs that carry no explicit EXPIRE clause.
+	// 0 means entries without a TTL never expire.
+	DefaultTTL time.Duration
+	// SweepInterval is the period of the per-shard background sweeper that
+	// reclaims expired entries; 0 disables it (expiry is then lazy-only, or
+	// driven manually via SweepOnce).
+	SweepInterval time.Duration
+	// SweepBatch bounds the expiry-hint pops per sweep pass per shard, so a
+	// mass expiry degrades sweep latency instead of stalling the shard lock
+	// (the same degrade-don't-collapse discipline as the overload limits).
+	// Default 128.
+	SweepBatch int
 }
 
 func (c *Config) applyDefaults() {
@@ -107,13 +124,23 @@ func (c *Config) applyDefaults() {
 	if c.MonitorWays == 0 {
 		c.MonitorWays = 16
 	}
+	if c.Clock == nil {
+		c.Clock = clock.System()
+	}
+	if c.SweepBatch == 0 {
+		c.SweepBatch = 128
+	}
 }
 
 // entry is one stored value. The full key is kept to reject the (rare)
-// collisions of two keys on one 40-bit line address.
+// collisions of two keys on one 40-bit line address. exp is the expiry
+// deadline in Unix nanoseconds, 0 when the entry never expires; an entry at
+// or past its deadline is dead — reads treat it as a miss (counted as an
+// expired miss, not a cold one) and reclaim it on the spot.
 type entry struct {
 	key string
 	val []byte
+	exp int64
 }
 
 // umonSample is one deferred UMON access: the line address plus its Mix64,
@@ -139,6 +166,15 @@ type shard struct {
 	store   map[uint64]entry
 	managed int // partitionable lines (capacity minus unmanaged target)
 	snap    []ctrl.PartitionSnapshot
+
+	// Expiry state (under mu): a min-heap of (deadline, addr) hints pushed
+	// by TTL'd writes, and the sweeper's lifetime counters. Hints are not
+	// authoritative — the entry's exp field is — so a hint whose entry was
+	// deleted, overwritten, or touched to a later deadline is simply
+	// discarded when popped.
+	exph        expHeap
+	sweepLines  uint64 // expired entries reclaimed by the sweeper
+	sweepPasses uint64 // sweep passes executed
 
 	umu    sync.Mutex
 	alloc  *ucp.Policy
@@ -196,6 +232,7 @@ type Service struct {
 	ops          atomic.Uint64
 	mgets        atomic.Uint64
 	repartitions atomic.Uint64
+	expired      atomic.Uint64 // reads that found an expired entry
 
 	// Overload counters, incremented by the protocol server(s) attached to
 	// this service (several Servers may share one Service; these aggregate).
@@ -207,6 +244,7 @@ type Service struct {
 	// connection drops into the dispatcher (see fault.go).
 	fault atomic.Pointer[faultHolder]
 
+	clk    clock.Clock
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -235,8 +273,9 @@ func New(cfg Config) (*Service, error) {
 		cfg:   cfg,
 		route: hash.NewH3(16, hash.Mix64(cfg.Seed^0xbabe)),
 		mask:  uint64(cfg.Shards - 1),
+		clk:   cfg.Clock,
 		done:  make(chan struct{}),
-		start: time.Now(),
+		start: cfg.Clock.Now(),
 	}
 	s.reg.Store(&registry{
 		tenants: make(map[string]*Tenant),
@@ -272,6 +311,12 @@ func New(cfg Config) (*Service, error) {
 	if cfg.RepartitionInterval > 0 {
 		s.wg.Add(1)
 		go s.repartitionLoop()
+	}
+	if cfg.SweepInterval > 0 {
+		for _, sh := range s.shards {
+			s.wg.Add(1)
+			go s.sweepLoop(sh)
+		}
 	}
 	return s, nil
 }
@@ -334,6 +379,13 @@ func (s *Service) shardOf(addr uint64) *shard {
 // whether it hit; a miss does not install anything (the caller is expected
 // to fetch from its origin and Put, the cache-aside pattern).
 //
+// An entry at or past its expiry deadline is a miss: it is reclaimed on the
+// spot (store delete + expiry demotion) and counted as an expired miss, not
+// a cold one. Expired reads deliberately bypass the UMON — an expired miss
+// is compulsory, no capacity allocation could have served it, so feeding it
+// to the utility monitors would credit the tenant for demand that capacity
+// cannot convert into hits.
+//
 // The returned slice aliases the store and must not be modified. It is a
 // stable snapshot: overwrites install fresh copies, so a slice returned
 // here is never mutated afterwards.
@@ -349,24 +401,36 @@ func (s *Service) Get(tenant, key string) ([]byte, bool, error) {
 	mixed := hash.Mix64(addr)
 	sh := s.shards[s.route.Hash(mixed)&s.mask]
 	var val []byte
-	hit := false
+	hit, expired := false, false
 	sh.mu.Lock()
 	if e, ok := sh.store[addr]; ok && e.key == key {
-		// Tag presence is implied: a stored entry's tag can only leave the
-		// array via eviction, which purges the entry. Refresh recency for
-		// real hits only — a dead tag (deleted key, or a 40-bit collision
-		// with a different key) must age out like any cold line, so it is
-		// deliberately not promoted here.
-		sh.ctl.Access(addr, t.part)
-		val, hit = e.val, true
+		if e.exp != 0 && s.clk.Now().UnixNano() >= e.exp {
+			delete(sh.store, addr)
+			sh.ctl.DemoteExpired(addr)
+			expired = true
+		} else {
+			// Tag presence is implied: a stored entry's tag can only leave
+			// the array via eviction, which purges the entry. Refresh recency
+			// for real hits only — a dead tag (deleted key, or a 40-bit
+			// collision with a different key) must age out like any cold
+			// line, so it is deliberately not promoted here.
+			sh.ctl.Access(addr, t.part)
+			val, hit = e.val, true
+		}
 	}
 	sh.mu.Unlock()
-	sh.observe(t.part, addr, mixed) // UMON-DSS sees the live read stream
+	if !expired {
+		sh.observe(t.part, addr, mixed) // UMON-DSS sees the live read stream
+	}
 	s.ops.Add(1)
 	t.gets.Add(1)
-	if hit {
+	switch {
+	case hit:
 		t.hits.Add(1)
-	} else {
+	case expired:
+		t.expired.Add(1)
+		s.expired.Add(1)
+	default:
 		t.misses.Add(1)
 	}
 	return val, hit, nil
@@ -389,28 +453,46 @@ func (s *Service) GetB(tenant, key []byte) ([]byte, bool, error) {
 	mixed := hash.Mix64(addr)
 	sh := s.shards[s.route.Hash(mixed)&s.mask]
 	var val []byte
-	hit := false
+	hit, expired := false, false
 	sh.mu.Lock()
 	if e, ok := sh.store[addr]; ok && e.key == string(key) {
-		sh.ctl.Access(addr, t.part)
-		val, hit = e.val, true
+		if e.exp != 0 && s.clk.Now().UnixNano() >= e.exp {
+			delete(sh.store, addr)
+			sh.ctl.DemoteExpired(addr)
+			expired = true
+		} else {
+			sh.ctl.Access(addr, t.part)
+			val, hit = e.val, true
+		}
 	}
 	sh.mu.Unlock()
-	sh.observe(t.part, addr, mixed)
+	if !expired {
+		sh.observe(t.part, addr, mixed)
+	}
 	s.ops.Add(1)
 	t.gets.Add(1)
-	if hit {
+	switch {
+	case hit:
 		t.hits.Add(1)
-	} else {
+	case expired:
+		t.expired.Add(1)
+		s.expired.Add(1)
+	default:
 		t.misses.Add(1)
 	}
 	return val, hit, nil
 }
 
-// Put stores val under key in tenant's partition, evicting whatever line
-// the Vantage replacement process selects if the shard is full. The value
-// is copied; the caller may reuse val.
+// Put stores val under key in tenant's partition with the service's default
+// TTL, evicting whatever line the Vantage replacement process selects if the
+// shard is full. The value is copied; the caller may reuse val.
 func (s *Service) Put(tenant, key string, val []byte) error {
+	return s.PutTTL(tenant, key, val, s.cfg.DefaultTTL)
+}
+
+// PutTTL is Put with an explicit TTL: the entry expires ttl from now. ttl 0
+// stores a non-expiring entry, overriding any configured default.
+func (s *Service) PutTTL(tenant, key string, val []byte, ttl time.Duration) error {
 	if err := s.injectFault(OpPut, tenant); err != nil {
 		return err
 	}
@@ -421,12 +503,19 @@ func (s *Service) Put(tenant, key string, val []byte) error {
 	addr := addrOf(t.part, key)
 	sh := s.shardOf(addr)
 	v := append([]byte(nil), val...)
+	var exp int64
+	if ttl > 0 {
+		exp = s.clk.Now().Add(ttl).UnixNano()
+	}
 	sh.mu.Lock()
 	res := sh.ctl.Access(addr, t.part) // hit refreshes; miss installs
 	if res.EvictedValid {
 		delete(sh.store, res.Evicted)
 	}
-	sh.store[addr] = entry{key: key, val: v}
+	sh.store[addr] = entry{key: key, val: v, exp: exp}
+	if exp != 0 {
+		sh.exph.push(expHint{at: exp, addr: addr})
+	}
 	sh.mu.Unlock()
 	s.ops.Add(1)
 	t.puts.Add(1)
@@ -440,6 +529,11 @@ func (s *Service) Put(tenant, key string, val []byte) error {
 // copied as needed; on an overwrite of the same key the stored key string
 // is reused, so steady-state overwrites allocate only the value copy.
 func (s *Service) PutB(tenant, key, val []byte) error {
+	return s.PutBTTL(tenant, key, val, s.cfg.DefaultTTL)
+}
+
+// PutBTTL is PutTTL with byte-slice tenant, key, and value.
+func (s *Service) PutBTTL(tenant, key, val []byte, ttl time.Duration) error {
 	if s.fault.Load() != nil {
 		if err := s.injectFault(OpPut, string(tenant)); err != nil {
 			return err
@@ -452,15 +546,22 @@ func (s *Service) PutB(tenant, key, val []byte) error {
 	addr := addrOfB(t.part, key)
 	sh := s.shardOf(addr)
 	v := append([]byte(nil), val...)
+	var exp int64
+	if ttl > 0 {
+		exp = s.clk.Now().Add(ttl).UnixNano()
+	}
 	sh.mu.Lock()
 	res := sh.ctl.Access(addr, t.part)
 	if res.EvictedValid {
 		delete(sh.store, res.Evicted)
 	}
 	if e, ok := sh.store[addr]; ok && e.key == string(key) {
-		sh.store[addr] = entry{key: e.key, val: v}
+		sh.store[addr] = entry{key: e.key, val: v, exp: exp}
 	} else {
-		sh.store[addr] = entry{key: string(key), val: v}
+		sh.store[addr] = entry{key: string(key), val: v, exp: exp}
+	}
+	if exp != 0 {
+		sh.exph.push(expHint{at: exp, addr: addr})
 	}
 	sh.mu.Unlock()
 	s.ops.Add(1)
@@ -469,6 +570,69 @@ func (s *Service) PutB(tenant, key, val []byte) error {
 		t.forced.Add(1)
 	}
 	return nil
+}
+
+// Touch resets key's TTL in tenant's partition: the entry now expires ttl
+// from now (ttl 0 clears the TTL — the entry becomes non-expiring). It
+// reports whether the entry was live; touching an expired entry reclaims it
+// and returns false, same as a read would. A successful touch refreshes the
+// line's recency like a GET hit, since a touch is a liveness declaration.
+func (s *Service) Touch(tenant, key string, ttl time.Duration) (bool, error) {
+	if err := s.injectFault(OpTouch, tenant); err != nil {
+		return false, err
+	}
+	t := s.reg.Load().tenants[tenant]
+	if t == nil {
+		return false, fmt.Errorf("service: unknown tenant %q", tenant)
+	}
+	return s.touch(t, addrOf(t.part, key), key, ttl)
+}
+
+// TouchB is Touch with byte-slice tenant and key.
+func (s *Service) TouchB(tenant, key []byte, ttl time.Duration) (bool, error) {
+	if s.fault.Load() != nil {
+		if err := s.injectFault(OpTouch, string(tenant)); err != nil {
+			return false, err
+		}
+	}
+	t := s.reg.Load().tenants[string(tenant)]
+	if t == nil {
+		return false, fmt.Errorf("service: unknown tenant %q", tenant)
+	}
+	return s.touch(t, addrOfB(t.part, key), string(key), ttl)
+}
+
+func (s *Service) touch(t *Tenant, addr uint64, key string, ttl time.Duration) (bool, error) {
+	sh := s.shardOf(addr)
+	now := s.clk.Now()
+	var exp int64
+	if ttl > 0 {
+		exp = now.Add(ttl).UnixNano()
+	}
+	live, expired := false, false
+	sh.mu.Lock()
+	if e, ok := sh.store[addr]; ok && e.key == key {
+		if e.exp != 0 && now.UnixNano() >= e.exp {
+			delete(sh.store, addr)
+			sh.ctl.DemoteExpired(addr)
+			expired = true
+		} else {
+			e.exp = exp
+			sh.store[addr] = e
+			if exp != 0 {
+				sh.exph.push(expHint{at: exp, addr: addr})
+			}
+			sh.ctl.Access(addr, t.part) // tag is present: refreshes recency
+			live = true
+		}
+	}
+	sh.mu.Unlock()
+	s.ops.Add(1)
+	if expired {
+		t.expired.Add(1)
+		s.expired.Add(1)
+	}
+	return live, nil
 }
 
 // Delete removes key's value from tenant's partition, reporting whether it
@@ -545,13 +709,13 @@ func (s *Service) Repartition() {
 
 func (s *Service) repartitionLoop() {
 	defer s.wg.Done()
-	tick := time.NewTicker(s.cfg.RepartitionInterval)
+	tick := s.clk.NewTicker(s.cfg.RepartitionInterval)
 	defer tick.Stop()
 	for {
 		select {
 		case <-s.done:
 			return
-		case <-tick.C:
+		case <-tick.C():
 			s.Repartition()
 		}
 	}

@@ -1,0 +1,119 @@
+// The expiry sweeper: a per-shard background pass, paced by the injected
+// clock, that reclaims expired entries before any read observes them. Lazy
+// expiry alone would leave a mass-expired working set occupying its
+// partition until (or unless) every key is re-read; the sweeper bounds that
+// window, and by reporting each reclaimed line to the Vantage controller as
+// an expiry demotion it shrinks the partition's measured occupancy at sweep
+// speed — so the next UCP repartition allocates against live data, not dead
+// entries.
+//
+// Each TTL'd write pushes an (expiry deadline, address) hint onto its
+// shard's min-heap. Hints are not invalidated on overwrite, delete, or
+// touch; the entry's own exp field is authoritative and a stale hint is
+// discarded when popped. A pass pops at most SweepBatch hints per shard per
+// interval (degrade-don't-collapse: a mass expiry lengthens sweep latency
+// instead of monopolizing the shard lock), so N expired entries are fully
+// reclaimed within ceil(N/SweepBatch) passes plus one pass per stale hint
+// batch.
+
+package service
+
+// expHint schedules one expiry check: the line address and the deadline the
+// entry carried when the hint was pushed (Unix nanoseconds).
+type expHint struct {
+	at   int64
+	addr uint64
+}
+
+// expHeap is a binary min-heap of expiry hints ordered by deadline.
+type expHeap []expHint
+
+func (h *expHeap) push(n expHint) {
+	*h = append(*h, n)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].at <= q[i].at {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+}
+
+func (h *expHeap) pop() expHint {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	*h = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q[l].at < q[min].at {
+			min = l
+		}
+		if r < n && q[r].at < q[min].at {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+// sweepShard runs one bounded sweep pass on sh, returning the number of
+// expired entries reclaimed. Each reclaimed line is deleted from the store
+// and demoted in the controller as an expiry demotion.
+func (s *Service) sweepShard(sh *shard) int {
+	now := s.clk.Now().UnixNano()
+	batch := s.cfg.SweepBatch
+	reclaimed := 0
+	sh.mu.Lock()
+	for pops := 0; pops < batch && len(sh.exph) > 0 && sh.exph[0].at <= now; pops++ {
+		h := sh.exph.pop()
+		e, ok := sh.store[h.addr]
+		if !ok || e.exp == 0 || e.exp > now {
+			continue // stale hint: entry deleted, overwritten, or touched later
+		}
+		delete(sh.store, h.addr)
+		sh.ctl.DemoteExpired(h.addr)
+		reclaimed++
+	}
+	sh.sweepLines += uint64(reclaimed)
+	sh.sweepPasses++
+	sh.mu.Unlock()
+	return reclaimed
+}
+
+// SweepOnce runs one bounded sweep pass on every shard and returns the total
+// number of expired entries reclaimed. Exposed so tests (and deployments
+// with SweepInterval 0) can drive sweeping explicitly; safe to call
+// concurrently with requests and with the background sweeper.
+func (s *Service) SweepOnce() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += s.sweepShard(sh)
+	}
+	return total
+}
+
+// sweepLoop is one shard's background sweeper, paced by the injected clock.
+func (s *Service) sweepLoop(sh *shard) {
+	defer s.wg.Done()
+	tick := s.clk.NewTicker(s.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C():
+			s.sweepShard(sh)
+		}
+	}
+}

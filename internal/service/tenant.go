@@ -14,6 +14,7 @@ type Tenant struct {
 
 	gets, puts   atomic.Uint64
 	hits, misses atomic.Uint64
+	expired      atomic.Uint64 // reads/touches that found an expired entry
 	forced       atomic.Uint64 // forced managed evictions caused by this tenant's fills
 
 	// inflight is the number of protocol data ops currently executing for

@@ -1,0 +1,443 @@
+package service
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"vantage/internal/clock"
+)
+
+// ttlT0 is the fake clocks' epoch for TTL tests.
+var ttlT0 = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestLazyExpiryOnGet: an entry at or past its TTL reads as a miss, is
+// counted as an expired miss (not a cold one), and is reclaimed on the spot.
+func TestLazyExpiryOnGet(t *testing.T) {
+	fc := clock.NewFake(ttlT0)
+	svc := newTestService(t, Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 31, Clock: fc})
+	svc.AddTenant("a")
+
+	if err := svc.PutTTL("a", "k", []byte("v"), 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := svc.Get("a", "k"); !hit {
+		t.Fatal("GET before TTL missed")
+	}
+	fc.Advance(99 * time.Millisecond)
+	if _, hit, _ := svc.Get("a", "k"); !hit {
+		t.Fatal("GET 1ms before deadline missed")
+	}
+	fc.Advance(time.Millisecond) // exactly at the deadline: dead
+	if _, hit, _ := svc.Get("a", "k"); hit {
+		t.Fatal("GET at deadline hit")
+	}
+	ts, _ := svc.TenantStats("a")
+	if ts.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", ts.Expired)
+	}
+	if ts.Misses != 0 {
+		t.Fatalf("expired read counted as cold miss: misses = %d", ts.Misses)
+	}
+	if ts.Gets != ts.Hits+ts.Misses+ts.Expired {
+		t.Fatalf("counter invariant broken: %+v", ts)
+	}
+	// The expired read reclaimed the entry; the next read is a cold miss.
+	if _, hit, _ := svc.Get("a", "k"); hit {
+		t.Fatal("GET after reclaim hit")
+	}
+	ts, _ = svc.TenantStats("a")
+	if ts.Expired != 1 || ts.Misses != 1 {
+		t.Fatalf("post-reclaim read misattributed: %+v", ts)
+	}
+	if st := svc.Stats(); st.Expired != 1 || st.StoreEntries != 0 {
+		t.Fatalf("service totals: expired=%d entries=%d, want 1, 0", st.Expired, st.StoreEntries)
+	}
+}
+
+// TestDefaultTTLAndOverride: Config.DefaultTTL applies to plain Puts, and an
+// explicit TTL of 0 overrides it to "never expires".
+func TestDefaultTTLAndOverride(t *testing.T) {
+	fc := clock.NewFake(ttlT0)
+	svc := newTestService(t, Config{
+		Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 32,
+		Clock: fc, DefaultTTL: 50 * time.Millisecond,
+	})
+	svc.AddTenant("a")
+
+	svc.Put("a", "defaulted", []byte("v"))
+	svc.PutTTL("a", "pinned", []byte("v"), 0)
+	fc.Advance(51 * time.Millisecond)
+	if _, hit, _ := svc.Get("a", "defaulted"); hit {
+		t.Fatal("default-TTL entry survived past DefaultTTL")
+	}
+	if _, hit, _ := svc.Get("a", "pinned"); !hit {
+		t.Fatal("TTL-0 entry expired despite override")
+	}
+}
+
+// TestTouchSemantics: TOUCH extends a live entry's TTL (refreshing recency),
+// clears it with ttl 0, reclaims an expired entry, and misses on absent keys.
+func TestTouchSemantics(t *testing.T) {
+	fc := clock.NewFake(ttlT0)
+	svc := newTestService(t, Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 33, Clock: fc})
+	svc.AddTenant("a")
+
+	if live, _ := svc.Touch("a", "absent", time.Second); live {
+		t.Fatal("TOUCH of absent key reported live")
+	}
+
+	// Extend: the entry outlives its original deadline.
+	svc.PutTTL("a", "k", []byte("v"), 100*time.Millisecond)
+	fc.Advance(90 * time.Millisecond)
+	if live, _ := svc.Touch("a", "k", 100*time.Millisecond); !live {
+		t.Fatal("TOUCH of live entry reported dead")
+	}
+	fc.Advance(50 * time.Millisecond) // past the original deadline, within the new one
+	if _, hit, _ := svc.Get("a", "k"); !hit {
+		t.Fatal("touched entry expired at its original deadline")
+	}
+
+	// Clear: ttl 0 makes the entry non-expiring.
+	if live, _ := svc.Touch("a", "k", 0); !live {
+		t.Fatal("clearing TOUCH reported dead")
+	}
+	fc.Advance(time.Hour)
+	if _, hit, _ := svc.Get("a", "k"); !hit {
+		t.Fatal("cleared entry still expired")
+	}
+
+	// Reclaim: touching a dead entry behaves like a read of it.
+	svc.PutTTL("a", "dead", []byte("v"), 10*time.Millisecond)
+	fc.Advance(11 * time.Millisecond)
+	if live, _ := svc.Touch("a", "dead", time.Second); live {
+		t.Fatal("TOUCH of expired entry reported live")
+	}
+	ts, _ := svc.TenantStats("a")
+	if ts.Expired != 1 {
+		t.Fatalf("expired = %d after touching dead entry, want 1", ts.Expired)
+	}
+	if _, hit, _ := svc.Get("a", "dead"); hit {
+		t.Fatal("expired entry revived by TOUCH")
+	}
+}
+
+// TestSweepBoundedPasses: a mass expiry of N entries is reclaimed within
+// ceil(hints/SweepBatch)+1 manual passes, no pass pops more than SweepBatch
+// hints, stale hints (overwritten to a later TTL) are discarded without
+// touching their entries, and the sweep counters record the work.
+func TestSweepBoundedPasses(t *testing.T) {
+	const n, batch = 100, 16
+	fc := clock.NewFake(ttlT0)
+	svc := newTestService(t, Config{
+		Shards: 1, LinesPerShard: 1024, MaxTenants: 4, Seed: 34,
+		Clock: fc, SweepBatch: batch,
+	})
+	svc.AddTenant("a")
+
+	for i := 0; i < n; i++ {
+		svc.PutTTL("a", fmt.Sprintf("k%d", i), []byte("v"), 100*time.Millisecond)
+	}
+	// Overwrite a few to a much later deadline: the first-round hints for
+	// them go stale and must not reclaim the live entries.
+	for i := 0; i < 5; i++ {
+		svc.PutTTL("a", fmt.Sprintf("k%d", i), []byte("v2"), time.Hour)
+	}
+	hints := n + 5
+
+	if got := svc.SweepOnce(); got != 0 {
+		t.Fatalf("sweep before any deadline reclaimed %d entries", got)
+	}
+	fc.Advance(101 * time.Millisecond)
+	reclaimed, passes := 0, 0
+	for ; passes < hints; passes++ {
+		got := svc.SweepOnce()
+		if got > batch {
+			t.Fatalf("pass reclaimed %d > SweepBatch %d", got, batch)
+		}
+		if got == 0 {
+			break
+		}
+		reclaimed += got
+	}
+	if reclaimed != n-5 {
+		t.Fatalf("sweep reclaimed %d entries, want %d", reclaimed, n-5)
+	}
+	if maxPasses := (hints+batch-1)/batch + 1; passes > maxPasses {
+		t.Fatalf("sweep took %d passes, want <= %d", passes, maxPasses)
+	}
+	for i := 0; i < 5; i++ {
+		if _, hit, _ := svc.Get("a", fmt.Sprintf("k%d", i)); !hit {
+			t.Fatalf("stale hint reclaimed live entry k%d", i)
+		}
+	}
+	st := svc.Stats()
+	if st.SweepLines != uint64(n-5) {
+		t.Fatalf("SweepLines = %d, want %d", st.SweepLines, n-5)
+	}
+	if st.SweepPasses == 0 {
+		t.Fatal("SweepPasses not counted")
+	}
+	if st.StoreEntries != 5 {
+		t.Fatalf("store entries = %d after sweep, want 5", st.StoreEntries)
+	}
+}
+
+// TestSweepLoopBackground: with SweepInterval set, advancing the fake clock
+// past the interval makes the background sweeper reclaim expired entries on
+// its own. The sweeper goroutine runs asynchronously, so the test polls the
+// counters (bounded) rather than asserting immediately after Advance.
+func TestSweepLoopBackground(t *testing.T) {
+	fc := clock.NewFake(ttlT0)
+	svc := newTestService(t, Config{
+		Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 35,
+		Clock: fc, SweepInterval: 10 * time.Millisecond,
+	})
+	svc.AddTenant("a")
+	for i := 0; i < 20; i++ {
+		svc.PutTTL("a", fmt.Sprintf("k%d", i), []byte("v"), 5*time.Millisecond)
+	}
+	// One tick both passes the entries' deadlines and fires the sweeper.
+	fc.Advance(10 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().SweepLines < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background sweeper reclaimed %d/20 lines", svc.Stats().SweepLines)
+		}
+		fc.Advance(10 * time.Millisecond) // keep ticking until the loop catches up
+		time.Sleep(time.Millisecond)
+	}
+	if st := svc.Stats(); st.StoreEntries != 0 {
+		t.Fatalf("store entries = %d after background sweep, want 0", st.StoreEntries)
+	}
+}
+
+// TestMassExpiryRepartition is the TTL subsystem's end-to-end proof, run
+// entirely on the fake clock with zero sleeps:
+//
+//	(a) after a tenant's working set mass-expires, its reads come back as
+//	    expired misses, counted separately from cold misses;
+//	(b) the sweeper reclaims the dead lines in bounded passes, and the
+//	    reclaims show up as occupancy actually handed back (the partition
+//	    shrinks without a single eviction);
+//	(c) the next repartitions move capacity: the expired tenant's target
+//	    shrinks and the live co-runner's grows, because expired reads bypass
+//	    the utility monitors and decay erases the dead tenant's old utility.
+func TestMassExpiryRepartition(t *testing.T) {
+	const (
+		wsA, wsB = 600, 600
+		batch    = 64
+		ttl      = 10 * time.Second
+	)
+	fc := clock.NewFake(ttlT0)
+	svc := newTestService(t, Config{
+		Shards: 1, LinesPerShard: 2048, MaxTenants: 4, Seed: 36,
+		Clock: fc, SweepBatch: batch,
+	})
+	svc.AddTenant("burst")  // everything it stores carries the TTL
+	svc.AddTenant("steady") // never expires
+
+	// Phase 1: both tenants establish working sets and utility. Cache-aside
+	// with full sweeps over disjoint key spaces: first round fills, later
+	// rounds hit, so both UMONs see strong reuse.
+	driveA := func() {
+		for i := 0; i < wsA; i++ {
+			key := fmt.Sprintf("a%d", i)
+			if _, hit, err := svc.Get("burst", key); err != nil {
+				t.Fatal(err)
+			} else if !hit {
+				if err := svc.PutTTL("burst", key, []byte("va"), ttl); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	driveB := func() {
+		for i := 0; i < wsB; i++ {
+			key := fmt.Sprintf("b%d", i)
+			if _, hit, err := svc.Get("steady", key); err != nil {
+				t.Fatal(err)
+			} else if !hit {
+				if err := svc.Put("steady", key, []byte("vb")); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for round := 0; round < 4; round++ {
+		driveA()
+		driveB()
+		svc.Repartition()
+	}
+	before := map[string]TenantStats{}
+	for _, ts := range svc.Stats().Tenants {
+		before[ts.Name] = ts
+	}
+	if before["burst"].TargetLines == 0 || before["burst"].OccupancyLines == 0 {
+		t.Fatalf("burst tenant never established capacity: %+v", before["burst"])
+	}
+
+	// The storm: every line the burst tenant owns dies at once.
+	fc.Advance(ttl + time.Second)
+
+	// (a) Reads now observe expired misses, not cold ones.
+	const probe = 100
+	for i := 0; i < probe; i++ {
+		if _, hit, _ := svc.Get("burst", fmt.Sprintf("a%d", i)); hit {
+			t.Fatalf("a%d hit after mass expiry", i)
+		}
+	}
+	ts, _ := svc.TenantStats("burst")
+	if ts.Expired != probe {
+		t.Fatalf("expired = %d after %d probes, want %d", ts.Expired, probe, probe)
+	}
+	if ts.Misses != before["burst"].Misses {
+		t.Fatalf("mass-expiry probes counted as cold misses: %d -> %d",
+			before["burst"].Misses, ts.Misses)
+	}
+
+	// (b) The sweeper reclaims everything else in bounded passes. Every
+	// hint came from one of the tenant's PUTs, so the tenant's put counter
+	// bounds the passes.
+	hints := ts.Puts
+	reclaimed, passes := uint64(0), uint64(0)
+	for ; passes < hints; passes++ {
+		got := svc.SweepOnce()
+		if got == 0 {
+			break
+		}
+		reclaimed += uint64(got)
+	}
+	if maxPasses := (hints+batch-1)/batch + 1; passes > maxPasses {
+		t.Fatalf("sweep took %d passes for %d hints, want <= %d", passes, hints, maxPasses)
+	}
+	st := svc.Stats()
+	if st.SweepLines != reclaimed || reclaimed == 0 {
+		t.Fatalf("SweepLines = %d, reclaimed = %d", st.SweepLines, reclaimed)
+	}
+	// Lazy probes + sweep reclaimed the whole store footprint (entries the
+	// array evicted during phase 1 were already gone, so >= is the bound on
+	// probes+sweeps vs. the live entry count, and the store must hold only
+	// the steady tenant now).
+	if got := st.StoreEntries; got > wsB {
+		t.Fatalf("store entries = %d after sweep, want <= %d (steady only)", got, wsB)
+	}
+	after, _ := svc.TenantStats("burst")
+	if after.OccupancyLines*5 > before["burst"].OccupancyLines {
+		t.Fatalf("burst occupancy %d did not collapse from %d",
+			after.OccupancyLines, before["burst"].OccupancyLines)
+	}
+
+	// (c) Repartitioning against the post-storm monitors moves the capacity:
+	// the steady tenant keeps feeding its UMON while the burst tenant's
+	// (bypassed by expired reads) decays each interval.
+	for round := 0; round < 4; round++ {
+		driveB()
+		svc.Repartition()
+	}
+	burstNow, _ := svc.TenantStats("burst")
+	steadyNow, _ := svc.TenantStats("steady")
+	if burstNow.TargetLines >= before["burst"].TargetLines {
+		t.Errorf("burst target did not shrink: %d -> %d",
+			before["burst"].TargetLines, burstNow.TargetLines)
+	}
+	if steadyNow.TargetLines <= before["steady"].TargetLines {
+		t.Errorf("steady target did not grow: %d -> %d",
+			before["steady"].TargetLines, steadyNow.TargetLines)
+	}
+}
+
+// TestProtocolTTLCommands drives the TTL surface over the wire: PUT with an
+// EXPIRE clause, the TOUCH/EXPIRE verb, lazy expiry visible as MISS, the
+// STATS counters, and stream resynchronization after a malformed EXPIRE
+// clause with a valid payload length.
+func TestProtocolTTLCommands(t *testing.T) {
+	fc := clock.NewFake(ttlT0)
+	svc := newTestService(t, Config{
+		Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 37,
+		Clock: fc, DefaultTTL: 50 * time.Millisecond,
+	})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(svc, lis)
+	t.Cleanup(func() { srv.Close() })
+	c := dialTest(t, srv.Addr().String())
+
+	c.expect("TENANT ADD a", "OK 0")
+
+	// PUT with EXPIRE, live then dead.
+	c.sendRaw("PUT a k 2 EXPIRE 100\r\nvv\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("PUT EXPIRE: %q", got)
+	}
+	c.expect("GET a k", "VALUE 2")
+	if got := c.line(); got != "vv" {
+		t.Fatalf("GET value: %q", got)
+	}
+	fc.Advance(101 * time.Millisecond)
+	c.expect("GET a k", "MISS")
+
+	// DefaultTTL applies to a plain PUT; EXPIRE 0 pins an entry past it.
+	c.sendRaw("PUT a def 2\r\nvv\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("plain PUT: %q", got)
+	}
+	c.sendRaw("PUT a pin 2 EXPIRE 0\r\nvv\r\n")
+	if got := c.line(); got != "STORED" {
+		t.Fatalf("PUT EXPIRE 0: %q", got)
+	}
+	fc.Advance(51 * time.Millisecond)
+	c.expect("GET a def", "MISS")
+	c.expect("GET a pin", "VALUE 2")
+	if got := c.line(); got != "vv" {
+		t.Fatalf("pinned value: %q", got)
+	}
+
+	// TOUCH and its EXPIRE alias.
+	c.expect("TOUCH a pin 100", "TOUCHED")
+	c.expect("EXPIRE a pin 100", "TOUCHED")
+	c.expect("TOUCH a absent 100", "MISS")
+	fc.Advance(101 * time.Millisecond)
+	c.expect("GET a pin", "MISS")
+
+	// A malformed EXPIRE clause with a valid length drains the payload and
+	// errors; the stream stays usable.
+	c.sendRaw("PUT a bad 2 EXPIRE nope\r\nvv\r\n")
+	if got := c.line(); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("malformed EXPIRE clause: %q", got)
+	}
+	c.expect("PING", "PONG")
+	c.expect("GET a bad", "MISS")
+
+	// STATS carries the new counters.
+	c.send("STATS")
+	stats := map[string]string{}
+	for _, l := range c.linesUntilEND() {
+		parts := strings.Fields(l)
+		if len(parts) == 3 && parts[0] == "STAT" {
+			stats[parts[1]] = parts[2]
+		}
+	}
+	for _, key := range []string{"expired_total", "sweep_lines", "sweep_passes"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("STATS missing %q", key)
+		}
+	}
+	if stats["expired_total"] == "0" {
+		t.Errorf("expired_total = 0 after expired reads")
+	}
+	c.send("STATS a")
+	found := false
+	for _, l := range c.linesUntilEND() {
+		if strings.HasPrefix(l, "STAT expired ") && !strings.HasSuffix(l, " 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("per-tenant STATS has no non-zero expired counter")
+	}
+}
