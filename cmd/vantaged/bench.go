@@ -21,8 +21,10 @@ import (
 // -lines the way internal/workload scales them to cache capacity.
 //
 // With -json <path>, bench instead runs the standard performance matrix —
-// the in-process sharded access path at 1/4/16 goroutines, then TCP loadgen
-// unbatched and with MGET pipelining — and writes the results as JSON, so
+// the in-process sharded access path at 1/4/16 goroutines, TCP loadgen
+// unbatched and with MGET pipelining, the same pair over the binary
+// protocol, hot-read protocol-ceiling rows for both protocols, and the
+// 10k-idle-connection memory probe — and writes the results as JSON, so
 // the repo can keep a benchmark trajectory across changes
 // (BENCH_service.json at the repo root).
 func benchMain(args []string) {
@@ -32,6 +34,7 @@ func benchMain(args []string) {
 	ops := fs.Int("ops", 20000, "operations per connection")
 	valueSize := fs.Int("value", 64, "value size in bytes")
 	batch := fs.Int("batch", 1, "keys per MGET batch (1 = plain GET round trips)")
+	bin := fs.Bool("bin", false, "speak the binary wire protocol (batch > 1 pipelines GET frames)")
 	lines := fs.Int("lines", 32768, "cache capacity in lines the workloads scale to (self-host size)")
 	shards := fs.Int("shards", 4, "shards when self-hosting")
 	repartition := fs.Duration("repartition", 50*time.Millisecond, "repartition interval when self-hosting")
@@ -99,6 +102,7 @@ func benchMain(args []string) {
 		ValueSize:  *valueSize,
 		Batch:      *batch,
 		Chaos:      *chaos,
+		Binary:     *bin,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vantaged bench:", err)

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// raiseNOFILE is a no-op off unix; 0 means "limit unknown" and the idle
+// bench keeps its default target.
+func raiseNOFILE() int { return 0 }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseNOFILE lifts the soft RLIMIT_NOFILE to the hard cap (best effort) and
+// returns the resulting soft limit, or 0 when it can't be read — the idle
+// bench adapts its connection count to whatever this achieves.
+func raiseNOFILE() int {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+		syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	if rl.Cur > 1<<20 {
+		return 1 << 20
+	}
+	return int(rl.Cur)
+}

@@ -1,0 +1,24 @@
+//go:build !linux
+
+// Portable stub for the binary-connection event loop: platforms without
+// epoll fall back to the goroutine transport (binServeConn), which is
+// functionally identical — the poller only changes the cost model of idle
+// connections, never the protocol semantics.
+
+package service
+
+import "net"
+
+type binPoller struct{}
+
+func newBinPoller(*Server) *binPoller { return nil }
+
+func (p *binPoller) stop() {}
+
+func (p *binPoller) attach(*net.TCPConn, *binConn, []byte) error { return errPollerDown }
+
+func (c *binConn) pollerRequestClose() {}
+
+func (c *binConn) pollerFlushLocked() {}
+
+func (c *binConn) armWriteLocked() {}

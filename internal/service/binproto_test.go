@@ -1,0 +1,534 @@
+package service
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"vantage/internal/clock"
+)
+
+// binFrame encodes one binary request frame (length prefix included).
+func binFrame(op, flags uint8, id, ttlMS uint32, tenant, key, val string) []byte {
+	n := binReqHdr + len(tenant) + len(key) + len(val)
+	b := make([]byte, 4+n)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(n))
+	b[4] = op
+	b[5] = flags
+	b[6] = uint8(len(tenant))
+	binary.LittleEndian.PutUint32(b[8:12], id)
+	binary.LittleEndian.PutUint32(b[12:16], ttlMS)
+	binary.LittleEndian.PutUint16(b[16:18], uint16(len(key)))
+	p := b[4+binReqHdr:]
+	copy(p, tenant)
+	copy(p[len(tenant):], key)
+	copy(p[len(tenant)+len(key):], val)
+	return b
+}
+
+// binResp is one decoded response frame.
+type binResp struct {
+	status, op uint8
+	id         uint32
+	payload    []byte
+}
+
+// binTestClient speaks the binary protocol for tests.
+type binTestClient struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+// dialBin connects and completes the binary negotiation.
+func dialBin(t *testing.T, addr string) *binTestClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if _, err := conn.Write([]byte{binMagic, 'V', 'B', binVersion}); err != nil {
+		t.Fatal(err)
+	}
+	var ack [4]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		t.Fatalf("negotiation ack: %v", err)
+	}
+	if want := [4]byte{binMagic, 'V', 'B', binVersion}; ack != want {
+		t.Fatalf("negotiation ack = %v, want %v", ack, want)
+	}
+	return &binTestClient{t: t, conn: conn}
+}
+
+func (c *binTestClient) send(op, flags uint8, id, ttlMS uint32, tenant, key, val string) {
+	c.t.Helper()
+	if _, err := c.conn.Write(binFrame(op, flags, id, ttlMS, tenant, key, val)); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *binTestClient) resp() binResp {
+	c.t.Helper()
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var lb [4]byte
+	if _, err := io.ReadFull(c.conn, lb[:]); err != nil {
+		c.t.Fatalf("response length: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(lb[:])
+	if n < binRespHdr || n > binMaxFrame {
+		c.t.Fatalf("response frame length %d out of range", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c.conn, b); err != nil {
+		c.t.Fatalf("response body: %v", err)
+	}
+	return binResp{
+		status:  b[0],
+		op:      b[1],
+		id:      binary.LittleEndian.Uint32(b[4:8]),
+		payload: b[binRespHdr:],
+	}
+}
+
+// expect sends one request and asserts the response status/id/payload.
+func (c *binTestClient) expect(op, flags uint8, id, ttlMS uint32, tenant, key, val string, wantStatus uint8, wantPayload string) {
+	c.t.Helper()
+	c.send(op, flags, id, ttlMS, tenant, key, val)
+	r := c.resp()
+	if r.status != wantStatus || r.op != op || r.id != id || string(r.payload) != wantPayload {
+		c.t.Fatalf("op %d id %d: got status=%d op=%d id=%d payload=%q, want status=%d payload=%q",
+			op, id, r.status, r.op, r.id, r.payload, wantStatus, wantPayload)
+	}
+}
+
+// closedSoon asserts the server closes the connection (EOF/reset, not a
+// client-side timeout).
+func (c *binTestClient) closedSoon() {
+	c.t.Helper()
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.conn.Read(make([]byte, 1)); err == nil || isTimeout(err) {
+		c.t.Fatalf("connection not closed by server: read err %v", err)
+	}
+}
+
+// TestBinaryRoundTrip covers every opcode over one negotiated connection,
+// with a text client interleaved on the same listener to pin down that the
+// protocols coexist per-connection.
+func TestBinaryRoundTrip(t *testing.T) {
+	svc, srv := newTestServer(t)
+	c := dialBin(t, srv.Addr().String())
+
+	c.expect(binOpPing, 0, 1, 0, "", "", "", binStOK, "")
+	c.expect(binOpTenantAdd, 0, 2, 0, "alice", "", "", binStOK, "\x00\x00\x00\x00")
+	c.expect(binOpTenantAdd, 0, 3, 0, "alice", "", "", binStOK, "\x00\x00\x00\x00") // idempotent
+
+	c.expect(binOpPut, 0, 4, 0, "alice", "greeting", "hello", binStOK, "")
+	c.expect(binOpGet, 0, 5, 0, "alice", "greeting", "", binStOK, "hello")
+	c.expect(binOpGet, 0, 6, 0, "alice", "nosuch", "", binStMiss, "")
+	c.expect(binOpTouch, 0, 7, 60000, "alice", "greeting", "", binStOK, "")
+	c.expect(binOpTouch, 0, 8, 60000, "alice", "nosuch", "", binStMiss, "")
+	c.expect(binOpDel, 0, 9, 0, "alice", "greeting", "", binStOK, "")
+	c.expect(binOpDel, 0, 10, 0, "alice", "greeting", "", binStMiss, "")
+
+	// Explicit-TTL PUT (flag set): stored and readable; ttl_ms=0 with the
+	// flag means "never expire" and must not round-trip through the default.
+	c.expect(binOpPut, binFlagTTL, 11, 0, "alice", "pinned", "v", binStOK, "")
+	c.expect(binOpGet, 0, 12, 0, "alice", "pinned", "", binStOK, "v")
+
+	// A text client on the same listener is untouched by the binary traffic.
+	tc := dialTest(t, srv.Addr().String())
+	tc.expect("PING", "PONG")
+	tc.expect("GET alice pinned", "VALUE 1")
+	if got := tc.line(); got != "v" {
+		t.Fatalf("text GET body: %q", got)
+	}
+
+	// And the binary connection still works after the text exchange.
+	c.expect(binOpGet, 0, 13, 0, "alice", "pinned", "", binStOK, "v")
+
+	st := svc.Stats()
+	if st.BinConns != 1 || st.BinConnsActive != 1 || st.BinFrames == 0 {
+		t.Fatalf("binary counters: conns=%d active=%d frames=%d", st.BinConns, st.BinConnsActive, st.BinFrames)
+	}
+
+	// STATS over text exposes the binary counters.
+	tc.send("STATS")
+	var sawBin bool
+	for _, l := range tc.linesUntilEND() {
+		if strings.HasPrefix(l, "STAT bin_frames ") {
+			sawBin = true
+		}
+	}
+	if !sawBin {
+		t.Fatal("STATS missing bin_frames")
+	}
+}
+
+// TestBinaryVersionMismatch: the server answers with its own version before
+// closing, so the client learns what to downgrade to.
+func TestBinaryVersionMismatch(t *testing.T) {
+	_, srv := newTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{binMagic, 'V', 'B', binVersion + 9}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var ack [4]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		t.Fatalf("no ack on version mismatch: %v", err)
+	}
+	if ack[3] != binVersion {
+		t.Fatalf("ack version = %d, want %d", ack[3], binVersion)
+	}
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection left open after version mismatch")
+	}
+}
+
+// TestBinaryBadPreamble: a magic byte followed by a broken preamble closes
+// without an ack.
+func TestBinaryBadPreamble(t *testing.T) {
+	_, srv := newTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{binMagic, 'X', 'B', binVersion}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil || isTimeout(err) {
+		t.Fatalf("bad preamble not closed: %v", err)
+	}
+}
+
+// TestBinaryPipelined: a batch written as one TCP segment answers every
+// frame, ids echoed in order (single shard preserves FIFO), coalesced or
+// not.
+func TestBinaryPipelined(t *testing.T) {
+	_, srv := newTestServer(t)
+	c := dialBin(t, srv.Addr().String())
+	c.expect(binOpTenantAdd, 0, 0, 0, "t", "", "", binStOK, "\x00\x00\x00\x00")
+
+	const k = 64
+	var batch []byte
+	for i := 0; i < k; i++ {
+		if i%2 == 0 {
+			batch = append(batch, binFrame(binOpPut, 0, uint32(100+i), 0, "t", "key", "value")...)
+		} else {
+			batch = append(batch, binFrame(binOpGet, 0, uint32(100+i), 0, "t", "key", "")...)
+		}
+	}
+	if _, err := c.conn.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		r := c.resp()
+		if r.id != uint32(100+i) {
+			t.Fatalf("response %d: id=%d, want %d", i, r.id, 100+i)
+		}
+		if r.status != binStOK {
+			t.Fatalf("response %d: status=%d", i, r.status)
+		}
+		if i%2 == 1 && string(r.payload) != "value" {
+			t.Fatalf("GET %d payload %q", i, r.payload)
+		}
+	}
+}
+
+// TestBinaryFramingViolationCloses: corrupting the framing itself (reserved
+// bytes, unknown opcode, absurd length) closes the connection — the stream
+// can no longer be trusted.
+func TestBinaryFramingViolationCloses(t *testing.T) {
+	_, srv := newTestServer(t)
+	addr := srv.Addr().String()
+
+	t.Run("reserved-byte", func(t *testing.T) {
+		c := dialBin(t, addr)
+		f := binFrame(binOpPing, 0, 1, 0, "", "", "")
+		f[4+3] = 1 // rsvd u8
+		c.conn.Write(f)
+		c.closedSoon()
+	})
+	t.Run("unknown-opcode", func(t *testing.T) {
+		c := dialBin(t, addr)
+		c.conn.Write(binFrame(99, 0, 1, 0, "", "", ""))
+		c.closedSoon()
+	})
+	t.Run("oversized-length", func(t *testing.T) {
+		c := dialBin(t, addr)
+		var lb [4]byte
+		binary.LittleEndian.PutUint32(lb[:], uint32(binMaxFrame+1))
+		c.conn.Write(lb[:])
+		c.closedSoon()
+	})
+	t.Run("undersized-length", func(t *testing.T) {
+		c := dialBin(t, addr)
+		var lb [4]byte
+		binary.LittleEndian.PutUint32(lb[:], 4)
+		c.conn.Write(lb[:])
+		c.closedSoon()
+	})
+	t.Run("header-overruns-frame", func(t *testing.T) {
+		c := dialBin(t, addr)
+		f := binFrame(binOpGet, 0, 1, 0, "t", "k", "")
+		f[4+2] = 200 // tlen says 200, frame holds 2 bytes of body
+		c.conn.Write(f)
+		c.closedSoon()
+	})
+}
+
+// TestBinarySemanticErrorContinues: semantic failures answer ERR on the
+// offending id and the stream keeps going — the length prefix makes desync
+// structurally impossible, which is the property under test.
+func TestBinarySemanticErrorContinues(t *testing.T) {
+	_, srv := newTestServer(t)
+	c := dialBin(t, srv.Addr().String())
+
+	c.expect(binOpGet, 0, 1, 0, "ghost", "k", "", binStErr, "unknown tenant")
+	c.expect(binOpPing, 0, 2, 0, "", "", "", binStOK, "")
+
+	c.expect(binOpTenantAdd, 0, 3, 0, "t", "", "", binStOK, "\x00\x00\x00\x00")
+	longKey := strings.Repeat("k", maxKeyLen+1)
+	c.expect(binOpGet, 0, 4, 0, "t", longKey, "", binStErr, "bad key length")
+	c.expect(binOpGet, 0, 5, 0, "t", "k", "value-on-a-get", binStErr, "unexpected value payload")
+	c.expect(binOpPing, 0, 6, 0, "", "", "", binStOK, "")
+}
+
+// TestBinaryShed: the binary path honors the same global in-flight gate as
+// the text path — a request that cannot reserve a slot within InflightWait
+// answers SHED and the connection survives.
+func TestBinaryShed(t *testing.T) {
+	svc, srv := newOverloadServer(t,
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 31},
+		ServerConfig{MaxInflight: 1, InflightWait: 10 * time.Millisecond})
+	svc.SetFaultInjector(injectorFunc(func(op Op, tenant string) Fault {
+		if tenant == "slow" {
+			return Fault{Delay: 400 * time.Millisecond}
+		}
+		return Fault{}
+	}))
+	svc.AddTenant("slow")
+	svc.AddTenant("fast")
+
+	tc := dialTest(t, srv.Addr().String())
+	bc := dialBin(t, srv.Addr().String())
+
+	tc.send("GET slow k") // text conn holds the single in-flight slot
+	time.Sleep(100 * time.Millisecond)
+	bc.expect(binOpGet, 0, 1, 0, "fast", "k", "", binStShed, "")
+	bc.expect(binOpPing, 0, 2, 0, "", "", "", binStOK, "") // conn survives
+
+	if got := tc.line(); got != "MISS" {
+		t.Fatalf("slow GET: %q", got)
+	}
+	if got := svc.Stats().RequestsShed; got == 0 {
+		t.Fatal("RequestsShed not incremented")
+	}
+	// Slot free again: the same request succeeds.
+	bc.expect(binOpGet, 0, 3, 0, "fast", "k", "", binStMiss, "")
+}
+
+// waitBinaryReaped drives a parked binary connection against a fake clock:
+// each round advances past the idle window (when a watchdog is armed; the
+// epoll sweep needs no timer) and probes the socket. Passes when the server
+// closes the connection.
+func waitBinaryReaped(t *testing.T, conn net.Conn, fc *clock.Fake) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fc.Advance(300 * time.Millisecond)
+		conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		_, err := conn.Read(make([]byte, 1))
+		if err != nil && !isTimeout(err) {
+			return // server closed it
+		}
+		if err == nil {
+			t.Fatal("unexpected bytes from a parked connection")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("parked binary connection never reaped")
+		}
+	}
+}
+
+// TestBinaryIdleReapFakeClockNoPoll: the portable goroutine transport reaps
+// an idle binary connection via its fake-clock watchdog — no real 250ms
+// waits, the clock is advanced.
+func TestBinaryIdleReapFakeClockNoPoll(t *testing.T) {
+	fc := clock.NewFake(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	svc, srv := newOverloadServer(t,
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 32, Clock: fc},
+		ServerConfig{IdleTimeout: 250 * time.Millisecond})
+	srv.binNoPoll = true
+
+	c := dialBin(t, srv.Addr().String())
+	waitBinaryReaped(t, c.conn, fc)
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().DeadlineCloses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("DeadlineCloses not incremented")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The server keeps serving.
+	tc := dialTest(t, srv.Addr().String())
+	tc.expect("PING", "PONG")
+}
+
+// TestBinaryIdleReapFakeClock is the same reap contract on the default
+// transport — the epoll poller's deadline sweep on Linux, the goroutine
+// fallback elsewhere. Timestamps come from the injected clock either way.
+func TestBinaryIdleReapFakeClock(t *testing.T) {
+	fc := clock.NewFake(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	svc, srv := newOverloadServer(t,
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 33, Clock: fc},
+		ServerConfig{IdleTimeout: 250 * time.Millisecond})
+
+	c := dialBin(t, srv.Addr().String())
+	// A partial frame must not count as progress: the reaper fires on
+	// frames, not bytes (slow-loris hardening, binary edition).
+	c.conn.Write([]byte{10, 0})
+	waitBinaryReaped(t, c.conn, fc)
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().DeadlineCloses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("DeadlineCloses not incremented")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tc := dialTest(t, srv.Addr().String())
+	tc.expect("PING", "PONG")
+}
+
+// TestBinaryConnsGoroutineFree: on Linux, parked binary connections must
+// not cost a goroutine each — they live in the epoll poller. This is the
+// acceptance gate for "10k connections without 10k goroutines" at a scale
+// a unit test can afford.
+func TestBinaryConnsGoroutineFree(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("epoll poller is Linux-only; other platforms use the goroutine fallback")
+	}
+	svc, srv := newTestServer(t)
+	warm := dialBin(t, srv.Addr().String()) // forces poller + worker startup
+	warm.expect(binOpPing, 0, 1, 0, "", "", "", binStOK, "")
+
+	waitForGoroutines(t, runtime.NumGoroutine()) // settle transient handlers
+	before := runtime.NumGoroutine()
+
+	const n = 50
+	conns := make([]*binTestClient, n)
+	for i := range conns {
+		conns[i] = dialBin(t, srv.Addr().String())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().BinConnsActive < int64(n)+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d binary conns active", svc.Stats().BinConnsActive)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The accept handlers are transient; wait for them to wind down, then
+	// the steady state must be far below one goroutine per connection.
+	waitForGoroutines(t, before+n/5)
+
+	// All of them still work.
+	for i, c := range conns {
+		c.expect(binOpPing, 0, uint32(i), 0, "", "", "", binStOK, "")
+	}
+}
+
+// TestBinaryLeftoverAfterPreamble: frames pipelined in the same segment as
+// the negotiation preamble are not lost in the transport handoff.
+func TestBinaryLeftoverAfterPreamble(t *testing.T) {
+	_, srv := newTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+
+	buf := []byte{binMagic, 'V', 'B', binVersion}
+	buf = append(buf, binFrame(binOpPing, 0, 77, 0, "", "", "")...)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	c := &binTestClient{t: t, conn: conn}
+	var ack [4]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		t.Fatal(err)
+	}
+	r := c.resp()
+	if r.status != binStOK || r.id != 77 {
+		t.Fatalf("pipelined-with-preamble PING: %+v", r)
+	}
+}
+
+// TestBinaryWriteBackpressure: a client that pipelines GETs for large
+// values while reading nothing forces the server's socket to stop
+// accepting bytes — the poller transport must park the flush on EPOLLOUT
+// and resume when the client drains (the goroutine transport simply blocks
+// in write). Every response must arrive intact, in id order (single
+// shard), and the connection must keep working afterwards.
+func TestBinaryWriteBackpressure(t *testing.T) {
+	_, srv := newTestServer(t)
+	c := dialBin(t, srv.Addr().String())
+	if tc, ok := c.conn.(*net.TCPConn); ok {
+		tc.SetReadBuffer(32 << 10) // shrink the client's window to force EAGAIN sooner
+	}
+	c.expect(binOpTenantAdd, 0, 0, 0, "t", "", "", binStOK, "\x00\x00\x00\x00")
+
+	val := strings.Repeat("v", 512<<10)
+	c.expect(binOpPut, 0, 1, 0, "t", "big", val, binStOK, "")
+
+	// 64 GETs x 512 KiB = 32 MiB of responses, far beyond what the kernel
+	// will buffer on either end, so the server must hit a short write and
+	// re-arm while the client sits on the unsent batch below.
+	const k = 64
+	var batch []byte
+	for i := 0; i < k; i++ {
+		batch = append(batch, binFrame(binOpGet, 0, uint32(10+i), 0, "t", "big", "")...)
+	}
+	if _, err := c.conn.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the server wedge against full buffers
+	for i := 0; i < k; i++ {
+		r := c.resp()
+		if r.status != binStOK || r.id != uint32(10+i) || len(r.payload) != len(val) {
+			t.Fatalf("response %d: status=%d id=%d payload=%d bytes", i, r.status, r.id, len(r.payload))
+		}
+	}
+	c.expect(binOpPing, 0, 999, 0, "", "", "", binStOK, "")
+}
+
+// TestBinaryDropFaultAborts: a dispatcher drop fault on a binary data op
+// closes the connection without a reply, matching the text dispatcher.
+// On the poller transport the close is initiated from a shard worker, so
+// this drives the queued-close handoff (only the poller thread may release
+// an fd); elsewhere the worker closes the net.Conn directly.
+func TestBinaryDropFaultAborts(t *testing.T) {
+	svc, srv := newTestServer(t)
+	c := dialBin(t, srv.Addr().String())
+	c.expect(binOpTenantAdd, 0, 1, 0, "t", "", "", binStOK, "\x00\x00\x00\x00")
+
+	svc.SetFaultInjector(injectorFunc(func(op Op, tenant string) Fault {
+		return Fault{Drop: true}
+	}))
+	c.send(binOpGet, 0, 2, 0, "t", "k", "")
+	c.closedSoon()
+
+	// The server survives the abort and keeps serving new connections.
+	svc.SetFaultInjector(nil)
+	c2 := dialBin(t, srv.Addr().String())
+	c2.expect(binOpPing, 0, 3, 0, "", "", "", binStOK, "")
+}

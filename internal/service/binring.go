@@ -1,0 +1,232 @@
+// The per-shard request rings behind the binary protocol: bounded MPSC
+// queues fed by the transports (the epoll poller or the portable readers)
+// and drained by one worker goroutine per shard. This generalizes the
+// UMON deferred-ring idiom from the service layer (shard.observe/drain) —
+// producers pay a few stores under a short mutex, the expensive work
+// happens on the single consumer — from monitor samples to whole requests,
+// which is what makes goroutine-free connections possible: the transport
+// never executes shard work, so it never blocks on a shard lock.
+//
+// The ring is bounded and never blocks a producer: a full ring sheds the
+// request with a SHED response, the same degrade-don't-collapse answer the
+// text path gives at its in-flight limits. The worker applies those same
+// in-flight limits per request (per-tenant immediate shed; the global
+// backpressure wait runs on the worker, where blocking is load-shaping for
+// one shard's queue instead of a stalled event loop).
+
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// binRingCap bounds one shard's queued requests. At 64-byte values a full
+// ring holds ~a quarter MiB of copied payloads; deep enough to ride out a
+// worker's lock wait, shallow enough that queue delay stays visible as
+// shedding instead of hidden latency.
+const binRingCap = 1024
+
+// binReq is one decoded, resolved binary request. Pooled; key and val are
+// copies owned by the request (the transport's read buffer is reused).
+type binReq struct {
+	c      *binConn
+	t      *Tenant
+	op     uint8
+	hasTTL bool
+	id     uint32
+	ttlMS  uint32
+	addr   uint64
+	mixed  uint64
+	key    []byte
+	val    []byte
+}
+
+var binReqPool = sync.Pool{New: func() any { return &binReq{} }}
+
+func (q *binReq) recycle() {
+	q.c, q.t = nil, nil
+	if cap(q.val) > 64<<10 {
+		q.val = nil // don't let one huge PUT pin its buffer in the pool
+	}
+	binReqPool.Put(q)
+}
+
+// binRing is a bounded MPSC queue: any transport may push, one shard
+// worker pops. The wake channel has capacity 1 — a non-blocking send under
+// the producer's mutex is enough, because the worker always re-drains the
+// ring after consuming a wake.
+type binRing struct {
+	mu   sync.Mutex
+	buf  []*binReq
+	head int
+	n    int
+	wake chan struct{}
+}
+
+func newBinRing(capacity int) *binRing {
+	return &binRing{buf: make([]*binReq, capacity), wake: make(chan struct{}, 1)}
+}
+
+// pushBatch enqueues as many of qs as fit, in order, under one lock
+// acquisition and at most one wake — the producer-side mirror of popBatch.
+// It returns the count accepted; the caller sheds the remainder. Feeding a
+// decoded read's worth of frames per shard this way costs one mutex and
+// one channel send per (connection read x shard) instead of per frame.
+func (r *binRing) pushBatch(qs []*binReq) int {
+	r.mu.Lock()
+	n := len(r.buf) - r.n
+	if n > len(qs) {
+		n = len(qs)
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(r.head+r.n)%len(r.buf)] = qs[i]
+		r.n++
+	}
+	r.mu.Unlock()
+	if n > 0 {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+	return n
+}
+
+// popBatch moves up to cap(dst)-len(dst) queued requests into dst.
+func (r *binRing) popBatch(dst []*binReq) []*binReq {
+	r.mu.Lock()
+	for r.n > 0 && len(dst) < cap(dst) {
+		dst = append(dst, r.buf[r.head])
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+	r.mu.Unlock()
+	return dst
+}
+
+// binStart creates the shard rings and starts one worker per shard. Run
+// once, via Server.binOnce, on the first binary handshake — a text-only
+// deployment never pays for any of this.
+func (s *Server) binStart() {
+	n := s.svc.cfg.Shards
+	s.binRings = make([]*binRing, n)
+	for i := range s.binRings {
+		s.binRings[i] = newBinRing(binRingCap)
+	}
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.binWorker(i)
+	}
+}
+
+// binWorker drains one shard's ring until the server closes, then drains
+// whatever is left (responses to closed connections are suppressed by the
+// write path) and exits.
+func (s *Server) binWorker(si int) {
+	defer s.wg.Done()
+	ring := s.binRings[si]
+	batch := make([]*binReq, 0, 64)
+	for {
+		batch = ring.popBatch(batch[:0])
+		if len(batch) == 0 {
+			select {
+			case <-ring.wake:
+				continue
+			case <-s.binStop:
+				for _, q := range ring.popBatch(batch[:0]) {
+					q.c.pending.Add(-1)
+					q.recycle()
+				}
+				return
+			}
+		}
+		for _, q := range batch {
+			s.binExec(q)
+		}
+	}
+}
+
+// binOpToOp maps a wire opcode to the fault-injection Op taxonomy.
+func binOpToOp(op uint8) Op {
+	switch op {
+	case binOpGet:
+		return OpGet
+	case binOpPut:
+		return OpPut
+	case binOpDel:
+		return OpDelete
+	case binOpTouch:
+		return OpTouch
+	}
+	return OpGet
+}
+
+// binExec runs one request on its shard worker: overload gates first
+// (dispatcher drop fault, then the same in-flight reservations the text
+// path takes), then the resolved service fast path, then the response.
+func (s *Server) binExec(q *binReq) {
+	c, op, id := q.c, q.op, q.id
+	svc := s.svc
+	if svc.fault.Load() != nil && svc.dropFault(binOpToOp(op), q.t.name) {
+		// Dispatcher drop fault: close without replying, matching the text
+		// dispatcher. Frames already queued behind this one answer into a
+		// dying connection and are suppressed.
+		c.abort()
+		c.pending.Add(-1)
+		q.recycle()
+		return
+	}
+	release, ok := s.beginOpT(q.t)
+	if !ok {
+		s.binRespond(c, binStShed, op, id, nil, true)
+		q.recycle()
+		return
+	}
+	if svc.fault.Load() != nil {
+		if err := svc.injectFault(binOpToOp(op), q.t.name); err != nil {
+			if release != nil {
+				release()
+			}
+			s.binRespondErr(c, op, id, err.Error(), true)
+			q.recycle()
+			return
+		}
+	}
+	var status uint8
+	var payload []byte
+	switch op {
+	case binOpGet:
+		val, hit := svc.getAt(q.t, q.addr, q.mixed, q.key)
+		if hit {
+			status, payload = binStOK, val
+		} else {
+			status = binStMiss
+		}
+	case binOpPut:
+		ttl := svc.cfg.DefaultTTL
+		if q.hasTTL {
+			ttl = time.Duration(q.ttlMS) * time.Millisecond
+		}
+		svc.putAt(q.t, q.addr, q.key, q.val, ttl)
+		status = binStOK
+	case binOpDel:
+		if svc.deleteAt(q.t, q.addr, q.key) {
+			status = binStOK
+		} else {
+			status = binStMiss
+		}
+	case binOpTouch:
+		if svc.touchAt(q.t, q.addr, q.key, time.Duration(q.ttlMS)*time.Millisecond) {
+			status = binStOK
+		} else {
+			status = binStMiss
+		}
+	}
+	if release != nil {
+		release()
+	}
+	s.binRespond(c, status, op, id, payload, true)
+	q.recycle()
+}

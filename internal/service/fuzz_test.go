@@ -23,6 +23,13 @@ import (
 //     neither replying nor closing after input EOF) fails the target rather
 //     than wedging it.
 //
+//   - FuzzBinFrames is FuzzServeConn for the binary protocol: the harness
+//     completes the negotiation, then the fuzzed bytes are the frame
+//     stream. Framing violations must close, semantic errors must answer
+//     ERR, and nothing may hang or panic — across the epoll and goroutine
+//     transports alike (the seed corpus runs under both via the binNoPoll
+//     seam in the unit tests; the fuzz target uses the default transport).
+//
 // Regression inputs for anything these find live under
 // testdata/fuzz/<FuzzName>/ and run as ordinary test cases forever after.
 
@@ -68,8 +75,9 @@ func FuzzParseRequest(f *testing.F) {
 		[]byte("PUT t k 2 EXPIRE nope\r\nhi\r\n"), // malformed clause, payload must drain
 		[]byte("PUT t k 2 EXPIRE -1\r\nhi\r\n"),
 		[]byte("PUT t k 2 EXPIRE 99999999999999999999\r\nhi\r\n"),
-		[]byte("PUT t k 2 EXPIRES 5\r\nhi\r\n"), // wrong keyword
-		[]byte("PUT t k 2 EXPIRE\r\n"),          // arity 5: usage error, no drain
+		[]byte("PUT t k 2 EXPIRES 5\r\nhi\r\n"),         // wrong keyword
+		[]byte("PUT t k 2 EXPIRE\r\nhi\r\nPING\r\n"),    // arity 5: usage error, payload must drain
+		[]byte("PUT t k 2 EXPIRE 5 junk\r\nhi\r\nPING\r\n"), // arity 7: same
 		[]byte("TOUCH t k 100\r\n"),
 		[]byte("TOUCH t k 0\r\n"),
 		[]byte("EXPIRE t k 100\r\n"),
@@ -149,6 +157,69 @@ func FuzzServeConn(f *testing.F) {
 		tc.CloseWrite()
 		if _, err := io.Copy(io.Discard, conn); err != nil && isTimeout(err) {
 			t.Fatalf("server hung on input %q", data)
+		}
+	})
+}
+
+func FuzzBinFrames(f *testing.F) {
+	svc := fuzzService(f)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := ServeWith(svc, lis, ServerConfig{
+		IdleTimeout:  2 * time.Second,
+		WriteTimeout: time.Second,
+	})
+	f.Cleanup(func() { srv.Close() })
+	addr := srv.Addr().String()
+
+	seeds := [][]byte{
+		binFrame(binOpPing, 0, 1, 0, "", "", ""),
+		binFrame(binOpTenantAdd, 0, 2, 0, "u", "", ""),
+		binFrame(binOpPut, 0, 3, 0, "t", "k", "hello"),
+		binFrame(binOpGet, 0, 4, 0, "t", "k", ""),
+		binFrame(binOpDel, 0, 5, 0, "t", "k", ""),
+		binFrame(binOpTouch, 0, 6, 250, "t", "k", ""),
+		binFrame(binOpPut, binFlagTTL, 7, 100, "t", "k", "v"),
+		binFrame(binOpGet, 0, 8, 0, "ghost", "k", ""),   // unknown tenant: ERR
+		binFrame(binOpGet, 0, 9, 0, "t", "", ""),        // zero-length key: ERR
+		binFrame(binOpGet, 0, 10, 0, "t", "k", "extra"), // value on a GET: ERR
+		binFrame(99, 0, 11, 0, "", "", ""),              // unknown opcode: close
+		{4, 0, 0, 0, 1, 0},                              // truncated frame
+		{255, 255, 255, 255},                            // absurd length: close
+		append(binFrame(binOpPing, 0, 12, 0, "", "", ""), binFrame(binOpPing, 0, 13, 0, "", "", "")...),
+	}
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+
+	preamble := []byte{binMagic, 'V', 'B', binVersion}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Skip("dial failed")
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		tc := conn.(*net.TCPConn)
+		if _, err := tc.Write(preamble); err != nil {
+			return
+		}
+		var ack [4]byte
+		if _, err := io.ReadFull(conn, ack[:]); err != nil {
+			return // server at cap or closing; not a finding
+		}
+		if _, err := tc.Write(data); err != nil {
+			io.Copy(io.Discard, conn)
+			return
+		}
+		tc.CloseWrite()
+		if _, err := io.Copy(io.Discard, conn); err != nil && isTimeout(err) {
+			t.Fatalf("binary server hung on input %q", data)
 		}
 	})
 }

@@ -152,6 +152,14 @@ type Options struct {
 	// times with backoff; a connection that is still rejected gives up its
 	// budget rather than hammering an overloaded server.
 	Chaos bool
+	// Binary speaks the length-prefixed binary protocol instead of the text
+	// one: each connection negotiates with the 4-byte preamble, then every
+	// operation is one frame. Batch > 1 pipelines Batch GET frames per flush
+	// (the binary analogue of MGET) and the fill PUTs share one flush the
+	// same way. Overload semantics are identical: BUSY at dial time surfaces
+	// as ErrBusy (the reject line is not a valid preamble ack), shed frames
+	// as ErrShed, injected faults as ErrInjected.
+	Binary bool
 
 	// start is the run's t0, recorded by Run so TTLStorm tenants can aim
 	// every fill at the same absolute deadline.
@@ -249,15 +257,35 @@ func Run(o Options) (Result, error) {
 // (with backoff) before the connection gives up its budget.
 const busyRetries = 3
 
+// proto is the per-connection client surface runConn drives; the text
+// client and the binary client (binclient.go) both satisfy it, so the
+// workload loops, chaos accounting, and redial logic are shared verbatim
+// across the two wire protocols.
+type proto interface {
+	get(tenant, key string) (bool, error)
+	put(tenant, key string, val []byte, ttlMS int) error
+	mget(tenant string, keys []string, missBuf []string) (hits, seen int, _ []string, _ error)
+	putPipelined(tenant string, keys []string, val []byte, ttls []int, chaos bool, tr *TenantResult) (stored uint64, _ error)
+	close()
+}
+
+// dialProto connects with the run's selected wire protocol.
+func dialProto(o Options, tenant string) (proto, error) {
+	if o.Binary {
+		return dialBin(o.Addr, tenant)
+	}
+	return dial(o.Addr, tenant)
+}
+
 // dialChaos dials with the run's overload policy. In chaos mode a BUSY
 // reject is counted and retried with backoff; exhausting the retries
 // returns ErrBusy, which callers treat as "this connection yields" rather
 // than a run failure.
-func dialChaos(o Options, tr *TenantResult, tenant string) (*client, error) {
+func dialChaos(o Options, tr *TenantResult, tenant string) (proto, error) {
 	var err error
 	for attempt := 0; ; attempt++ {
-		var c *client
-		c, err = dial(o.Addr, tenant)
+		var c proto
+		c, err = dialProto(o, tenant)
 		if err == nil {
 			return c, nil
 		}
@@ -390,7 +418,7 @@ func runConn(o Options, tr *TenantResult, spec Tenant, conn int) error {
 // runConnBatched drives the budget in MGET batches: one round trip reads
 // o.Batch keys, then the misses are filled with pipelined PUTs sharing one
 // flush and one response read.
-func runConnBatched(o Options, tr *TenantResult, spec Tenant, app workload.App, c *client, val []byte) error {
+func runConnBatched(o Options, tr *TenantResult, spec Tenant, app workload.App, c proto, val []byte) error {
 	defer func() { c.close() }() // closes the current conn, which redial may have replaced
 	keys := make([]string, 0, o.Batch)
 	missed := make([]string, 0, o.Batch)

@@ -55,14 +55,22 @@ type Stats struct {
 
 	// TTL/expiry counters: reads that observed an expired entry, and the
 	// background sweeper's reclaimed lines and passes summed over shards.
-	Expired     uint64
-	SweepLines  uint64
-	SweepPasses uint64
+	// ExpHeapEntries is the current expiry-hint heap population summed over
+	// shards — bounded by compaction (see sweep.go pushHint).
+	Expired        uint64
+	SweepLines     uint64
+	SweepPasses    uint64
+	ExpHeapEntries int
 
 	// Overload counters from the protocol layer (see protocol.go).
 	ConnsRejected  uint64 // connections fast-rejected with BUSY
 	RequestsShed   uint64 // data commands refused by in-flight limits
 	DeadlineCloses uint64 // connections reaped by read/write deadlines
+
+	// Binary-protocol counters (see binproto.go).
+	BinConns       uint64 // connections that negotiated binary framing
+	BinConnsActive int64  // currently open binary connections
+	BinFrames      uint64 // binary request frames dispatched
 
 	Shards, LinesPerShard, TotalLines int
 	StoreEntries                      int
@@ -78,6 +86,9 @@ func (s *Service) Stats() Stats {
 		ConnsRejected:  s.connsRejected.Load(),
 		RequestsShed:   s.requestsShed.Load(),
 		DeadlineCloses: s.deadlineCloses.Load(),
+		BinConns:       s.binConnsTotal.Load(),
+		BinConnsActive: s.binConns.Load(),
+		BinFrames:      s.binFrames.Load(),
 		Repartitions:   s.repartitions.Load(),
 		Expired:        s.expired.Load(),
 		Shards:        s.cfg.Shards,
@@ -109,6 +120,7 @@ func (s *Service) Stats() Stats {
 		st.UnmanagedLines += sh.ctl.UnmanagedSize()
 		st.SweepLines += sh.sweepLines
 		st.SweepPasses += sh.sweepPasses
+		st.ExpHeapEntries += len(sh.exph)
 		sh.mu.Unlock()
 		sh.umu.Lock()
 		st.UMONDrains += sh.drains
@@ -176,6 +188,10 @@ func writeMetrics(b *strings.Builder, st Stats) {
 	counter("vantaged_expired_total", "Reads and touches that found an expired entry.", st.Expired)
 	counter("vantaged_sweep_lines_total", "Expired entries reclaimed by the background sweeper.", st.SweepLines)
 	counter("vantaged_sweep_passes_total", "Expiry sweep passes executed.", st.SweepPasses)
+	counter("vantaged_bin_conns_total", "Connections that negotiated binary framing.", st.BinConns)
+	counter("vantaged_bin_frames_total", "Binary request frames dispatched.", st.BinFrames)
+	gauge("vantaged_bin_conns_active", "Currently open binary connections.", float64(st.BinConnsActive))
+	gauge("vantaged_exp_heap_entries", "Expiry-hint heap entries across shards.", float64(st.ExpHeapEntries))
 	gauge("vantaged_shards", "Cache shards.", float64(st.Shards))
 	gauge("vantaged_cache_lines", "Total capacity in lines.", float64(st.TotalLines))
 	gauge("vantaged_store_entries", "Values currently stored.", float64(st.StoreEntries))

@@ -115,12 +115,17 @@ func dialProbe(t *testing.T, addr string) (*testClient, string) {
 	return c, c.line()
 }
 
-// TestSlowLorisReaped: a client dribbling one byte per 50ms must be closed
-// by the idle deadline (which is absolute per command line, not per read),
-// with the close counted, and the service must keep serving others.
+// TestSlowLorisReaped: a client dribbling bytes that never complete a
+// command line must be closed by the idle deadline (which is absolute per
+// command line, not per read), with the close counted, and the service must
+// keep serving others. Runs on the fake clock: the dribble happens in real
+// time, but the 250ms idle window expires by Advance, so the test never
+// waits out a real deadline (TestSlowLorisReapedFakeClock pins the minimal
+// single-write variant; this one keeps the multi-write dribble coverage).
 func TestSlowLorisReaped(t *testing.T) {
+	fc := clock.NewFake(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
 	svc, srv := newOverloadServer(t,
-		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 22},
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 22, Clock: fc},
 		ServerConfig{IdleTimeout: 250 * time.Millisecond})
 
 	conn, err := net.Dial("tcp", srv.Addr().String())
@@ -129,31 +134,33 @@ func TestSlowLorisReaped(t *testing.T) {
 	}
 	defer conn.Close()
 
-	start := time.Now()
-	closed := make(chan error, 1)
-	go func() {
-		// The read only returns when the server closes the connection (the
-		// dribbled command line never completes, so no response is due).
-		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-		_, err := conn.Read(make([]byte, 1))
-		closed <- err
-	}()
-	for _, b := range []byte("STATS and more and more and more") {
+	// Dribble a partial command, one byte per write, no pacing needed: the
+	// window is absolute from the first arm, not per read, so the dribble
+	// must NOT extend it.
+	for _, b := range []byte("STATS and more") {
 		if _, err := conn.Write([]byte{b}); err != nil {
-			break // server already closed on us — expected
+			t.Fatalf("server closed before the deadline expired: %v", err)
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
-	err = <-closed
-	elapsed := time.Since(start)
-	if err == nil || isTimeout(err) {
-		t.Fatalf("slow-loris connection not reaped (read err %v after %v)", err, elapsed)
+	// Wait for the handler's watchdog to arm, then expire the window.
+	deadline := time.Now().Add(5 * time.Second)
+	for fc.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog timer never armed")
+		}
+		time.Sleep(time.Millisecond)
 	}
-	if elapsed < 200*time.Millisecond || elapsed > 2*time.Second {
-		t.Errorf("reaped after %v, want ~250ms", elapsed)
+	fc.Advance(300 * time.Millisecond)
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil || isTimeout(err) {
+		t.Fatalf("slow-loris connection not reaped: read err %v", err)
 	}
-	if got := svc.Stats().DeadlineCloses; got == 0 {
-		t.Error("DeadlineCloses not incremented")
+	for svc.Stats().DeadlineCloses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("DeadlineCloses not incremented")
+		}
+		time.Sleep(time.Millisecond)
 	}
 
 	// The server is unharmed: a well-behaved client is served.
@@ -212,32 +219,43 @@ func TestSlowLorisReapedFakeClock(t *testing.T) {
 
 // TestHalfWritePutReaped: a PUT that declares a value length and then stalls
 // mid-payload must be reaped by the read deadline, leaving the shard
-// consistent (no partial value installed).
+// consistent (no partial value installed). Runs on the fake clock with a
+// deliberately huge IdleTimeout, so the only window that can expire is the
+// payload-read one — pinning that the PUT value block gets its own
+// ReadTimeout window rather than riding the idle deadline.
 func TestHalfWritePutReaped(t *testing.T) {
+	fc := clock.NewFake(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
 	svc, srv := newOverloadServer(t,
-		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 23},
-		ServerConfig{IdleTimeout: time.Second, ReadTimeout: 250 * time.Millisecond})
+		Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 23, Clock: fc},
+		ServerConfig{IdleTimeout: time.Hour, ReadTimeout: 250 * time.Millisecond})
 
 	c := dialTest(t, srv.Addr().String())
 	c.expect("TENANT ADD alice", "OK 0")
 
-	start := time.Now()
 	c.sendRaw("PUT alice stalled 100\r\nonly-ten-") // 9 of 100 payload bytes
-	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	// The reaper fails the command ("ERR short value") and closes.
-	line, err := c.r.ReadString('\n')
-	if err != nil {
-		t.Fatalf("no error reply before close: %v", err)
+	// Advance-and-probe: each round expires any armed 250ms window (the
+	// hour-long idle window never trips) and polls for the error reply. The
+	// reaper fails the command ("ERR short value") and closes.
+	deadline := time.Now().Add(5 * time.Second)
+	var reply strings.Builder
+	for !strings.HasSuffix(reply.String(), "\n") {
+		fc.Advance(300 * time.Millisecond)
+		c.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		part, err := c.r.ReadString('\n')
+		reply.WriteString(part)
+		if err != nil && !isTimeout(err) {
+			t.Fatalf("closed without an error reply (got %q): %v", reply.String(), err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("half-written PUT never reaped (got %q)", reply.String())
+		}
 	}
-	if got := strings.TrimRight(line, "\r\n"); got != "ERR short value" {
+	if got := strings.TrimRight(reply.String(), "\r\n"); got != "ERR short value" {
 		t.Fatalf("half-written PUT: got %q", got)
 	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	if _, err := c.r.ReadString('\n'); err == nil {
 		t.Fatal("connection left open after half-written PUT")
-	}
-	elapsed := time.Since(start)
-	if elapsed < 200*time.Millisecond || elapsed > 2*time.Second {
-		t.Errorf("half-write reaped after %v, want ~250ms", elapsed)
 	}
 	if got := svc.Stats().DeadlineCloses; got == 0 {
 		t.Error("DeadlineCloses not incremented")
@@ -368,11 +386,14 @@ func TestLineTooLong(t *testing.T) {
 // TestOverloadGoroutineHygiene drives rejected, reaped, and served
 // connections through one server and verifies everything winds down to the
 // starting goroutine count — the acceptance gate for "no goroutine leaks
-// under overload".
+// under overload". The idle reap runs on the fake clock: the held
+// connections are parked, the clock advances past the window, and the
+// reaper must fire — no wall-clock sleeps.
 func TestOverloadGoroutineHygiene(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	svc, err := New(Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 27})
+	fc := clock.NewFake(time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	svc, err := New(Config{Shards: 1, LinesPerShard: 512, MaxTenants: 4, Seed: 27, Clock: fc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,8 +407,8 @@ func TestOverloadGoroutineHygiene(t *testing.T) {
 	})
 	addr := srv.Addr().String()
 
-	// A full house of served conns, a burst of rejected ones, and a few
-	// stalled ones left to the reaper.
+	// A full house of served conns, a burst of rejected ones, and the held
+	// four left parked for the reaper.
 	var held []net.Conn
 	for i := 0; i < 4; i++ {
 		conn, err := net.Dial("tcp", addr)
@@ -406,20 +427,27 @@ func TestOverloadGoroutineHygiene(t *testing.T) {
 		io.Copy(io.Discard, conn) // BUSY then EOF
 		conn.Close()
 	}
-	// The held conns go idle; the reaper closes them.
-	time.Sleep(300 * time.Millisecond)
-	for _, conn := range held {
-		conn.Close()
+
+	// With the clock frozen, the reaper cannot have raced the burst: every
+	// over-cap dial was fast-rejected.
+	st := svc.Stats()
+	if st.ConnsRejected != 8 {
+		t.Errorf("ConnsRejected = %d, want 8", st.ConnsRejected)
 	}
 
-	st := svc.Stats()
-	// All 8 burst dials raced the idle reaper for the 4 held slots; at least
-	// the first burst must have been rejected.
-	if st.ConnsRejected == 0 {
-		t.Error("no connection was fast-rejected at the cap")
+	// The held conns sit with armed idle watchdogs; expire them. (All four
+	// handlers armed their windows when serving PING, so Pending covers
+	// them; advance until the reaper has closed every one.)
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().DeadlineCloses < 4 {
+		fc.Advance(150 * time.Millisecond)
+		if time.Now().After(deadline) {
+			t.Fatalf("idle reaper closed %d of 4 held conns", svc.Stats().DeadlineCloses)
+		}
+		time.Sleep(time.Millisecond)
 	}
-	if st.DeadlineCloses == 0 {
-		t.Error("idle reaper never fired")
+	for _, conn := range held {
+		conn.Close()
 	}
 
 	srv.Close()

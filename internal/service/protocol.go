@@ -105,9 +105,9 @@ func (w *watchdog) disarm() {
 // MGET is the batch read: one line requests k keys and the k responses
 // arrive in key order, terminated by END.
 //
-// A PUT whose declared length is valid but whose key fails validation still
-// consumes the declared value block, so a validation error never desyncs
-// the stream. A PUT with an unparseable length cannot be skipped (the block
+// A PUT whose declared length is valid but whose key, arity, or EXPIRE
+// clause fails validation still consumes the declared value block, so a
+// validation error never desyncs the stream. A PUT with an unparseable length cannot be skipped (the block
 // length is unknown) and a PUT with a length above the 1 MiB cap will not
 // be drained; the latter closes the connection.
 //
@@ -184,8 +184,10 @@ type ServerConfig struct {
 	WriteTimeout time.Duration
 }
 
-// Server serves the text protocol over a listener. Create with Serve or
-// ServeWith.
+// Server serves the wire protocols over a listener. Create with Serve or
+// ServeWith. A connection's first byte selects the protocol: binMagic
+// (0x83, which can never start a CRLF verb) negotiates the binary framing
+// (see binproto.go), anything else is the text protocol.
 type Server struct {
 	svc *Service
 	lis net.Listener
@@ -196,6 +198,20 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	// Binary-protocol state (see binproto.go, binring.go): per-shard request
+	// rings and their workers, started by the first binary handshake, plus
+	// the platform event-loop poller (nil where unsupported). Poller-owned
+	// connections leave s.conns (the poller owns their fds); binEpoll keeps
+	// them counted toward MaxConns.
+	binOnce  sync.Once
+	binRings []*binRing
+	binStop  chan struct{}
+	binPoll  atomic.Pointer[binPoller]
+	binEpoll atomic.Int64
+	// binNoPoll forces the portable goroutine-per-connection binary
+	// transport even where an event loop exists — a test seam.
+	binNoPoll bool
 }
 
 // Serve starts accepting connections on lis and handling them against svc,
@@ -210,7 +226,7 @@ func ServeWith(svc *Service, lis net.Listener, cfg ServerConfig) *Server {
 	if cfg.MaxInflight > 0 && cfg.InflightWait == 0 {
 		cfg.InflightWait = 10 * time.Millisecond
 	}
-	s := &Server{svc: svc, lis: lis, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s := &Server{svc: svc, lis: lis, cfg: cfg, conns: make(map[net.Conn]struct{}), binStop: make(chan struct{})}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -236,6 +252,13 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	// Binary teardown: the poller closes its connections and exits, then
+	// binStop releases the shard workers (they drain their rings first, but
+	// writes to closed connections are suppressed).
+	if p := s.binPoll.Load(); p != nil {
+		p.stop()
+	}
+	close(s.binStop)
 	s.wg.Wait()
 	return err
 }
@@ -253,7 +276,7 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
-		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		if s.cfg.MaxConns > 0 && len(s.conns)+int(s.binEpoll.Load()) >= s.cfg.MaxConns {
 			s.mu.Unlock()
 			s.svc.connsRejected.Add(1)
 			// Fast-reject off the accept loop: a client that never reads
@@ -302,20 +325,48 @@ var (
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	r := readerPool.Get().(*bufio.Reader)
+	r.Reset(conn)
+	var rwd *watchdog
+	if s.cfg.IdleTimeout > 0 || s.cfg.ReadTimeout > 0 {
+		rwd = newWatchdog(s.svc.clk, conn.SetReadDeadline)
+	}
+	// Protocol negotiation on the first byte: binMagic can never start a
+	// text verb, and no text command starts with a byte >= 0x80, so one
+	// peek is unambiguous. The idle window covers the wait for that byte.
+	if rwd != nil && s.cfg.IdleTimeout > 0 {
+		rwd.arm(s.cfg.IdleTimeout)
+	}
+	if first, err := r.Peek(1); err != nil || first[0] == binMagic {
+		if err == nil {
+			s.handleBinary(conn, r, rwd)
+			return
+		}
+		if isTimeout(err) {
+			s.svc.deadlineCloses.Add(1)
+		}
+		if rwd != nil {
+			rwd.disarm()
+		}
+		r.Reset(nil)
+		readerPool.Put(r)
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		return
+	}
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	r := readerPool.Get().(*bufio.Reader)
-	r.Reset(conn)
 	w := writerPool.Get().(*bufio.Writer)
 	w.Reset(conn)
 	cs := statePool.Get().(*connState)
-	var rwd, wwd *watchdog
-	if s.cfg.IdleTimeout > 0 || s.cfg.ReadTimeout > 0 {
-		rwd = newWatchdog(s.svc.clk, conn.SetReadDeadline)
+	var wwd *watchdog
+	if rwd != nil {
 		cs.rwd = rwd
 	}
 	if s.cfg.WriteTimeout > 0 {
@@ -420,16 +471,23 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	}
 	buf := append([]byte(nil), line...)
 	for {
+		// Enforce the cap before reading more: buf holds no newline yet, so
+		// at best its last byte is a '\r' about to be completed — anything
+		// past maxLineLen+1 accumulated bytes cannot trim to a legal line.
+		if len(buf) > maxLineLen+1 {
+			return nil, errLineTooLong
+		}
 		line, err = r.ReadSlice('\n')
 		buf = append(buf, line...)
 		if err == nil {
-			return trimEOL(buf), nil
+			out := trimEOL(buf)
+			if len(out) > maxLineLen {
+				return nil, errLineTooLong
+			}
+			return out, nil
 		}
 		if err != bufio.ErrBufferFull {
 			return nil, err
-		}
-		if len(buf) > maxLineLen {
-			return nil, errLineTooLong
 		}
 	}
 }
@@ -541,17 +599,27 @@ func (s *Server) beginOp(tenant []byte) (release func(), ok bool) {
 	var t *Tenant
 	if s.cfg.MaxTenantInflight > 0 {
 		t = s.svc.reg.Load().tenants[string(tenant)]
-		if t != nil {
-			for {
-				cur := t.inflight.Load()
-				if cur >= int64(s.cfg.MaxTenantInflight) {
-					t.shed.Add(1)
-					s.svc.requestsShed.Add(1)
-					return nil, false
-				}
-				if t.inflight.CompareAndSwap(cur, cur+1) {
-					break
-				}
+	}
+	return s.beginOpT(t)
+}
+
+// beginOpT is beginOp for callers that already resolved the tenant (the
+// binary shard workers). t may be nil (unknown tenant, or no per-tenant
+// limit configured).
+func (s *Server) beginOpT(t *Tenant) (release func(), ok bool) {
+	if s.cfg.MaxTenantInflight <= 0 {
+		t = nil // no per-tenant reservation: release must not decrement
+	}
+	if t != nil {
+		for {
+			cur := t.inflight.Load()
+			if cur >= int64(s.cfg.MaxTenantInflight) {
+				t.shed.Add(1)
+				s.svc.requestsShed.Add(1)
+				return nil, false
+			}
+			if t.inflight.CompareAndSwap(cur, cur+1) {
+				break
 			}
 		}
 	}
@@ -672,7 +740,7 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 		return false, nil
 
 	case cmdEq(verb, "PUT"):
-		if len(fields) != 4 && len(fields) != 6 {
+		if len(fields) < 4 {
 			return false, errors.New("usage: PUT <tenant> <key> <bytes> [EXPIRE <ms>]")
 		}
 		n, ok := parseUintB(fields[3])
@@ -684,6 +752,10 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 			// block; refuse and close.
 			return true, fmt.Errorf("value length %d exceeds maximum %d", n, maxValueLen)
 		}
+		// Any PUT whose <bytes> parses has a value block on the wire, even
+		// when the trailing fields are malformed (5 fields, 7+ fields): the
+		// block must be drained below or it desyncs every later response.
+		badArity := len(fields) != 4 && len(fields) != 6
 		// ttlMS: -1 = no EXPIRE clause (use the service default TTL),
 		// -2 = malformed clause (drain the block, then report).
 		ttlMS := -1
@@ -700,7 +772,7 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 		if cs.rwd != nil && s.cfg.ReadTimeout > 0 {
 			cs.rwd.arm(s.cfg.ReadTimeout)
 		}
-		if len(fields[2]) > maxKeyLen || ttlMS == -2 {
+		if len(fields[2]) > maxKeyLen || ttlMS == -2 || badArity {
 			// Validation failed but the declared value block is still on
 			// the wire: drain it so the next line parses as a command.
 			if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
@@ -710,6 +782,9 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 				return true, errors.New("short value")
 			}
 			discardEOL(r)
+			if badArity {
+				return false, errors.New("usage: PUT <tenant> <key> <bytes> [EXPIRE <ms>]")
+			}
 			if len(fields[2]) > maxKeyLen {
 				return false, errors.New("key too long")
 			}
@@ -864,6 +939,10 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 		fmt.Fprintf(w, "STAT expired_total %d\r\n", st.Expired)
 		fmt.Fprintf(w, "STAT sweep_lines %d\r\n", st.SweepLines)
 		fmt.Fprintf(w, "STAT sweep_passes %d\r\n", st.SweepPasses)
+		fmt.Fprintf(w, "STAT exp_heap_entries %d\r\n", st.ExpHeapEntries)
+		fmt.Fprintf(w, "STAT bin_conns %d\r\n", st.BinConns)
+		fmt.Fprintf(w, "STAT bin_conns_active %d\r\n", st.BinConnsActive)
+		fmt.Fprintf(w, "STAT bin_frames %d\r\n", st.BinFrames)
 		fmt.Fprintf(w, "STAT shards %d\r\n", st.Shards)
 		fmt.Fprintf(w, "STAT cache_lines %d\r\n", st.TotalLines)
 		fmt.Fprintf(w, "STAT store_entries %d\r\n", st.StoreEntries)

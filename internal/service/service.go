@@ -240,6 +240,11 @@ type Service struct {
 	requestsShed   atomic.Uint64 // data ops refused by in-flight limits
 	deadlineCloses atomic.Uint64 // connections reaped by read/write deadlines
 
+	// Binary-protocol counters (see binproto.go).
+	binConnsTotal atomic.Uint64 // connections that negotiated binary framing
+	binConns      atomic.Int64  // currently open binary connections
+	binFrames     atomic.Uint64 // binary request frames dispatched
+
 	// fault, when non-nil, injects delays/errors into the shard path and
 	// connection drops into the dispatcher (see fault.go).
 	fault atomic.Pointer[faultHolder]
@@ -450,7 +455,15 @@ func (s *Service) GetB(tenant, key []byte) ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("service: unknown tenant %q", tenant)
 	}
 	addr := addrOfB(t.part, key)
-	mixed := hash.Mix64(addr)
+	val, hit := s.getAt(t, addr, hash.Mix64(addr), key)
+	return val, hit, nil
+}
+
+// getAt is the resolved GET path shared by GetB and the binary shard
+// workers: the caller already resolved the tenant and computed the line
+// address and its Mix64 (binary dispatch resolves once at decode time and
+// routes on the mix, so the worker never rehashes).
+func (s *Service) getAt(t *Tenant, addr, mixed uint64, key []byte) ([]byte, bool) {
 	sh := s.shards[s.route.Hash(mixed)&s.mask]
 	var val []byte
 	hit, expired := false, false
@@ -480,7 +493,7 @@ func (s *Service) GetB(tenant, key []byte) ([]byte, bool, error) {
 	default:
 		t.misses.Add(1)
 	}
-	return val, hit, nil
+	return val, hit
 }
 
 // Put stores val under key in tenant's partition with the service's default
@@ -514,7 +527,7 @@ func (s *Service) PutTTL(tenant, key string, val []byte, ttl time.Duration) erro
 	}
 	sh.store[addr] = entry{key: key, val: v, exp: exp}
 	if exp != 0 {
-		sh.exph.push(expHint{at: exp, addr: addr})
+		sh.pushHint(expHint{at: exp, addr: addr})
 	}
 	sh.mu.Unlock()
 	s.ops.Add(1)
@@ -543,7 +556,14 @@ func (s *Service) PutBTTL(tenant, key, val []byte, ttl time.Duration) error {
 	if t == nil {
 		return fmt.Errorf("service: unknown tenant %q", tenant)
 	}
-	addr := addrOfB(t.part, key)
+	s.putAt(t, addrOfB(t.part, key), key, val, ttl)
+	return nil
+}
+
+// putAt is the resolved PUT path shared by PutBTTL and the binary shard
+// workers. The value is copied; on an overwrite of the same key the stored
+// key string is reused.
+func (s *Service) putAt(t *Tenant, addr uint64, key, val []byte, ttl time.Duration) {
 	sh := s.shardOf(addr)
 	v := append([]byte(nil), val...)
 	var exp int64
@@ -561,7 +581,7 @@ func (s *Service) PutBTTL(tenant, key, val []byte, ttl time.Duration) error {
 		sh.store[addr] = entry{key: string(key), val: v, exp: exp}
 	}
 	if exp != 0 {
-		sh.exph.push(expHint{at: exp, addr: addr})
+		sh.pushHint(expHint{at: exp, addr: addr})
 	}
 	sh.mu.Unlock()
 	s.ops.Add(1)
@@ -569,7 +589,6 @@ func (s *Service) PutBTTL(tenant, key, val []byte, ttl time.Duration) error {
 	if res.ForcedManagedEviction {
 		t.forced.Add(1)
 	}
-	return nil
 }
 
 // Touch resets key's TTL in tenant's partition: the entry now expires ttl
@@ -599,7 +618,7 @@ func (s *Service) TouchB(tenant, key []byte, ttl time.Duration) (bool, error) {
 	if t == nil {
 		return false, fmt.Errorf("service: unknown tenant %q", tenant)
 	}
-	return s.touch(t, addrOfB(t.part, key), string(key), ttl)
+	return s.touchAt(t, addrOfB(t.part, key), key, ttl), nil
 }
 
 func (s *Service) touch(t *Tenant, addr uint64, key string, ttl time.Duration) (bool, error) {
@@ -620,7 +639,7 @@ func (s *Service) touch(t *Tenant, addr uint64, key string, ttl time.Duration) (
 			e.exp = exp
 			sh.store[addr] = e
 			if exp != 0 {
-				sh.exph.push(expHint{at: exp, addr: addr})
+				sh.pushHint(expHint{at: exp, addr: addr})
 			}
 			sh.ctl.Access(addr, t.part) // tag is present: refreshes recency
 			live = true
@@ -633,6 +652,42 @@ func (s *Service) touch(t *Tenant, addr uint64, key string, ttl time.Duration) (
 		s.expired.Add(1)
 	}
 	return live, nil
+}
+
+// touchAt is the resolved TOUCH path shared by TouchB and the binary shard
+// workers; unlike touch it compares the stored key against a byte slice, so
+// the protocol paths never build a key string.
+func (s *Service) touchAt(t *Tenant, addr uint64, key []byte, ttl time.Duration) bool {
+	sh := s.shardOf(addr)
+	now := s.clk.Now()
+	var exp int64
+	if ttl > 0 {
+		exp = now.Add(ttl).UnixNano()
+	}
+	live, expired := false, false
+	sh.mu.Lock()
+	if e, ok := sh.store[addr]; ok && e.key == string(key) {
+		if e.exp != 0 && now.UnixNano() >= e.exp {
+			delete(sh.store, addr)
+			sh.ctl.DemoteExpired(addr)
+			expired = true
+		} else {
+			e.exp = exp
+			sh.store[addr] = e
+			if exp != 0 {
+				sh.pushHint(expHint{at: exp, addr: addr})
+			}
+			sh.ctl.Access(addr, t.part)
+			live = true
+		}
+	}
+	sh.mu.Unlock()
+	s.ops.Add(1)
+	if expired {
+		t.expired.Add(1)
+		s.expired.Add(1)
+	}
+	return live
 }
 
 // Delete removes key's value from tenant's partition, reporting whether it
@@ -671,7 +726,12 @@ func (s *Service) DeleteB(tenant, key []byte) (bool, error) {
 	if t == nil {
 		return false, fmt.Errorf("service: unknown tenant %q", tenant)
 	}
-	addr := addrOfB(t.part, key)
+	return s.deleteAt(t, addrOfB(t.part, key), key), nil
+}
+
+// deleteAt is the resolved DELETE path shared by DeleteB and the binary
+// shard workers.
+func (s *Service) deleteAt(t *Tenant, addr uint64, key []byte) bool {
 	sh := s.shardOf(addr)
 	sh.mu.Lock()
 	e, ok := sh.store[addr]
@@ -681,7 +741,7 @@ func (s *Service) DeleteB(tenant, key []byte) (bool, error) {
 	}
 	sh.mu.Unlock()
 	s.ops.Add(1)
-	return present, nil
+	return present
 }
 
 // Repartition reruns UCP once on every shard: each shard first drains its

@@ -15,6 +15,15 @@
 // instead of monopolizing the shard lock), so N expired entries are fully
 // reclaimed within ceil(N/SweepBatch) passes plus one pass per stale hint
 // batch.
+//
+// Lazy discarding alone does not bound the heap: stale hints survive until
+// their old deadlines pop, so a hot key overwritten (or TOUCHed) with long
+// TTLs accumulates one live hint plus arbitrarily many stale ones. pushHint
+// therefore compacts the heap whenever it exceeds twice the store size
+// (plus slack): compaction keeps exactly one hint per live TTL'd entry —
+// the one matching the entry's current deadline — so the heap is always
+// O(live entries) and a push is amortized O(log n). The heap size is
+// exported as the exp_heap_entries gauge.
 
 package service
 
@@ -42,13 +51,17 @@ func (h *expHeap) push(n expHint) {
 	}
 }
 
-func (h *expHeap) pop() expHint {
+// init restores the heap invariant over arbitrary contents (Floyd's
+// bottom-up heapify, O(n)); used after compaction rewrites the slice.
+func (h *expHeap) init() {
 	q := *h
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	*h = q[:n]
-	i := 0
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		siftDown(q, i, len(q))
+	}
+}
+
+// siftDown restores the heap property at index i over q[:n].
+func siftDown(q []expHint, i, n int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
@@ -59,12 +72,59 @@ func (h *expHeap) pop() expHint {
 			min = r
 		}
 		if min == i {
-			break
+			return
 		}
 		q[i], q[min] = q[min], q[i]
 		i = min
 	}
+}
+
+func (h *expHeap) pop() expHint {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	*h = q[:n]
+	siftDown(q, 0, n)
 	return top
+}
+
+// pushHint records an expiry hint and compacts the heap when stale hints
+// dominate. The bound is an invariant, not a heuristic: compaction keeps at
+// most one hint per live store entry, so immediately after it the heap is
+// ≤ len(store), and the trigger therefore fires at most once per ~len(store)
+// pushes — amortized O(1) slice work per push on top of the O(log n) sift.
+// Caller holds sh.mu.
+func (sh *shard) pushHint(n expHint) {
+	sh.exph.push(n)
+	if len(sh.exph) > 2*len(sh.store)+64 {
+		sh.compactHints()
+	}
+}
+
+// compactHints drops every hint that no longer matches a live entry's
+// current deadline, dedupes hints for the same address (a key re-PUT with
+// an identical absolute deadline pushes identical hints), and re-heapifies.
+// Correctness rests on the push-site invariant that every assignment of a
+// non-zero entry.exp pushed a hint with at == exp: the surviving hint for a
+// live entry is exactly the one the sweeper needs. Caller holds sh.mu.
+func (sh *shard) compactHints() {
+	q := sh.exph
+	seen := make(map[uint64]struct{}, len(q)/2)
+	kept := q[:0]
+	for _, n := range q {
+		e, ok := sh.store[n.addr]
+		if !ok || e.exp == 0 || e.exp != n.at {
+			continue // stale: entry deleted, overwritten, or touched elsewhere
+		}
+		if _, dup := seen[n.addr]; dup {
+			continue
+		}
+		seen[n.addr] = struct{}{}
+		kept = append(kept, n)
+	}
+	sh.exph = kept
+	sh.exph.init()
 }
 
 // sweepShard runs one bounded sweep pass on sh, returning the number of
