@@ -41,22 +41,29 @@ type genBenchRow struct {
 	SpeedupLive float64 `json:"speedup_vs_live"`
 }
 
-// fig7Bench records the Fig 7 regeneration wall-clock (the tentpole metric
-// of the memoization work) next to the measured history of earlier releases
-// on the same bench host, so before/after is auditable from the report
-// alone.
+// fig7Bench records one Fig 7 regeneration wall-clock measurement — per
+// simulation tier (exact/fast) and GOMAXPROCS — next to the measured history
+// of earlier releases on the original bench host, so before/after is
+// auditable from the report alone. The gmean canary is bit-deterministic on
+// the exact tier only; fast-tier gmeans are statistically equivalent
+// (±0.5%, see TestFastTierEquivalence), not identical.
 type fig7Bench struct {
+	Tier           string  `json:"tier,omitempty"` // "exact" (default) or "fast"
+	GoMaxProcs     int     `json:"gomaxprocs,omitempty"`
 	Mixes          int     `json:"mixes"`
 	InstrLimit     uint64  `json:"instr_limit"`
 	Seconds        float64 `json:"seconds"`
 	CPUSeconds     float64 `json:"cpu_seconds"`
 	GmeanVantage   float64 `json:"gmean_vantage"` // correctness canary
-	PR2WallSeconds float64 `json:"pr2_wall_seconds"`
-	PR3WallSeconds float64 `json:"pr3_wall_seconds"`
+	PR2WallSeconds float64 `json:"pr2_wall_seconds,omitempty"`
+	PR3WallSeconds float64 `json:"pr3_wall_seconds,omitempty"`
+	PR5WallSeconds float64 `json:"pr5_wall_seconds,omitempty"`
 }
 
 // simBenchReport is the BENCH_sim.json schema, mirroring the service
-// benchmark report (cmd/vantaged).
+// benchmark report (cmd/vantaged). Fig7 is the canonical exact-tier
+// GOMAXPROCS=1 row (carrying the release history); Fig7Tiers holds the full
+// tier × GOMAXPROCS scaling matrix.
 type simBenchReport struct {
 	GoVersion   string        `json:"go_version"`
 	NumCPU      int           `json:"num_cpu"`
@@ -65,6 +72,7 @@ type simBenchReport struct {
 	Results     []simBenchRow `json:"results"`
 	WorkloadGen []genBenchRow `json:"workload_gen"`
 	Fig7        *fig7Bench    `json:"fig7,omitempty"`
+	Fig7Tiers   []fig7Bench   `json:"fig7_tiers,omitempty"`
 }
 
 // cpuSeconds returns the process's cumulative user+system CPU time.
@@ -223,30 +231,56 @@ func runSimBenchMatrix(path, scaleName string, sc exp.Scale, fig7 bool) error {
 		m := exp.LargeCMP(exp.ScaleUnit)
 		m.InstrLimit = 25_000 // the root BenchmarkFig7LargeScale configuration
 		const mixCount = 6
-		// Collect the matrix and micro-bench garbage first so the timed
-		// region matches a standalone run of the root benchmark.
-		runtime.GC()
-		start := time.Now()
-		cpuStart := cpuSeconds()
-		r := exp.Fig7(m, mixCount, nil)
-		secs := time.Since(start).Seconds()
-		cpu := cpuSeconds() - cpuStart
-		f := &fig7Bench{
-			Mixes:      mixCount,
-			InstrLimit: m.InstrLimit,
-			Seconds:    secs,
-			CPUSeconds: cpu,
-			// Wall-clock history measured on this bench host: PR 2's
-			// pre-overhaul harness and PR 3's kernel overhaul.
-			PR2WallSeconds: 49.4,
-			PR3WallSeconds: 36.0,
+		// Scaling rows: both tiers at GOMAXPROCS 1 and 2 (plus the full CPU
+		// count on bigger hosts). Fig 7 parallelizes across mixes, so the
+		// multi-proc rows substantiate the scaling claim wherever the bench
+		// actually runs; on a single-CPU host they honestly show ~1x.
+		procs := []int{1, 2}
+		if n := runtime.NumCPU(); n > 2 {
+			procs = append(procs, n)
 		}
-		if c := r.Curve("Vantage-Z4/52"); c != nil {
-			f.GmeanVantage = c.Summary.GeoMean
+		prev := runtime.GOMAXPROCS(0)
+		for _, tier := range []string{"exact", "fast"} {
+			tm := m
+			tm.FastTier = tier == "fast"
+			for _, p := range procs {
+				runtime.GOMAXPROCS(p)
+				// Collect earlier sections' garbage so the timed region
+				// matches a standalone run of the root benchmark.
+				runtime.GC()
+				start := time.Now()
+				cpuStart := cpuSeconds()
+				r := exp.Fig7(tm, mixCount, nil)
+				secs := time.Since(start).Seconds()
+				cpu := cpuSeconds() - cpuStart
+				row := fig7Bench{
+					Tier:       tier,
+					GoMaxProcs: p,
+					Mixes:      mixCount,
+					InstrLimit: m.InstrLimit,
+					Seconds:    secs,
+					CPUSeconds: cpu,
+				}
+				if c := r.Curve("Vantage-Z4/52"); c != nil {
+					row.GmeanVantage = c.Summary.GeoMean
+				}
+				rep.Fig7Tiers = append(rep.Fig7Tiers, row)
+				if tier == "exact" && p == 1 {
+					// The canonical row carries the wall-clock history
+					// measured on the original bench host: PR 2's
+					// pre-overhaul harness, PR 3's kernel overhaul, PR 5's
+					// memoized generation.
+					h := row
+					h.PR2WallSeconds = 49.4
+					h.PR3WallSeconds = 36.0
+					h.PR5WallSeconds = 22.4
+					rep.Fig7 = &h
+				}
+				fmt.Fprintf(os.Stderr, "vantage-sim bench: fig7/%s/p%d: %.1fs wall / %.1fs cpu (gmean %.4f)\n",
+					tier, p, secs, cpu, row.GmeanVantage)
+			}
 		}
-		rep.Fig7 = f
-		fmt.Fprintf(os.Stderr, "vantage-sim bench: fig7: %.1fs wall / %.1fs cpu (gmean %.4f)\n",
-			secs, cpu, f.GmeanVantage)
+		runtime.GOMAXPROCS(prev)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -256,13 +290,31 @@ func runSimBenchMatrix(path, scaleName string, sc exp.Scale, fig7 bool) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// rowTolerance returns the allowed fresh/committed ns-per-access ratio for
+// one matrix cell, keyed on the committed row's wall time: the shorter the
+// timed region, the larger the share of timer granularity, GC pauses, and
+// shared-runner scheduling noise in its measurement. Long rows get a tight
+// bound — those are the cells where a real kernel regression shows up
+// cleanly — while sub-50ms rows only gate gross blowups.
+func rowTolerance(base simBenchRow) float64 {
+	switch {
+	case base.Seconds < 0.05:
+		return 3.0
+	case base.Seconds < 0.5:
+		return 2.0
+	default:
+		return 1.6
+	}
+}
+
 // compareSimBench is the CI perf-regression smoke: it loads a freshly
-// written report and a committed baseline and fails only on a gross
-// (> factor) ns/access regression in a matrix cell present in both, so real
-// kernel regressions are caught without flaking on shared-runner noise.
-// Rows are matched by name; throughput canaries must match exactly (they
-// are deterministic — any drift is a correctness bug, not noise).
-func compareSimBench(newPath, basePath string, factor float64) error {
+// written report and a committed baseline, prints a row-by-row diff, and
+// fails on any matrix cell whose ns/access exceeds its per-row tolerance
+// (see rowTolerance), so real kernel regressions are caught without flaking
+// on shared-runner noise. Rows are matched by name; throughput canaries must
+// match exactly (they are deterministic — any drift is a correctness bug,
+// not noise).
+func compareSimBench(newPath, basePath string) error {
 	load := func(p string) (simBenchReport, error) {
 		var rep simBenchReport
 		data, err := os.ReadFile(p)
@@ -287,31 +339,51 @@ func compareSimBench(newPath, basePath string, factor float64) error {
 		baseRows[r.Name] = r
 	}
 	matched := 0
-	var failures []string
+	failures := 0
+	fmt.Fprintf(os.Stderr, "vantage-sim bench: %-28s %12s %12s %7s %7s  %s\n",
+		"row", "committed", "fresh", "ratio", "limit", "status")
 	for _, r := range fresh.Results {
 		b, ok := baseRows[r.Name]
 		if !ok || b.NsPerAccess <= 0 {
 			continue
 		}
 		matched++
-		if r.NsPerAccess > factor*b.NsPerAccess {
-			failures = append(failures, fmt.Sprintf("%s: %.0f ns/access vs committed %.0f (>%.1fx)",
-				r.Name, r.NsPerAccess, b.NsPerAccess, factor))
+		tol := rowTolerance(b)
+		ratio := r.NsPerAccess / b.NsPerAccess
+		status := "ok"
+		if ratio > tol {
+			status = "FAIL: regression"
+			failures++
 		}
 		if r.Throughput != b.Throughput {
-			failures = append(failures, fmt.Sprintf("%s: throughput canary %.6f != committed %.6f",
-				r.Name, r.Throughput, b.Throughput))
+			status = fmt.Sprintf("FAIL: throughput canary %.6f != %.6f", r.Throughput, b.Throughput)
+			failures++
 		}
+		fmt.Fprintf(os.Stderr, "vantage-sim bench: %-28s %9.0f ns %9.0f ns %6.2fx %6.1fx  %s\n",
+			r.Name, b.NsPerAccess, r.NsPerAccess, ratio, tol, status)
 	}
 	if matched == 0 {
 		return fmt.Errorf("no matrix rows matched between %s and %s", newPath, basePath)
 	}
-	for _, f := range failures {
-		fmt.Fprintln(os.Stderr, "vantage-sim bench:", f)
+	// Fig 7 tier rows diff informationally (never gated: wall clocks are
+	// host-dependent, and committed reports may predate the tier matrix).
+	baseTiers := make(map[string]fig7Bench)
+	for _, f := range base.Fig7Tiers {
+		baseTiers[fmt.Sprintf("%s/p%d", f.Tier, f.GoMaxProcs)] = f
 	}
-	if len(failures) > 0 {
-		return fmt.Errorf("%d perf-regression check(s) failed against %s", len(failures), basePath)
+	if base.Fig7 != nil && base.Fig7.Tier == "" {
+		baseTiers["exact/p1"] = *base.Fig7
 	}
-	fmt.Fprintf(os.Stderr, "vantage-sim bench: %d rows within %.1fx of %s\n", matched, factor, basePath)
+	for _, f := range fresh.Fig7Tiers {
+		key := fmt.Sprintf("%s/p%d", f.Tier, f.GoMaxProcs)
+		if b, ok := baseTiers[key]; ok {
+			fmt.Fprintf(os.Stderr, "vantage-sim bench: fig7/%-22s %10.1fs %11.1fs %6.2fx %7s  info\n",
+				key, b.Seconds, f.Seconds, f.Seconds/b.Seconds, "-")
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d perf-regression check(s) failed against %s", failures, basePath)
+	}
+	fmt.Fprintf(os.Stderr, "vantage-sim bench: %d rows within per-row tolerance of %s\n", matched, basePath)
 	return nil
 }

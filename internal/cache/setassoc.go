@@ -21,7 +21,16 @@ type SetAssoc struct {
 	// touches 8 bytes per way instead of a whole Line record; a tag match is
 	// confirmed against the line's Valid bit (invalidated slots keep a zero
 	// tag, which can collide with address zero but never pass that check).
-	tags   []uint64
+	tags []uint64
+	// sig/sigCnt form an exact per-set presence filter over the resident
+	// tags: bit 1<<(addr&63) of sig[set] is set iff sigCnt[set*64 + addr&63]
+	// counts at least one valid line in the set whose address maps to that
+	// bit. A clear bit proves the address is absent, so a lookup miss —
+	// common at high associativity, where it would otherwise scan every
+	// way's tag — answers from one word; a set bit falls through to the
+	// exact tag scan, which returns the same first match as before.
+	sig    []uint64
+	sigCnt []uint8
 	h      *hash.H3 // nil => low-bits indexing
 	name   string
 	setBuf []LineID
@@ -32,7 +41,9 @@ type SetAssoc struct {
 // count must be a power of two. If hashed, the set index uses an H3 hash
 // seeded with seed; otherwise low-order address bits index the set.
 func NewSetAssoc(numLines, ways int, hashed bool, seed uint64) *SetAssoc {
-	if ways <= 0 || numLines <= 0 || numLines%ways != 0 {
+	if ways <= 0 || ways > 255 || numLines <= 0 || numLines%ways != 0 {
+		// ways is capped at 255 so the presence filter's per-bit line counts
+		// fit a byte (a set holds at most ways lines).
 		panic(fmt.Sprintf("cache: invalid set-assoc geometry: %d lines, %d ways", numLines, ways))
 	}
 	sets := numLines / ways
@@ -42,9 +53,11 @@ func NewSetAssoc(numLines, ways int, hashed bool, seed uint64) *SetAssoc {
 	a := &SetAssoc{
 		sets:  sets,
 		ways:  ways,
-		lines: make([]Line, numLines),
-		tags:  make([]uint64, numLines),
-		name:  fmt.Sprintf("SA%d", ways),
+		lines:  make([]Line, numLines),
+		tags:   make([]uint64, numLines),
+		sig:    make([]uint64, sets),
+		sigCnt: make([]uint8, sets*64),
+		name:   fmt.Sprintf("SA%d", ways),
 	}
 	if hashed {
 		a.h = hash.NewH3(log2(sets), seed)
@@ -100,18 +113,23 @@ func (a *SetAssoc) SlotAt(set, way int) LineID { return LineID(set*a.ways + way)
 
 // Lookup implements Array.
 func (a *SetAssoc) Lookup(addr uint64) (LineID, bool) {
-	return a.scanSet(a.SetIndex(addr)*a.ways, addr)
+	return a.scanSet(a.SetIndex(addr), addr)
 }
 
 // LookupMixed implements MixedArray.
 func (a *SetAssoc) LookupMixed(addr, mixed uint64) (LineID, bool) {
-	return a.scanSet(a.SetIndexMixed(addr, mixed)*a.ways, addr)
+	return a.scanSet(a.SetIndexMixed(addr, mixed), addr)
 }
 
-// scanSet finds addr among the ways starting at base, matching on the packed
-// tag array first and confirming against the line's Valid bit. The first
-// valid way holding addr wins, exactly as a scan over the Line records.
-func (a *SetAssoc) scanSet(base int, addr uint64) (LineID, bool) {
+// scanSet finds addr among set's ways, matching on the packed tag array
+// first and confirming against the line's Valid bit. The first valid way
+// holding addr wins, exactly as a scan over the Line records; the presence
+// filter only short-circuits sets that provably do not hold addr.
+func (a *SetAssoc) scanSet(set int, addr uint64) (LineID, bool) {
+	if a.sig[set]&(1<<(addr&63)) == 0 {
+		return InvalidLine, false
+	}
+	base := set * a.ways
 	tags := a.tags[base : base+a.ways]
 	for w := range tags {
 		if tags[w] == addr && a.lines[base+w].Valid {
@@ -119,6 +137,20 @@ func (a *SetAssoc) scanSet(base int, addr uint64) (LineID, bool) {
 		}
 	}
 	return InvalidLine, false
+}
+
+// sigInsert records a valid line with address addr joining set.
+func (a *SetAssoc) sigInsert(set int, addr uint64) {
+	a.sigCnt[set<<6|int(addr&63)]++
+	a.sig[set] |= 1 << (addr & 63)
+}
+
+// sigRemove records the valid line with address addr leaving set.
+func (a *SetAssoc) sigRemove(set int, addr uint64) {
+	i := set<<6 | int(addr&63)
+	if a.sigCnt[i]--; a.sigCnt[i] == 0 {
+		a.sig[set] &^= 1 << (addr & 63)
+	}
 }
 
 // Candidates implements Array. The candidates are the ways of addr's set, in
@@ -142,26 +174,40 @@ func (a *SetAssoc) CandidatesMixed(addr, mixed uint64, buf []LineID) []LineID {
 
 // Install implements Array. The victim must belong to addr's set.
 func (a *SetAssoc) Install(addr uint64, victim LineID) (LineID, int) {
-	if a.SetOf(victim) != a.SetIndex(addr) {
+	set := a.SetOf(victim)
+	if set != a.SetIndex(addr) {
 		panic("cache: set-assoc install victim outside the address's set")
 	}
-	a.lines[victim] = Line{Addr: addr, Valid: true}
-	a.tags[victim] = addr
+	a.install(set, addr, victim)
 	return victim, 0
 }
 
 // InstallMixed implements MixedArray.
 func (a *SetAssoc) InstallMixed(addr, mixed uint64, victim LineID) (LineID, int) {
-	if a.SetOf(victim) != a.SetIndexMixed(addr, mixed) {
+	set := a.SetOf(victim)
+	if set != a.SetIndexMixed(addr, mixed) {
 		panic("cache: set-assoc install victim outside the address's set")
+	}
+	a.install(set, addr, victim)
+	return victim, 0
+}
+
+// install overwrites victim with a valid line for addr, keeping the tag
+// array and presence filter in sync.
+func (a *SetAssoc) install(set int, addr uint64, victim LineID) {
+	if l := &a.lines[victim]; l.Valid {
+		a.sigRemove(set, l.Addr)
 	}
 	a.lines[victim] = Line{Addr: addr, Valid: true}
 	a.tags[victim] = addr
-	return victim, 0
+	a.sigInsert(set, addr)
 }
 
 // Invalidate implements Array.
 func (a *SetAssoc) Invalidate(id LineID) {
+	if l := &a.lines[id]; l.Valid {
+		a.sigRemove(a.SetOf(id), l.Addr)
+	}
 	a.lines[id] = Line{}
 	a.tags[id] = 0
 }

@@ -21,11 +21,36 @@ import (
 type ZCache struct {
 	ways       int
 	setsPerWay int
+	wayShift   uint // log2(setsPerWay); wayOf is a shift
 	lines      []Line
 	hashes     []*hash.H3
 	maxCands   int
 	name       string
 	moveHook   func(src, dst LineID)
+
+	// slotTab caches, for every slot holding a valid line, that line's
+	// position in each way: slotTab[id*ways+w] == slot(lines[id].Addr, w).
+	// Rows are written when a line is installed (from the walk's first-level
+	// probes) and copied when a line is relocated, so the BFS expansion of
+	// the candidate walk reads a flat row instead of re-deriving Mix64 and
+	// one H3 hash per non-home way for every expanded candidate. Rows of
+	// invalid slots are stale and never read (invalid candidates are not
+	// expanded).
+	slotTab []LineID
+	// rootSlots holds the current walk's first-level positions (the
+	// installed line's future row).
+	rootSlots []LineID
+	// lk is a verified lookup memo: a direct-mapped table of recent
+	// (address → slot) resolutions. A memo probe is trusted only after the
+	// slot's line record confirms it still holds a valid line with the
+	// probed address; since an address is resident in at most one slot
+	// (installs happen only after a lookup miss and relocations move rather
+	// than duplicate), a confirmed memo hit returns exactly what the
+	// four-way probe would. Stale entries — relocated or replaced lines —
+	// fail the confirmation and fall through to the full probe, so the memo
+	// never changes a result, it only skips the per-way H3 hashes and
+	// scattered line loads on temporally-local hits.
+	lk []lkEntry
 
 	// Candidate-walk scratch state, reused across calls.
 	candSlots  []LineID
@@ -42,6 +67,23 @@ type ZCache struct {
 	installs    uint64
 	relocations uint64
 }
+
+// lkEntry is one lookup-memo slot: an address and the slot it resolved to.
+// The padded 16-byte record keeps a probe within one cache line.
+type lkEntry struct {
+	addr uint64
+	id   LineID
+	_    int32
+}
+
+// lookup-memo geometry: 4096 entries (64 KiB per array). The post-L1 stream
+// has its short-range reuse filtered out, so the memo needs enough reach to
+// catch medium-distance reuse; 64 KiB is small next to the line and metadata
+// arrays the simulated cache already touches.
+const (
+	lkEntries = 4096
+	lkMask    = lkEntries - 1
+)
 
 // NewZCache returns a zcache with numLines total line slots, the given way
 // count, and up to maxCands replacement candidates per eviction. numLines
@@ -67,11 +109,15 @@ func NewZCache(numLines, ways, maxCands int, seed uint64) *ZCache {
 	z := &ZCache{
 		ways:       ways,
 		setsPerWay: spw,
+		wayShift:   uint(log2(spw)),
 		lines:      make([]Line, numLines),
 		hashes:     make([]*hash.H3, ways),
 		maxCands:   maxCands,
 		name:       fmt.Sprintf("Z%d/%d", ways, maxCands),
 		visited:    make([]uint32, numLines),
+		slotTab:    make([]LineID, numLines*ways),
+		rootSlots:  make([]LineID, ways),
+		lk:         make([]lkEntry, lkEntries),
 	}
 	for w := 0; w < ways; w++ {
 		z.hashes[w] = hash.NewH3(log2(spw), hash.Mix64(seed+uint64(w)*0x9e37))
@@ -124,20 +170,30 @@ func (z *ZCache) slotMixed(mixed uint64, w int) LineID {
 	return LineID(w*z.setsPerWay + int(z.hashes[w].Hash(mixed)))
 }
 
-// wayOf returns the way a slot belongs to.
-func (z *ZCache) wayOf(id LineID) int { return int(id) / z.setsPerWay }
+// wayOf returns the way a slot belongs to (setsPerWay is a power of two).
+func (z *ZCache) wayOf(id LineID) int { return int(id) >> z.wayShift }
 
 // Lookup implements Array. A lookup probes one position per way.
 func (z *ZCache) Lookup(addr uint64) (LineID, bool) {
 	return z.LookupMixed(addr, hash.Mix64(addr))
 }
 
-// LookupMixed implements MixedArray.
+// LookupMixed implements MixedArray. The verified memo is consulted first;
+// a confirmed entry answers without hashing (see the lk field for why a
+// confirmed hit is exactly the full probe's answer), and misses always run
+// the full per-way probe.
 func (z *ZCache) LookupMixed(addr, mixed uint64) (LineID, bool) {
+	e := &z.lk[int(mixed)&lkMask]
+	if e.addr == addr {
+		if l := &z.lines[e.id]; l.Valid && l.Addr == addr {
+			return e.id, true
+		}
+	}
 	for w := 0; w < z.ways; w++ {
 		id := z.slotMixed(mixed, w)
 		l := &z.lines[id]
 		if l.Valid && l.Addr == addr {
+			e.addr, e.id = addr, id
 			return id, true
 		}
 	}
@@ -171,8 +227,12 @@ func (z *ZCache) CandidatesMixed(addr, mixed uint64, buf []LineID) []LineID {
 	parents := z.candParent[:0]
 	maxCands := z.maxCands
 
+	// The first-level probes double as the incoming line's slotTab row,
+	// recorded before deduplication so the row is complete even when
+	// positions collide (rootSlots is consumed by the following Install).
 	for w := 0; w < z.ways; w++ {
 		id := z.slotMixed(mixed, w)
+		z.rootSlots[w] = id
 		if visited[id] != epoch {
 			visited[id] = epoch
 			slots = append(slots, id)
@@ -182,21 +242,22 @@ func (z *ZCache) CandidatesMixed(addr, mixed uint64, buf []LineID) []LineID {
 			break
 		}
 	}
-	// BFS expansion: each valid candidate's line could live at its positions
-	// in the other ways.
+	// BFS expansion: each valid candidate's line could also live at its
+	// positions in the other ways, read from the line's precomputed slot row.
+	ways := z.ways
+	slotTab := z.slotTab
 	for i := 0; i < len(slots) && len(slots) < maxCands; i++ {
 		id := slots[i]
-		l := &z.lines[id]
-		if !l.Valid {
+		if !z.lines[id].Valid {
 			continue
 		}
-		home := z.wayOf(id)
-		lm := hash.Mix64(l.Addr)
-		for w := 0; w < z.ways && len(slots) < maxCands; w++ {
+		home := int(id) >> z.wayShift
+		row := slotTab[int(id)*ways : int(id)*ways+ways]
+		for w := 0; w < ways && len(slots) < maxCands; w++ {
 			if w == home {
 				continue
 			}
-			cid := z.slotMixed(lm, w)
+			cid := row[w]
 			if visited[cid] != epoch {
 				visited[cid] = epoch
 				slots = append(slots, cid)
@@ -216,7 +277,12 @@ func (z *ZCache) CandidatesMixed(addr, mixed uint64, buf []LineID) []LineID {
 // by the candidate tree of the preceding Candidates call, so the mix is
 // unused and Install and InstallMixed are the same operation.
 func (z *ZCache) InstallMixed(addr, mixed uint64, victim LineID) (LineID, int) {
-	return z.Install(addr, victim)
+	id, moves := z.Install(addr, victim)
+	// Prime the lookup memo: the installed line is where the next lookup of
+	// addr will find it (unless relocated first, which the memo's line-record
+	// confirmation handles).
+	z.lk[int(mixed)&lkMask] = lkEntry{addr: addr, id: id}
+	return id, moves
 }
 
 // Install implements Array. The victim must come from the immediately
@@ -246,13 +312,17 @@ func (z *ZCache) Install(addr uint64, victim LineID) (LineID, int) {
 	}
 	z.pathBuf = path
 	// path is victim..root; relocate from the deep end: the line at path[k+1]
-	// (one step shallower) moves into the slot at path[k].
+	// (one step shallower) moves into the slot at path[k]. A relocated line
+	// keeps its address, so its slot row moves with it (read before the next
+	// iteration overwrites the source row).
 	moves := 0
+	ways := z.ways
 	for k := 0; k+1 < len(path); k++ {
 		dst := z.candSlots[path[k]]
 		src := z.candSlots[path[k+1]]
 		z.lines[dst] = z.lines[src]
 		z.lines[src] = Line{}
+		copy(z.slotTab[int(dst)*ways:int(dst)*ways+ways], z.slotTab[int(src)*ways:int(src)*ways+ways])
 		if z.moveHook != nil {
 			z.moveHook(src, dst)
 		}
@@ -260,6 +330,7 @@ func (z *ZCache) Install(addr uint64, victim LineID) (LineID, int) {
 	}
 	root := z.candSlots[path[len(path)-1]]
 	z.lines[root] = Line{Addr: addr, Valid: true}
+	copy(z.slotTab[int(root)*ways:int(root)*ways+ways], z.rootSlots)
 	z.installs++
 	z.relocations += uint64(moves)
 	return root, moves

@@ -96,27 +96,33 @@ const candsPerAdjust = 256
 // partState is the per-partition controller state of the paper's Fig 4.
 // Registers are modeled at their architectural widths where the width has
 // semantic effect (8-bit timestamps and candidate counters wrap).
+//
+// Field order is part of the hot-path contract: the demotion scan of replace
+// reads currentTS/setpointTS/candsSeen/actual/target (and on a demotion
+// candsDemoted/demotedLines) for every managed candidate — 52 per miss on
+// the paper's zcache — so those fields lead the struct and share its first
+// cache line; the cold threshold tables and instrumentation counters follow.
 type partState struct {
 	currentTS    uint8
 	setpointTS   uint8
-	accessCtr    int
+	candsSeen    uint8
+	setpointRRPV uint8  // ModeRRIP state
+	brrip        bool   // ModeRRIP: current insertion policy
+	extPolicy    bool   // ModeRRIP: insertion policy set externally (UMON-RRIP)
+	psel         int16  // ModeRRIP: per-partition SRRIP/BRRIP duel selector
 	actual       int
 	target       int
-	candsSeen    uint8
+	accessCtr    int
 	candsDemoted int
+	demotedLines uint64
 	thrSize      [thresholdEntries]int
 	thrDems      [thresholdEntries]int
-	// ModeRRIP state.
-	setpointRRPV uint8
-	brrip        bool  // current insertion policy
-	psel         int16 // per-partition SRRIP/BRRIP duel selector
-	extPolicy    bool  // insertion policy set externally (UMON-RRIP)
 	// Churn measurement (insertions since last Stats call), for reporting
 	// and for tests of Eq 4 behavior.
 	insertions uint64
 	// Lifetime per-partition counters (not architectural state; for
 	// instrumentation).
-	hits, misses, demotedLines, promotedLines uint64
+	hits, misses, promotedLines uint64
 }
 
 // lineMeta is one line's controller state: the owning partition (partition
@@ -125,6 +131,15 @@ type partState struct {
 // record because the miss path reads all of them for every replacement
 // candidate — 52 per miss on the paper's zcache — and split arrays would
 // cost a cache miss each.
+//
+// Invariant: part == -1 exactly when the slot's line is invalid. It holds
+// because every transition is paired — New starts all-invalid/-1, installs
+// set the owner, relocations run through the move hook (which claims dst and
+// clears src), and evictions clear the victim's owner just before the array
+// overwrites the slot. Nothing else invalidates lines under a controller:
+// deletion in the serving layer leaves the tag to age out, and expiry runs
+// through DemoteExpired. The setpoint scan relies on this to detect free
+// slots from the metadata word alone, without touching the line store.
 type lineMeta struct {
 	part int16
 	ts   uint8
@@ -151,6 +166,10 @@ type Controller struct {
 	unmanagedTarget int
 
 	candBuf []cache.LineID
+	// metaBuf is scanSetpoint's gather scratch: the candidates' metadata
+	// words are batch-copied first so the scattered loads overlap, then the
+	// scan runs over the dense copy (writes still go through meta).
+	metaBuf []lineMeta
 	rng     *hash.Rand
 
 	// Exact priority tracking: per-partition + unmanaged timestamp

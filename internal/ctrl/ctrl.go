@@ -107,6 +107,12 @@ type Unpartitioned struct {
 	partOf  []int16
 	sizes   []int
 	candBuf []cache.LineID
+	// live counts valid lines. Nothing invalidates a line under this
+	// controller (there is no deletion path and relocations preserve
+	// validity), so the count is monotone and, once it reaches NumLines,
+	// pickVictim's first-invalid scan can be skipped: no set can have a free
+	// slot when the whole array is full.
+	live int
 }
 
 // NewUnpartitioned returns an unpartitioned controller over arr using policy
@@ -220,19 +226,25 @@ func (u *Unpartitioned) onHit(id cache.LineID, part int) AccessResult {
 // invalid slot, else the policy's choice (with eviction bookkeeping).
 func (u *Unpartitioned) pickVictim() (AccessResult, cache.LineID) {
 	victim := cache.InvalidLine
-	if lines := u.lines; lines != nil {
-		for _, c := range u.candBuf {
-			if !lines[c].Valid {
-				victim = c
-				break
+	if u.live < len(u.partOf) {
+		if lines := u.lines; lines != nil {
+			for _, c := range u.candBuf {
+				if !lines[c].Valid {
+					victim = c
+					break
+				}
+			}
+		} else {
+			for _, c := range u.candBuf {
+				if !u.arr.Line(c).Valid {
+					victim = c
+					break
+				}
 			}
 		}
-	} else {
-		for _, c := range u.candBuf {
-			if !u.arr.Line(c).Valid {
-				victim = c
-				break
-			}
+		if victim != cache.InvalidLine {
+			// The install that follows fills this free slot.
+			u.live++
 		}
 	}
 	var res AccessResult

@@ -2,6 +2,8 @@ package exp
 
 import (
 	"os"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -433,22 +435,44 @@ func TestRunMixDeterministic(t *testing.T) {
 	}
 }
 
-// TestParallelMatchesSequential: the parallel harness must produce the same
-// per-mix numbers as a sequential pass (simulations share no state).
+// TestParallelMatchesSequential: every parallel harness must produce
+// bit-identical results whether its work units run one at a time
+// (GOMAXPROCS=1) or concurrently (GOMAXPROCS=4) — simulations share no
+// mutable state, and shared recordings extend safely under concurrency.
+// Covers the throughput sweep plus the other mix-fanning experiments:
+// RunSelected (Fig 6b), Fig 8 traces, and the Fig 9 sweep.
 func TestParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")
 	}
 	m := SmallCMP(ScaleUnit)
 	m.InstrLimit, m.WarmupInstr = 20_000, 10_000
-	r1 := RunThroughput(m, LRUBaseline(), []Scheme{DefaultVantageScheme()}, 6, nil)
-	r2 := RunThroughput(m, LRUBaseline(), []Scheme{DefaultVantageScheme()}, 6, nil)
-	for i := range r1.MixIDs {
-		if r1.Curves[0].PerMix[i] != r2.Curves[0].PerMix[i] {
-			t.Fatalf("mix %s differs across runs: %v vs %v",
-				r1.MixIDs[i], r1.Curves[0].PerMix[i], r2.Curves[0].PerMix[i])
+
+	runBoth := func(name string, run func() any) {
+		prev := runtime.GOMAXPROCS(1)
+		seq := run()
+		runtime.GOMAXPROCS(4)
+		par := run()
+		runtime.GOMAXPROCS(prev)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: GOMAXPROCS=4 result differs from GOMAXPROCS=1", name)
 		}
 	}
+
+	runBoth("RunThroughput", func() any {
+		return RunThroughput(m, LRUBaseline(), []Scheme{DefaultVantageScheme()}, 6, nil)
+	})
+	runBoth("RunSelected", func() any {
+		return RunSelected(m, LRUBaseline(),
+			[]Scheme{DefaultVantageScheme(), WayPartScheme()},
+			[]string{"sftn1", "ttnn4", "ffnn3"})
+	})
+	runBoth("Fig8", func() any {
+		return RunFig8(m, "ttnn4", 0)
+	})
+	runBoth("Fig9", func() any {
+		return RunFig9(m, []float64{0.05, 0.25}, 4, nil)
+	})
 }
 
 func TestClassBreakdown(t *testing.T) {

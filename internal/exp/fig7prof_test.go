@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+// BenchmarkFig7Microcosm is the tentpole wall-clock target's in-tree twin:
+// the exact configuration the bench report's fig7 rows time (LargeCMP at
+// ScaleUnit, 25k-instruction window, 6 mixes), runnable under the profiler
+// with `go test -bench Fig7Microcosm -cpuprofile`.
+func BenchmarkFig7Microcosm(b *testing.B) {
+	m := LargeCMP(ScaleUnit)
+	m.InstrLimit = 25_000
+	for i := 0; i < b.N; i++ {
+		Fig7(m, 6, nil)
+	}
+}
+
+// BenchmarkFig7MicrocosmFast is the same microcosm on the fast tier.
+func BenchmarkFig7MicrocosmFast(b *testing.B) {
+	m := LargeCMP(ScaleUnit)
+	m.InstrLimit = 25_000
+	m.FastTier = true
+	for i := 0; i < b.N; i++ {
+		Fig7(m, 6, nil)
+	}
+}
+
+// TestWarmupSensitivity documents why the fast tier does NOT shorten cache
+// warmup, the single biggest wall-clock lever: Fig 7 gmeans are still
+// converging at the configured 250k-instruction warmup, so any cut shifts
+// per-scheme results systematically (measured on this configuration:
+// 250k→150k moves Vantage's gmean -2.4%, →100k -10%, →60k -34%), far
+// outside the ±0.5% equivalence contract. Gated behind an env var — it runs
+// Fig 7 four times (~3 min) and exists to be rerun when warmup or the
+// equivalence budget is retuned: VANTAGE_WARMUP_SWEEP=1 go test
+// ./internal/exp -run TestWarmupSensitivity -v
+func TestWarmupSensitivity(t *testing.T) {
+	if os.Getenv("VANTAGE_WARMUP_SWEEP") == "" {
+		t.Skip("set VANTAGE_WARMUP_SWEEP=1 to run the warmup convergence sweep")
+	}
+	for _, warm := range []uint64{250_000, 150_000, 100_000, 60_000} {
+		m := LargeCMP(ScaleUnit)
+		m.InstrLimit = 25_000
+		m.WarmupInstr = warm
+		r := Fig7(m, 6, nil)
+		for _, c := range r.Curves {
+			t.Logf("warm=%d scheme=%s gmean=%.5f mean=%.5f", warm, c.Scheme, c.Summary.GeoMean, c.Summary.Mean)
+		}
+	}
+}

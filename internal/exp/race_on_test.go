@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in; the
+// statistical-equivalence suite skips under it (5-10x slowdown on a purely
+// numerical contract that the race-free CI step enforces).
+const raceEnabled = true

@@ -43,6 +43,10 @@ type PIPP struct {
 	// Streaming detection state.
 	accesses, missesCnt []uint64
 	streaming           []bool
+	// live counts valid lines; nothing under this controller invalidates a
+	// line, so once live reaches NumLines the per-miss free-slot scan is
+	// skipped (no set can have an invalid way when the array is full).
+	live int
 }
 
 // NewPIPP returns a PIPP controller over arr with parts partitions.
@@ -162,10 +166,15 @@ func (p *PIPP) AccessMixed(addr, mixed uint64, part int) ctrl.AccessResult {
 	// The candidates of a set-associative array are exactly its ways in way
 	// order, so the set is walked directly instead of materializing them.
 	victim := cache.InvalidLine
-	for w := 0; w < ways; w++ {
-		if !p.lines[base+w].Valid {
-			victim = cache.LineID(base + w)
-			break
+	if p.live < len(p.lines) {
+		for w := 0; w < ways; w++ {
+			if !p.lines[base+w].Valid {
+				victim = cache.LineID(base + w)
+				break
+			}
+		}
+		if victim != cache.InvalidLine {
+			p.live++ // the install below fills this free slot
 		}
 	}
 	if victim == cache.InvalidLine {

@@ -30,6 +30,10 @@ type WayPartition struct {
 	sizes  []int
 	// victim scratch: candidate ways owned by the inserting partition
 	own []cache.LineID
+	// live counts valid lines; nothing under this controller invalidates a
+	// line, so once live reaches NumLines the per-miss free-slot test is
+	// skipped (no set can have an invalid way when the array is full).
+	live int
 }
 
 // NewWayPartition returns a way-partitioning controller over arr with parts
@@ -113,16 +117,27 @@ func (w *WayPartition) AccessMixed(addr, mixed uint64, part int) ctrl.AccessResu
 	base := w.arr.SetIndexMixed(addr, mixed) * ways
 	w.own = w.own[:0]
 	victim := cache.InvalidLine
-	for wi := 0; wi < ways; wi++ {
-		if int(w.wayOf[wi]) != part {
-			continue
+	if w.live < len(w.lines) {
+		for wi := 0; wi < ways; wi++ {
+			if int(w.wayOf[wi]) != part {
+				continue
+			}
+			id := cache.LineID(base + wi)
+			if !w.lines[id].Valid {
+				victim = id
+				break
+			}
+			w.own = append(w.own, id)
 		}
-		id := cache.LineID(base + wi)
-		if !w.lines[id].Valid {
-			victim = id
-			break
+		if victim != cache.InvalidLine {
+			w.live++ // the install below fills this free slot
 		}
-		w.own = append(w.own, id)
+	} else {
+		for wi := 0; wi < ways; wi++ {
+			if int(w.wayOf[wi]) == part {
+				w.own = append(w.own, cache.LineID(base+wi))
+			}
+		}
 	}
 	if victim == cache.InvalidLine {
 		if len(w.own) == 0 {

@@ -43,7 +43,8 @@ import (
 // crossings that the per-reference loop still flushed after the last L2
 // access (allocator decisions that no access ever observes), and
 // OnRepartition cycle stamps would differ — Run therefore rejects filtered
-// configs with an OnRepartition observer.
+// configs with an OnRepartition observer, unless Config.RelaxedRepartition
+// (fast tier) opts into observers with pending-miss cycle stamps.
 
 // A filtered stream is a sequence of packed two-word segments, each "a run of
 // L1 hits, optionally terminated by one L1 miss":
@@ -77,6 +78,10 @@ const (
 	segHitsMax   = 1<<16 - 1
 	segAddrMask  = 1<<32 - 1
 	segPreMax    = 1<<32 - 1
+
+	// flatSchedCores is the core count at or below which runFiltered's
+	// scheduler uses a flat argmin scan instead of the 8-ary heap.
+	flatSchedCores = 64
 )
 
 // MissRecorder computes and memoizes one app's post-L1 segment stream. It is
@@ -363,24 +368,75 @@ func (rs *runState) runFiltered(cfg *Config, res *Result) {
 		rs.advanceMiss(&rs.cores[i], i)
 		rs.heap[i] = rs.cores[i].missCycle<<rs.ciBits | uint64(i)
 	}
-	// Unlike the all-zero per-reference start, initial miss cycles are
-	// arbitrary, so establish the heap invariant explicitly.
-	for i := (n - 2) / 4; i >= 0; i-- {
-		rs.siftDown(i)
+	// At small core counts the scheduler drops the heap entirely: rs.heap
+	// becomes a flat per-core key array (slot i always holds core i's key)
+	// plus a cached minimum per group of eight cores. An event then costs
+	// one scan over the group minima (pop) and one eight-wide rescan of the
+	// updated core's group — about a dozen branch-predictable compares with
+	// no sift writes. The packed keys are unique (the core index is in the
+	// low bits), so the strict-< minimum over group minima is exactly the
+	// heap's pop and the replay order is unchanged.
+	flat := n <= flatSchedCores
+	var gmin []uint64
+	keys := rs.heap[:n]
+	if flat {
+		gmin = make([]uint64, (n+7)/8)
+		for g := range gmin {
+			lo := g << 3
+			hi := lo + 8
+			if hi > n {
+				hi = n
+			}
+			m := keys[lo]
+			for _, k := range keys[lo+1 : hi] {
+				if k < m {
+					m = k
+				}
+			}
+			gmin[g] = m
+		}
+	} else {
+		// Unlike the all-zero per-reference start, initial miss cycles are
+		// arbitrary, so establish the heap invariant explicitly (bottom-up
+		// from the last slot with children in the 8-ary layout).
+		for i := (n - 2) / 8; i >= 0; i-- {
+			rs.siftDown(i)
+		}
 	}
 
 	nextRepart := cfg.RepartitionCycles
 	repartEnabled := rs.alloc != nil && cfg.RepartitionCycles > 0
 	for rs.remaining > 0 {
-		ci := int(rs.heap[0] & rs.ciMask)
+		var ci int
+		if flat {
+			min := gmin[0]
+			for _, k := range gmin[1:] {
+				if k < min {
+					min = k
+				}
+			}
+			ci = int(min & rs.ciMask)
+		} else {
+			ci = int(rs.heap[0] & rs.ciMask)
+		}
 		c := &rs.cores[ci]
 
 		// Fire every boundary at or below this miss. The per-reference loop
 		// spread these fires over intervening L1-hit steps, which mutate
 		// nothing the allocator or cache can see, so firing them back to
-		// back here leaves identical state for the access below.
+		// back here leaves identical state for the access below. The
+		// observer (fast tier only; see Config.RelaxedRepartition) gets the
+		// pending-miss stamp, the closest filtered analog of the exact
+		// tier's per-reference clock.
 		for repartEnabled && c.missCycle >= nextRepart {
-			rs.repartition(cfg, res)
+			targets := rs.repartition(cfg, res)
+			if cfg.OnRepartition != nil {
+				actual := make([]int, rs.l2.NumPartitions())
+				for p := range actual {
+					actual[p] = rs.l2.Size(p)
+				}
+				cfg.OnRepartition(c.missCycle, targets, actual)
+			}
 			nextRepart += cfg.RepartitionCycles
 		}
 
@@ -413,7 +469,24 @@ func (rs *runState) runFiltered(cfg *Config, res *Result) {
 			}
 		}
 		rs.advanceMiss(c, ci)
-		rs.heap[0] = c.missCycle<<rs.ciBits | uint64(ci)
-		rs.fixRoot()
+		if flat {
+			keys[ci] = c.missCycle<<rs.ciBits | uint64(ci)
+			g := ci >> 3
+			lo := g << 3
+			hi := lo + 8
+			if hi > n {
+				hi = n
+			}
+			m := keys[lo]
+			for _, k := range keys[lo+1 : hi] {
+				if k < m {
+					m = k
+				}
+			}
+			gmin[g] = m
+		} else {
+			rs.heap[0] = c.missCycle<<rs.ciBits | uint64(ci)
+			rs.fixRoot()
+		}
 	}
 }

@@ -100,12 +100,20 @@ type Config struct {
 	PartitionableLines int
 	// OnRepartition, if set, observes every repartitioning decision.
 	OnRepartition func(cycle uint64, targets, actual []int)
+	// RelaxedRepartition (fast tier) permits OnRepartition observers on
+	// filtered streams. The filtered loop times repartitioning off
+	// pending-miss cycle stamps rather than exact per-reference clocks, so
+	// observed cycles can lag the exact tier's by up to one L1-hit run;
+	// the decisions themselves (targets, actual sizes) come from the same
+	// allocator machinery. Exact-tier runs must leave this unset so the
+	// bit-identity assertion keeps catching misuse.
+	RelaxedRepartition bool
 	// Miss, if non-nil, replaces per-reference simulation with memoized
 	// post-L1 segment streams (one cursor per core; see MissRecorder). The
 	// private L1s are then not modeled per run — their behavior is baked
 	// into the segments — so L1Lines/L1Ways and Apps are ignored. Mutually
 	// exclusive with OnRepartition (cycle stamps would differ; see
-	// filter.go).
+	// filter.go) unless RelaxedRepartition accepts the approximate stamps.
 	Miss []*MissReplay
 	// Contention optionally models L2 bank conflicts and memory bandwidth
 	// (zero value: the paper's zero-load latencies).
@@ -212,7 +220,7 @@ func Run(cfg Config) Result {
 		if n > 0 && n != len(cfg.Miss) {
 			panic("sim: Apps and Miss lengths differ")
 		}
-		if cfg.OnRepartition != nil {
+		if cfg.OnRepartition != nil && !cfg.RelaxedRepartition {
 			panic("sim: OnRepartition requires unfiltered streams (see filter.go)")
 		}
 		n = len(cfg.Miss)
@@ -438,11 +446,15 @@ func (rs *runState) accessL2(addr uint64, core int) (lat int, hit bool) {
 // heap shape pops the same schedule as the original linear min-scan (strict
 // less-than keeps the lowest-index minimum).
 //
-// The heap is 4-ary: the wider fan-out halves the number of sift levels,
-// which a stepped core usually traverses in full (its clock jumps past most
-// peers every step). The identity layout remains a valid initial heap: every
-// parent index is below its children's, matching the all-zero-clock tie
-// order.
+// The heap is 8-ary: a stepped core usually traverses the sift in full (its
+// clock jumps past most peers every step), so depth dominates the cost. The
+// wide fan-out keeps every configured core count within two levels (a 32-core
+// heap is 3 levels at 4-ary, 2 at 8-ary) and each level's children share at
+// most two cache lines. Because the packed keys form a strict total order,
+// the popped schedule is arity-independent — any valid heap shape yields the
+// same unique minimum — so widening preserves bit-identical runs. The
+// identity layout remains a valid initial heap: every parent index is below
+// its children's, matching the all-zero-clock tie order.
 func (rs *runState) fixRoot() { rs.siftDown(0) }
 
 // siftDown restores the heap invariant below slot i after its key grew.
@@ -451,11 +463,11 @@ func (rs *runState) siftDown(i int) {
 	n := len(h)
 	root := h[i]
 	for {
-		c0 := 4*i + 1
+		c0 := 8*i + 1
 		if c0 >= n {
 			break
 		}
-		end := c0 + 4
+		end := c0 + 8
 		if end > n {
 			end = n
 		}

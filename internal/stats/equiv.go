@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Equivalence quantifies how close two samples of a throughput-like metric
+// are — the fast simulation tier's validation contract against the exact
+// tier. Two tests matter for the simulator: the geometric-mean ratio (the
+// paper's headline summary of per-scheme throughput, so tier drift shows up
+// here first) and the two-sample Kolmogorov-Smirnov distance (per-mix
+// distribution agreement — a gmean can match by luck while individual mixes
+// diverge in compensating directions).
+type Equivalence struct {
+	// Name labels the compared quantity, e.g. a scheme name.
+	Name string
+	// NA and NB are the sample sizes.
+	NA, NB int
+	// GeoMeanA and GeoMeanB are the two samples' geometric means.
+	GeoMeanA, GeoMeanB float64
+	// GmeanDelta is |GeoMeanB/GeoMeanA - 1|, the relative gmean error.
+	GmeanDelta float64
+	// KS is the two-sample Kolmogorov-Smirnov statistic: the largest
+	// vertical gap between the samples' empirical CDFs, in [0, 1].
+	KS float64
+}
+
+// CompareEquivalence computes the equivalence metrics between reference
+// sample a and candidate sample b. Both must be non-empty and, for the
+// geometric means, strictly positive. The samples need not be paired or of
+// equal size.
+func CompareEquivalence(name string, a, b []float64) Equivalence {
+	e := Equivalence{
+		Name:     name,
+		NA:       len(a),
+		NB:       len(b),
+		GeoMeanA: geoMean(a),
+		GeoMeanB: geoMean(b),
+		KS:       KSDistance(a, b),
+	}
+	e.GmeanDelta = math.Abs(e.GeoMeanB/e.GeoMeanA - 1)
+	return e
+}
+
+// Check returns nil when both metrics are within tolerance, and an error
+// naming the violated bound otherwise. Pass maxKS <= 0 to skip the
+// distribution test (e.g. when sample sizes make KS meaningless).
+func (e Equivalence) Check(maxGmeanDelta, maxKS float64) error {
+	if math.IsNaN(e.GmeanDelta) || e.GmeanDelta > maxGmeanDelta {
+		return fmt.Errorf("stats: %s gmean delta %.4f%% exceeds %.4f%% (gmean %.5f vs %.5f)",
+			e.Name, 100*e.GmeanDelta, 100*maxGmeanDelta, e.GeoMeanA, e.GeoMeanB)
+	}
+	if maxKS > 0 && e.KS > maxKS {
+		return fmt.Errorf("stats: %s KS distance %.4f exceeds %.4f (n=%d, m=%d)",
+			e.Name, e.KS, maxKS, e.NA, e.NB)
+	}
+	return nil
+}
+
+// String renders the comparison for diff-style reports.
+func (e Equivalence) String() string {
+	return fmt.Sprintf("%s: gmean %.5f vs %.5f (Δ %.3f%%), KS %.3f (n=%d,%d)",
+		e.Name, e.GeoMeanA, e.GeoMeanB, 100*e.GmeanDelta, e.KS, e.NA, e.NB)
+}
+
+// geoMean is Summarize's geometric mean on its own, for samples that need no
+// full Summary. Non-positive values yield NaN.
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// KSDistance returns the two-sample Kolmogorov-Smirnov statistic between a
+// and b: sup_x |F_a(x) - F_b(x)| over the empirical CDFs. It is 0 for
+// identical samples and approaches 1 for disjoint ones. Inputs are not
+// modified.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		// Evaluate both CDFs just after each distinct jump point: step past
+		// every occurrence of the smaller value in BOTH samples, so ties
+		// across samples move the two CDFs together.
+		x := as[i]
+		if bs[j] < x {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+		gap := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if gap > d {
+			d = gap
+		}
+	}
+	return d
+}
+
+// KSCritical returns the critical Kolmogorov-Smirnov distance at which the
+// null hypothesis "same distribution" is rejected at significance alpha for
+// sample sizes n and m, using the standard asymptotic form
+// c(alpha) * sqrt((n+m)/(n*m)) with c(alpha) = sqrt(-ln(alpha/2)/2). With
+// the simulator's small per-scheme mix counts this is a loose bound — which
+// is the honest amount of distributional checking a handful of mixes can
+// support; the tight bound is the gmean tolerance.
+func KSCritical(alpha float64, n, m int) float64 {
+	if n <= 0 || m <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.NaN()
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(n+m)/float64(n*m))
+}

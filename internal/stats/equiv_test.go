@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"vantage/internal/hash"
+)
+
+// sample draws n values from a lognormal-ish positive distribution with the
+// given scale, deterministically.
+func sample(seed uint64, n int, scale float64) []float64 {
+	rng := hash.NewRand(seed)
+	out := make([]float64, n)
+	for i := range out {
+		// Sum of uniforms approximates a normal; exp keeps it positive.
+		s := 0.0
+		for k := 0; k < 4; k++ {
+			s += rng.Float64()
+		}
+		out[i] = scale * math.Exp(0.2*(s-2))
+	}
+	return out
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	a := sample(1, 100, 1.0)
+	if d := KSDistance(a, a); d != 0 {
+		t.Fatalf("KS of identical samples = %v, want 0", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	if d := KSDistance(a, b); d != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSDistanceKnownValue(t *testing.T) {
+	// CDFs cross at 0.5 vs 0.25 -> D = 0.5 by hand: a jumps to 1/2 at 2,
+	// b is still at 0 until 3.
+	a := []float64{1, 2, 5, 6}
+	b := []float64{3, 4, 7, 8}
+	if d := KSDistance(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestEquivalenceAccepts(t *testing.T) {
+	// Same distribution, different draws: gmean within a loose bound and KS
+	// below the 1% critical value.
+	a := sample(11, 400, 1.0)
+	b := sample(22, 400, 1.0)
+	e := CompareEquivalence("same-dist", a, b)
+	if err := e.Check(0.02, KSCritical(0.01, len(a), len(b))); err != nil {
+		t.Fatalf("equivalent samples rejected: %v", err)
+	}
+}
+
+// TestEquivalenceRejectsGmeanShift is a known-divergent fixture: a 3% scale
+// shift must trip a 0.5% gmean tolerance. If this test ever passes the
+// check, the harness has lost its teeth.
+func TestEquivalenceRejectsGmeanShift(t *testing.T) {
+	a := sample(11, 400, 1.00)
+	b := sample(22, 400, 1.03)
+	e := CompareEquivalence("shifted", a, b)
+	if err := e.Check(0.005, 0); err == nil {
+		t.Fatalf("3%% gmean shift passed a 0.5%% tolerance: %+v", e)
+	}
+	if e.GmeanDelta < 0.02 || e.GmeanDelta > 0.04 {
+		t.Fatalf("gmean delta %.4f outside the planted 3%% shift", e.GmeanDelta)
+	}
+}
+
+// TestEquivalenceRejectsDistributionChange: equal gmeans, different shapes —
+// the KS test must catch what the gmean cannot. Fixture: half the mass
+// displaced symmetrically in log space keeps the gmean but widens the CDF.
+func TestEquivalenceRejectsDistributionChange(t *testing.T) {
+	a := sample(11, 400, 1.0)
+	b := make([]float64, len(a))
+	for i, x := range a {
+		if i%2 == 0 {
+			b[i] = x * 1.5
+		} else {
+			b[i] = x / 1.5
+		}
+	}
+	e := CompareEquivalence("reshaped", a, b)
+	if e.GmeanDelta > 1e-9 {
+		t.Fatalf("fixture broken: gmean moved by %v", e.GmeanDelta)
+	}
+	if err := e.Check(0.005, KSCritical(0.01, len(a), len(b))); err == nil {
+		t.Fatalf("distribution change passed the KS test: %+v", e)
+	}
+}
+
+func TestEquivalenceNonPositive(t *testing.T) {
+	e := CompareEquivalence("bad", []float64{1, -1}, []float64{1, 2})
+	if err := e.Check(0.005, 0); err == nil {
+		t.Fatal("NaN gmean delta must fail the check")
+	}
+}
+
+func TestKSCritical(t *testing.T) {
+	// Classic table value: alpha=0.05, large equal n -> 1.358*sqrt(2/n).
+	got := KSCritical(0.05, 1000, 1000)
+	want := 1.3581 * math.Sqrt(2.0/1000)
+	if math.Abs(got-want) > 1e-4 {
+		t.Fatalf("KSCritical = %v, want %v", got, want)
+	}
+	if !math.IsNaN(KSCritical(0.05, 0, 10)) {
+		t.Fatal("KSCritical with n=0 must be NaN")
+	}
+}

@@ -33,12 +33,46 @@ type UMON struct {
 	sampleMask int
 	ratioShift uint
 	h          *hash.H3
-	tags       [][]uint64 // per sampled set, MRU-first LRU stack
-	occupancy  []int
-	hits       []uint64 // per stack position
-	misses     uint64
-	accesses   uint64
+	// tags is the auxiliary tag directory, one MRU-first LRU stack of ways
+	// entries per sampled set, flattened into a single backing array
+	// (set s occupies tags[s*ways : (s+1)*ways]) so the per-access stack
+	// walk reads contiguous memory with no per-set slice header.
+	tags      []uint64
+	occupancy []int
+	hits      []uint64 // per stack position
+	misses    uint64
+	accesses  uint64
+	// decision memo: whether an address maps to a sampled set (and which
+	// compacted set) is a pure function of the address, so it is cached in a
+	// small direct-mapped table and survives across repartition intervals.
+	dec []decEntry
+	// sig/sigCnt form an exact per-set presence filter over the resident
+	// tags: bit 1<<(tag&63) of sig[set] is set iff sigCnt[set*64 + tag&63]
+	// counts at least one resident tag mapping to that bit. A clear bit
+	// proves the tag is absent, so a miss — which would otherwise scan the
+	// whole stack before shifting it — skips the scan; a set bit falls
+	// through to the exact scan, so hit depths are untouched.
+	sig    []uint64
+	sigCnt []uint8
 }
+
+// decEntry is one decision-memo slot: the address and its encoded decision
+// (decUnknown empty, decFiltered not sampled, else compacted set + 1). The
+// 16-byte record keeps a probe within one cache line.
+type decEntry struct {
+	addr uint64
+	set  int32
+	_    int32
+}
+
+// decision-memo geometry: 512 entries (8 KiB per UMON) cover the hot working
+// set of a monitored stream without crowding the cache.
+const (
+	decEntries  = 512
+	decMask     = decEntries - 1
+	decUnknown  = int32(0)
+	decFiltered = int32(-1)
+)
 
 // NewUMON returns a monitor modeling a cache with the given associativity
 // and totalSets sets, instantiating at most sampledSets auxiliary-tag sets
@@ -67,12 +101,12 @@ func NewUMON(ways, totalSets, sampledSets int, seed uint64) *UMON {
 		sampleMask: ratio - 1,
 		ratioShift: uint(bits.TrailingZeros(uint(ratio))),
 		h:          hash.NewH3(32, hash.Mix64(seed^0x0e0e)),
-		tags:       make([][]uint64, sampledSets),
+		tags:       make([]uint64, sampledSets*ways),
 		occupancy:  make([]int, sampledSets),
 		hits:       make([]uint64, ways),
-	}
-	for i := range u.tags {
-		u.tags[i] = make([]uint64, ways)
+		dec:        make([]decEntry, decEntries),
+		sig:        make([]uint64, sampledSets),
+		sigCnt:     make([]uint8, sampledSets*64),
 	}
 	return u
 }
@@ -94,21 +128,39 @@ func (u *UMON) Access(addr uint64) {
 // structures (shard routing, the controller's array, the UMON) compute the
 // mix once and share it; the result is identical to Access(addr).
 func (u *UMON) AccessMixed(addr, mixed uint64) {
-	hv := u.h.Hash(mixed)
-	modelSet := int(hv) & (u.totalSets - 1)
-	if modelSet&u.sampleMask != 0 {
-		return
-	}
-	set := modelSet >> u.ratioShift
-	u.accesses++
-	stack := u.tags[set]
-	n := u.occupancy[set]
-	for k := 0; k < n; k++ {
-		if stack[k] == addr {
-			u.hits[k]++
-			copy(stack[1:k+1], stack[:k])
-			stack[0] = addr
+	// The sampled-set decision (H3 hash, filter mask, set compaction) is a
+	// pure function of the address; consult the memo before hashing.
+	var set int
+	e := &u.dec[int(mixed)&decMask]
+	if e.addr == addr && e.set != decUnknown {
+		if e.set == decFiltered {
 			return
+		}
+		set = int(e.set) - 1
+	} else {
+		hv := u.h.Hash(mixed)
+		modelSet := int(hv) & (u.totalSets - 1)
+		e.addr = addr
+		if modelSet&u.sampleMask != 0 {
+			e.set = decFiltered
+			return
+		}
+		set = modelSet >> u.ratioShift
+		e.set = int32(set) + 1
+	}
+	u.accesses++
+	stack := u.tags[set*u.ways : (set+1)*u.ways]
+	n := u.occupancy[set]
+	bit := uint64(1) << (addr & 63)
+	if u.sig[set]&bit != 0 {
+		// The tag may be resident: run the exact stack scan.
+		for k := 0; k < n; k++ {
+			if stack[k] == addr {
+				u.hits[k]++
+				copy(stack[1:k+1], stack[:k])
+				stack[0] = addr
+				return
+			}
 		}
 	}
 	u.misses++
@@ -117,9 +169,15 @@ func (u *UMON) AccessMixed(addr, mixed uint64) {
 		n++
 		u.occupancy[set] = n
 	} else {
+		evb := set<<6 | int(stack[u.ways-1]&63)
+		if u.sigCnt[evb]--; u.sigCnt[evb] == 0 {
+			u.sig[set] &^= uint64(1) << (evb & 63)
+		}
 		copy(stack[1:], stack[:u.ways-1])
 	}
 	stack[0] = addr
+	u.sigCnt[set<<6|int(addr&63)]++
+	u.sig[set] |= bit
 }
 
 // HitCurve returns the estimated hits with w = 0..Ways() ways: element w is
@@ -153,6 +211,12 @@ func (u *UMON) Reset() {
 	for i := range u.occupancy {
 		u.occupancy[i] = 0
 	}
+	for i := range u.sig {
+		u.sig[i] = 0
+	}
+	for i := range u.sigCnt {
+		u.sigCnt[i] = 0
+	}
 	for i := range u.hits {
 		u.hits[i] = 0
 	}
@@ -178,6 +242,19 @@ func (u *UMON) Decay() {
 // units, len units+1 and monotone non-decreasing), it distributes total
 // units, at least minPer each, greedily by maximum marginal utility
 // (hits gained per unit, evaluated over all lookahead distances).
+//
+// The naive algorithm rescans every partition's full distance range on every
+// pick — O(p·units) per pick, and the dominant repartitioning cost at line
+// granularity (256 units). This implementation caches each partition's
+// champion distance (argmax over d of marginal utility): a champion computed
+// at allocation a stays the argmax while a is unchanged and the remaining
+// budget still covers its distance, because shrinking the scan range cannot
+// change an argmax that remains inside it. Only the picked partition (its a
+// changed) and partitions whose champion distance exceeds the new remaining
+// budget are rescanned. Champions are recomputed with the exact arithmetic
+// and scan order of the naive loop, and ties break identically (strictly
+// greater beats, so the smallest distance and then the lowest partition
+// index win), so the allocation is bit-identical to the naive algorithm's.
 func Lookahead(curves [][]float64, total, minPer int) []int {
 	p := len(curves)
 	if p == 0 {
@@ -193,6 +270,12 @@ func Lookahead(curves [][]float64, total, minPer int) []int {
 		alloc[i] = minPer
 		remaining -= minPer
 	}
+	// Champion cache: chD[i]/chMU[i] hold partition i's best (distance,
+	// marginal utility) for its current allocation; chValid[i] marks entries
+	// that are current.
+	chD := make([]int, p)
+	chMU := make([]float64, p)
+	chValid := make([]bool, p)
 	for remaining > 0 {
 		bestPart, bestD, bestMU := -1, 0, 0.0
 		for i := 0; i < p; i++ {
@@ -200,15 +283,24 @@ func Lookahead(curves [][]float64, total, minPer int) []int {
 			if a >= units {
 				continue
 			}
-			maxD := units - a
-			if maxD > remaining {
-				maxD = remaining
-			}
-			for d := 1; d <= maxD; d++ {
-				mu := (curves[i][a+d] - curves[i][a]) / float64(d)
-				if mu > bestMU {
-					bestPart, bestD, bestMU = i, d, mu
+			if !chValid[i] || chD[i] > remaining {
+				maxD := units - a
+				if maxD > remaining {
+					maxD = remaining
 				}
+				curve := curves[i]
+				base := curve[a]
+				d0, mu0 := 0, 0.0
+				for d := 1; d <= maxD; d++ {
+					mu := (curve[a+d] - base) / float64(d)
+					if mu > mu0 {
+						d0, mu0 = d, mu
+					}
+				}
+				chD[i], chMU[i], chValid[i] = d0, mu0, true
+			}
+			if chMU[i] > bestMU {
+				bestPart, bestD, bestMU = i, chD[i], chMU[i]
 			}
 		}
 		if bestPart < 0 {
@@ -224,6 +316,7 @@ func Lookahead(curves [][]float64, total, minPer int) []int {
 		}
 		alloc[bestPart] += bestD
 		remaining -= bestD
+		chValid[bestPart] = false
 	}
 	return alloc
 }

@@ -1,0 +1,180 @@
+// Fast-tier generators: statistically-equivalent, not bit-identical.
+//
+// The simulator's default ("exact") tier draws Zipf ranks by guided binary
+// search over the CDF and geometric gaps by logarithmic inversion — both
+// chosen for bit-exact reproducibility against the golden fingerprints. The
+// fast tier swaps those inverse-CDF transforms for Walker/Vose alias tables
+// fed by a cheaper PRNG (hash.LCG): every draw becomes one table probe and
+// consumes exactly one 64-bit value, with no float math on the sampling path.
+//
+// The alias method samples the *same distributions* (the Zipf table is built
+// from the exact tier's own CDF; the geometric table enumerates the exact
+// success probability's pmf, truncated where the tail mass falls below
+// 2^-32), but the draw sequences differ, so fast-tier simulations are only
+// statistically interchangeable with exact-tier ones. internal/stats provides
+// the equivalence tests that police this contract, and internal/exp enforces
+// it against Fig 7 (per-scheme gmean throughput within ±0.5%).
+package workload
+
+import (
+	"math"
+	"math/bits"
+
+	"vantage/internal/hash"
+)
+
+// fastGapSalt decorrelates an app's fast-tier gap stream from its fast-tier
+// address stream (mirroring the seed^const derivations the exact tier uses
+// for its independent Rand streams).
+const fastGapSalt = 0xfa576a9
+
+// aliasTable samples an arbitrary discrete distribution over [0, n) in O(1)
+// per draw via the Walker/Vose alias method. Column i is chosen uniformly;
+// with probability prob[i] (in 2^-32 units) the sample is i, otherwise it is
+// alias[i]. Construction redistributes the pmf so every column's two
+// outcomes sum to exactly 1/n of the total mass.
+type aliasTable struct {
+	n     uint64
+	prob  []uint32
+	alias []uint32
+}
+
+// newAliasTable builds an alias table from non-negative weights (not
+// necessarily normalized). Acceptance thresholds are quantized to 32 bits,
+// which perturbs each column's split by at most 2^-32 — far below the
+// fast tier's statistical-equivalence tolerance.
+func newAliasTable(w []float64) *aliasTable {
+	n := len(w)
+	if n == 0 {
+		panic("workload: empty alias table")
+	}
+	sum := 0.0
+	for _, x := range w {
+		if x < 0 || math.IsNaN(x) {
+			panic("workload: negative or NaN alias weight")
+		}
+		sum += x
+	}
+	if sum <= 0 {
+		panic("workload: alias weights sum to zero")
+	}
+	t := &aliasTable{
+		n:     uint64(n),
+		prob:  make([]uint32, n),
+		alias: make([]uint32, n),
+	}
+	// Vose's two-worklist construction: columns below average donate their
+	// deficit to a column above average.
+	scaled := make([]float64, n)
+	small := make([]uint32, 0, n)
+	large := make([]uint32, 0, n)
+	inv := float64(n) / sum
+	for i, x := range w {
+		scaled[i] = x * inv
+		if scaled[i] < 1 {
+			small = append(small, uint32(i))
+		} else {
+			large = append(large, uint32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = probToU32(scaled[s])
+		t.alias[s] = l
+		// The donor keeps whatever mass the acceptor did not need.
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are exactly 1 up to rounding: accept unconditionally.
+	for _, i := range large {
+		t.prob[i] = math.MaxUint32
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = math.MaxUint32
+		t.alias[i] = i
+	}
+	return t
+}
+
+func probToU32(p float64) uint32 {
+	v := p * (1 << 32)
+	if v >= math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// sample maps one 64-bit draw to a bucket. The high word of r*n picks the
+// column (an unbiased fixed-point scaling of r into [0, n)); the top 32 bits
+// of the low word — the fractional part of that scaling, uniform within any
+// column — form the acceptance coin. One multiply, one compare, at most two
+// table reads.
+func (t *aliasTable) sample(r uint64) int {
+	hi, lo := bits.Mul64(r, t.n)
+	if uint32(lo>>32) < t.prob[hi] {
+		return int(hi)
+	}
+	return int(t.alias[hi])
+}
+
+// enableFast switches g to alias-table sampling of the same geometric
+// distribution: pmf p(1-p)^k enumerated up to the point where the remaining
+// tail mass drops below 2^-32 (for the simulator's gap means of 2-8 that is
+// a few hundred entries; the exact tier's own 53-bit inversion cannot
+// produce gaps meaningfully beyond that point either).
+func (g *gapGen) enableFast(seed uint64) {
+	if g.mean <= 0 {
+		return
+	}
+	p := 1 / (1 + g.mean)
+	q := 1 - p
+	k := int(math.Ceil(-32 * math.Ln2 / math.Log(q)))
+	w := make([]float64, k+1)
+	pk := p
+	for i := range w {
+		w[i] = pk
+		pk *= q
+	}
+	g.ftab = newAliasTable(w)
+	g.flcg = hash.NewLCG(seed)
+}
+
+// enableFast switches a to alias-table rank sampling over the identical Zipf
+// pmf (recovered from the exact tier's CDF) and fast gap sampling.
+func (a *ZipfApp) enableFast(seed uint64) {
+	w := make([]float64, len(a.cdf))
+	prev := 0.0
+	for i, c := range a.cdf {
+		w[i] = c - prev
+		prev = c
+	}
+	a.fAlias = newAliasTable(w)
+	a.flcg = hash.NewLCG(seed ^ 0xa11a5)
+	a.gaps.enableFast(seed ^ fastGapSalt)
+}
+
+// enableFastApp recursively enables fast-tier sampling on an app built by
+// NewApp, deriving per-stream seeds the same way construction did. Scan and
+// stream address sequences are deterministic walks with no sampling cost, so
+// only their gap generators change.
+func enableFastApp(app App, seed uint64) {
+	switch t := app.(type) {
+	case *ZipfApp:
+		t.enableFast(seed)
+	case *ScanApp:
+		t.gaps.enableFast(seed ^ fastGapSalt)
+	case *StreamApp:
+		t.gaps.enableFast(seed ^ fastGapSalt)
+	case *PhasedApp:
+		enableFastApp(t.a, seed)
+		enableFastApp(t.b, seed^0x9e)
+	}
+}
