@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vantage/internal/cluster"
 	"vantage/internal/hash"
 	"vantage/internal/service"
 	"vantage/internal/service/loadgen"
@@ -122,6 +123,26 @@ func runBenchMatrix(path string, lines, shards, valueSize int, seed uint64) erro
 	}
 	rep.Results = append(rep.Results, row)
 	fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec (expired=%d swept=%d)\n", row.Name, row.OpsPerSec, row.Expired, row.SweepLines)
+
+	// Cluster rows: the same standard mix against a 3-node loopback cluster,
+	// once through the ring-aware client (each key dialed straight to its
+	// owner) unbatched and pipelined, and once through the "vantaged proxy"
+	// forwarder — the extra hop the proxy convenience costs. Each node gets
+	// the solo geometry, so these rows are comparable to the tcp/* ones.
+	for _, batch := range []int{1, 32} {
+		row, err = runClusterBench(batch, false, lines, shards, valueSize, seed)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, row)
+		fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
+	}
+	row, err = runClusterBench(32, true, lines, shards, valueSize, seed)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, row)
+	fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -276,6 +297,88 @@ func runTCPBench(bin bool, batch int, hot bool, lines, shards, valueSize int, se
 	}
 	return benchRow{
 		Name:      fmt.Sprintf("%s/batch=%d%s", name, batch, suffix),
+		Conns:     conns,
+		Batch:     batch,
+		Ops:       res.Ops,
+		Seconds:   res.Elapsed.Seconds(),
+		OpsPerSec: res.OpsPerSec,
+	}, nil
+}
+
+// runClusterBench measures the standard mix against a 3-node loopback
+// cluster. Every node runs the solo-row geometry (same shards and lines),
+// so the comparison against tcp/* isolates what routing costs: the
+// ring-aware client's per-owner connections and MGET splitting, or — with
+// proxied set — the extra forwarder hop of "vantaged proxy".
+func runClusterBench(batch int, proxied bool, lines, shards, valueSize int, seed uint64) (benchRow, error) {
+	const n = 3
+	liss := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range liss {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return benchRow{}, err
+		}
+		defer lis.Close()
+		liss[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		svc, err := service.New(service.Config{
+			Shards:              shards,
+			LinesPerShard:       lines / shards,
+			RepartitionInterval: 50 * time.Millisecond,
+			Seed:                seed + uint64(i),
+		})
+		if err != nil {
+			return benchRow{}, err
+		}
+		defer svc.Close()
+		srv := service.Serve(svc, liss[i])
+		defer srv.Close()
+		nd, err := cluster.NewNode(svc, addrs[i], addrs, cluster.DefaultVNodes)
+		if err != nil {
+			return benchRow{}, err
+		}
+		svc.SetClusterHandler(nd)
+	}
+
+	specs, err := parseTenantSpecs("friendly=friendly:2,stream=stream:2", lines, seed)
+	if err != nil {
+		return benchRow{}, err
+	}
+	conns := 0
+	for _, t := range specs {
+		conns += t.Conns
+	}
+	opts := loadgen.Options{
+		Tenants:    specs,
+		OpsPerConn: 50000,
+		ValueSize:  valueSize,
+		Batch:      batch,
+	}
+	name := fmt.Sprintf("cluster/3node/batch=%d", batch)
+	if proxied {
+		plis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return benchRow{}, err
+		}
+		p, err := cluster.NewProxy(plis, addrs, cluster.DefaultVNodes)
+		if err != nil {
+			return benchRow{}, err
+		}
+		defer p.Close()
+		opts.Addr = p.Addr().String()
+		name = fmt.Sprintf("cluster/3node/proxy/batch=%d", batch)
+	} else {
+		opts.ClusterAddrs = addrs
+	}
+	res, err := loadgen.Run(opts)
+	if err != nil {
+		return benchRow{}, err
+	}
+	return benchRow{
+		Name:      name,
 		Conns:     conns,
 		Batch:     batch,
 		Ops:       res.Ops,

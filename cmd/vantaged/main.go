@@ -7,7 +7,9 @@
 // Usage:
 //
 //	vantaged [-listen :7171] [-metrics :7172] [-pprof] [flags]
+//	vantaged [-cluster a:7171,b:7171,c:7171 -advertise a:7171] [flags]
 //	vantaged bench [-addr host:port] [flags]
+//	vantaged proxy -cluster a:7171,b:7171,c:7171 [-listen :7170]
 //
 // The daemon speaks a memcached-style text protocol (GET/PUT/DEL, TENANT
 // admin verbs, STATS; see internal/service) and exports Prometheus metrics
@@ -18,6 +20,11 @@
 // workload models (the paper's Table 3 categories) as concurrent tenants
 // and reports per-tenant hit rates plus aggregate throughput — run it
 // against a live daemon, or with no -addr to self-host one in-process.
+//
+// -cluster runs the daemon as one node of a static cluster: tenant
+// registrations replicate to every listed peer, CLUSTER MEMBERS re-homes
+// keys on join/leave, and ring-aware clients (or "vantaged proxy", a thin
+// forwarder for clients that are not) route each key to its owner.
 package main
 
 import (
@@ -32,12 +39,17 @@ import (
 	"syscall"
 	"time"
 
+	"vantage/internal/cluster"
 	"vantage/internal/service"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		benchMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "proxy" {
+		proxyMain(os.Args[2:])
 		return
 	}
 
@@ -66,6 +78,10 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 0, "deadline for reading a PUT value block (0 = never)")
 	writeTimeout := flag.Duration("write-timeout", 0, "deadline for flushing responses (0 = never)")
 	faultSpec := flag.String("fault", "", "fault injection spec, e.g. 'err=0.01,drop=0.001,delay=0.05:2ms,ops=get|put,tenants=a|b,seed=1' (empty disables)")
+	clusterList := flag.String("cluster", "", "comma-separated member addresses; run as one node of this cluster (empty = solo)")
+	advertise := flag.String("advertise", "", "this node's address within -cluster (default: the -listen address)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "consistent-hash virtual nodes per member (must match across the cluster)")
+	trackLatency := flag.Bool("track-latency", false, "record per-request service latency (exported as a histogram on /metrics)")
 	flag.Parse()
 
 	svc, err := service.New(service.Config{
@@ -82,6 +98,7 @@ func main() {
 		SweepInterval:       *sweepInterval,
 		SweepBatch:          *sweepBatch,
 		Seed:                *seed,
+		TrackLatency:        *trackLatency,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vantaged:", err)
@@ -122,6 +139,27 @@ func main() {
 	})
 	fmt.Fprintf(os.Stderr, "vantaged: serving on %s (%d shards x %d lines, %d tenant slots)\n",
 		srv.Addr(), *shards, *lines / *shards, *maxTenants)
+
+	if *clusterList != "" {
+		members := splitAddrs(*clusterList)
+		self := *advertise
+		if self == "" {
+			self = srv.Addr().String()
+		}
+		node, err := cluster.NewNode(svc, self, members, *vnodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vantaged:", err)
+			os.Exit(1)
+		}
+		svc.SetClusterHandler(node)
+		// Catch up on registrations made while this node was down (or
+		// before it joined). Peers that are not up yet are fine: the first
+		// reachable one has the converged registry.
+		if err := node.Bootstrap(); err != nil {
+			fmt.Fprintln(os.Stderr, "vantaged: cluster bootstrap:", err)
+		}
+		fmt.Fprintf(os.Stderr, "vantaged: cluster node %s of %v (%d vnodes)\n", self, members, *vnodes)
+	}
 
 	var httpSrv *http.Server
 	if *metrics != "" {

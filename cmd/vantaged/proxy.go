@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"vantage/internal/cluster"
+)
+
+// proxyMain runs "vantaged proxy": a thin consistent-hash forwarder that
+// lets ring-unaware clients talk to a cluster through one address. Both
+// wire fronts (text and binary) are forwarded verbatim; see
+// internal/cluster/proxy.go.
+func proxyMain(args []string) {
+	fs := flag.NewFlagSet("vantaged proxy", flag.ExitOnError)
+	listen := fs.String("listen", ":7170", "proxy listen address")
+	clusterList := fs.String("cluster", "", "comma-separated member addresses (required)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "consistent-hash virtual nodes per member (must match the nodes)")
+	fs.Parse(args)
+
+	members := splitAddrs(*clusterList)
+	if len(members) == 0 {
+		fmt.Fprintln(os.Stderr, "vantaged proxy: -cluster is required")
+		os.Exit(2)
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vantaged proxy:", err)
+		os.Exit(1)
+	}
+	p, err := cluster.NewProxy(lis, members, *vnodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vantaged proxy:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "vantaged proxy: forwarding %s -> %v (%d vnodes)\n", p.Addr(), members, *vnodes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "vantaged proxy: shutting down")
+	p.Close()
+}
+
+// splitAddrs parses a comma-separated address list, trimming blanks.
+func splitAddrs(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Service is the surface a Node drives on its local cache service,
+// satisfied by *service.Service. An interface rather than the concrete
+// type so this package depends only on the wire contract — which also
+// lets the loadgen's ring-aware client import the ring without a cycle
+// (service's own tests exercise the loadgen).
+type Service interface {
+	// SyncRegistry adopts a peer's registry snapshot (Bootstrap).
+	SyncRegistry(version uint64, names []string) error
+	// Export visits every live entry with its remaining TTL in ms (-1 =
+	// never expires); returning false stops the walk.
+	Export(visit func(tenant, key string, val []byte, ttlMS int64) bool)
+	// Delete removes one key after its new owner acknowledged it.
+	Delete(tenant, key string) (bool, error)
+	// AddRehomedOut feeds the cluster_rehomed_keys counter.
+	AddRehomedOut(n uint64)
+}
+
+// Node wires one Service into a cluster: it implements
+// service.ClusterHandler, broadcasting the node's origin registry
+// mutations to every peer, and owns the membership ring that drives key
+// re-homing on join/leave. Install with svc.SetClusterHandler(node).
+//
+// The replication is gossip-free by design: membership is a static list
+// every node is started with (the operator's deployment is the source of
+// truth, as in the paper's fixed bank organization), registry ops fan out
+// synchronously from their origin, and a (re)starting node catches up by
+// pulling a peer's snapshot (Bootstrap). Two operators mutating the same
+// tenant on different origins concurrently is the operator's race — each
+// origin's ops apply in its own TCP order on every peer, and versions
+// max-merge, so peers converge; which mutation "wins" is whichever lands
+// last, exactly like issuing the two ops against one node back to back.
+type Node struct {
+	svc    Service
+	self   string
+	vnodes int
+
+	// mu guards ring and peers. Never held across network I/O: broadcast
+	// and drain snapshot what they need under mu and release it, so a slow
+	// peer cannot stall registry reads or another broadcast's snapshot.
+	mu    sync.Mutex
+	ring  *Ring
+	peers map[string]*Peer // every member but self
+
+	// drainMu serializes membership changes: a drain is a long network
+	// operation and two concurrent SetMembers would double-send keys.
+	drainMu sync.Mutex
+}
+
+// NewNode builds the node's cluster view. self must be one of members —
+// the address peers and clients route this node's keys to.
+func NewNode(svc Service, self string, members []string, vnodes int) (*Node, error) {
+	ring, err := NewRing(members, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	if !ring.Contains(self) {
+		return nil, fmt.Errorf("cluster: self %q not in member list %v", self, ring.Members())
+	}
+	n := &Node{svc: svc, self: self, vnodes: ring.VNodes(), ring: ring, peers: make(map[string]*Peer)}
+	for _, m := range ring.Members() {
+		if m != self {
+			n.peers[m] = NewPeer(m)
+		}
+	}
+	return n, nil
+}
+
+// Self returns this node's advertised address.
+func (n *Node) Self() string { return n.self }
+
+// Peers returns the current peer count (members minus self).
+func (n *Node) Peers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.peers)
+}
+
+// Members returns the current member set, sorted.
+func (n *Node) Members() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.ring.Members()))
+	copy(out, n.ring.Members())
+	return out
+}
+
+// Ring returns the current ring (immutable; replaced wholesale by
+// SetMembers).
+func (n *Node) Ring() *Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+// peerList snapshots the peers for iteration outside the lock.
+func (n *Node) peerList() []*Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+// AnnounceAdd replicates a tenant add to every peer (ClusterHandler).
+// Best-effort and synchronous: by the time the origin's AddTenant returns,
+// every reachable peer has the tenant, so a follow-up op routed anywhere
+// succeeds. A peer that is down misses the op and catches up wholesale
+// when it restarts and Bootstraps.
+func (n *Node) AnnounceAdd(version uint64, name string) { n.broadcast(version, true, name) }
+
+// AnnounceRemove replicates a tenant removal to every peer.
+func (n *Node) AnnounceRemove(version uint64, name string) { n.broadcast(version, false, name) }
+
+func (n *Node) broadcast(version uint64, add bool, name string) {
+	for _, p := range n.peerList() {
+		// Errors are dropped deliberately: the peer client already closed
+		// the connection for redial, and a down peer re-syncs via Bootstrap.
+		_, _ = p.RegOp(version, add, name)
+	}
+}
+
+// Bootstrap pulls the registry snapshot from the first reachable peer and
+// adopts it. Call once after the node's server is listening; a single-node
+// cluster (no peers) is a no-op.
+func (n *Node) Bootstrap() error {
+	peers := n.peerList()
+	if len(peers) == 0 {
+		return nil
+	}
+	var lastErr error
+	for _, p := range peers {
+		version, names, err := p.RegPull()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return n.svc.SyncRegistry(version, names)
+	}
+	return fmt.Errorf("cluster: bootstrap found no reachable peer: %w", lastErr)
+}
+
+// rehomeBatchSize bounds one pipelined REHOME batch: large enough to
+// amortize the round trip, small enough that a failed batch re-sends
+// little.
+const rehomeBatchSize = 128
+
+// SetMembers installs a new member set and drains every key this node no
+// longer owns to its new owner, TTLs preserved, returning how many keys
+// were drained (also added to the service's cluster_rehomed_keys counter).
+//
+// The ring swaps before the drain, so requests arriving mid-drain already
+// route by the new ownership; a key still in flight simply misses on the
+// new owner until its REHOME frame lands — a cache's contract allows that,
+// and the drain deletes a key locally only after its new owner
+// acknowledged it, so an acknowledged PUT can never be lost by a
+// membership change. A set that omits self means this node is leaving: it
+// keeps serving, owns nothing, and drains its whole store.
+func (n *Node) SetMembers(members []string) (uint64, error) {
+	n.drainMu.Lock()
+	defer n.drainMu.Unlock()
+
+	newRing, err := NewRing(members, n.vnodes)
+	if err != nil {
+		return 0, err
+	}
+
+	n.mu.Lock()
+	n.ring = newRing
+	for _, m := range newRing.Members() {
+		if m != n.self && n.peers[m] == nil {
+			n.peers[m] = NewPeer(m)
+		}
+	}
+	var departed []*Peer
+	current := make(map[string]bool, len(members))
+	for _, m := range newRing.Members() {
+		current[m] = true
+	}
+	for addr, p := range n.peers {
+		if !current[addr] {
+			departed = append(departed, p)
+			delete(n.peers, addr)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range departed {
+		p.Close()
+	}
+
+	// Drain: collect everything the new ring homes elsewhere, grouped by
+	// new owner, then stream per owner in pipelined batches. Values alias
+	// the store (immutable snapshots), so the collection holds no copies.
+	byOwner := make(map[string][]RehomeEntry)
+	n.svc.Export(func(tenant, key string, val []byte, ttlMS int64) bool {
+		owner := newRing.Owner(tenant, key)
+		if owner != n.self {
+			byOwner[owner] = append(byOwner[owner], RehomeEntry{Tenant: tenant, Key: key, Val: val, TTLMS: ttlMS})
+		}
+		return true
+	})
+
+	var moved uint64
+	var firstErr error
+	for owner, entries := range byOwner {
+		n.mu.Lock()
+		p := n.peers[owner]
+		n.mu.Unlock()
+		if p == nil {
+			// A concurrent SetMembers removed the owner between export and
+			// send; its keys will re-home on the next membership change.
+			continue
+		}
+		for len(entries) > 0 {
+			batch := entries
+			if len(batch) > rehomeBatchSize {
+				batch = batch[:rehomeBatchSize]
+			}
+			entries = entries[len(batch):]
+			acked, err := p.RehomeBatch(batch)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				break // keep this owner's remaining keys; they stay served here
+			}
+			for i, ok := range acked {
+				if !ok {
+					continue
+				}
+				n.svc.Delete(batch[i].Tenant, batch[i].Key)
+				moved++
+			}
+		}
+	}
+	n.svc.AddRehomedOut(moved)
+	return moved, firstErr
+}

@@ -1,0 +1,647 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Proxy is a thin protocol-level forwarder: clients that cannot (or do not
+// want to) run the consistent-hash ring themselves connect to the proxy as
+// if it were a single vantaged node, and the proxy routes each command to
+// the key's owner over the same wire protocol the client spoke. Both wire
+// fronts are supported — text lines and the binary framing — and frames
+// are forwarded verbatim, so the proxy adds one hop and no re-encoding.
+//
+// The proxy is deliberately stateless: it holds the ring and a per-client
+// set of lazily dialed backend connections, nothing else. Ownership moves
+// only when the operator restarts the proxy with a new member list (the
+// nodes themselves re-home keys via CLUSTER MEMBERS); a long-lived proxy
+// deployment would re-resolve membership out of band.
+type Proxy struct {
+	lis     net.Listener
+	ring    *Ring
+	members []string
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// proxyMaxLine bounds one text command line; proxyMaxBody bounds one PUT
+// value block or binary frame. Both are generous — the backends enforce
+// the real protocol limits and their ERR/close is relayed — these only
+// keep a garbage length field from making the proxy buffer gigabytes.
+const (
+	proxyMaxLine = 1 << 20
+	proxyMaxBody = 64 << 20
+)
+
+// NewProxy starts a proxy for the given member list on lis.
+func NewProxy(lis net.Listener, members []string, vnodes int) (*Proxy, error) {
+	ring, err := NewRing(members, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{lis: lis, ring: ring, members: ring.Members(), conns: make(map[net.Conn]bool)}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() net.Addr { return p.lis.Addr() }
+
+// Close stops accepting, closes every client connection and waits for the
+// per-connection goroutines to drain.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = true
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serveConn(conn)
+	}
+}
+
+func (p *Proxy) forget(conn net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+}
+
+// serveConn sniffs the first byte — the binary preamble's magic can never
+// start a text verb — and hands the connection to the matching front.
+func (p *Proxy) serveConn(conn net.Conn) {
+	defer p.wg.Done()
+	defer p.forget(conn)
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 32<<10)
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == peerMagic {
+		p.serveBinary(conn, r)
+		return
+	}
+	p.serveText(conn, r)
+}
+
+// ---------------------------------------------------------------- text --
+
+// textBackend is one lazily dialed text-protocol connection to a node,
+// owned by a single client connection (so responses can't interleave).
+type textBackend struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+type textSession struct {
+	p        *Proxy
+	w        *bufio.Writer
+	backends map[string]*textBackend
+}
+
+func (ts *textSession) backend(addr string) (*textBackend, error) {
+	if b := ts.backends[addr]; b != nil {
+		return b, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, peerDialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("backend %s: %w", addr, err)
+	}
+	b := &textBackend{conn: conn, r: bufio.NewReaderSize(conn, 32<<10), w: bufio.NewWriterSize(conn, 16<<10)}
+	ts.backends[addr] = b
+	return b, nil
+}
+
+func (ts *textSession) closeAll() {
+	for _, b := range ts.backends {
+		b.conn.Close()
+	}
+}
+
+// readLine reads one CRLF- (or LF-) terminated line, stripped.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > proxyMaxLine {
+		return "", errors.New("line too long")
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// relayValueResponse reads one GET-shaped response (VALUE block, MISS, or
+// ERR) from b and returns it verbatim including terminators.
+func (ts *textSession) relayValueResponse(b *textBackend) ([]byte, error) {
+	line, err := readLine(b.r)
+	if err != nil {
+		return nil, err
+	}
+	out := []byte(line + "\r\n")
+	if n, ok := strings.CutPrefix(line, "VALUE "); ok {
+		size, err := strconv.Atoi(n)
+		if err != nil || size < 0 || size > proxyMaxBody {
+			return nil, fmt.Errorf("backend sent VALUE length %q", n)
+		}
+		body := make([]byte, size+2) // value + CRLF
+		if _, err := io.ReadFull(b.r, body); err != nil {
+			return nil, err
+		}
+		out = append(out, body...)
+	}
+	return out, nil
+}
+
+// relayUntilEnd copies response lines to the client until the END
+// terminator. A leading ERR line is a complete response on its own.
+func (ts *textSession) relayUntilEnd(b *textBackend) error {
+	for {
+		line, err := readLine(b.r)
+		if err != nil {
+			return err
+		}
+		ts.w.WriteString(line)
+		ts.w.WriteString("\r\n")
+		if line == "END" || strings.HasPrefix(line, "ERR") {
+			return nil
+		}
+	}
+}
+
+// roundTripLine forwards one command line and relays the one-line reply.
+func (ts *textSession) roundTripLine(addr, line string) (string, error) {
+	b, err := ts.backend(addr)
+	if err != nil {
+		return "", err
+	}
+	b.w.WriteString(line)
+	b.w.WriteString("\r\n")
+	if err := b.w.Flush(); err != nil {
+		return "", err
+	}
+	return readLine(b.r)
+}
+
+// serveText runs the text front: parse just enough of each command to know
+// its routing key and its framing (PUT's value block, MGET's fan-out),
+// forward, and relay the response.
+func (p *Proxy) serveText(conn net.Conn, r *bufio.Reader) {
+	w := bufio.NewWriterSize(conn, 16<<10)
+	ts := &textSession{p: p, w: w, backends: make(map[string]*textBackend)}
+	defer ts.closeAll()
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		quit, err := p.textCommand(ts, r, line, fields)
+		if err != nil {
+			// A backend or framing failure mid-command: the client stream
+			// can no longer be trusted to stay in sync, so close.
+			fmt.Fprintf(w, "ERR proxy: %v\r\n", err)
+			w.Flush()
+			return
+		}
+		if w.Flush() != nil || quit {
+			return
+		}
+	}
+}
+
+func (p *Proxy) textCommand(ts *textSession, r *bufio.Reader, line string, fields []string) (quit bool, err error) {
+	verb := strings.ToUpper(fields[0])
+	switch verb {
+	case "GET", "DEL", "TOUCH", "EXPIRE":
+		if len(fields) < 3 {
+			// Malformed: any node produces the right usage error.
+			resp, err := ts.roundTripLine(p.members[0], line)
+			if err != nil {
+				return false, err
+			}
+			ts.w.WriteString(resp + "\r\n")
+			return false, nil
+		}
+		addr := p.ring.Owner(fields[1], fields[2])
+		b, err := ts.backend(addr)
+		if err != nil {
+			return false, err
+		}
+		b.w.WriteString(line)
+		b.w.WriteString("\r\n")
+		if err := b.w.Flush(); err != nil {
+			return false, err
+		}
+		if verb == "GET" {
+			resp, err := ts.relayValueResponse(b)
+			if err != nil {
+				return false, err
+			}
+			ts.w.Write(resp)
+			return false, nil
+		}
+		resp, err := readLine(b.r)
+		if err != nil {
+			return false, err
+		}
+		ts.w.WriteString(resp + "\r\n")
+		return false, nil
+
+	case "PUT":
+		return p.textPut(ts, r, line, fields)
+
+	case "MGET":
+		return false, p.textMGet(ts, line, fields)
+
+	case "TENANT":
+		// Registration replicates cluster-wide from whichever node takes
+		// it; route by name so retries of one op land on one node. LIST
+		// reads any node's registry — they converge — so use the first.
+		addr := p.members[0]
+		if len(fields) == 3 && (strings.EqualFold(fields[1], "ADD") || strings.EqualFold(fields[1], "DEL")) {
+			addr = p.ring.Owner(fields[2], "")
+		}
+		if len(fields) >= 2 && strings.EqualFold(fields[1], "LIST") {
+			b, err := ts.backend(addr)
+			if err != nil {
+				return false, err
+			}
+			b.w.WriteString(line + "\r\n")
+			if err := b.w.Flush(); err != nil {
+				return false, err
+			}
+			return false, ts.relayUntilEnd(b)
+		}
+		resp, err := ts.roundTripLine(addr, line)
+		if err != nil {
+			return false, err
+		}
+		ts.w.WriteString(resp + "\r\n")
+		return false, nil
+
+	case "STATS":
+		// Per-node counters; the proxy reports the first member's. The
+		// scale suite scrapes each node directly for cluster-wide views.
+		b, err := ts.backend(p.members[0])
+		if err != nil {
+			return false, err
+		}
+		b.w.WriteString(line + "\r\n")
+		if err := b.w.Flush(); err != nil {
+			return false, err
+		}
+		return false, ts.relayUntilEnd(b)
+
+	case "PING":
+		ts.w.WriteString("PONG\r\n")
+		return false, nil
+
+	case "QUIT":
+		ts.w.WriteString("BYE\r\n")
+		return true, nil
+
+	case "CLUSTER":
+		// Membership is per node; issuing it through a proxy would be
+		// ambiguous about which node should drain.
+		ts.w.WriteString("ERR CLUSTER must be issued to a node, not the proxy\r\n")
+		return false, nil
+
+	default:
+		fmt.Fprintf(ts.w, "ERR unknown command %q\r\n", fields[0])
+		return false, nil
+	}
+}
+
+// textPut forwards PUT: the value block belongs to the command, so it is
+// read from the client (keeping the client stream in sync even when the
+// command line is malformed) and forwarded with the line.
+func (p *Proxy) textPut(ts *textSession, r *bufio.Reader, line string, fields []string) (quit bool, err error) {
+	if len(fields) < 4 {
+		resp, err := ts.roundTripLine(p.members[0], line)
+		if err != nil {
+			return false, err
+		}
+		ts.w.WriteString(resp + "\r\n")
+		return false, nil
+	}
+	n, perr := strconv.Atoi(fields[3])
+	if perr != nil || n < 0 {
+		// No value block can follow an unparseable length; the backend
+		// answers the same ERR without one.
+		resp, err := ts.roundTripLine(p.members[0], line)
+		if err != nil {
+			return false, err
+		}
+		ts.w.WriteString(resp + "\r\n")
+		return false, nil
+	}
+	if n > proxyMaxBody {
+		return true, fmt.Errorf("value length %d exceeds proxy maximum", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return true, errors.New("short value")
+	}
+	// Absorb the client's value terminator, tolerating a bare LF.
+	if c, err := r.ReadByte(); err == nil && c == '\r' {
+		r.ReadByte()
+	} else if err == nil && c != '\n' {
+		r.UnreadByte()
+	}
+	b, err := ts.backend(p.ring.Owner(fields[1], fields[2]))
+	if err != nil {
+		return false, err
+	}
+	b.w.WriteString(line)
+	b.w.WriteString("\r\n")
+	b.w.Write(body)
+	b.w.WriteString("\r\n")
+	if err := b.w.Flush(); err != nil {
+		return false, err
+	}
+	resp, err := readLine(b.r)
+	if err != nil {
+		return false, err
+	}
+	ts.w.WriteString(resp + "\r\n")
+	return false, nil
+}
+
+// textMGet fans an MGET out to each owner and reassembles the per-key
+// responses in the client's key order, terminated by one END. Any ERR from
+// a backend (unknown tenant, injected fault) replaces the whole response
+// with that single ERR line, no END — the same shape a node's own
+// mid-batch abort has.
+func (p *Proxy) textMGet(ts *textSession, line string, fields []string) error {
+	if len(fields) < 3 {
+		resp, err := ts.roundTripLine(p.members[0], line)
+		if err != nil {
+			return err
+		}
+		ts.w.WriteString(resp + "\r\n")
+		return nil
+	}
+	k, perr := strconv.Atoi(fields[2])
+	if perr != nil || k < 1 || len(fields) != 3+k {
+		resp, err := ts.roundTripLine(p.members[0], line)
+		if err != nil {
+			return err
+		}
+		ts.w.WriteString(resp + "\r\n")
+		return nil
+	}
+	tenant, keys := fields[1], fields[3:]
+	byOwner := make(map[string][]int)
+	for i, key := range keys {
+		owner := p.ring.Owner(tenant, key)
+		byOwner[owner] = append(byOwner[owner], i)
+	}
+	responses := make([][]byte, len(keys))
+	// Owners are visited sequentially: an MGET is one command, and the
+	// proxy's job is correctness, not fan-out latency (ring-aware clients
+	// route themselves).
+	for _, addr := range p.members {
+		idxs := byOwner[addr]
+		if len(idxs) == 0 {
+			continue
+		}
+		b, err := ts.backend(addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b.w, "MGET %s %d", tenant, len(idxs))
+		for _, i := range idxs {
+			b.w.WriteByte(' ')
+			b.w.WriteString(keys[i])
+		}
+		b.w.WriteString("\r\n")
+		if err := b.w.Flush(); err != nil {
+			return err
+		}
+		for _, i := range idxs {
+			resp, err := ts.relayValueResponse(b)
+			if err != nil {
+				return err
+			}
+			if strings.HasPrefix(string(resp), "ERR") {
+				// The backend aborted: it sent no END and no further
+				// responses for this batch. Relay the abort as the whole
+				// client response.
+				ts.w.Write(resp)
+				return nil
+			}
+			responses[i] = resp
+		}
+		end, err := readLine(b.r)
+		if err != nil {
+			return err
+		}
+		if end != "END" {
+			return fmt.Errorf("backend %s ended MGET with %q", addr, end)
+		}
+	}
+	for _, resp := range responses {
+		ts.w.Write(resp)
+	}
+	ts.w.WriteString("END\r\n")
+	return nil
+}
+
+// -------------------------------------------------------------- binary --
+
+// binBackend is one negotiated binary connection to a node, owned by a
+// single proxied client. Its reader goroutine relays response frames to
+// the client as they arrive; ids pass through untouched, and the binary
+// contract already tells clients to match responses by id, so interleaved
+// arrivals from different backends are fine.
+type binBackend struct {
+	conn net.Conn
+}
+
+// serveBinary runs the binary front: negotiate with the client, then parse
+// each request frame just enough to route it and forward it verbatim.
+func (p *Proxy) serveBinary(conn net.Conn, r *bufio.Reader) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return
+	}
+	if pre[0] != peerMagic || pre[1] != 'V' || pre[2] != 'B' {
+		return
+	}
+	ack := [4]byte{peerMagic, 'V', 'B', peerVersion}
+	if _, err := conn.Write(ack[:]); err != nil || pre[3] != peerVersion {
+		return
+	}
+
+	var wmu sync.Mutex // serializes response-frame writes to the client
+	backends := make(map[string]*binBackend)
+	var bwg sync.WaitGroup
+	defer func() {
+		for _, b := range backends {
+			b.conn.Close()
+		}
+		bwg.Wait()
+	}()
+
+	backend := func(addr string) (*binBackend, error) {
+		if b := backends[addr]; b != nil {
+			return b, nil
+		}
+		bc, err := net.DialTimeout("tcp", addr, peerDialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := bc.Write(ack[:]); err != nil {
+			bc.Close()
+			return nil, err
+		}
+		var back [4]byte
+		if _, err := io.ReadFull(bc, back[:]); err != nil || back[0] != peerMagic || back[3] != peerVersion {
+			bc.Close()
+			return nil, errors.New("backend negotiation failed")
+		}
+		b := &binBackend{conn: bc}
+		backends[addr] = b
+		bwg.Add(1)
+		go func() {
+			defer bwg.Done()
+			relayBinResponses(bc, conn, &wmu)
+			// A dead backend mid-stream loses responses the client is
+			// owed; the only honest recovery is closing the client.
+			conn.Close()
+		}()
+		return b, nil
+	}
+
+	hdr := make([]byte, 4+peerReqHdr)
+	var frame []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+			return
+		}
+		n := int(peerLE.Uint32(hdr[:4]))
+		if n < peerReqHdr || n > proxyMaxBody {
+			return
+		}
+		if cap(frame) < 4+n {
+			frame = make([]byte, 4+n)
+		}
+		frame = frame[:4+n]
+		copy(frame, hdr[:4])
+		if _, err := io.ReadFull(r, frame[4:]); err != nil {
+			return
+		}
+		op := frame[4]
+		tl := int(frame[6])
+		kl := int(peerLE.Uint16(frame[16:18]))
+		if peerReqHdr+tl+kl > n {
+			return // framing violation, same as a node would treat it
+		}
+		tenant := string(frame[4+peerReqHdr : 4+peerReqHdr+tl])
+		key := string(frame[4+peerReqHdr+tl : 4+peerReqHdr+tl+kl])
+
+		var addr string
+		switch op {
+		case peerOpPing:
+			// Answered locally: PING probes the proxy's own liveness.
+			var resp [4 + peerRespHdr]byte
+			peerLE.PutUint32(resp[0:4], peerRespHdr)
+			resp[4] = peerStOK
+			resp[5] = op
+			copy(resp[8:12], frame[8:12]) // id passes through
+			wmu.Lock()
+			_, err := conn.Write(resp[:])
+			wmu.Unlock()
+			if err != nil {
+				return
+			}
+			continue
+		case peerOpTenantAdd, peerOpTenantDel, peerOpRegOp:
+			addr = p.ring.Owner(tenant, "")
+		case peerOpRegPull:
+			addr = p.members[0]
+		case peerOpGet, peerOpPut, peerOpDel, peerOpTouch, peerOpRehome:
+			addr = p.ring.Owner(tenant, key)
+		default:
+			return // unknown opcode: the stream can't be trusted
+		}
+		b, err := backend(addr)
+		if err != nil {
+			return
+		}
+		if _, err := b.conn.Write(frame); err != nil {
+			return
+		}
+	}
+}
+
+// relayBinResponses copies complete response frames from a backend to the
+// client until either side dies.
+func relayBinResponses(from net.Conn, to net.Conn, wmu *sync.Mutex) {
+	r := bufio.NewReaderSize(from, 32<<10)
+	hdr := make([]byte, 4)
+	var frame []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return
+		}
+		n := int(peerLE.Uint32(hdr))
+		if n < peerRespHdr || n > proxyMaxBody {
+			return
+		}
+		if cap(frame) < 4+n {
+			frame = make([]byte, 4+n)
+		}
+		frame = frame[:4+n]
+		copy(frame, hdr)
+		if _, err := io.ReadFull(r, frame[4:]); err != nil {
+			return
+		}
+		wmu.Lock()
+		_, err := to.Write(frame)
+		wmu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}

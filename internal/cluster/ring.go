@@ -1,0 +1,166 @@
+// Package cluster scales vantaged from one process to N: a consistent-hash
+// ring routes every (tenant, key) to exactly one node, the tenant registry
+// is replicated to every peer over the binary protocol, and membership
+// changes re-home only the keys whose ownership actually moved.
+//
+// The design transposes the paper's §5 banked-cache scaling onto processes.
+// A banked LLC replicates each partition's target registers across banks so
+// any bank can enforce the partition locally while lines are spread by an
+// address interleaving; here the tenant registry (the "target registers")
+// is replicated to every vantaged node while keys are spread by the ring,
+// so any node can enforce a tenant's Vantage partition on the keys it owns
+// without cross-node coordination on the data path.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"vantage/internal/hash"
+)
+
+// Ring is an immutable consistent-hash ring over a member set. Each member
+// contributes vnodes virtual points; a (tenant, key) pair is owned by the
+// member whose first point clockwise from the pair's hash it is. Two rings
+// built from the same member set and vnode count are identical, whichever
+// peer builds them and in whatever order the members were listed — that
+// determinism is what lets every client and node route independently.
+//
+// Ownership is monotone under membership change by construction: removing a
+// member removes only its points, so a pair changes owner only if its
+// previous owner left; adding a member moves to it exactly the pairs its
+// new points now cover. No other key moves.
+type Ring struct {
+	members []string // sorted, deduplicated
+	vnodes  int
+	points  []ringPoint // sorted by (hash, member index)
+}
+
+type ringPoint struct {
+	h    uint64
+	node int32 // index into members
+}
+
+// DefaultVNodes is the virtual-node count used when a caller passes 0: high
+// enough that the largest member's share stays within a few percent of 1/N,
+// low enough that building a ring is microseconds.
+const DefaultVNodes = 64
+
+// NewRing builds a ring over members with vnodes virtual points per member
+// (0 = DefaultVNodes). Members are canonicalized (sorted, deduplicated), so
+// peers need only agree on the set, not the order.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	canon := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member address")
+		}
+		if !seen[m] {
+			seen[m] = true
+			canon = append(canon, m)
+		}
+	}
+	if len(canon) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	sort.Strings(canon)
+	r := &Ring{members: canon, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(canon)*vnodes)
+	for i, m := range canon {
+		base := hash.Mix64(fnv1a(m) ^ 0x76616e7461676564) // "vantaged"
+		for v := 0; v < vnodes; v++ {
+			h := hash.Mix64(base + uint64(v)*0x9e3779b97f4a7c15)
+			r.points = append(r.points, ringPoint{h: h, node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].h != r.points[b].h {
+			return r.points[a].h < r.points[b].h
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Members returns the canonicalized member set (sorted). The slice is the
+// ring's own; callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Contains reports whether addr is a ring member.
+func (r *Ring) Contains(addr string) bool {
+	i := sort.SearchStrings(r.members, addr)
+	return i < len(r.members) && r.members[i] == addr
+}
+
+// Owner returns the member that owns (tenant, key): the first ring point at
+// or clockwise past KeyHash(tenant, key). Registry operations route a bare
+// tenant with key "" the same way, giving each tenant a deterministic
+// registrar.
+func (r *Ring) Owner(tenant, key string) string {
+	return r.members[r.ownerIdx(KeyHash(tenant, key))]
+}
+
+// OwnerB is Owner for byte-slice tenant and key, for protocol paths that
+// must not allocate strings per frame.
+func (r *Ring) OwnerB(tenant, key []byte) string {
+	return r.members[r.ownerIdx(keyHashB(tenant, key))]
+}
+
+func (r *Ring) ownerIdx(h uint64) int32 {
+	pts := r.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].h >= h })
+	if i == len(pts) {
+		i = 0 // wrap: the smallest point owns the top arc
+	}
+	return pts[i].node
+}
+
+// KeyHash is the routing hash over (tenant, key): FNV-1a over tenant, a NUL
+// separator (tenant names exclude control bytes, so the pair encoding is
+// unambiguous), FNV-1a over key, finished with the SplitMix64 mixer — the
+// same FNV+Mix64 construction the service uses for line addresses.
+func KeyHash(tenant, key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= 1099511628211
+	}
+	h ^= 0
+	h *= 1099511628211
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return hash.Mix64(h)
+}
+
+func keyHashB(tenant, key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= 1099511628211
+	}
+	h ^= 0
+	h *= 1099511628211
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return hash.Mix64(h)
+}
+
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sampleKeys returns n deterministic (tenant, key) pairs spread over a few
+// tenants, the shape the scale suite routes.
+func sampleKeys(n int) [][2]string {
+	out := make([][2]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = [2]string{
+			fmt.Sprintf("tenant-%d", i%17),
+			fmt.Sprintf("key-%d", i),
+		}
+	}
+	return out
+}
+
+func TestRingCanonicalization(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 64); err == nil {
+		t.Fatal("empty member address accepted")
+	}
+	r, err := NewRing([]string{"b", "a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Members(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("members not sorted+deduped: %v", got)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	if !r.Contains("b") || r.Contains("d") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+// TestRingOwnershipAgreement: every peer building the ring from its own
+// (permuted) view of the member list must route all 10k sampled keys
+// identically — the determinism the whole client-side-routing design
+// depends on.
+func TestRingOwnershipAgreement(t *testing.T) {
+	members := []string{"10.0.0.1:7070", "10.0.0.2:7070", "10.0.0.3:7070", "10.0.0.4:7070", "10.0.0.5:7070"}
+	keys := sampleKeys(10000)
+	for _, vn := range []int{1, 16, 128} {
+		vn := vn
+		t.Run(fmt.Sprintf("vnodes=%d", vn), func(t *testing.T) {
+			ref, err := NewRing(members, vn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(vn)))
+			for peer := 0; peer < 4; peer++ {
+				perm := make([]string, len(members))
+				copy(perm, members)
+				rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+				r, err := NewRing(perm, vn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, k := range keys {
+					if a, b := ref.Owner(k[0], k[1]), r.Owner(k[0], k[1]); a != b {
+						t.Fatalf("peer %d disagrees on (%s,%s): %s vs %s", peer, k[0], k[1], a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRingMonotoneRemoval: removing one member re-homes only the keys that
+// member owned; every key owned by a survivor keeps its owner. This is the
+// consistent-hashing property that bounds re-homing traffic on node leave.
+func TestRingMonotoneRemoval(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4", "n5"}
+	keys := sampleKeys(10000)
+	for _, vn := range []int{1, 16, 128} {
+		vn := vn
+		t.Run(fmt.Sprintf("vnodes=%d", vn), func(t *testing.T) {
+			full, err := NewRing(members, vn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, leaving := range members {
+				reduced := make([]string, 0, len(members)-1)
+				for _, m := range members {
+					if m != leaving {
+						reduced = append(reduced, m)
+					}
+				}
+				sub, err := NewRing(reduced, vn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				moved := 0
+				for _, k := range keys {
+					before := full.Owner(k[0], k[1])
+					after := sub.Owner(k[0], k[1])
+					if before == leaving {
+						moved++
+						if after == leaving {
+							t.Fatalf("(%s,%s) still owned by removed member %s", k[0], k[1], leaving)
+						}
+						continue
+					}
+					if after != before {
+						t.Fatalf("(%s,%s) moved %s -> %s though %s left", k[0], k[1], before, after, leaving)
+					}
+				}
+				// The departing member must actually have owned something at
+				// realistic vnode counts, or the property test is vacuous.
+				if vn >= 16 && moved == 0 {
+					t.Fatalf("member %s owned none of %d keys at vnodes=%d", leaving, len(keys), vn)
+				}
+			}
+		})
+	}
+}
+
+// TestRingBalance sanity-checks that virtual nodes spread load: at 128
+// vnodes no member of a 5-node ring should own more than 2x its fair share
+// of 10k keys.
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4", "n5"}
+	r, err := NewRing(members, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := sampleKeys(10000)
+	for _, k := range keys {
+		counts[r.Owner(k[0], k[1])]++
+	}
+	fair := len(keys) / len(members)
+	for m, c := range counts {
+		if c > 2*fair {
+			t.Fatalf("member %s owns %d of %d keys (fair %d)", m, c, len(keys), fair)
+		}
+	}
+}
+
+// TestRingOwnerB: the byte-slice fast path must agree with Owner.
+func TestRingOwnerB(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sampleKeys(1000) {
+		if r.Owner(k[0], k[1]) != r.OwnerB([]byte(k[0]), []byte(k[1])) {
+			t.Fatalf("OwnerB disagrees on (%s,%s)", k[0], k[1])
+		}
+	}
+}
+
+// TestRingSeparatorUnambiguous: the NUL separator means ("ab","c") and
+// ("a","bc") hash differently even though their concatenations collide.
+func TestRingSeparatorUnambiguous(t *testing.T) {
+	if KeyHash("ab", "c") == KeyHash("a", "bc") {
+		t.Fatal("tenant/key boundary ambiguous")
+	}
+}

@@ -23,8 +23,11 @@
 // Request frames (client -> server) after the length:
 //
 //	off 0  opcode  u8   GET=1 PUT=2 DEL=3 TOUCH=4 PING=5 TENANT_ADD=6
-//	off 1  flags   u8   bit0 (PUT): explicit TTL — ttl_ms is authoritative,
-//	                    0 meaning "never expire"; unset: service default TTL
+//	                    TENANT_DEL=7 REG_OP=8 REG_PULL=9 REHOME=10
+//	off 1  flags   u8   bit0 (PUT/REHOME): explicit TTL — ttl_ms is
+//	                    authoritative, 0 meaning "never expire"; unset:
+//	                    service default TTL (REHOME: never expire).
+//	                    bit0 (REG_OP): add (set) vs remove (clear)
 //	off 2  tlen    u8   tenant-name length
 //	off 3  rsvd    u8   must be 0
 //	off 4  id      u32  client-chosen, echoed verbatim in the response
@@ -40,7 +43,26 @@
 //	off 2  rsvd    u16
 //	off 4  id      u32  echo of the request id
 //	off 8  payload      GET hit: value; TENANT_ADD: u32 partition;
+//	                    REG_OP: u64 local registry version; REG_PULL:
+//	                    u64 version, u32 count, count x (u8 len, name);
 //	                    ERR: message text
+//
+// # Cluster frames
+//
+// REG_OP replicates one tenant registry mutation between peers: the tenant
+// field carries the name, flag bit0 picks add vs remove, and the value
+// payload is exactly 8 bytes — the origin's registry version as a
+// little-endian u64 (klen must be 0). The receiver applies the mutation and
+// max-merges the version (service.ApplyRegistryOp), answering OK with its
+// own version. REG_PULL (no tenant, no key, no value) returns the
+// receiver's full registry snapshot for bootstrap. REHOME is a PUT-shaped
+// internal transfer used during key re-homing on membership changes: same
+// fields as PUT, but the TTL flag semantics preserve "never expires" (no
+// flag means no expiry, never the receiver's default TTL) and the receiver
+// counts it in cluster_rehomed_in_keys instead of tenant PUT accounting
+// pressure on dashboards. All three are ordinary frames: framing
+// violations close the connection, semantic errors answer ERR and the
+// stream continues.
 //
 // Responses to one connection may be written out of order relative to
 // other connections' requests but in practice arrive in request order per
@@ -128,12 +150,19 @@ const (
 	binOpTouch     = 4
 	binOpPing      = 5
 	binOpTenantAdd = 6
+	binOpTenantDel = 7
+	binOpRegOp     = 8
+	binOpRegPull   = 9
+	binOpRehome    = 10
 
 	binStOK   = 0
 	binStMiss = 1
 	binStErr  = 2
 	binStShed = 3
 )
+
+// binFlagRegAdd distinguishes add from remove on a REG_OP frame.
+const binFlagRegAdd = 1 << 0
 
 var binLE = binary.LittleEndian
 
@@ -436,7 +465,52 @@ func (s *Server) binDispatch(c *binConn, f []byte) error {
 		binLE.PutUint32(p[:], uint32(part))
 		s.binRespond(c, binStOK, op, id, p[:], false)
 		return nil
-	case binOpGet, binOpPut, binOpDel, binOpTouch:
+	case binOpTenantDel:
+		if flags != 0 {
+			return errBadFrame
+		}
+		if err := s.svc.RemoveTenant(string(tenant)); err != nil {
+			s.binRespondErr(c, op, id, err.Error(), false)
+			return nil
+		}
+		s.binRespond(c, binStOK, op, id, nil, false)
+		return nil
+	case binOpRegOp:
+		if flags&^byte(binFlagRegAdd) != 0 {
+			return errBadFrame
+		}
+		if kl != 0 || len(val) != 8 {
+			s.binRespondErr(c, op, id, "bad registry frame", false)
+			return nil
+		}
+		ver, err := s.svc.ApplyRegistryOp(binLE.Uint64(val), flags&binFlagRegAdd != 0, string(tenant))
+		if err != nil {
+			s.binRespondErr(c, op, id, err.Error(), false)
+			return nil
+		}
+		var p [8]byte
+		binLE.PutUint64(p[:], ver)
+		s.binRespond(c, binStOK, op, id, p[:], false)
+		return nil
+	case binOpRegPull:
+		if flags != 0 {
+			return errBadFrame
+		}
+		if tl != 0 || kl != 0 || len(val) != 0 {
+			s.binRespondErr(c, op, id, "bad registry pull", false)
+			return nil
+		}
+		ver, names := s.svc.RegistrySnapshot()
+		p := make([]byte, 12, 12+16*len(names))
+		binLE.PutUint64(p[0:8], ver)
+		binLE.PutUint32(p[8:12], uint32(len(names)))
+		for _, n := range names {
+			p = append(p, byte(len(n)))
+			p = append(p, n...)
+		}
+		s.binRespond(c, binStOK, op, id, p, false)
+		return nil
+	case binOpGet, binOpPut, binOpDel, binOpTouch, binOpRehome:
 	default:
 		return errBadFrame
 	}
@@ -447,7 +521,7 @@ func (s *Server) binDispatch(c *binConn, f []byte) error {
 		s.binRespondErr(c, op, id, "bad key length", false)
 		return nil
 	}
-	if op != binOpPut && len(val) != 0 {
+	if op != binOpPut && op != binOpRehome && len(val) != 0 {
 		s.binRespondErr(c, op, id, "unexpected value payload", false)
 		return nil
 	}

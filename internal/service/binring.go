@@ -142,8 +142,17 @@ func (s *Server) binWorker(si int) {
 				return
 			}
 		}
-		for _, q := range batch {
-			s.binExec(q)
+		if h := s.svc.latency; h != nil {
+			clk := s.svc.clk
+			for _, q := range batch {
+				t0 := clk.Now()
+				s.binExec(q)
+				h.record(clk.Now().Sub(t0))
+			}
+		} else {
+			for _, q := range batch {
+				s.binExec(q)
+			}
 		}
 	}
 }
@@ -159,6 +168,8 @@ func binOpToOp(op uint8) Op {
 		return OpDelete
 	case binOpTouch:
 		return OpTouch
+	case binOpRehome:
+		return OpPut
 	}
 	return OpGet
 }
@@ -210,6 +221,17 @@ func (s *Server) binExec(q *binReq) {
 			ttl = time.Duration(q.ttlMS) * time.Millisecond
 		}
 		svc.putAt(q.t, q.addr, q.key, q.val, ttl)
+		status = binStOK
+	case binOpRehome:
+		// A re-homed key keeps exactly the TTL it had on the old owner: the
+		// flag carries the remaining TTL, no flag means it never expired —
+		// the receiver's DefaultTTL must not re-stamp it.
+		var ttl time.Duration
+		if q.hasTTL {
+			ttl = time.Duration(q.ttlMS) * time.Millisecond
+		}
+		svc.putAt(q.t, q.addr, q.key, q.val, ttl)
+		svc.rehomedIn.Add(1)
 		status = binStOK
 	case binOpDel:
 		if svc.deleteAt(q.t, q.addr, q.key) {

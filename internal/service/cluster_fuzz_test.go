@@ -1,0 +1,193 @@
+package service
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// leU64 encodes v as the 8-byte little-endian value payload a REG_OP frame
+// carries.
+func leU64(v uint64) string {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return string(b[:])
+}
+
+// TestBinaryClusterFrames pins the semantics of the cluster opcodes over a
+// live connection: TENANT_DEL, REG_OP add/remove with version max-merge,
+// REG_PULL snapshots, and REHOME's TTL-preserving PUT, plus the
+// framing-vs-semantic error split for each.
+func TestBinaryClusterFrames(t *testing.T) {
+	svc, srv := newTestServer(t)
+	if _, err := svc.AddTenant("t"); err != nil {
+		t.Fatal(err)
+	}
+	c := dialBin(t, srv.Addr().String())
+
+	// REG_OP add at version 5: local version max-merges to 5.
+	c.expect(binOpRegOp, binFlagRegAdd, 1, 0, "bob", "", leU64(5), binStOK, leU64(5))
+	if v := svc.ClusterVersion(); v != 5 {
+		t.Fatalf("version = %d, want 5", v)
+	}
+	// Stale replay at version 3: applied idempotently, version stays 5.
+	c.expect(binOpRegOp, binFlagRegAdd, 2, 0, "bob", "", leU64(3), binStOK, leU64(5))
+	// Remove of an unknown tenant converges silently (still OK).
+	c.expect(binOpRegOp, 0, 3, 0, "ghost", "", leU64(6), binStOK, leU64(6))
+	// Remove of bob at version 7.
+	c.expect(binOpRegOp, 0, 4, 0, "bob", "", leU64(7), binStOK, leU64(7))
+	if _, err := svc.tenant("bob"); err == nil {
+		t.Fatal("bob still registered after replicated remove")
+	}
+
+	// Semantic violations answer ERR and the stream continues.
+	c.expect(binOpRegOp, binFlagRegAdd, 5, 0, "x", "", "short", binStErr, "bad registry frame")
+	c.expect(binOpRegOp, binFlagRegAdd, 6, 0, "x", "k", leU64(1), binStErr, "bad registry frame")
+	c.expect(binOpRegOp, binFlagRegAdd, 7, 0, "bad name\x01", "", leU64(8), binStErr, `service: invalid tenant name "bad name\x01"`)
+	c.expect(binOpPing, 0, 8, 0, "", "", "", binStOK, "")
+
+	// REG_PULL returns version + names. "t" holds slot 0; bob's freed slot 1
+	// goes to carol.
+	c.expect(binOpTenantAdd, 0, 9, 0, "carol", "", "", binStOK, "\x01\x00\x00\x00")
+	c.send(binOpRegPull, 0, 10, 0, "", "", "")
+	r := c.resp()
+	if r.status != binStOK || len(r.payload) < 12 {
+		t.Fatalf("REG_PULL: status=%d payload=%q", r.status, r.payload)
+	}
+	ver := binary.LittleEndian.Uint64(r.payload[0:8])
+	count := binary.LittleEndian.Uint32(r.payload[8:12])
+	names := map[string]bool{}
+	p := r.payload[12:]
+	for i := uint32(0); i < count; i++ {
+		n := int(p[0])
+		names[string(p[1:1+n])] = true
+		p = p[1+n:]
+	}
+	if ver != 7 || !names["carol"] || names["bob"] {
+		t.Fatalf("REG_PULL: ver=%d names=%v", ver, names)
+	}
+	// Non-empty tenant/key/value on REG_PULL: semantic error.
+	c.expect(binOpRegPull, 0, 11, 0, "t", "", "", binStErr, "bad registry pull")
+
+	// TENANT_DEL (operator op, not replication): removes and answers OK;
+	// removing again is a semantic error.
+	c.expect(binOpTenantDel, 0, 12, 0, "carol", "", "", binStOK, "")
+	c.expect(binOpTenantDel, 0, 13, 0, "carol", "", "", binStErr, `service: unknown tenant "carol"`)
+
+	// REHOME: PUT-shaped, counted separately, TTL semantics preserved.
+	out0, in0 := svc.RehomedCounts()
+	c.expect(binOpRehome, 0, 14, 0, "t", "moved", "payload", binStOK, "")
+	c.expect(binOpRehome, binFlagTTL, 15, 60000, "t", "moved-ttl", "payload", binStOK, "")
+	c.expect(binOpGet, 0, 16, 0, "t", "moved", "", binStOK, "payload")
+	out1, in1 := svc.RehomedCounts()
+	if out1 != out0 || in1 != in0+2 {
+		t.Fatalf("rehomed counts: out %d->%d in %d->%d", out0, out1, in0, in1)
+	}
+	// Unknown tenant on REHOME is semantic, like PUT.
+	c.expect(binOpRehome, 0, 17, 0, "ghost", "k", "v", binStErr, "unknown tenant")
+}
+
+// TestBinaryClusterFramingViolations: reserved-flag bits on the cluster
+// opcodes are framing violations and must close the connection.
+func TestBinaryClusterFramingViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"TENANT_DEL with flags", binFrame(binOpTenantDel, 0x02, 1, 0, "t", "", "")},
+		{"REG_OP with reserved flag", binFrame(binOpRegOp, 0x82, 1, 0, "t", "", leU64(1))},
+		{"REG_PULL with flags", binFrame(binOpRegPull, 0x01, 1, 0, "", "", "")},
+		{"REHOME with reserved flag", binFrame(binOpRehome, 0x04, 1, 0, "t", "k", "v")},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, srv := newTestServer(t)
+			c := dialBin(t, srv.Addr().String())
+			if _, err := c.conn.Write(tc.frame); err != nil {
+				t.Fatal(err)
+			}
+			c.closedSoon()
+		})
+	}
+}
+
+// FuzzClusterFrames is FuzzBinFrames pointed at the cluster opcodes: the
+// registry-replication (REG_OP/REG_PULL), tenant-admin (TENANT_DEL) and
+// re-homing (REHOME) frames, mixed with data frames the way a draining
+// peer's stream interleaves them. Framing violations must close, semantic
+// errors must answer ERR and continue, and nothing may hang or panic.
+func FuzzClusterFrames(f *testing.F) {
+	svc := fuzzService(f)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := ServeWith(svc, lis, ServerConfig{
+		IdleTimeout:  2 * time.Second,
+		WriteTimeout: time.Second,
+	})
+	f.Cleanup(func() { srv.Close() })
+	addr := srv.Addr().String()
+
+	seeds := [][]byte{
+		binFrame(binOpRegOp, binFlagRegAdd, 1, 0, "u", "", leU64(1)),
+		binFrame(binOpRegOp, 0, 2, 0, "u", "", leU64(2)),
+		binFrame(binOpRegOp, 0, 3, 0, "ghost", "", leU64(3)),            // unknown removal: OK, converges
+		binFrame(binOpRegOp, binFlagRegAdd, 4, 0, "u", "", "short"),     // bad version payload: ERR
+		binFrame(binOpRegOp, binFlagRegAdd, 5, 0, "u", "key", leU64(1)), // key present: ERR
+		binFrame(binOpRegOp, binFlagRegAdd, 6, 0, "", "", leU64(1)),     // empty name: ERR
+		binFrame(binOpRegOp, 0x80, 7, 0, "u", "", leU64(1)),             // reserved flag: close
+		binFrame(binOpRegPull, 0, 8, 0, "", "", ""),
+		binFrame(binOpRegPull, 0, 9, 0, "t", "", ""), // tenant present: ERR
+		binFrame(binOpRegPull, 1, 10, 0, "", "", ""), // flags: close
+		binFrame(binOpTenantDel, 0, 11, 0, "t", "", ""),
+		binFrame(binOpTenantDel, 0, 12, 0, "nosuch", "", ""), // unknown: ERR
+		binFrame(binOpTenantDel, 1, 13, 0, "t", "", ""),      // flags: close
+		binFrame(binOpRehome, 0, 14, 0, "t", "k", "moved-value"),
+		binFrame(binOpRehome, binFlagTTL, 15, 5000, "t", "k", "v"),
+		binFrame(binOpRehome, 0, 16, 0, "ghost", "k", "v"), // unknown tenant: ERR
+		binFrame(binOpRehome, 0, 17, 0, "t", "", "v"),      // zero-length key: ERR
+		// A drain-shaped stream: register, rehome a few, pull, delete.
+		append(append(append(
+			binFrame(binOpRegOp, binFlagRegAdd, 18, 0, "w", "", leU64(9)),
+			binFrame(binOpRehome, 0, 19, 0, "w", "a", "1")...),
+			binFrame(binOpRehome, binFlagTTL, 20, 100, "w", "b", "2")...),
+			binFrame(binOpRegPull, 0, 21, 0, "", "", "")...),
+		{4, 0, 0, 0, binOpRegOp, 0}, // truncated frame
+	}
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+
+	preamble := []byte{binMagic, 'V', 'B', binVersion}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Skip("dial failed")
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		tc := conn.(*net.TCPConn)
+		if _, err := tc.Write(preamble); err != nil {
+			return
+		}
+		var ack [4]byte
+		if _, err := io.ReadFull(conn, ack[:]); err != nil {
+			return
+		}
+		if _, err := tc.Write(data); err != nil {
+			io.Copy(io.Discard, conn)
+			return
+		}
+		tc.CloseWrite()
+		if _, err := io.Copy(io.Discard, conn); err != nil && isTimeout(err) {
+			t.Fatalf("cluster frame stream hung the server on input %q", data)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -144,8 +145,18 @@ func (p *FaultPlan) Fault(op Op, tenant string) Fault {
 //	seed=<n>         draw-sequence seed (default 1)
 //
 // Example: "err=0.01,drop=0.001,delay=0.05:2ms,ops=get|put,seed=7".
+//
+// The parser rejects the specs that would silently corrupt the draw bands:
+// a repeated key ("err=0.1,err=0.9" — the two bands would overlap in the
+// caller's intent but only the last would exist), NaN rates (every
+// comparison against a band edge is false, so NaN slips through both the
+// [0,1] check and the sum check and then matches no band), empty
+// ops/tenants lists or empty tenant names (a band that can never match is
+// a spec bug, not a no-op), and rates whose sum exceeds 1 (the bands are
+// stacked sub-intervals of [0,1)).
 func ParseFaultSpec(spec string) (*FaultPlan, error) {
 	p := &FaultPlan{Seed: 1}
+	seen := make(map[string]bool, 4)
 	for _, term := range strings.Split(spec, ",") {
 		term = strings.TrimSpace(term)
 		if term == "" {
@@ -155,10 +166,14 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 		if !ok {
 			return nil, fmt.Errorf("service: fault spec term %q is not key=value", term)
 		}
+		if seen[key] {
+			return nil, fmt.Errorf("service: fault spec key %q given twice (bands would overlap)", key)
+		}
+		seen[key] = true
 		switch key {
 		case "err", "drop":
 			r, err := strconv.ParseFloat(val, 64)
-			if err != nil || r < 0 || r > 1 {
+			if err != nil || math.IsNaN(r) || r < 0 || r > 1 {
 				return nil, fmt.Errorf("service: bad %s rate %q", key, val)
 			}
 			if key == "err" {
@@ -172,7 +187,7 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 				return nil, fmt.Errorf("service: delay term %q wants <p>:<duration>", val)
 			}
 			r, err := strconv.ParseFloat(rs, 64)
-			if err != nil || r < 0 || r > 1 {
+			if err != nil || math.IsNaN(r) || r < 0 || r > 1 {
 				return nil, fmt.Errorf("service: bad delay rate %q", rs)
 			}
 			d, err := time.ParseDuration(ds)
@@ -181,6 +196,9 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 			}
 			p.DelayRate, p.Delay = r, d
 		case "ops":
+			if val == "" {
+				return nil, fmt.Errorf("service: empty ops list in fault spec")
+			}
 			p.Ops = make(map[Op]bool)
 			for _, name := range strings.Split(val, "|") {
 				op, ok := parseOp(name)
@@ -190,8 +208,14 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 				p.Ops[op] = true
 			}
 		case "tenants":
+			if val == "" {
+				return nil, fmt.Errorf("service: empty tenants list in fault spec")
+			}
 			p.Tenants = make(map[string]bool)
 			for _, name := range strings.Split(val, "|") {
+				if name == "" {
+					return nil, fmt.Errorf("service: empty tenant name in fault spec %q", val)
+				}
 				p.Tenants[name] = true
 			}
 		case "seed":

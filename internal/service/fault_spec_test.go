@@ -1,0 +1,127 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseFaultSpecTable pins ParseFaultSpec's accept/reject behavior,
+// including the edge cases that used to slip through: NaN rates (every
+// band comparison is false, so a NaN passed both the [0,1] check and the
+// sum check), duplicate keys (the second silently overwrote the first,
+// when the caller's intent was two overlapping bands), empty ops/tenants
+// bands (accepted but could never match), and rate sums past 1.0.
+func TestParseFaultSpecTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr string // substring; "" = must parse
+		check   func(t *testing.T, p *FaultPlan)
+	}{
+		{
+			name: "full valid spec",
+			spec: "err=0.01,drop=0.001,delay=0.05:2ms,ops=get|put,tenants=a|b,seed=7",
+			check: func(t *testing.T, p *FaultPlan) {
+				if p.ErrRate != 0.01 || p.DropRate != 0.001 || p.DelayRate != 0.05 {
+					t.Fatalf("rates = %v/%v/%v", p.ErrRate, p.DropRate, p.DelayRate)
+				}
+				if p.Delay != 2*time.Millisecond || p.Seed != 7 {
+					t.Fatalf("delay %v seed %d", p.Delay, p.Seed)
+				}
+				if !p.Ops[OpGet] || !p.Ops[OpPut] || p.Ops[OpDelete] {
+					t.Fatalf("ops = %v", p.Ops)
+				}
+				if !p.Tenants["a"] || !p.Tenants["b"] {
+					t.Fatalf("tenants = %v", p.Tenants)
+				}
+			},
+		},
+		{
+			name: "empty spec is the no-fault plan",
+			spec: "",
+			check: func(t *testing.T, p *FaultPlan) {
+				if p.ErrRate != 0 || p.DropRate != 0 || p.DelayRate != 0 {
+					t.Fatal("empty spec should inject nothing")
+				}
+			},
+		},
+		{
+			name: "rates may sum to exactly 1",
+			spec: "err=0.5,drop=0.3,delay=0.2:1ms",
+		},
+		{name: "sum past 1.0", spec: "err=0.6,drop=0.5", wantErr: "sum"},
+		{name: "sum past 1.0 with delay", spec: "err=0.5,drop=0.3,delay=0.4:1ms", wantErr: "sum"},
+		{name: "NaN err rate", spec: "err=NaN", wantErr: "bad err rate"},
+		{name: "NaN drop rate", spec: "drop=nan", wantErr: "bad drop rate"},
+		{name: "NaN delay rate", spec: "delay=NaN:1ms", wantErr: "bad delay rate"},
+		{name: "negative rate", spec: "err=-0.1", wantErr: "bad err rate"},
+		{name: "rate above one", spec: "err=1.5", wantErr: "bad err rate"},
+		{name: "infinite rate", spec: "err=+Inf", wantErr: "bad err rate"},
+		{name: "overlapping err bands", spec: "err=0.1,err=0.9", wantErr: "twice"},
+		{name: "overlapping drop bands", spec: "drop=0.1,drop=0.2", wantErr: "twice"},
+		{name: "overlapping delay bands", spec: "delay=0.1:1ms,delay=0.2:2ms", wantErr: "twice"},
+		{name: "duplicate ops key", spec: "ops=get,ops=put", wantErr: "twice"},
+		{name: "empty err band", spec: "err=", wantErr: "bad err rate"},
+		{name: "empty ops band", spec: "ops=", wantErr: "empty ops"},
+		{name: "empty tenants band", spec: "tenants=", wantErr: "empty tenants"},
+		{name: "empty tenant name in band", spec: "tenants=a||b", wantErr: "empty tenant name"},
+		{name: "bare key", spec: "err", wantErr: "not key=value"},
+		{name: "unknown key", spec: "frob=1", wantErr: "unknown fault spec key"},
+		{name: "unknown op", spec: "ops=frob", wantErr: "unknown op"},
+		{name: "delay without duration", spec: "delay=0.5", wantErr: "wants <p>:<duration>"},
+		{name: "negative delay duration", spec: "delay=0.5:-1ms", wantErr: "bad delay duration"},
+		{name: "bad seed", spec: "seed=x", wantErr: "bad fault seed"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ParseFaultSpec(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("spec %q parsed; want error containing %q", tc.spec, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("spec %q: %v", tc.spec, err)
+			}
+			if tc.check != nil {
+				tc.check(t, p)
+			}
+		})
+	}
+}
+
+// TestFaultPlanBands: with rates summing to 1 every draw lands in some
+// band, and with an op filter no draw fires for other ops — the contract
+// the scale suite's chaos leg leans on.
+func TestFaultPlanBands(t *testing.T) {
+	p, err := ParseFaultSpec("err=0.5,drop=0.3,delay=0.2:1ms,ops=get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs, drops, delays int
+	for i := 0; i < 2000; i++ {
+		f := p.Fault(OpGet, "t")
+		switch {
+		case f.Err:
+			errs++
+		case f.Drop:
+			drops++
+		case f.Delay > 0:
+			delays++
+		default:
+			t.Fatal("draw landed outside all bands though rates sum to 1")
+		}
+	}
+	if errs == 0 || drops == 0 || delays == 0 {
+		t.Fatalf("band never fired: err=%d drop=%d delay=%d", errs, drops, delays)
+	}
+	if f := p.Fault(OpPut, "t"); f != (Fault{}) {
+		t.Fatalf("op filter leaked: %+v", f)
+	}
+}

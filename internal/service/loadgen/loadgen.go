@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vantage/internal/cluster"
 	"vantage/internal/workload"
 )
 
@@ -161,9 +162,27 @@ type Options struct {
 	// as ErrShed, injected faults as ErrInjected.
 	Binary bool
 
+	// ClusterAddrs switches the run to cluster mode: every "connection"
+	// becomes a ring-aware client that routes each key to its owner among
+	// these node addresses (Addr is then ignored). See cluster.go.
+	ClusterAddrs []string
+	// VNodes is the ring's virtual-node count (0 = cluster.DefaultVNodes).
+	// It must match the nodes' own -vnodes setting or routing diverges.
+	VNodes int
+
+	// ChurnTenants > 0 runs a registry churner alongside the workload: a
+	// rotating TENANT ADD/DEL cycle over this many synthetic tenants, one
+	// op per ChurnInterval, spread round-robin across the nodes so
+	// replication is driven from every origin.
+	ChurnTenants int
+	// ChurnInterval is the delay between churn ops (default 10ms).
+	ChurnInterval time.Duration
+
 	// start is the run's t0, recorded by Run so TTLStorm tenants can aim
 	// every fill at the same absolute deadline.
 	start time.Time
+	// ring is the cluster-mode routing ring, built once by Run.
+	ring *cluster.Ring
 }
 
 // TenantResult is one tenant's aggregate outcome.
@@ -198,19 +217,46 @@ type Result struct {
 
 	// Totals of the chaos-mode counters across tenants.
 	Rejected, Shed, Injected, Dropped uint64
+
+	// ChurnOps is the number of acknowledged registry churn operations
+	// (zero unless Options.ChurnTenants was set).
+	ChurnOps uint64
 }
 
 // Run executes the configured load against the server and blocks until
 // every connection finishes its budget.
 func Run(o Options) (Result, error) {
-	if o.Addr == "" {
+	if o.Addr == "" && len(o.ClusterAddrs) == 0 {
 		return Result{}, fmt.Errorf("loadgen: no server address")
+	}
+	if len(o.ClusterAddrs) > 0 {
+		vn := o.VNodes
+		if vn <= 0 {
+			vn = cluster.DefaultVNodes
+		}
+		ring, err := cluster.NewRing(o.ClusterAddrs, vn)
+		if err != nil {
+			return Result{}, err
+		}
+		o.ring = ring
 	}
 	if o.OpsPerConn <= 0 {
 		o.OpsPerConn = 10000
 	}
 	if o.ValueSize <= 0 {
 		o.ValueSize = 64
+	}
+	var churn *churner
+	if o.ChurnTenants > 0 {
+		interval := o.ChurnInterval
+		if interval <= 0 {
+			interval = 10 * time.Millisecond
+		}
+		addrs := o.ClusterAddrs
+		if len(addrs) == 0 {
+			addrs = []string{o.Addr}
+		}
+		churn = startChurner(addrs, o.ChurnTenants, interval)
 	}
 	counters := make([]TenantResult, len(o.Tenants))
 	var wg sync.WaitGroup
@@ -237,6 +283,9 @@ func Run(o Options) (Result, error) {
 	}
 	wg.Wait()
 	res := Result{Tenants: counters, Elapsed: time.Since(start)}
+	if churn != nil {
+		res.ChurnOps = churn.halt()
+	}
 	for i := range counters {
 		res.Ops += counters[i].Gets + counters[i].Puts
 		res.Rejected += counters[i].Rejected
@@ -269,8 +318,17 @@ type proto interface {
 	close()
 }
 
-// dialProto connects with the run's selected wire protocol.
+// dialProto connects with the run's selected wire protocol — a ring
+// client in cluster mode, a single connection otherwise.
 func dialProto(o Options, tenant string) (proto, error) {
+	if o.ring != nil {
+		return dialRing(o, tenant)
+	}
+	return dialProtoSolo(o, tenant)
+}
+
+// dialProtoSolo connects to o.Addr with the selected wire protocol.
+func dialProtoSolo(o Options, tenant string) (proto, error) {
 	if o.Binary {
 		return dialBin(o.Addr, tenant)
 	}
@@ -503,6 +561,12 @@ type client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+}
+
+// newRawClient wraps an established connection without the TENANT ADD
+// handshake (the churner issues its own registry commands).
+func newRawClient(conn net.Conn) *client {
+	return &client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 }
 
 // dial connects and registers the tenant.

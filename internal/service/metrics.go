@@ -72,6 +72,18 @@ type Stats struct {
 	BinConnsActive int64  // currently open binary connections
 	BinFrames      uint64 // binary request frames dispatched
 
+	// Cluster state (see cluster.go). ClusterPeers is 0 when no cluster
+	// handler is installed; ClusterRegistryVersion converges across peers.
+	ClusterPeers           int
+	ClusterRegistryVersion uint64
+	ClusterRehomedKeys     uint64 // keys drained to peers on membership changes
+	ClusterRehomedIn       uint64 // keys received from draining peers
+
+	// Request-latency histogram (Config.TrackLatency): log2 bucket counts
+	// (see latency.go for bounds) and the running sum. Nil when disabled.
+	LatencyCounts []uint64
+	LatencySumNS  uint64
+
 	Shards, LinesPerShard, TotalLines int
 	StoreEntries                      int
 	UnmanagedLines                    int
@@ -81,20 +93,29 @@ type Stats struct {
 // Stats snapshots the service.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Ops:            s.ops.Load(),
-		MGets:          s.mgets.Load(),
-		ConnsRejected:  s.connsRejected.Load(),
-		RequestsShed:   s.requestsShed.Load(),
-		DeadlineCloses: s.deadlineCloses.Load(),
-		BinConns:       s.binConnsTotal.Load(),
-		BinConnsActive: s.binConns.Load(),
-		BinFrames:      s.binFrames.Load(),
-		Repartitions:   s.repartitions.Load(),
-		Expired:        s.expired.Load(),
-		Shards:        s.cfg.Shards,
-		LinesPerShard: s.cfg.LinesPerShard,
-		TotalLines:    s.TotalLines(),
-		Uptime:        s.clk.Now().Sub(s.start),
+		Ops:                    s.ops.Load(),
+		MGets:                  s.mgets.Load(),
+		ConnsRejected:          s.connsRejected.Load(),
+		RequestsShed:           s.requestsShed.Load(),
+		DeadlineCloses:         s.deadlineCloses.Load(),
+		BinConns:               s.binConnsTotal.Load(),
+		BinConnsActive:         s.binConns.Load(),
+		BinFrames:              s.binFrames.Load(),
+		Repartitions:           s.repartitions.Load(),
+		Expired:                s.expired.Load(),
+		ClusterRegistryVersion: s.clusterVersion.Load(),
+		ClusterRehomedKeys:     s.rehomedOut.Load(),
+		ClusterRehomedIn:       s.rehomedIn.Load(),
+		Shards:                 s.cfg.Shards,
+		LinesPerShard:          s.cfg.LinesPerShard,
+		TotalLines:             s.TotalLines(),
+		Uptime:                 s.clk.Now().Sub(s.start),
+	}
+	if h := s.clusterHandler(); h != nil {
+		st.ClusterPeers = h.Peers()
+	}
+	if s.latency != nil {
+		st.LatencyCounts, st.LatencySumNS = s.latency.snapshot()
 	}
 
 	reg := s.reg.Load()
@@ -198,6 +219,25 @@ func writeMetrics(b *strings.Builder, st Stats) {
 	gauge("vantaged_unmanaged_lines", "Lines in the unmanaged regions.", float64(st.UnmanagedLines))
 	gauge("vantaged_tenants", "Registered tenants.", float64(len(st.Tenants)))
 	gauge("vantaged_uptime_seconds", "Seconds since start.", st.Uptime.Seconds())
+	gauge("vantaged_cluster_peers", "Cluster peers this node replicates to (0 outside cluster mode).", float64(st.ClusterPeers))
+	gauge("vantaged_cluster_registry_version", "Replicated tenant-registry version (converges across peers).", float64(st.ClusterRegistryVersion))
+	counter("vantaged_cluster_rehomed_keys_total", "Keys drained to peers on membership changes.", st.ClusterRehomedKeys)
+	counter("vantaged_cluster_rehomed_in_keys_total", "Keys received from draining peers.", st.ClusterRehomedIn)
+	if st.LatencyCounts != nil {
+		name := "vantaged_request_latency_seconds"
+		fmt.Fprintf(b, "# HELP %s Request service time (text dispatch and binary shard execution).\n# TYPE %s histogram\n", name, name)
+		var cum uint64
+		for i, c := range st.LatencyCounts {
+			cum += c
+			if i == len(st.LatencyCounts)-1 {
+				fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			} else {
+				fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, float64(latencyBucketUpperNS(i))/1e9, cum)
+			}
+		}
+		fmt.Fprintf(b, "%s_sum %g\n", name, float64(st.LatencySumNS)/1e9)
+		fmt.Fprintf(b, "%s_count %d\n", name, cum)
+	}
 
 	perTenant := []struct {
 		name, help, typ string

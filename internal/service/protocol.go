@@ -412,7 +412,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return // EOF, deadline, or closed connection
 		}
-		quit, err := s.dispatch(conn, line, r, w, cs)
+		var quit bool
+		if h := s.svc.latency; h != nil {
+			t0 := s.svc.clk.Now()
+			quit, err = s.dispatch(conn, line, r, w, cs)
+			h.record(s.svc.clk.Now().Sub(t0))
+		} else {
+			quit, err = s.dispatch(conn, line, r, w, cs)
+		}
 		if err != nil {
 			w.WriteString("ERR ")
 			w.WriteString(err.Error())
@@ -948,11 +955,62 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 		fmt.Fprintf(w, "STAT store_entries %d\r\n", st.StoreEntries)
 		fmt.Fprintf(w, "STAT unmanaged_lines %d\r\n", st.UnmanagedLines)
 		fmt.Fprintf(w, "STAT tenants %d\r\n", len(st.Tenants))
+		fmt.Fprintf(w, "STAT cluster_peers %d\r\n", st.ClusterPeers)
+		fmt.Fprintf(w, "STAT cluster_registry_version %d\r\n", st.ClusterRegistryVersion)
+		fmt.Fprintf(w, "STAT cluster_rehomed_keys %d\r\n", st.ClusterRehomedKeys)
+		fmt.Fprintf(w, "STAT cluster_rehomed_in_keys %d\r\n", st.ClusterRehomedIn)
 		fmt.Fprintf(w, "STAT uptime_seconds %d\r\n", int64(st.Uptime.Seconds()))
 		for _, ts := range st.Tenants {
 			writeTenantStats(w, "tenant."+ts.Name+".", ts)
 		}
 		w.WriteString("END\r\n")
+		return false, nil
+
+	case cmdEq(verb, "CLUSTER"):
+		// CLUSTER INFO reports this node's cluster view; CLUSTER MEMBERS
+		// <addr>... installs a new member set on the node's handler (the
+		// operator's join/leave entry point), answering "OK <rehomed>" with
+		// the number of keys drained to peers. Both require cluster mode.
+		h := s.svc.clusterHandler()
+		if h == nil {
+			return false, errors.New("not in cluster mode")
+		}
+		if len(fields) < 2 {
+			return false, errors.New("usage: CLUSTER INFO|MEMBERS ...")
+		}
+		switch sub := fields[1]; {
+		case cmdEq(sub, "INFO"):
+			if len(fields) != 2 {
+				return false, errors.New("usage: CLUSTER INFO")
+			}
+			out, in := s.svc.RehomedCounts()
+			fmt.Fprintf(w, "STAT self %s\r\n", h.Self())
+			fmt.Fprintf(w, "STAT peers %d\r\n", h.Peers())
+			fmt.Fprintf(w, "STAT registry_version %d\r\n", s.svc.ClusterVersion())
+			fmt.Fprintf(w, "STAT rehomed_keys %d\r\n", out)
+			fmt.Fprintf(w, "STAT rehomed_in_keys %d\r\n", in)
+			for _, m := range h.Members() {
+				fmt.Fprintf(w, "MEMBER %s\r\n", m)
+			}
+			w.WriteString("END\r\n")
+		case cmdEq(sub, "MEMBERS"):
+			if len(fields) < 3 {
+				return false, errors.New("usage: CLUSTER MEMBERS <addr>...")
+			}
+			members := make([]string, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				members = append(members, string(f))
+			}
+			moved, err := h.SetMembers(members)
+			if err != nil {
+				return false, err
+			}
+			w.WriteString("OK ")
+			cs.writeUint(w, int(moved))
+			w.WriteString("\r\n")
+		default:
+			return false, fmt.Errorf("unknown CLUSTER subcommand %q", fields[1])
+		}
 		return false, nil
 
 	case cmdEq(verb, "PING"):

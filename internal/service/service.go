@@ -65,7 +65,8 @@ type Config struct {
 	// paper's Z4/52).
 	Ways, Candidates int
 	// MaxTenants is the number of partition slots per shard controller
-	// (paper: Vantage scales to tens of partitions). Default 16, max 64.
+	// (paper: Vantage scales to tens of partitions per bank; the scale suite
+	// registers hundreds per node). Default 16, max 1024.
 	MaxTenants int
 	// UnmanagedFrac, AMax and Slack are the Vantage knobs (§4.3); defaults
 	// 0.05, 0.5, 0.1 — the paper's evaluation settings.
@@ -94,6 +95,10 @@ type Config struct {
 	// (the same degrade-don't-collapse discipline as the overload limits).
 	// Default 128.
 	SweepBatch int
+	// TrackLatency enables the per-request latency histogram exported
+	// through Stats and /metrics (vantaged_request_latency_seconds). Off by
+	// default: recording is two atomic adds per request, cheap but not free.
+	TrackLatency bool
 }
 
 func (c *Config) applyDefaults() {
@@ -249,6 +254,21 @@ type Service struct {
 	// connection drops into the dispatcher (see fault.go).
 	fault atomic.Pointer[faultHolder]
 
+	// Cluster state (see cluster.go). clusterVersion is a Lamport-style
+	// counter over registry mutations: origin operations increment it,
+	// replicated operations max-merge the sender's value, so all peers
+	// converge to equal versions at quiescence. rehomedOut/rehomedIn count
+	// keys drained to / received from peers on membership changes. The
+	// handler, when set, broadcasts origin registry mutations to peers.
+	clusterVersion atomic.Uint64
+	rehomedOut     atomic.Uint64
+	rehomedIn      atomic.Uint64
+	cluster        atomic.Pointer[clusterHolder]
+
+	// latency, when non-nil, is the request-latency histogram enabled by
+	// Config.TrackLatency (see latency.go).
+	latency *latencyHist
+
 	clk    clock.Clock
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -268,8 +288,8 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Shards&(cfg.Shards-1) != 0 || cfg.Shards <= 0 {
 		return nil, fmt.Errorf("service: shard count %d must be a power of two", cfg.Shards)
 	}
-	if cfg.MaxTenants < 1 || cfg.MaxTenants > 64 {
-		return nil, fmt.Errorf("service: MaxTenants %d out of range [1,64]", cfg.MaxTenants)
+	if cfg.MaxTenants < 1 || cfg.MaxTenants > 1024 {
+		return nil, fmt.Errorf("service: MaxTenants %d out of range [1,1024]", cfg.MaxTenants)
 	}
 	if cfg.LinesPerShard < cfg.MaxTenants*4 {
 		return nil, fmt.Errorf("service: %d lines per shard too small for %d tenants", cfg.LinesPerShard, cfg.MaxTenants)
@@ -281,6 +301,9 @@ func New(cfg Config) (*Service, error) {
 		clk:   cfg.Clock,
 		done:  make(chan struct{}),
 		start: cfg.Clock.Now(),
+	}
+	if cfg.TrackLatency {
+		s.latency = newLatencyHist()
 	}
 	s.reg.Store(&registry{
 		tenants: make(map[string]*Tenant),

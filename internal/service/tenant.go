@@ -23,6 +23,15 @@ type Tenant struct {
 	// but live here so the limit is enforced across every connection.
 	inflight atomic.Int64
 	shed     atomic.Uint64
+
+	// announced, when non-nil, is closed once the origin add's cluster
+	// broadcast has reached every peer. An idempotent re-add waits on it
+	// before returning OK, so no caller can observe a registered tenant
+	// that its peers do not know about yet (two clients racing TENANT ADD
+	// through a proxy would otherwise let the loser's next request reach a
+	// peer ahead of the winner's broadcast). nil means nothing to wait for:
+	// solo mode, or a replica-path add.
+	announced chan struct{}
 }
 
 // Name returns the tenant name.
@@ -66,7 +75,19 @@ func cloneRegistry(reg *registry) *registry {
 // before its first UCP interval. Adding an existing tenant is idempotent
 // and returns its current slot. Slots belonging to tenants whose removal
 // is still purging are not eligible (see RemoveTenant).
+//
+// AddTenant is an origin operation: when a cluster handler is installed,
+// a non-idempotent add bumps the registry version and is announced to
+// every peer before returning, so a follow-up request routed to any node
+// finds the tenant registered.
 func (s *Service) AddTenant(name string) (int, error) {
+	return s.addTenantInner(name, true)
+}
+
+// addTenantInner is AddTenant minus the cluster announcement when origin
+// is false — the replica path for ops received from peers, which must not
+// re-broadcast.
+func (s *Service) addTenantInner(name string, origin bool) (int, error) {
 	if !validTenantName(name) {
 		return 0, fmt.Errorf("service: invalid tenant name %q", name)
 	}
@@ -74,6 +95,11 @@ func (s *Service) AddTenant(name string) (int, error) {
 	reg := s.reg.Load()
 	if t, ok := reg.tenants[name]; ok {
 		s.regMu.Unlock()
+		if t.announced != nil {
+			// Another caller is still broadcasting this add to the peers;
+			// don't return OK until every node knows the tenant.
+			<-t.announced
+		}
 		return t.part, nil
 	}
 	part := -1
@@ -88,12 +114,20 @@ func (s *Service) AddTenant(name string) (int, error) {
 		return 0, fmt.Errorf("service: tenant limit %d reached", s.cfg.MaxTenants)
 	}
 	t := &Tenant{name: name, part: part}
+	h := s.clusterHandler()
+	if origin && h != nil {
+		t.announced = make(chan struct{})
+	}
 	next := cloneRegistry(reg)
 	next.tenants[name] = t
 	next.byPart[part] = t
 	s.reg.Store(next)
 	s.regMu.Unlock()
 	s.Repartition()
+	if t.announced != nil {
+		h.AnnounceAdd(s.clusterVersion.Add(1), name)
+		close(t.announced)
+	}
 	return part, nil
 }
 
@@ -107,7 +141,17 @@ func (s *Service) AddTenant(name string) (int, error) {
 // AddTenant therefore can never claim a slot whose previous occupant's
 // values are still being purged — the purge would silently delete the new
 // tenant's fresh data and wipe its monitor.
+//
+// Like AddTenant, RemoveTenant is an origin operation: with a cluster
+// handler installed, a successful removal bumps the registry version and
+// is announced to every peer.
 func (s *Service) RemoveTenant(name string) error {
+	return s.removeTenantInner(name, true)
+}
+
+// removeTenantInner is RemoveTenant minus the cluster announcement when
+// origin is false (the replica path).
+func (s *Service) removeTenantInner(name string, origin bool) error {
 	s.regMu.Lock()
 	reg := s.reg.Load()
 	t, ok := reg.tenants[name]
@@ -150,6 +194,11 @@ func (s *Service) RemoveTenant(name string) error {
 	s.reg.Store(next)
 	s.regMu.Unlock()
 	s.Repartition()
+	if origin {
+		if h := s.clusterHandler(); h != nil {
+			h.AnnounceRemove(s.clusterVersion.Add(1), name)
+		}
+	}
 	return nil
 }
 
