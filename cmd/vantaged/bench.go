@@ -40,6 +40,8 @@ func benchMain(args []string) {
 	repartition := fs.Duration("repartition", 50*time.Millisecond, "repartition interval when self-hosting")
 	seed := fs.Uint64("seed", 2011, "workload and cache seed")
 	jsonPath := fs.String("json", "", "run the standard benchmark matrix and write results to this JSON file")
+	only := fs.String("only", "", "with -json: run only matrix rows whose name contains this substring")
+	compare := fs.String("compare", "", "with -json: check results against this committed report, failing on per-row regressions past tolerance")
 	chaos := fs.Bool("chaos", false, "overload-tolerant mode: count BUSY/shed/fault/dropped instead of aborting")
 	maxConns := fs.Int("max-conns", 0, "self-host: max concurrent connections, extras get BUSY (0 = unlimited)")
 	maxInflight := fs.Int("max-inflight", 0, "self-host: max data commands in flight (0 = unlimited)")
@@ -47,9 +49,16 @@ func benchMain(args []string) {
 	fs.Parse(args)
 
 	if *jsonPath != "" {
-		if err := runBenchMatrix(*jsonPath, *lines, *shards, *valueSize, *seed); err != nil {
+		rep, err := runBenchMatrix(*jsonPath, *only, *lines, *shards, *valueSize, *seed)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "vantaged bench:", err)
 			os.Exit(1)
+		}
+		if *compare != "" {
+			if err := compareBenchReport(rep, *compare); err != nil {
+				fmt.Fprintln(os.Stderr, "vantaged bench:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,14 +53,24 @@ type benchReport struct {
 	Results   []benchRow `json:"results"`
 }
 
+// benchCase names one matrix cell up front so -only can filter by name
+// substring without running the rest of the matrix.
+type benchCase struct {
+	name string
+	run  func() (benchRow, error)
+}
+
 // runBenchMatrix runs the standard performance matrix and writes it to path:
 // the in-process sharded access path at 1/4/16 goroutines (the same shape as
 // BenchmarkShardedAccess: per-goroutine tenants, zipf working sets, ~90/10
 // GET/PUT plus fills), then TCP loadgen against a self-hosted server over
 // both wire protocols (tcp/* text, tcp-bin/* binary) unbatched and at
 // batch=32, hot-read protocol-ceiling rows, the 10k idle-connection probe,
-// and the overload and TTL-storm scenarios.
-func runBenchMatrix(path string, lines, shards, valueSize int, seed uint64) error {
+// the overload and TTL-storm scenarios, and the 3-node cluster rows (ring
+// client, BMGET, and proxied). only, when non-empty, restricts the matrix
+// to rows whose name contains it (the CI regression check runs just the
+// cluster rows this way).
+func runBenchMatrix(path, only string, lines, shards, valueSize int, seed uint64) (benchReport, error) {
 	rep := benchReport{
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
@@ -69,86 +80,150 @@ func runBenchMatrix(path string, lines, shards, valueSize int, seed uint64) erro
 		Seed:      seed,
 	}
 
+	var cases []benchCase
 	for _, gs := range []int{1, 4, 16} {
-		row, err := runInprocBench(gs, lines, shards, valueSize, seed)
-		if err != nil {
-			return err
-		}
-		rep.Results = append(rep.Results, row)
-		fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
+		gs := gs
+		cases = append(cases, benchCase{fmt.Sprintf("inproc/goroutines=%d", gs), func() (benchRow, error) {
+			return runInprocBench(gs, lines, shards, valueSize, seed)
+		}})
 	}
-
 	for _, bin := range []bool{false, true} {
 		for _, batch := range []int{1, 32} {
-			row, err := runTCPBench(bin, batch, false, lines, shards, valueSize, seed)
-			if err != nil {
-				return err
+			bin, batch := bin, batch
+			name := "tcp"
+			if bin {
+				name = "tcp-bin"
 			}
-			rep.Results = append(rep.Results, row)
-			fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
+			cases = append(cases, benchCase{fmt.Sprintf("%s/batch=%d", name, batch), func() (benchRow, error) {
+				return runTCPBench(bin, batch, false, lines, shards, valueSize, seed)
+			}})
 		}
 	}
-
 	// Hot-read ceiling: the standard mix above is replacement-bound (the
 	// stream tenant misses constantly, so putAt + the Vantage controller
 	// dominate the profile); the insensitive-only rows measure what the wire
 	// protocols themselves sustain when the cache serves ~all hits.
 	for _, bin := range []bool{false, true} {
-		row, err := runTCPBench(bin, 32, true, lines, shards, valueSize, seed)
+		bin := bin
+		name := "tcp"
+		if bin {
+			name = "tcp-bin"
+		}
+		cases = append(cases, benchCase{name + "/batch=32-hot", func() (benchRow, error) {
+			return runTCPBench(bin, 32, true, lines, shards, valueSize, seed)
+		}})
+	}
+	cases = append(cases,
+		benchCase{"tcp-bin/idle-conns", func() (benchRow, error) { return runBinIdleBench(lines, shards, seed) }},
+		benchCase{"tcp/overload", func() (benchRow, error) { return runOverloadBench(lines, shards, valueSize, seed) }},
+		benchCase{"tcp/ttl-storm", func() (benchRow, error) { return runTTLStormBench(lines, shards, valueSize, seed) }},
+	)
+	// Cluster rows: the same standard mix against a 3-node loopback cluster —
+	// through the ring-aware client (each key dialed straight to its owner)
+	// unbatched and pipelined, with the batch read as one BMGET frame per
+	// owner, and through the "vantaged proxy" forwarder, text and BMGET —
+	// the extra hop the proxy convenience costs. Each node gets the solo
+	// geometry, so these rows are comparable to the tcp/* ones.
+	for _, c := range []struct {
+		name           string
+		batch          int
+		proxied, bmget bool
+	}{
+		{"cluster/3node/batch=1", 1, false, false},
+		{"cluster/3node/batch=32", 32, false, false},
+		{"cluster/3node/bmget/batch=32", 32, false, true},
+		{"cluster/3node/proxy/batch=32", 32, true, false},
+		{"cluster/3node/proxy/bmget/batch=32", 32, true, true},
+	} {
+		c := c
+		cases = append(cases, benchCase{c.name, func() (benchRow, error) {
+			return runClusterBench(c.name, c.batch, c.proxied, c.bmget, lines, shards, valueSize, seed)
+		}})
+	}
+
+	for _, c := range cases {
+		if only != "" && !strings.Contains(c.name, only) {
+			continue
+		}
+		row, err := c.run()
 		if err != nil {
-			return err
+			return rep, err
 		}
 		rep.Results = append(rep.Results, row)
 		fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
 	}
-
-	idleRow, err := runBinIdleBench(lines, shards, seed)
-	if err != nil {
-		return err
-	}
-	rep.Results = append(rep.Results, idleRow)
-	fmt.Fprintf(os.Stderr, "vantaged bench: %s: %d conns, %.0f heap bytes/conn, %.3f goroutines/conn\n",
-		idleRow.Name, idleRow.Conns, idleRow.BytesPerConn, idleRow.GoroutinesPerConn)
-
-	row, err := runOverloadBench(lines, shards, valueSize, seed)
-	if err != nil {
-		return err
-	}
-	rep.Results = append(rep.Results, row)
-	fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec (rejected=%d)\n", row.Name, row.OpsPerSec, row.Rejected)
-
-	row, err = runTTLStormBench(lines, shards, valueSize, seed)
-	if err != nil {
-		return err
-	}
-	rep.Results = append(rep.Results, row)
-	fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec (expired=%d swept=%d)\n", row.Name, row.OpsPerSec, row.Expired, row.SweepLines)
-
-	// Cluster rows: the same standard mix against a 3-node loopback cluster,
-	// once through the ring-aware client (each key dialed straight to its
-	// owner) unbatched and pipelined, and once through the "vantaged proxy"
-	// forwarder — the extra hop the proxy convenience costs. Each node gets
-	// the solo geometry, so these rows are comparable to the tcp/* ones.
-	for _, batch := range []int{1, 32} {
-		row, err = runClusterBench(batch, false, lines, shards, valueSize, seed)
-		if err != nil {
-			return err
-		}
-		rep.Results = append(rep.Results, row)
-		fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
-	}
-	row, err = runClusterBench(32, true, lines, shards, valueSize, seed)
-	if err != nil {
-		return err
-	}
-	rep.Results = append(rep.Results, row)
-	fmt.Fprintf(os.Stderr, "vantaged bench: %s: %.0f ops/sec\n", row.Name, row.OpsPerSec)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
+		return rep, err
+	}
+	return rep, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchTolerance returns how far below the committed ops/sec a fresh run
+// of the named row may fall before -compare fails, as a divisor (3.0 =
+// one third of committed). Shared CI runners are noisy and these are
+// throughput rows, not microbenchmarks, so tolerances are loose: they
+// catch order-of-magnitude regressions (a serialization bug, a lost
+// fast path), not percent-level drift. Returns 0 for rows that are not
+// throughput comparisons.
+func benchTolerance(name string) float64 {
+	switch {
+	case strings.Contains(name, "idle-conns"):
+		return 0 // memory probe, not a throughput row
+	case strings.Contains(name, "batch=1"):
+		return 3.0 // unpipelined rows are dominated by loopback RTT jitter
+	default:
+		return 2.5
+	}
+}
+
+// compareBenchReport checks fresh rows against the committed report at
+// path: every row present in both must stay above committed/tolerance.
+// Rows missing from either side are skipped (the matrix grows over time,
+// and -only runs a subset), but a fresh run that matched nothing is an
+// error — it means the filter or the committed file is wrong.
+func compareBenchReport(fresh benchReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	var committed benchReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	base := make(map[string]benchRow, len(committed.Results))
+	for _, row := range committed.Results {
+		base[row.Name] = row
+	}
+	matched := 0
+	var failures []string
+	for _, row := range fresh.Results {
+		ref, ok := base[row.Name]
+		if !ok {
+			continue
+		}
+		tol := benchTolerance(row.Name)
+		if tol == 0 || ref.OpsPerSec == 0 {
+			continue
+		}
+		matched++
+		floor := ref.OpsPerSec / tol
+		verdict := "ok"
+		if row.OpsPerSec < floor {
+			verdict = "FAIL"
+			failures = append(failures, row.Name)
+		}
+		fmt.Fprintf(os.Stderr, "vantaged bench compare: %-36s %10.0f ops/sec (committed %.0f, floor %.0f) %s\n",
+			row.Name, row.OpsPerSec, ref.OpsPerSec, floor, verdict)
+	}
+	if matched == 0 {
+		return fmt.Errorf("compare: no rows in common with %s", path)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("compare: %d row(s) regressed past tolerance: %s", len(failures), strings.Join(failures, ", "))
+	}
+	return nil
 }
 
 // runInprocBench measures the in-process Get/Put path at gs goroutines.
@@ -309,8 +384,10 @@ func runTCPBench(bin bool, batch int, hot bool, lines, shards, valueSize int, se
 // cluster. Every node runs the solo-row geometry (same shards and lines),
 // so the comparison against tcp/* isolates what routing costs: the
 // ring-aware client's per-owner connections and MGET splitting, or — with
-// proxied set — the extra forwarder hop of "vantaged proxy".
-func runClusterBench(batch int, proxied bool, lines, shards, valueSize int, seed uint64) (benchRow, error) {
+// proxied set — the extra forwarder hop of "vantaged proxy". bmget runs
+// the binary protocol with the batch read as one BMGET frame per owner
+// (one coalesced response frame instead of per-key GET frames).
+func runClusterBench(name string, batch int, proxied, bmget bool, lines, shards, valueSize int, seed uint64) (benchRow, error) {
 	const n = 3
 	liss := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -356,8 +433,8 @@ func runClusterBench(batch int, proxied bool, lines, shards, valueSize int, seed
 		OpsPerConn: 50000,
 		ValueSize:  valueSize,
 		Batch:      batch,
+		BMGet:      bmget,
 	}
-	name := fmt.Sprintf("cluster/3node/batch=%d", batch)
 	if proxied {
 		plis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -369,7 +446,6 @@ func runClusterBench(batch int, proxied bool, lines, shards, valueSize int, seed
 		}
 		defer p.Close()
 		opts.Addr = p.Addr().String()
-		name = fmt.Sprintf("cluster/3node/proxy/batch=%d", batch)
 	} else {
 		opts.ClusterAddrs = addrs
 	}

@@ -4,23 +4,28 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"vantage/internal/cluster"
+	"vantage/internal/latency"
 )
 
-// proxyMain runs "vantaged proxy": a thin consistent-hash forwarder that
-// lets ring-unaware clients talk to a cluster through one address. Both
-// wire fronts (text and binary) are forwarded verbatim; see
+// proxyMain runs "vantaged proxy": a pooled, pipelined consistent-hash
+// forwarder that lets ring-unaware clients talk to a cluster through one
+// address. Hot data commands on both wire fronts (text and binary) ride
+// persistent per-backend binary connections shared across clients; see
 // internal/cluster/proxy.go.
 func proxyMain(args []string) {
 	fs := flag.NewFlagSet("vantaged proxy", flag.ExitOnError)
 	listen := fs.String("listen", ":7170", "proxy listen address")
 	clusterList := fs.String("cluster", "", "comma-separated member addresses (required)")
 	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "consistent-hash virtual nodes per member (must match the nodes)")
+	metricsAddr := fs.String("metrics", "", "HTTP listen address for the proxy's own /metrics (empty disables)")
+	trackLatency := fs.Bool("track-latency", false, "record per-request forwarding latency (exported as a histogram on /metrics and via STATS)")
 	fs.Parse(args)
 
 	members := splitAddrs(*clusterList)
@@ -33,18 +38,68 @@ func proxyMain(args []string) {
 		fmt.Fprintln(os.Stderr, "vantaged proxy:", err)
 		os.Exit(1)
 	}
-	p, err := cluster.NewProxy(lis, members, *vnodes)
+	p, err := cluster.NewProxyWith(lis, members, *vnodes, cluster.ProxyConfig{TrackLatency: *trackLatency})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vantaged proxy:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "vantaged proxy: forwarding %s -> %v (%d vnodes)\n", p.Addr(), members, *vnodes)
 
+	var httpSrv *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			writeProxyMetrics(w, p.Stats())
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		httpSrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "vantaged proxy: metrics:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "vantaged proxy: metrics on %s/metrics\n", *metricsAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "vantaged proxy: shutting down")
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
 	p.Close()
+}
+
+// writeProxyMetrics renders the proxy's own counters in the Prometheus
+// text exposition format, using the same histogram bucket layout the
+// nodes export so dashboards can overlay node and proxy latency.
+func writeProxyMetrics(w http.ResponseWriter, st cluster.ProxyStats) {
+	fmt.Fprintf(w, "# TYPE vantaged_proxy_pool_conns gauge\n")
+	fmt.Fprintf(w, "vantaged_proxy_pool_conns %d\n", st.PoolConns)
+	fmt.Fprintf(w, "# TYPE vantaged_proxy_pool_conns_total counter\n")
+	fmt.Fprintf(w, "vantaged_proxy_pool_conns_total %d\n", st.PoolConnsTotal)
+	fmt.Fprintf(w, "# TYPE vantaged_proxy_pipelined_frames_total counter\n")
+	fmt.Fprintf(w, "vantaged_proxy_pipelined_frames_total %d\n", st.PipelinedFrames)
+	if st.LatencyCounts == nil {
+		return
+	}
+	name := "vantaged_proxy_request_latency_seconds"
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, c := range st.LatencyCounts {
+		cum += c
+		if i == len(st.LatencyCounts)-1 {
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(latency.BucketUpperNS(i))/1e9, cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(st.LatencySumNS)/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 // splitAddrs parses a comma-separated address list, trimming blanks.

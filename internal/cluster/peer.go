@@ -41,8 +41,12 @@ const (
 	peerOpRegOp     = 8
 	peerOpRegPull   = 9
 	peerOpRehome    = 10
+	peerOpBMGet     = 11
 
-	peerStOK = 0
+	peerStOK   = 0
+	peerStMiss = 1
+	peerStErr  = 2
+	peerStShed = 3
 
 	peerFlagTTL    = 1 << 0
 	peerFlagRegAdd = 1 << 0
@@ -304,4 +308,115 @@ func (p *Peer) RehomeBatch(entries []RehomeEntry) ([]bool, error) {
 	}
 	conn.SetDeadline(time.Time{})
 	return acked, nil
+}
+
+// appendBMGetFrame encodes one BMGET request frame onto dst: the header's
+// key-length field carries the key COUNT and the body is the tenant name
+// followed by count (u16 length, key bytes) entries.
+func appendBMGetFrame(dst []byte, id uint32, tenant string, keys []string) []byte {
+	n := peerReqHdr + len(tenant)
+	for _, k := range keys {
+		n += 2 + len(k)
+	}
+	var h [4 + peerReqHdr]byte
+	peerLE.PutUint32(h[0:4], uint32(n))
+	h[4] = peerOpBMGet
+	h[6] = uint8(len(tenant))
+	peerLE.PutUint32(h[8:12], id)
+	peerLE.PutUint16(h[16:18], uint16(len(keys)))
+	dst = append(dst, h[:]...)
+	dst = append(dst, tenant...)
+	var kl [2]byte
+	for _, k := range keys {
+		peerLE.PutUint16(kl[:], uint16(len(k)))
+		dst = append(dst, kl[:]...)
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// BMGetEntry is one key's outcome from a BMGet: a hit with its value, a
+// miss, or Shed when the owner refused that key's shard under overload.
+type BMGetEntry struct {
+	Hit  bool
+	Shed bool
+	Val  []byte
+}
+
+// BMGet fetches a batch of keys from one tenant in a single multi-key
+// frame. The response carries one entry per key in request order; a
+// frame-level ERR (unknown tenant, malformed batch, injected fault) fails
+// the whole call.
+func (p *Peer) BMGet(tenant string, keys []string) ([]BMGetEntry, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conn, err := p.connLocked()
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(peerIOTimeout))
+	if _, err := conn.Write(appendBMGetFrame(nil, 1, tenant, keys)); err != nil {
+		p.dropLocked()
+		return nil, fmt.Errorf("cluster: bmget write to %s: %w", p.addr, err)
+	}
+	st, _, payload, err := p.readRespLocked(conn)
+	if err != nil {
+		p.dropLocked()
+		return nil, fmt.Errorf("cluster: bmget read from %s: %w", p.addr, err)
+	}
+	conn.SetDeadline(time.Time{})
+	if st != peerStOK {
+		return nil, fmt.Errorf("cluster: peer %s rejected bmget: %s", p.addr, payload)
+	}
+	entries, err := parseBMGetPayload(payload, len(keys))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer %s bmget: %w", p.addr, err)
+	}
+	return entries, nil
+}
+
+// parseBMGetPayload decodes a coalesced BMGET response body — u16 count,
+// then count (u8 status, u32 value length, value bytes) entries — copying
+// values out of the shared read buffer.
+func parseBMGetPayload(payload []byte, want int) ([]BMGetEntry, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("bmget payload %d bytes", len(payload))
+	}
+	count := int(peerLE.Uint16(payload[0:2]))
+	if count != want {
+		return nil, fmt.Errorf("bmget answered %d keys, want %d", count, want)
+	}
+	entries := make([]BMGetEntry, 0, count)
+	b := payload[2:]
+	for i := 0; i < count; i++ {
+		if len(b) < 5 {
+			return nil, fmt.Errorf("bmget payload truncated at entry %d", i)
+		}
+		st := b[0]
+		vlen := int(peerLE.Uint32(b[1:5]))
+		b = b[5:]
+		if len(b) < vlen {
+			return nil, fmt.Errorf("bmget payload truncated at entry %d value", i)
+		}
+		e := BMGetEntry{}
+		switch st {
+		case peerStOK:
+			e.Hit = true
+			e.Val = append([]byte(nil), b[:vlen]...)
+		case peerStMiss:
+		case peerStShed:
+			e.Shed = true
+		default:
+			return nil, fmt.Errorf("bmget entry %d status %d", i, st)
+		}
+		b = b[vlen:]
+		entries = append(entries, e)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("bmget payload has %d trailing bytes", len(b))
+	}
+	return entries, nil
 }

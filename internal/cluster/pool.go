@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vantage/internal/latency"
+)
+
+// The proxy's backend layer: one persistent negotiated binary connection
+// per cluster member, shared by every proxied client. Frames from all
+// clients are pipelined onto the shared connection — ids are rewritten to
+// a pool-internal counter so concurrent clients cannot collide — and a
+// single reader goroutine per connection demultiplexes responses back to
+// the submitting client by id. Writes are buffered and flushed at client
+// batch boundaries, so a 32-deep client batch costs the proxy one write
+// and one read per backend instead of 32 round trips.
+//
+// Failure model: when a backend connection dies (read error, write error,
+// or negotiation failure), every in-flight request on it is answered with
+// a synthesized ERR frame — clients get a definite failure, never a hang —
+// and the connection is removed from the pool so the next client batch
+// triggers a fresh dial (reconnect-on-next-batch).
+
+// pend describes one forwarded request awaiting its backend response.
+type pend struct {
+	s    respSink
+	id   uint32   // the client's original request id, restored on delivery
+	op   uint8    // client-visible opcode for the response frame
+	kind uint8    // text front: which rendering the response needs
+	seq  uint64   // text front: response-ordering slot
+	m    *bmMerge // non-nil: one sub-batch of a split BMGET
+	idxs []int    // merge only: client key positions this sub-batch covers
+	t0   int64    // submit time (ns since epoch) when latency tracking is on
+}
+
+// respSink receives demultiplexed backend responses (or synthesized
+// failures). payload is only valid for the duration of the call.
+type respSink interface {
+	deliver(pd pend, status uint8, payload []byte)
+}
+
+// bmMerge re-merges the per-owner sub-responses of a split BMGET into one
+// coalesced response in the client's key order. The last sub-response to
+// land finishes the merge; a frame-level ERR from any owner wins over all
+// per-key results (first error is kept), matching the node's own
+// whole-batch failure semantics.
+type bmMerge struct {
+	id     uint32 // client request id (binary front) — unused by text
+	seq    uint64 // text front ordering slot
+	sts    []uint8
+	vals   [][]byte
+	remain atomic.Int32
+	errMsg atomic.Pointer[string]
+	t0     int64
+}
+
+func newBMMerge(id uint32, seq uint64, count, owners int, t0 int64) *bmMerge {
+	m := &bmMerge{id: id, seq: seq, sts: make([]uint8, count), vals: make([][]byte, count), t0: t0}
+	m.remain.Store(int32(owners))
+	return m
+}
+
+// absorb folds one sub-response into the merge and reports whether this
+// was the final one (the caller then renders the merged result).
+func (m *bmMerge) absorb(pd pend, status uint8, payload []byte) bool {
+	switch status {
+	case peerStOK:
+		if err := scatterBMGet(m, payload, pd.idxs); err != "" {
+			m.setErr(err)
+		}
+	case peerStErr:
+		m.setErr(string(payload))
+	case peerStShed:
+		// A node never sheds a whole BMGET frame (sheds are per-key), but a
+		// synthesized or future status maps to per-key sheds here.
+		for _, i := range pd.idxs {
+			m.sts[i] = peerStShed
+		}
+	default:
+		m.setErr("backend sent unexpected BMGET status")
+	}
+	return m.remain.Add(-1) == 0
+}
+
+func (m *bmMerge) setErr(msg string) {
+	m.errMsg.CompareAndSwap(nil, &msg)
+}
+
+// scatterBMGet decodes one owner's coalesced payload into the merge's
+// client-order slots. Returns a non-empty message on a malformed payload.
+func scatterBMGet(m *bmMerge, payload []byte, idxs []int) string {
+	if len(payload) < 2 {
+		return "backend sent short BMGET payload"
+	}
+	count := int(peerLE.Uint16(payload))
+	if count != len(idxs) {
+		return "backend BMGET count mismatch"
+	}
+	p := payload[2:]
+	for _, i := range idxs {
+		if len(p) < 5 {
+			return "backend BMGET entry truncated"
+		}
+		st := p[0]
+		vl := int(peerLE.Uint32(p[1:5]))
+		p = p[5:]
+		if vl > len(p) {
+			return "backend BMGET value truncated"
+		}
+		m.sts[i] = st
+		if st == peerStOK {
+			m.vals[i] = append([]byte(nil), p[:vl]...)
+		}
+		p = p[vl:]
+	}
+	return ""
+}
+
+// appendBMGetMerged encodes the merged result in the BMGET response
+// payload layout (u16 count, then per key u8 status / u32 vlen / value).
+func appendBMGetMerged(dst []byte, m *bmMerge) []byte {
+	var cb [2]byte
+	peerLE.PutUint16(cb[:], uint16(len(m.sts)))
+	dst = append(dst, cb[:]...)
+	for i, st := range m.sts {
+		var e [5]byte
+		e[0] = st
+		peerLE.PutUint32(e[1:5], uint32(len(m.vals[i])))
+		dst = append(dst, e[:]...)
+		dst = append(dst, m.vals[i]...)
+	}
+	return dst
+}
+
+// pool owns the shared backend connections.
+type pool struct {
+	mu     sync.Mutex
+	conns  map[string]*poolConn
+	closed bool
+
+	lat *latency.Hist // nil unless latency tracking is on
+
+	connsGauge atomic.Int64  // currently open backend connections
+	connsTotal atomic.Uint64 // dials that succeeded, lifetime
+	frames     atomic.Uint64 // frames pipelined through the pool, lifetime
+}
+
+func newPool(lat *latency.Hist) *pool {
+	return &pool{conns: make(map[string]*poolConn), lat: lat}
+}
+
+// poolConn is one shared backend connection. The write side is a mutex-
+// guarded buffered writer (frames from many clients interleave; each frame
+// is appended atomically); the read side is one goroutine demultiplexing
+// response frames via the pending map.
+type poolConn struct {
+	pl   *pool
+	addr string
+
+	ready   chan struct{} // closed once dial+negotiate finishes
+	dialErr error
+	conn    net.Conn
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	pmu     sync.Mutex
+	pending map[uint32]pend
+	nextID  uint32
+	dead    bool
+}
+
+// get returns the live connection for addr, dialing one if none exists.
+// Only the first caller dials; concurrent callers wait on ready.
+func (pl *pool) get(addr string) (*poolConn, error) {
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return nil, errPoolClosed
+	}
+	pc := pl.conns[addr]
+	if pc == nil {
+		pc = &poolConn{pl: pl, addr: addr, ready: make(chan struct{}), pending: make(map[uint32]pend)}
+		pl.conns[addr] = pc
+		pl.mu.Unlock()
+		pc.dial()
+	} else {
+		pl.mu.Unlock()
+		<-pc.ready
+	}
+	if pc.dialErr != nil {
+		return nil, pc.dialErr
+	}
+	return pc, nil
+}
+
+var errPoolClosed = &net.OpError{Op: "dial", Err: io.ErrClosedPipe}
+
+// dial connects and negotiates the binary preamble, then starts the
+// demultiplexing reader. On failure the slot is removed so the next batch
+// retries the dial.
+func (pc *poolConn) dial() {
+	defer close(pc.ready)
+	conn, err := net.DialTimeout("tcp", pc.addr, peerDialTimeout)
+	if err == nil {
+		conn.SetDeadline(time.Now().Add(peerDialTimeout))
+		pre := [4]byte{peerMagic, 'V', 'B', peerVersion}
+		if _, werr := conn.Write(pre[:]); werr != nil {
+			err = werr
+		} else if _, rerr := io.ReadFull(conn, pre[:]); rerr != nil {
+			err = rerr
+		} else if pre[0] != peerMagic || pre[3] != peerVersion {
+			err = errNegotiate
+		}
+		conn.SetDeadline(time.Time{})
+	}
+	if err != nil {
+		if conn != nil {
+			conn.Close()
+		}
+		pc.dialErr = err
+		pc.dead = true
+		pc.pl.drop(pc)
+		return
+	}
+	pc.conn = conn
+	pc.w = bufio.NewWriterSize(conn, 64<<10)
+	pc.pl.connsGauge.Add(1)
+	pc.pl.connsTotal.Add(1)
+	go pc.readLoop()
+}
+
+var errNegotiate = &net.OpError{Op: "negotiate", Err: io.ErrUnexpectedEOF}
+
+func (pl *pool) drop(pc *poolConn) {
+	pl.mu.Lock()
+	if pl.conns[pc.addr] == pc {
+		delete(pl.conns, pc.addr)
+	}
+	pl.mu.Unlock()
+}
+
+// submit registers one forwarded frame and appends it to the connection's
+// write buffer without flushing. frame is the full wire encoding (4-byte
+// length prefix included); its id field is rewritten in place to the
+// pool-internal id before buffering. When the connection is already dead
+// the request is answered immediately with a synthesized ERR — the caller
+// never has to special-case a dying backend.
+func (pc *poolConn) submit(pd pend, frame []byte) {
+	pc.pmu.Lock()
+	if pc.dead {
+		pc.pmu.Unlock()
+		pc.failOne(pd)
+		return
+	}
+	pc.nextID++
+	id := pc.nextID
+	peerLE.PutUint32(frame[8:12], id)
+	pc.pending[id] = pd
+	pc.pmu.Unlock()
+
+	pc.wmu.Lock()
+	pc.w.Write(frame) // errors are sticky; flush surfaces them
+	pc.wmu.Unlock()
+	pc.pl.frames.Add(1)
+}
+
+// flush pushes buffered frames to the wire; a write error kills the
+// connection (and synthesizes failures for everything in flight).
+func (pc *poolConn) flush() {
+	pc.wmu.Lock()
+	err := pc.w.Flush()
+	pc.wmu.Unlock()
+	if err != nil {
+		pc.fail()
+	}
+}
+
+// readLoop demultiplexes response frames to their pending requests until
+// the connection dies.
+func (pc *poolConn) readLoop() {
+	r := bufio.NewReaderSize(pc.conn, 64<<10)
+	var hdr [4]byte
+	var frame []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break
+		}
+		n := int(peerLE.Uint32(hdr[:]))
+		if n < peerRespHdr || n > proxyMaxBody {
+			break
+		}
+		if cap(frame) < n {
+			frame = make([]byte, n)
+		}
+		frame = frame[:n]
+		if _, err := io.ReadFull(r, frame); err != nil {
+			break
+		}
+		id := peerLE.Uint32(frame[4:8])
+		pc.pmu.Lock()
+		pd, ok := pc.pending[id]
+		if ok {
+			delete(pc.pending, id)
+		}
+		pc.pmu.Unlock()
+		if !ok {
+			break // response for nothing we sent: protocol violation
+		}
+		if pc.pl.lat != nil && pd.t0 != 0 && pd.m == nil {
+			pc.pl.lat.Record(time.Duration(time.Now().UnixNano() - pd.t0))
+		}
+		pd.s.deliver(pd, frame[0], frame[peerRespHdr:])
+	}
+	pc.fail()
+}
+
+// fail marks the connection dead, removes it from the pool, and answers
+// every in-flight request with a synthesized ERR so no client hangs.
+func (pc *poolConn) fail() {
+	pc.pmu.Lock()
+	if pc.dead {
+		pc.pmu.Unlock()
+		return
+	}
+	pc.dead = true
+	pending := pc.pending
+	pc.pending = nil
+	pc.pmu.Unlock()
+	pc.conn.Close()
+	pc.pl.drop(pc)
+	pc.pl.connsGauge.Add(-1)
+	for _, pd := range pending {
+		pc.failOne(pd)
+	}
+}
+
+func (pc *poolConn) failOne(pd pend) {
+	pd.s.deliver(pd, peerStErr, []byte("proxy: backend "+pc.addr+" lost"))
+}
+
+// close shuts every connection down; in-flight requests get synthesized
+// errors via each connection's fail path.
+func (pl *pool) close() {
+	pl.mu.Lock()
+	pl.closed = true
+	conns := make([]*poolConn, 0, len(pl.conns))
+	for _, pc := range pl.conns {
+		conns = append(conns, pc)
+	}
+	pl.mu.Unlock()
+	for _, pc := range conns {
+		select {
+		case <-pc.ready:
+			if pc.dialErr == nil {
+				pc.fail()
+			}
+		default:
+			// Still dialing; its own failure path cleans up.
+		}
+	}
+}
+
+// touched tracks which pool connections a client batch wrote to, so the
+// batch boundary can flush exactly those. The slice is tiny (cluster
+// member count) and reused across batches.
+type touched struct {
+	conns []*poolConn
+}
+
+func (t *touched) add(pc *poolConn) {
+	for _, c := range t.conns {
+		if c == pc {
+			return
+		}
+	}
+	t.conns = append(t.conns, pc)
+}
+
+func (t *touched) flush() {
+	for i, pc := range t.conns {
+		pc.flush()
+		t.conns[i] = nil
+	}
+	t.conns = t.conns[:0]
+}
+
+// appendReqFrame encodes one binary request frame (length prefix
+// included). The id field is left zero — submit rewrites it.
+func appendReqFrame(dst []byte, op, flags uint8, ttlMS uint32, tenant string, key, val []byte) []byte {
+	n := peerReqHdr + len(tenant) + len(key) + len(val)
+	var h [4 + peerReqHdr]byte
+	peerLE.PutUint32(h[0:4], uint32(n))
+	h[4] = op
+	h[5] = flags
+	h[6] = uint8(len(tenant))
+	peerLE.PutUint32(h[12:16], ttlMS)
+	peerLE.PutUint16(h[16:18], uint16(len(key)))
+	dst = append(dst, h[:]...)
+	dst = append(dst, tenant...)
+	dst = append(dst, key...)
+	return append(dst, val...)
+}
+
+// appendBMGetReq encodes a BMGET request frame for the given subset of
+// keys (length prefix included, id zero).
+func appendBMGetReq(dst []byte, tenant string, keys [][]byte, idxs []int) []byte {
+	body := 0
+	for _, i := range idxs {
+		body += 2 + len(keys[i])
+	}
+	n := peerReqHdr + len(tenant) + body
+	var h [4 + peerReqHdr]byte
+	peerLE.PutUint32(h[0:4], uint32(n))
+	h[4] = peerOpBMGet
+	h[6] = uint8(len(tenant))
+	peerLE.PutUint16(h[16:18], uint16(len(idxs)))
+	dst = append(dst, h[:]...)
+	dst = append(dst, tenant...)
+	for _, i := range idxs {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(keys[i])))
+		dst = append(dst, l[:]...)
+		dst = append(dst, keys[i]...)
+	}
+	return dst
+}

@@ -339,7 +339,7 @@ func TestNodeAccessorsAndBootstrap(t *testing.T) {
 func TestProxyBinaryMatchesText(t *testing.T) {
 	addrs := reservePorts(t, 3)
 	for _, batch := range []int{1, 8} {
-		run := func(bin bool) loadgen.Result {
+		run := func(bin, bmget bool) loadgen.Result {
 			pc := bootProxyCluster(t, addrs, true)
 			defer pc.Close()
 			res, err := loadgen.Run(loadgen.Options{
@@ -349,13 +349,14 @@ func TestProxyBinaryMatchesText(t *testing.T) {
 				ValueSize:  32,
 				Batch:      batch,
 				Binary:     bin,
+				BMGet:      bmget,
 			})
 			if err != nil {
-				t.Fatalf("batch=%d binary=%v: %v", batch, bin, err)
+				t.Fatalf("batch=%d binary=%v bmget=%v: %v", batch, bin, bmget, err)
 			}
 			return res
 		}
-		text, bin := run(false), run(true)
+		text, bin := run(false, false), run(true, false)
 		tt, bt := text.Tenants[0], bin.Tenants[0]
 		if tt.Gets != bt.Gets || tt.Hits != bt.Hits || tt.Misses != bt.Misses || tt.Puts != bt.Puts {
 			t.Fatalf("batch=%d: proxied text %+v != proxied binary %+v", batch, tt, bt)
@@ -365,6 +366,15 @@ func TestProxyBinaryMatchesText(t *testing.T) {
 		}
 		if bt.Hits == 0 || bt.Puts == 0 {
 			t.Fatalf("batch=%d: degenerate proxied run %+v", batch, bt)
+		}
+		if batch > 1 {
+			// BMGET coalesces the batch into one frame; the proxy splits it
+			// per owner and re-merges, so the outcomes must still match the
+			// text MGET run key for key.
+			mt := run(false, true).Tenants[0]
+			if tt.Gets != mt.Gets || tt.Hits != mt.Hits || tt.Misses != mt.Misses || tt.Puts != mt.Puts {
+				t.Fatalf("batch=%d: proxied text %+v != proxied BMGET %+v", batch, tt, mt)
+			}
 		}
 	}
 }

@@ -1,0 +1,93 @@
+// Package latency provides the lock-free log2 request-latency histogram
+// shared by the serving layer and the cluster proxy, so both record in the
+// same bucket layout and their /metrics renderings and quantile math line
+// up.
+package latency
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a lock-free log2 histogram of request service times. Bucket i
+// spans (4096<<(i-1), 4096<<i] nanoseconds (bucket 0 is everything up to
+// 4.096µs), so 26 buckets reach ~137s — far past any deadline the server
+// allows. Recording is one atomic add on the bucket plus one on the
+// running sum, cheap enough for the per-request hot path when enabled.
+type Hist struct {
+	counts [Buckets]atomic.Uint64
+	sumNS  atomic.Uint64
+}
+
+const (
+	Buckets = 26
+	BaseNS  = 4096
+)
+
+// Record adds one observation. Negative durations (a clock stepping
+// backwards) count into bucket 0 rather than corrupting the sum.
+func (h *Hist) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns) / BaseNS)
+	if i >= Buckets {
+		i = Buckets - 1
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(uint64(ns))
+}
+
+// Snapshot returns the bucket counts and sum. Buckets are read one atomic
+// at a time, so the snapshot is only approximately consistent — fine for
+// metrics.
+func (h *Hist) Snapshot() ([]uint64, uint64) {
+	out := make([]uint64, Buckets)
+	for i := range out {
+		out[i] = h.counts[i].Load()
+	}
+	return out, h.sumNS.Load()
+}
+
+// BucketUpperNS returns bucket i's inclusive upper bound in nanoseconds
+// (the last bucket is unbounded and reports +Inf seconds in the
+// Prometheus rendering).
+func BucketUpperNS(i int) uint64 {
+	return uint64(BaseNS) << uint(i)
+}
+
+// Quantile estimates quantile q (0..1) from a snapshot's bucket counts,
+// returning the upper bound of the bucket containing the q-th observation
+// — a conservative (over-)estimate, which is the right direction for
+// asserting p99 bounds. Returns 0 when the histogram is disabled or
+// empty.
+func Quantile(counts []uint64, q float64) time.Duration {
+	if len(counts) == 0 || math.IsNaN(q) {
+		return 0
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return time.Duration(BucketUpperNS(i))
+		}
+	}
+	return time.Duration(BucketUpperNS(len(counts) - 1))
+}

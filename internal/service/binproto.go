@@ -23,7 +23,7 @@
 // Request frames (client -> server) after the length:
 //
 //	off 0  opcode  u8   GET=1 PUT=2 DEL=3 TOUCH=4 PING=5 TENANT_ADD=6
-//	                    TENANT_DEL=7 REG_OP=8 REG_PULL=9 REHOME=10
+//	                    TENANT_DEL=7 REG_OP=8 REG_PULL=9 REHOME=10 BMGET=11
 //	off 1  flags   u8   bit0 (PUT/REHOME): explicit TTL — ttl_ms is
 //	                    authoritative, 0 meaning "never expire"; unset:
 //	                    service default TTL (REHOME: never expire).
@@ -45,7 +45,26 @@
 //	off 8  payload      GET hit: value; TENANT_ADD: u32 partition;
 //	                    REG_OP: u64 local registry version; REG_PULL:
 //	                    u64 version, u32 count, count x (u8 len, name);
-//	                    ERR: message text
+//	                    BMGET: see below; ERR: message text
+//
+// # BMGET
+//
+// BMGET (opcode 11) reads N keys of one tenant in one frame. The request
+// reuses the fixed header with klen carrying the KEY COUNT (not a byte
+// length); flags and ttl_ms must be zero. The body after the tenant name is
+// count x (u16 keylen, key bytes), tiling the frame exactly — a truncated
+// or overrun key list is a framing violation and closes the connection,
+// while an empty list, a count over the batch cap, an unknown tenant or a
+// bad key length answer a frame-level ERR and the stream continues. The
+// response is one coalesced frame whose OK payload is
+//
+//	u16 count, count x (u8 status, u32 vlen, value bytes)
+//
+// in request key order, with per-key status OK (value follows), MISS or
+// SHED (vlen 0). The frame-level status is ERR only when the whole batch
+// failed (validation, unknown tenant, injected fault); per-key SHED covers
+// ring overflow and in-flight shedding of the shard sub-batches, so one
+// overloaded shard degrades its keys without failing the rest.
 //
 // # Cluster frames
 //
@@ -96,7 +115,9 @@
 // per-connection output buffer and flush only when the connection's
 // dispatched-frame count drains to zero or the buffer passes a high-water
 // mark, so a pipelined batch of K requests costs one write syscall, and
-// interleaved batches from many connections cost few.
+// interleaved batches from many connections cost few: within one ring
+// drain the worker defers every flush decision to a single end-of-batch
+// scatter-gather pass over the connections it touched (binGather).
 package service
 
 import (
@@ -154,6 +175,7 @@ const (
 	binOpRegOp     = 8
 	binOpRegPull   = 9
 	binOpRehome    = 10
+	binOpBMGet     = 11
 
 	binStOK   = 0
 	binStMiss = 1
@@ -207,6 +229,10 @@ type binConn struct {
 	// touched instead of per frame. Always drained before binFeed returns.
 	enqBy [][]*binReq
 	enqN  int
+
+	// bmShard is transport-thread scratch for BMGET dispatch: the one
+	// sub-request per shard the current frame is accumulating into.
+	bmShard []*binReq
 }
 
 // abort requests the connection's demise from a worker context: the
@@ -456,24 +482,42 @@ func (s *Server) binDispatch(c *binConn, f []byte) error {
 		s.binRespond(c, binStOK, op, id, nil, false)
 		return nil
 	case binOpTenantAdd:
-		part, err := s.svc.AddTenant(string(tenant))
-		if err != nil {
-			s.binRespondErr(c, op, id, err.Error(), false)
-			return nil
-		}
-		var p [4]byte
-		binLE.PutUint32(p[:], uint32(part))
-		s.binRespond(c, binStOK, op, id, p[:], false)
+		// AddTenant replicates to every peer synchronously, so it must
+		// never run on the poller loop: two nodes adding tenants
+		// concurrently would each block their loop on the other's RegOp
+		// reply — which the other loop, equally blocked, can never write —
+		// until the peer timeout breaks the cycle. The op takes a pending
+		// slot and answers out of band exactly like a shard op; a client
+		// pipelining data frames behind an unacknowledged TENANT_ADD may
+		// see "unknown tenant" for them, which is why every client in this
+		// repo awaits the add's ack before sending data.
+		name := string(tenant)
+		c.pending.Add(1)
+		go func() {
+			part, err := s.svc.AddTenant(name)
+			if err != nil {
+				s.binRespondErr(c, op, id, err.Error(), true)
+				return
+			}
+			var p [4]byte
+			binLE.PutUint32(p[:], uint32(part))
+			s.binRespond(c, binStOK, op, id, p[:], true)
+		}()
 		return nil
 	case binOpTenantDel:
 		if flags != 0 {
 			return errBadFrame
 		}
-		if err := s.svc.RemoveTenant(string(tenant)); err != nil {
-			s.binRespondErr(c, op, id, err.Error(), false)
-			return nil
-		}
-		s.binRespond(c, binStOK, op, id, nil, false)
+		// Same broadcast, same poller-deadlock hazard as TENANT_ADD.
+		name := string(tenant)
+		c.pending.Add(1)
+		go func() {
+			if err := s.svc.RemoveTenant(name); err != nil {
+				s.binRespondErr(c, op, id, err.Error(), true)
+				return
+			}
+			s.binRespond(c, binStOK, op, id, nil, true)
+		}()
 		return nil
 	case binOpRegOp:
 		if flags&^byte(binFlagRegAdd) != 0 {
@@ -510,6 +554,8 @@ func (s *Server) binDispatch(c *binConn, f []byte) error {
 		}
 		s.binRespond(c, binStOK, op, id, p, false)
 		return nil
+	case binOpBMGet:
+		return s.binDispatchBMGet(c, f, flags, id, ttlMS, tl, kl)
 	case binOpGet, binOpPut, binOpDel, binOpTouch, binOpRehome:
 	default:
 		return errBadFrame
@@ -553,6 +599,97 @@ func (s *Server) binDispatch(c *binConn, f []byte) error {
 	return nil
 }
 
+// binDispatchBMGet validates one BMGET frame and fans its keys out to the
+// owning shards as at most one pooled sub-request per shard, all sharing
+// one binBatch that re-merges per-key results into a single coalesced
+// response frame. The whole batch holds exactly one pending slot on the
+// connection — it produces exactly one response frame. count arrives in
+// the header's klen field; the key list must tile the body exactly.
+func (s *Server) binDispatchBMGet(c *binConn, f []byte, flags uint8, id, ttlMS uint32, tl, count int) error {
+	if flags != 0 || ttlMS != 0 {
+		return errBadFrame // no flags or TTL semantics are defined for BMGET in v1
+	}
+	tenant := f[binReqHdr : binReqHdr+tl]
+	list := f[binReqHdr+tl:]
+	// Structural pass: the declared count of (u16 len, key) entries must
+	// consume the body exactly. Truncation or trailing bytes mean the
+	// stream can no longer be trusted; key-length violations are semantic.
+	rest := list
+	badKey := false
+	for i := 0; i < count; i++ {
+		if len(rest) < 2 {
+			return errBadFrame
+		}
+		kl := int(binLE.Uint16(rest))
+		if len(rest) < 2+kl {
+			return errBadFrame
+		}
+		if kl == 0 || kl > maxKeyLen {
+			badKey = true
+		}
+		rest = rest[2+kl:]
+	}
+	if len(rest) != 0 {
+		return errBadFrame
+	}
+	switch {
+	case count == 0:
+		s.binRespondErr(c, binOpBMGet, id, "empty key list", false)
+		return nil
+	case count > maxBatchKeys:
+		s.binRespondErr(c, binOpBMGet, id, "too many keys", false)
+		return nil
+	case badKey:
+		s.binRespondErr(c, binOpBMGet, id, "bad key length", false)
+		return nil
+	}
+	t := s.svc.reg.Load().tenants[string(tenant)]
+	if t == nil {
+		s.binRespondErr(c, binOpBMGet, id, "unknown tenant", false)
+		return nil
+	}
+	s.svc.bmgetKeys.Add(uint64(count))
+	b := &binBatch{c: c, id: id, sts: make([]uint8, count), vals: make([][]byte, count)}
+	b.remain.Store(int32(count))
+	if c.enqBy == nil {
+		c.enqBy = make([][]*binReq, len(s.binRings))
+	}
+	if cap(c.bmShard) < len(s.binRings) {
+		c.bmShard = make([]*binReq, len(s.binRings))
+	}
+	reqs := c.bmShard[:len(s.binRings)]
+	for i := range reqs {
+		reqs[i] = nil
+	}
+	for i := 0; i < count; i++ {
+		kl := int(binLE.Uint16(list))
+		key := list[2 : 2+kl]
+		list = list[2+kl:]
+		addr := addrOfB(t.part, key)
+		mixed := hash.Mix64(addr)
+		si := int(s.svc.route.Hash(mixed) & s.svc.mask)
+		q := reqs[si]
+		if q == nil {
+			q = binReqPool.Get().(*binReq)
+			q.c, q.op, q.id, q.t = c, binOpBMGet, id, t
+			q.batch = b
+			q.bk = q.bk[:0]
+			q.kbuf = q.kbuf[:0]
+			reqs[si] = q
+			c.enqBy[si] = append(c.enqBy[si], q)
+			c.enqN++
+		}
+		off := int32(len(q.kbuf))
+		q.kbuf = append(q.kbuf, key...)
+		q.bk = append(q.bk, binBKey{addr: addr, mixed: mixed, off: off, ln: int32(kl), idx: int32(i)})
+	}
+	c.pending.Add(1)
+	if c.enqN >= binEnqFlush {
+		s.binFlushEnq(c)
+	}
+	return nil
+}
+
 // binFlushEnq hands the connection's accumulated per-shard runs to their
 // rings, one pushBatch (one lock, one wake) per shard touched. Requests a
 // full ring cannot accept are shed here with the same counters as an
@@ -566,11 +703,30 @@ func (s *Server) binFlushEnq(c *binConn) {
 		if len(qs) == 0 {
 			continue
 		}
-		c.pending.Add(int64(len(qs)))
+		// BMGET sub-requests don't hold pending slots of their own: the
+		// batch claimed its single slot at dispatch (one response frame).
+		pend := int64(0)
+		for _, q := range qs {
+			if q.batch == nil {
+				pend++
+			}
+		}
+		if pend > 0 {
+			c.pending.Add(pend)
+		}
 		n := s.binRings[si].pushBatch(qs)
 		for _, q := range qs[n:] {
 			q.t.shed.Add(1)
 			s.svc.requestsShed.Add(1)
+			if b := q.batch; b != nil {
+				for _, bk := range q.bk {
+					b.sts[bk.idx] = binStShed
+				}
+				done := len(q.bk)
+				q.recycle()
+				s.binBatchDone(b, done, nil)
+				continue
+			}
 			op, id := q.op, q.id
 			q.recycle()
 			s.binRespond(c, binStShed, op, id, nil, true)
@@ -593,6 +749,16 @@ func (s *Server) binFlushEnq(c *binConn) {
 // retires a dispatched data frame (PING/TENANT_ADD answer inline and never
 // took a pending slot).
 func (s *Server) binRespond(c *binConn, status, op uint8, id uint32, payload []byte, dec bool) {
+	s.binRespondG(c, status, op, id, payload, dec, nil)
+}
+
+// binRespondG is binRespond with an optional scatter-gather context: when
+// g is non-nil (shard-worker context) the flush decision is deferred to
+// the worker's end-of-batch binGatherFlush pass, so responses to many
+// connections executed in one popBatch run are written back-to-back in one
+// pass instead of deciding (and often syscalling) per response. The
+// high-water mark still flushes inline to bound buffered memory.
+func (s *Server) binRespondG(c *binConn, status, op uint8, id uint32, payload []byte, dec bool, g *binGather) {
 	c.wmu.Lock()
 	if c.dying.Load() || c.closed.Load() {
 		c.wmu.Unlock()
@@ -608,6 +774,14 @@ func (s *Server) binRespond(c *binConn, status, op uint8, id uint32, payload []b
 	} else {
 		left = c.pending.Load()
 	}
+	if g != nil {
+		if len(c.out) >= binFlushHi {
+			s.binFlushLocked(c)
+		}
+		c.wmu.Unlock()
+		g.add(c)
+		return
+	}
 	if left == 0 || len(c.out) >= binFlushHi {
 		s.binFlushLocked(c)
 	}
@@ -616,6 +790,41 @@ func (s *Server) binRespond(c *binConn, status, op uint8, id uint32, payload []b
 
 func (s *Server) binRespondErr(c *binConn, op uint8, id uint32, msg string, dec bool) {
 	s.binRespond(c, binStErr, op, id, []byte(msg), dec)
+}
+
+// binGather is a shard worker's per-popBatch set of touched connections.
+// Deferring the flush decision to one end-of-batch pass is the
+// cross-connection scatter-gather: K coalesced responses to M connections
+// cost at most M writes issued consecutively, not K flush checks each
+// potentially paying its own syscall.
+type binGather struct {
+	conns []*binConn
+}
+
+// add records a touched connection (deduplicated; M is small).
+func (g *binGather) add(c *binConn) {
+	for _, e := range g.conns {
+		if e == c {
+			return
+		}
+	}
+	g.conns = append(g.conns, c)
+}
+
+// binGatherFlush writes every gathered connection whose dispatched frames
+// have drained. A connection still owing responses keeps its buffer: the
+// worker that appends its last response gathers it again and this pass on
+// that worker flushes it, so no frame is ever stranded.
+func (s *Server) binGatherFlush(g *binGather) {
+	for i, c := range g.conns {
+		g.conns[i] = nil
+		c.wmu.Lock()
+		if len(c.out) > 0 && c.pending.Load() == 0 && !c.dying.Load() && !c.closed.Load() {
+			s.binFlushLocked(c)
+		}
+		c.wmu.Unlock()
+	}
+	g.conns = g.conns[:0]
 }
 
 // binFlushLocked writes c's buffered responses. Caller holds c.wmu.

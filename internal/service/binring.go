@@ -18,6 +18,7 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,6 +30,10 @@ const binRingCap = 1024
 
 // binReq is one decoded, resolved binary request. Pooled; key and val are
 // copies owned by the request (the transport's read buffer is reused).
+// A BMGET fans out as one binReq per shard touched: batch points at the
+// shared aggregation state and bk/kbuf carry that shard's keys (key/val
+// are unused), so the per-shard ring and worker machinery below handles
+// batches and single requests identically.
 type binReq struct {
 	c      *binConn
 	t      *Tenant
@@ -40,14 +45,45 @@ type binReq struct {
 	mixed  uint64
 	key    []byte
 	val    []byte
+
+	batch *binBatch
+	bk    []binBKey
+	kbuf  []byte // backing bytes for bk key slices, copied off the read buffer
+}
+
+// binBKey is one BMGET key resolved to its line address and shard route,
+// with its position in the client's key list for result re-merging.
+type binBKey struct {
+	addr  uint64
+	mixed uint64
+	off   int32 // key bytes are kbuf[off : off+ln]
+	ln    int32
+	idx   int32 // position in the request's key list
+}
+
+// binBatch aggregates one BMGET's per-key results across its shard
+// sub-requests. sts/vals are written at disjoint indices by the owning
+// workers; the remain counter's final decrement publishes them to the
+// finisher, which encodes the single coalesced response. err, when set,
+// turns the whole response into a frame-level ERR (first setter wins).
+type binBatch struct {
+	c      *binConn
+	id     uint32
+	remain atomic.Int32
+	err    atomic.Pointer[string]
+	sts    []uint8
+	vals   [][]byte
 }
 
 var binReqPool = sync.Pool{New: func() any { return &binReq{} }}
 
 func (q *binReq) recycle() {
-	q.c, q.t = nil, nil
+	q.c, q.t, q.batch = nil, nil, nil
 	if cap(q.val) > 64<<10 {
 		q.val = nil // don't let one huge PUT pin its buffer in the pool
+	}
+	if cap(q.kbuf) > 64<<10 {
+		q.kbuf = nil
 	}
 	binReqPool.Put(q)
 }
@@ -128,6 +164,7 @@ func (s *Server) binWorker(si int) {
 	defer s.wg.Done()
 	ring := s.binRings[si]
 	batch := make([]*binReq, 0, 64)
+	var g binGather
 	for {
 		batch = ring.popBatch(batch[:0])
 		if len(batch) == 0 {
@@ -136,6 +173,18 @@ func (s *Server) binWorker(si int) {
 				continue
 			case <-s.binStop:
 				for _, q := range ring.popBatch(batch[:0]) {
+					if b := q.batch; b != nil {
+						// Drained BMGET sub-requests shed their keys so the
+						// finisher (here or on another draining worker) still
+						// retires the batch's single pending slot.
+						for _, bk := range q.bk {
+							b.sts[bk.idx] = binStShed
+						}
+						done := len(q.bk)
+						q.recycle()
+						s.binBatchDone(b, done, nil)
+						continue
+					}
 					q.c.pending.Add(-1)
 					q.recycle()
 				}
@@ -146,14 +195,15 @@ func (s *Server) binWorker(si int) {
 			clk := s.svc.clk
 			for _, q := range batch {
 				t0 := clk.Now()
-				s.binExec(q)
-				h.record(clk.Now().Sub(t0))
+				s.binExec(q, &g)
+				h.Record(clk.Now().Sub(t0))
 			}
 		} else {
 			for _, q := range batch {
-				s.binExec(q)
+				s.binExec(q, &g)
 			}
 		}
+		s.binGatherFlush(&g)
 	}
 }
 
@@ -170,6 +220,8 @@ func binOpToOp(op uint8) Op {
 		return OpTouch
 	case binOpRehome:
 		return OpPut
+	case binOpBMGet:
+		return OpMGet
 	}
 	return OpGet
 }
@@ -177,7 +229,13 @@ func binOpToOp(op uint8) Op {
 // binExec runs one request on its shard worker: overload gates first
 // (dispatcher drop fault, then the same in-flight reservations the text
 // path takes), then the resolved service fast path, then the response.
-func (s *Server) binExec(q *binReq) {
+// Responses route through the worker's gather so the flush happens in the
+// end-of-batch scatter pass.
+func (s *Server) binExec(q *binReq, g *binGather) {
+	if q.batch != nil {
+		s.binExecBatch(q, g)
+		return
+	}
 	c, op, id := q.c, q.op, q.id
 	svc := s.svc
 	if svc.fault.Load() != nil && svc.dropFault(binOpToOp(op), q.t.name) {
@@ -191,7 +249,7 @@ func (s *Server) binExec(q *binReq) {
 	}
 	release, ok := s.beginOpT(q.t)
 	if !ok {
-		s.binRespond(c, binStShed, op, id, nil, true)
+		s.binRespondG(c, binStShed, op, id, nil, true, g)
 		q.recycle()
 		return
 	}
@@ -200,7 +258,7 @@ func (s *Server) binExec(q *binReq) {
 			if release != nil {
 				release()
 			}
-			s.binRespondErr(c, op, id, err.Error(), true)
+			s.binRespondG(c, binStErr, op, id, []byte(err.Error()), true, g)
 			q.recycle()
 			return
 		}
@@ -249,6 +307,98 @@ func (s *Server) binExec(q *binReq) {
 	if release != nil {
 		release()
 	}
-	s.binRespond(c, status, op, id, payload, true)
+	s.binRespondG(c, status, op, id, payload, true, g)
 	q.recycle()
+}
+
+// binExecBatch runs one shard's slice of a BMGET: the same overload gates
+// as a single request (one reservation covers the whole sub-batch, like
+// the text MGET's single command reservation), then the resolved GET fast
+// path per key, writing results into the shared batch at this sub-request's
+// key positions. Whoever retires the last key emits the coalesced frame.
+func (s *Server) binExecBatch(q *binReq, g *binGather) {
+	b := q.batch
+	svc := s.svc
+	n := len(q.bk)
+	if svc.fault.Load() != nil && svc.dropFault(OpMGet, q.t.name) {
+		q.c.abort()
+		// The connection is dying; retire our keys so the batch's pending
+		// slot drains (the suppressed response is written to nobody).
+		q.recycle()
+		s.binBatchDone(b, n, g)
+		return
+	}
+	release, ok := s.beginOpT(q.t)
+	if !ok {
+		for _, bk := range q.bk {
+			b.sts[bk.idx] = binStShed
+		}
+		q.recycle()
+		s.binBatchDone(b, n, g)
+		return
+	}
+	if svc.fault.Load() != nil {
+		if err := svc.injectFault(OpMGet, q.t.name); err != nil {
+			if release != nil {
+				release()
+			}
+			msg := err.Error()
+			b.err.CompareAndSwap(nil, &msg)
+			q.recycle()
+			s.binBatchDone(b, n, g)
+			return
+		}
+	}
+	for _, bk := range q.bk {
+		key := q.kbuf[bk.off : bk.off+bk.ln]
+		// getAt returns the stored slice without copying; entries are
+		// immutable snapshots, so retaining them until encode is safe.
+		if val, hit := svc.getAt(q.t, bk.addr, bk.mixed, key); hit {
+			b.sts[bk.idx] = binStOK
+			b.vals[bk.idx] = val
+		} else {
+			b.sts[bk.idx] = binStMiss
+		}
+	}
+	if release != nil {
+		release()
+	}
+	q.recycle()
+	s.binBatchDone(b, n, g)
+}
+
+// binBatchDone retires n keys of a BMGET batch. The finisher — whoever
+// brings remain to zero, a shard worker or a transport-thread shed path —
+// encodes and emits the batch's single response frame, which releases the
+// connection's one pending slot for the whole BMGET.
+func (s *Server) binBatchDone(b *binBatch, n int, g *binGather) {
+	if b.remain.Add(-int32(n)) != 0 {
+		return
+	}
+	if msg := b.err.Load(); msg != nil {
+		s.binRespondG(b.c, binStErr, binOpBMGet, b.id, []byte(*msg), true, g)
+		return
+	}
+	sz := 2 + 5*len(b.sts)
+	for i, st := range b.sts {
+		if st == binStOK {
+			sz += len(b.vals[i])
+		}
+	}
+	p := make([]byte, 0, sz)
+	var u2 [2]byte
+	binLE.PutUint16(u2[:], uint16(len(b.sts)))
+	p = append(p, u2[:]...)
+	var u4 [4]byte
+	for i, st := range b.sts {
+		v := b.vals[i]
+		if st != binStOK {
+			v = nil
+		}
+		p = append(p, st)
+		binLE.PutUint32(u4[:], uint32(len(v)))
+		p = append(p, u4[:]...)
+		p = append(p, v...)
+	}
+	s.binRespondG(b.c, binStOK, binOpBMGet, b.id, p, true, g)
 }

@@ -157,6 +157,19 @@ func FuzzClusterFrames(f *testing.F) {
 			binFrame(binOpRehome, binFlagTTL, 20, 100, "w", "b", "2")...),
 			binFrame(binOpRegPull, 0, 21, 0, "", "", "")...),
 		{4, 0, 0, 0, binOpRegOp, 0}, // truncated frame
+		// BMGET interleaved with cluster traffic, the way a proxy's pooled
+		// connection shares a peer's stream: valid multi-key, zero keys
+		// (semantic ERR), truncated key list (framing: close), duplicate
+		// request ids back to back (legal — responses echo both).
+		bmFrame(22, "t", "k", "nosuch"),
+		bmFrameN(0, 23, 0, "t", 0, nil, ""),
+		bmFrameN(0, 24, 0, "t", 3, []string{"k"}, ""),
+		append(bmFrame(25, "t", "k"), bmFrame(25, "t", "k", "b")...),
+		// BMGET sandwiched between a rehome and a registry pull.
+		append(append(
+			binFrame(binOpRehome, 0, 26, 0, "t", "bm", "v"),
+			bmFrame(27, "t", "bm", "k")...),
+			binFrame(binOpRegPull, 0, 28, 0, "", "", "")...),
 	}
 	for _, seed := range seeds {
 		f.Add(seed)

@@ -75,8 +75,8 @@ func FuzzParseRequest(f *testing.F) {
 		[]byte("PUT t k 2 EXPIRE nope\r\nhi\r\n"), // malformed clause, payload must drain
 		[]byte("PUT t k 2 EXPIRE -1\r\nhi\r\n"),
 		[]byte("PUT t k 2 EXPIRE 99999999999999999999\r\nhi\r\n"),
-		[]byte("PUT t k 2 EXPIRES 5\r\nhi\r\n"),         // wrong keyword
-		[]byte("PUT t k 2 EXPIRE\r\nhi\r\nPING\r\n"),    // arity 5: usage error, payload must drain
+		[]byte("PUT t k 2 EXPIRES 5\r\nhi\r\n"),             // wrong keyword
+		[]byte("PUT t k 2 EXPIRE\r\nhi\r\nPING\r\n"),        // arity 5: usage error, payload must drain
 		[]byte("PUT t k 2 EXPIRE 5 junk\r\nhi\r\nPING\r\n"), // arity 7: same
 		[]byte("TOUCH t k 100\r\n"),
 		[]byte("TOUCH t k 0\r\n"),
@@ -189,6 +189,16 @@ func FuzzBinFrames(f *testing.F) {
 		{4, 0, 0, 0, 1, 0},                              // truncated frame
 		{255, 255, 255, 255},                            // absurd length: close
 		append(binFrame(binOpPing, 0, 12, 0, "", "", ""), binFrame(binOpPing, 0, 13, 0, "", "", "")...),
+		// BMGET: valid multi-key, empty list (semantic ERR), truncated key
+		// list and trailing bytes (framing: close), oversized count, and two
+		// pipelined frames sharing an id.
+		bmFrame(14, "t", "k", "nosuch"),
+		bmFrame(15, "t"),
+		bmFrameN(0, 16, 0, "t", 3, []string{"k"}, ""),
+		bmFrameN(0, 17, 0, "t", 1, []string{"k"}, "junk"),
+		bmFrameN(0, 18, 0, "t", maxBatchKeys+1, []string{"k"}, ""),
+		bmFrameN(binFlagTTL, 19, 250, "t", 1, []string{"k"}, ""),
+		append(bmFrame(20, "t", "k"), bmFrame(20, "t", "k", "k2")...),
 	}
 	for _, seed := range seeds {
 		f.Add(seed)

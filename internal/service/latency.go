@@ -1,61 +1,20 @@
 package service
 
 import (
-	"math"
-	"math/bits"
-	"sync/atomic"
 	"time"
+
+	"vantage/internal/latency"
 )
 
-// latencyHist is a lock-free log2 histogram of request service times.
-// Bucket i spans (4096<<(i-1), 4096<<i] nanoseconds (bucket 0 is everything
-// up to 4.096µs), so 26 buckets reach ~137s — far past any deadline the
-// server allows. Recording is one atomic add on the bucket plus one on the
-// running sum, cheap enough for the per-request hot path when enabled.
-type latencyHist struct {
-	counts [latencyBuckets]atomic.Uint64
-	sumNS  atomic.Uint64
-}
+// The request-latency histogram lives in internal/latency so the cluster
+// proxy can record its own forwarding latency in the same bucket layout
+// (service's in-package tests import loadgen, which imports cluster, so
+// cluster cannot import service back).
+type latencyHist = latency.Hist
 
-const (
-	latencyBuckets = 26
-	latencyBaseNS  = 4096
-)
+func newLatencyHist() *latencyHist { return &latency.Hist{} }
 
-func newLatencyHist() *latencyHist { return &latencyHist{} }
-
-// record adds one observation. Negative durations (a clock stepping
-// backwards) count into bucket 0 rather than corrupting the sum.
-func (h *latencyHist) record(d time.Duration) {
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
-	}
-	i := bits.Len64(uint64(ns) / latencyBaseNS)
-	if i >= latencyBuckets {
-		i = latencyBuckets - 1
-	}
-	h.counts[i].Add(1)
-	h.sumNS.Add(uint64(ns))
-}
-
-// snapshot returns the bucket counts and sum. Buckets are read one atomic
-// at a time, so the snapshot is only approximately consistent — fine for
-// metrics.
-func (h *latencyHist) snapshot() ([]uint64, uint64) {
-	out := make([]uint64, latencyBuckets)
-	for i := range out {
-		out[i] = h.counts[i].Load()
-	}
-	return out, h.sumNS.Load()
-}
-
-// latencyBucketUpperNS returns bucket i's inclusive upper bound in
-// nanoseconds (the last bucket is unbounded and reports +Inf seconds in
-// the Prometheus rendering).
-func latencyBucketUpperNS(i int) uint64 {
-	return uint64(latencyBaseNS) << uint(i)
-}
+func latencyBucketUpperNS(i int) uint64 { return latency.BucketUpperNS(i) }
 
 // LatencyQuantile estimates quantile q (0..1) from the Stats snapshot's
 // histogram, returning the upper bound of the bucket containing the q-th
@@ -63,29 +22,5 @@ func latencyBucketUpperNS(i int) uint64 {
 // direction for asserting p99 bounds. Returns 0 when the histogram is
 // disabled or empty.
 func (st Stats) LatencyQuantile(q float64) time.Duration {
-	if len(st.LatencyCounts) == 0 || math.IsNaN(q) {
-		return 0
-	}
-	var total uint64
-	for _, c := range st.LatencyCounts {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > total {
-		rank = total
-	}
-	var cum uint64
-	for i, c := range st.LatencyCounts {
-		cum += c
-		if cum >= rank {
-			return time.Duration(latencyBucketUpperNS(i))
-		}
-	}
-	return time.Duration(latencyBucketUpperNS(len(st.LatencyCounts) - 1))
+	return latency.Quantile(st.LatencyCounts, q)
 }

@@ -35,6 +35,7 @@ const (
 	binOpTouch     = 4
 	binOpPing      = 5
 	binOpTenantAdd = 6
+	binOpBMGet     = 11
 
 	binStOK   = 0
 	binStMiss = 1
@@ -46,11 +47,12 @@ const (
 
 // binClient is a blocking binary-protocol client over one TCP connection.
 type binClient struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	id   uint32 // request id counter; responses echo it back in order
-	rbuf []byte // response body scratch, grown as needed
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	id    uint32 // request id counter; responses echo it back in order
+	rbuf  []byte // response body scratch, grown as needed
+	bmget bool   // batch reads as one BMGET frame instead of pipelined GETs
 }
 
 // dialBin connects, negotiates the binary protocol, and registers the
@@ -58,12 +60,12 @@ type binClient struct {
 // closes before any negotiation; that surfaces as a first ack byte that is
 // not the magic (0x83 can never start a text line), or as a transport error
 // — both mean ErrBusy here, matching the text client's dial semantics.
-func dialBin(addr, tenant string) (*binClient, error) {
+func dialBin(addr, tenant string, bmget bool) (*binClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &binClient{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	c := &binClient{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), bmget: bmget}
 	if _, err := conn.Write([]byte{binMagic, 'V', 'B', binVersion}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("%w (%v)", ErrBusy, err)
@@ -252,12 +254,58 @@ func matchBatchID(id, base uint32, got []bool) (int, error) {
 // batch is always drained; the first shed or fault reply is returned as the
 // error with the successfully-answered GETs still counted in hits/seen.
 func (c *binClient) mget(tenant string, keys []string, missBuf []string) (hits, seen int, _ []string, _ error) {
-	base := c.id
-	for _, k := range keys {
-		c.writeFrame(binOpGet, 0, c.nextID(), 0, tenant, k, nil)
-	}
-	if err := c.w.Flush(); err != nil {
+	tok, err := c.mgetSend(tenant, keys)
+	if err != nil {
 		return 0, 0, missBuf, err
+	}
+	return c.mgetRecv(tok, tenant, keys, missBuf)
+}
+
+// writeBMGetFrame appends one BMGET request frame: the header's klen field
+// carries the key count and the body is tenant then count x (u16 len, key).
+func (c *binClient) writeBMGetFrame(id uint32, tenant string, keys []string) {
+	n := binReqHdr + len(tenant)
+	for _, k := range keys {
+		n += 2 + len(k)
+	}
+	var hdr [4 + binReqHdr]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+	hdr[4] = binOpBMGet
+	hdr[6] = uint8(len(tenant))
+	binary.LittleEndian.PutUint32(hdr[8:], id)
+	binary.LittleEndian.PutUint16(hdr[16:], uint16(len(keys)))
+	c.w.Write(hdr[:])
+	c.w.WriteString(tenant)
+	var kl [2]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint16(kl[:], uint16(len(k)))
+		c.w.Write(kl[:])
+		c.w.WriteString(k)
+	}
+}
+
+// mgetSend writes the batch's read frames — one BMGET frame in bmget mode,
+// Batch pipelined GETs otherwise — and flushes. The returned token is the
+// base id mgetRecv matches responses against.
+func (c *binClient) mgetSend(tenant string, keys []string) (uint32, error) {
+	base := c.id
+	if c.bmget {
+		c.writeBMGetFrame(c.nextID(), tenant, keys)
+	} else {
+		for _, k := range keys {
+			c.writeFrame(binOpGet, 0, c.nextID(), 0, tenant, k, nil)
+		}
+	}
+	return base, c.w.Flush()
+}
+
+// mgetRecv reads the batch's responses. In bmget mode that is one
+// coalesced frame whose payload carries per-key statuses in request order;
+// a per-key SHED surfaces as ErrShed just like a shed GET frame would,
+// with the rest of the batch still counted.
+func (c *binClient) mgetRecv(base uint32, tenant string, keys []string, missBuf []string) (hits, seen int, _ []string, _ error) {
+	if c.bmget {
+		return c.bmgetRecv(base, keys, missBuf)
 	}
 	got := make([]bool, len(keys))
 	var firstErr error
@@ -286,12 +334,69 @@ func (c *binClient) mget(tenant string, keys []string, missBuf []string) (hits, 
 	return hits, seen, missBuf, firstErr
 }
 
+// bmgetRecv reads and decodes the single BMGET response frame. The frame
+// answers id base+1; a frame-level ERR (unknown tenant, injected fault)
+// fails the whole batch with seen = 0, mirroring a text MGET abort.
+func (c *binClient) bmgetRecv(base uint32, keys []string, missBuf []string) (hits, seen int, _ []string, _ error) {
+	status, payload, err := c.readRespFor(base + 1)
+	if err != nil {
+		return 0, 0, missBuf, err
+	}
+	if status != binStOK {
+		return 0, 0, missBuf, classifyBinErr("BMGET", status, payload)
+	}
+	if len(payload) < 2 {
+		return 0, 0, missBuf, fmt.Errorf("loadgen: short BMGET payload (%d bytes)", len(payload))
+	}
+	count := int(binary.LittleEndian.Uint16(payload))
+	if count != len(keys) {
+		return 0, 0, missBuf, fmt.Errorf("loadgen: BMGET answered %d keys, want %d", count, len(keys))
+	}
+	p := payload[2:]
+	var firstErr error
+	for i := 0; i < count; i++ {
+		if len(p) < 5 {
+			return hits, seen, missBuf, fmt.Errorf("loadgen: truncated BMGET entry %d", i)
+		}
+		st := p[0]
+		vl := int(binary.LittleEndian.Uint32(p[1:5]))
+		p = p[5:]
+		if len(p) < vl {
+			return hits, seen, missBuf, fmt.Errorf("loadgen: truncated BMGET value %d", i)
+		}
+		p = p[vl:]
+		switch st {
+		case binStOK:
+			hits++
+			seen++
+		case binStMiss:
+			missBuf = append(missBuf, keys[i])
+			seen++
+		default:
+			if firstErr == nil {
+				firstErr = classifyBinErr("BMGET", st, nil)
+			}
+		}
+	}
+	return hits, seen, missBuf, firstErr
+}
+
 // putPipelined writes one PUT frame per key before a single flush and then
 // drains the batch's responses. ttls carries one TTL in milliseconds per
 // key, -1 meaning none. In chaos mode, shed and fault replies are folded
 // into tr and the batch continues; otherwise the first such reply is
 // returned after the drain completes.
 func (c *binClient) putPipelined(tenant string, keys []string, val []byte, ttls []int, chaos bool, tr *TenantResult) (stored uint64, _ error) {
+	tok, err := c.putSend(tenant, keys, val, ttls)
+	if err != nil {
+		return 0, err
+	}
+	return c.putRecv(tok, len(keys), chaos, tr)
+}
+
+// putSend writes the batch's PUT frames and flushes (the send phase of the
+// batchProto split); the returned token is the base id for putRecv.
+func (c *binClient) putSend(tenant string, keys []string, val []byte, ttls []int) (uint32, error) {
 	base := c.id
 	for i, key := range keys {
 		var flags uint8
@@ -302,12 +407,14 @@ func (c *binClient) putPipelined(tenant string, keys []string, val []byte, ttls 
 		}
 		c.writeFrame(binOpPut, flags, c.nextID(), ttl, tenant, key, val)
 	}
-	if err := c.w.Flush(); err != nil {
-		return 0, err
-	}
-	got := make([]bool, len(keys))
+	return base, c.w.Flush()
+}
+
+// putRecv drains the batch's n responses, matching ids against the window.
+func (c *binClient) putRecv(base uint32, n int, chaos bool, tr *TenantResult) (stored uint64, _ error) {
+	got := make([]bool, n)
 	var firstErr error
-	for range keys {
+	for i := 0; i < n; i++ {
 		status, _, id, payload, err := c.readResp()
 		if err != nil {
 			return stored, err

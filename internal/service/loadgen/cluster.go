@@ -24,7 +24,7 @@ import (
 // and yield policy applies, exactly as in solo mode.
 func dialRing(o Options, tenant string) (proto, error) {
 	ring := o.ring
-	rp := &ringProto{ring: ring, conns: make(map[string]proto, len(ring.Members()))}
+	rp := &ringProto{ring: ring, conns: make(map[string]batchProto, len(ring.Members()))}
 	for _, addr := range ring.Members() {
 		so := o
 		so.Addr = addr
@@ -40,7 +40,7 @@ func dialRing(o Options, tenant string) (proto, error) {
 
 type ringProto struct {
 	ring  *cluster.Ring
-	conns map[string]proto
+	conns map[string]batchProto
 }
 
 func (rp *ringProto) close() {
@@ -57,33 +57,54 @@ func (rp *ringProto) put(tenant, key string, val []byte, ttlMS int) error {
 	return rp.conns[rp.ring.Owner(tenant, key)].put(tenant, key, val, ttlMS)
 }
 
-// mget splits the batch by owner and issues one sub-MGET per node,
-// sequentially. hits/seen/missBuf accumulate across sub-batches, so a
-// mid-batch abort on one node behaves like the solo client's: the
-// responses already received are counted and the error surfaces.
+// mget splits the batch by owner and pipelines the scatter: every owner's
+// sub-batch is written (and flushed) before any response is read, so the
+// nodes execute concurrently and the whole batch costs one round-trip of
+// latency instead of one per owner. Responses are then drained in member
+// order — all of them, even after an error, because every sent sub-batch
+// has responses in flight and skipping one would desync that connection.
+// hits/seen/missBuf accumulate across sub-batches and the first error
+// surfaces, matching the sequential semantics.
 func (rp *ringProto) mget(tenant string, keys []string, missBuf []string) (hits, seen int, _ []string, _ error) {
 	byOwner := make(map[string][]string)
 	for _, k := range keys {
 		owner := rp.ring.Owner(tenant, k)
 		byOwner[owner] = append(byOwner[owner], k)
 	}
+	type pend struct {
+		addr string
+		sub  []string
+		tok  uint32
+	}
+	var pends []pend
+	var firstErr error
 	for _, addr := range rp.ring.Members() {
 		sub := byOwner[addr]
 		if len(sub) == 0 {
 			continue
 		}
-		h, s, mb, err := rp.conns[addr].mget(tenant, sub, missBuf)
+		tok, err := rp.conns[addr].mgetSend(tenant, sub)
+		if err != nil {
+			firstErr = err
+			break // transport loss; drain what was already sent
+		}
+		pends = append(pends, pend{addr: addr, sub: sub, tok: tok})
+	}
+	for _, p := range pends {
+		h, s, mb, err := rp.conns[p.addr].mgetRecv(p.tok, tenant, p.sub, missBuf)
 		hits += h
 		seen += s
 		missBuf = mb
-		if err != nil {
-			return hits, seen, missBuf, err
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return hits, seen, missBuf, nil
+	return hits, seen, missBuf, firstErr
 }
 
-// putPipelined splits the fill batch by owner, preserving each key's TTL.
+// putPipelined splits the fill batch by owner, preserving each key's TTL,
+// with the same pipelined scatter as mget: all sub-batches are written
+// before any response is read, then every sent sub-batch is drained.
 func (rp *ringProto) putPipelined(tenant string, keys []string, val []byte, ttls []int, chaos bool, tr *TenantResult) (stored uint64, _ error) {
 	type sub struct {
 		keys []string
@@ -104,18 +125,33 @@ func (rp *ringProto) putPipelined(tenant string, keys []string, val []byte, ttls
 			g.ttls = append(g.ttls, -1)
 		}
 	}
+	type pend struct {
+		addr string
+		n    int
+		tok  uint32
+	}
+	var pends []pend
+	var firstErr error
 	for _, addr := range rp.ring.Members() {
 		g := byOwner[addr]
 		if g == nil {
 			continue
 		}
-		st, err := rp.conns[addr].putPipelined(tenant, g.keys, val, g.ttls, chaos, tr)
-		stored += st
+		tok, err := rp.conns[addr].putSend(tenant, g.keys, val, g.ttls)
 		if err != nil {
-			return stored, err
+			firstErr = err
+			break
+		}
+		pends = append(pends, pend{addr: addr, n: len(g.keys), tok: tok})
+	}
+	for _, p := range pends {
+		st, err := rp.conns[p.addr].putRecv(p.tok, p.n, chaos, tr)
+		stored += st
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return stored, nil
+	return stored, firstErr
 }
 
 // churner drives tenant-registry churn alongside a run: a rotating

@@ -161,6 +161,11 @@ type Options struct {
 	// as ErrBusy (the reject line is not a valid preamble ack), shed frames
 	// as ErrShed, injected faults as ErrInjected.
 	Binary bool
+	// BMGet batches reads as one BMGET multi-key frame per batch instead of
+	// Batch pipelined GET frames — one request frame and one coalesced
+	// response frame per batch. Implies Binary. Per-key shed statuses
+	// surface as ErrShed exactly like a shed GET frame in the batch.
+	BMGet bool
 
 	// ClusterAddrs switches the run to cluster mode: every "connection"
 	// becomes a ring-aware client that routes each key to its owner among
@@ -228,6 +233,9 @@ type Result struct {
 func Run(o Options) (Result, error) {
 	if o.Addr == "" && len(o.ClusterAddrs) == 0 {
 		return Result{}, fmt.Errorf("loadgen: no server address")
+	}
+	if o.BMGet {
+		o.Binary = true // BMGET is a binary opcode
 	}
 	if len(o.ClusterAddrs) > 0 {
 		vn := o.VNodes
@@ -318,6 +326,21 @@ type proto interface {
 	close()
 }
 
+// batchProto is a proto whose batch operations split into a send phase and
+// a receive phase. The ring client uses the split to truly pipeline a
+// scattered batch: it writes every owner's sub-batch before reading any
+// response, so the nodes work concurrently and the batch costs one
+// round-trip of latency instead of one per owner. The token returned by a
+// send is handed back to the matching recv (the binary client's base
+// request id; the text client has no use for it).
+type batchProto interface {
+	proto
+	mgetSend(tenant string, keys []string) (uint32, error)
+	mgetRecv(tok uint32, tenant string, keys []string, missBuf []string) (hits, seen int, _ []string, _ error)
+	putSend(tenant string, keys []string, val []byte, ttls []int) (uint32, error)
+	putRecv(tok uint32, n int, chaos bool, tr *TenantResult) (stored uint64, _ error)
+}
+
 // dialProto connects with the run's selected wire protocol — a ring
 // client in cluster mode, a single connection otherwise.
 func dialProto(o Options, tenant string) (proto, error) {
@@ -328,9 +351,9 @@ func dialProto(o Options, tenant string) (proto, error) {
 }
 
 // dialProtoSolo connects to o.Addr with the selected wire protocol.
-func dialProtoSolo(o Options, tenant string) (proto, error) {
+func dialProtoSolo(o Options, tenant string) (batchProto, error) {
 	if o.Binary {
-		return dialBin(o.Addr, tenant)
+		return dialBin(o.Addr, tenant, o.BMGet)
 	}
 	return dial(o.Addr, tenant)
 }
@@ -661,6 +684,16 @@ func (c *client) get(tenant, key string) (bool, error) {
 // responses and no END (the line stream stays in sync); that surfaces here
 // as ErrShed/ErrInjected with seen < len(keys).
 func (c *client) mget(tenant string, keys []string, missBuf []string) (hits, seen int, _ []string, _ error) {
+	tok, err := c.mgetSend(tenant, keys)
+	if err != nil {
+		return 0, 0, missBuf, err
+	}
+	return c.mgetRecv(tok, tenant, keys, missBuf)
+}
+
+// mgetSend writes and flushes the MGET command line (the send phase of the
+// batchProto split; the token is unused by the text protocol).
+func (c *client) mgetSend(tenant string, keys []string) (uint32, error) {
 	c.w.WriteString("MGET ")
 	c.w.WriteString(tenant)
 	c.w.WriteByte(' ')
@@ -670,9 +703,11 @@ func (c *client) mget(tenant string, keys []string, missBuf []string) (hits, see
 		c.w.WriteString(k)
 	}
 	c.w.WriteString("\r\n")
-	if err := c.w.Flush(); err != nil {
-		return 0, 0, missBuf, err
-	}
+	return 0, c.w.Flush()
+}
+
+// mgetRecv reads the MGET's per-key responses and END terminator.
+func (c *client) mgetRecv(_ uint32, tenant string, keys []string, missBuf []string) (hits, seen int, _ []string, _ error) {
 	for _, k := range keys {
 		resp, err := c.readLine()
 		if err != nil {
@@ -714,6 +749,16 @@ func (c *client) mget(tenant string, keys []string, missBuf []string) (hits, see
 // and the remaining responses are still drained (every PUT gets exactly one
 // reply line, so the stream stays in sync).
 func (c *client) putPipelined(tenant string, keys []string, val []byte, ttls []int, chaos bool, tr *TenantResult) (stored uint64, _ error) {
+	tok, err := c.putSend(tenant, keys, val, ttls)
+	if err != nil {
+		return 0, err
+	}
+	return c.putRecv(tok, len(keys), chaos, tr)
+}
+
+// putSend writes and flushes the batch's PUT commands (the send phase of
+// the batchProto split).
+func (c *client) putSend(tenant string, keys []string, val []byte, ttls []int) (uint32, error) {
 	for i, key := range keys {
 		if len(ttls) > i && ttls[i] >= 0 {
 			fmt.Fprintf(c.w, "PUT %s %s %d EXPIRE %d\r\n", tenant, key, len(val), ttls[i])
@@ -723,10 +768,12 @@ func (c *client) putPipelined(tenant string, keys []string, val []byte, ttls []i
 		c.w.Write(val)
 		c.w.WriteString("\r\n")
 	}
-	if err := c.w.Flush(); err != nil {
-		return 0, err
-	}
-	for range keys {
+	return 0, c.w.Flush()
+}
+
+// putRecv drains the batch's n response lines.
+func (c *client) putRecv(_ uint32, n int, chaos bool, tr *TenantResult) (stored uint64, _ error) {
+	for i := 0; i < n; i++ {
 		resp, err := c.readLine()
 		if err != nil {
 			return stored, err

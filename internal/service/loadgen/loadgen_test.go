@@ -51,7 +51,7 @@ func benchTenants() []Tenant {
 // transport change, invisible to cache behavior.
 func TestBinaryMatchesText(t *testing.T) {
 	for _, batch := range []int{1, 8} {
-		run := func(bin bool) Result {
+		run := func(bin, bmget bool) Result {
 			res, err := Run(Options{
 				Addr:       newBenchServer(t, service.ServerConfig{}),
 				Tenants:    benchTenants(),
@@ -59,22 +59,29 @@ func TestBinaryMatchesText(t *testing.T) {
 				ValueSize:  32,
 				Batch:      batch,
 				Binary:     bin,
+				BMGet:      bmget,
 			})
 			if err != nil {
-				t.Fatalf("batch=%d binary=%v: %v", batch, bin, err)
+				t.Fatalf("batch=%d binary=%v bmget=%v: %v", batch, bin, bmget, err)
 			}
 			return res
 		}
-		text, bin := run(false), run(true)
-		tt, bt := text.Tenants[0], bin.Tenants[0]
-		if tt.Gets != bt.Gets || tt.Hits != bt.Hits || tt.Misses != bt.Misses || tt.Puts != bt.Puts {
-			t.Fatalf("batch=%d: text %+v != binary %+v", batch, tt, bt)
-		}
-		if bt.Gets != 3000 {
-			t.Fatalf("batch=%d: binary did %d gets, want full 3000 budget", batch, bt.Gets)
-		}
-		if bt.Hits == 0 || bt.Puts == 0 {
-			t.Fatalf("batch=%d: degenerate binary run %+v", batch, bt)
+		text := run(false, false)
+		tt := text.Tenants[0]
+		for _, mode := range []struct {
+			name  string
+			bmget bool
+		}{{"binary", false}, {"bmget", true}} {
+			bt := run(true, mode.bmget).Tenants[0]
+			if tt.Gets != bt.Gets || tt.Hits != bt.Hits || tt.Misses != bt.Misses || tt.Puts != bt.Puts {
+				t.Fatalf("batch=%d: text %+v != %s %+v", batch, tt, mode.name, bt)
+			}
+			if bt.Gets != 3000 {
+				t.Fatalf("batch=%d %s: did %d gets, want full 3000 budget", batch, mode.name, bt.Gets)
+			}
+			if bt.Hits == 0 || bt.Puts == 0 {
+				t.Fatalf("batch=%d %s: degenerate run %+v", batch, mode.name, bt)
+			}
 		}
 	}
 }
@@ -120,14 +127,14 @@ func TestBinaryTTLFills(t *testing.T) {
 // never a binary ack, and the binary client must classify that as ErrBusy.
 func TestBinaryDialBusy(t *testing.T) {
 	addr := newBenchServer(t, service.ServerConfig{MaxConns: 1})
-	hold, err := dialBin(addr, "t")
+	hold, err := dialBin(addr, "t", false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer hold.close()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, err = dialBin(addr, "t")
+		_, err = dialBin(addr, "t", false)
 		if errors.Is(err, ErrBusy) {
 			return
 		}

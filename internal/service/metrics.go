@@ -71,6 +71,7 @@ type Stats struct {
 	BinConns       uint64 // connections that negotiated binary framing
 	BinConnsActive int64  // currently open binary connections
 	BinFrames      uint64 // binary request frames dispatched
+	BmgetKeys      uint64 // keys carried by BMGET multi-key frames
 
 	// Cluster state (see cluster.go). ClusterPeers is 0 when no cluster
 	// handler is installed; ClusterRegistryVersion converges across peers.
@@ -101,6 +102,7 @@ func (s *Service) Stats() Stats {
 		BinConns:               s.binConnsTotal.Load(),
 		BinConnsActive:         s.binConns.Load(),
 		BinFrames:              s.binFrames.Load(),
+		BmgetKeys:              s.bmgetKeys.Load(),
 		Repartitions:           s.repartitions.Load(),
 		Expired:                s.expired.Load(),
 		ClusterRegistryVersion: s.clusterVersion.Load(),
@@ -115,7 +117,7 @@ func (s *Service) Stats() Stats {
 		st.ClusterPeers = h.Peers()
 	}
 	if s.latency != nil {
-		st.LatencyCounts, st.LatencySumNS = s.latency.snapshot()
+		st.LatencyCounts, st.LatencySumNS = s.latency.Snapshot()
 	}
 
 	reg := s.reg.Load()
@@ -211,6 +213,7 @@ func writeMetrics(b *strings.Builder, st Stats) {
 	counter("vantaged_sweep_passes_total", "Expiry sweep passes executed.", st.SweepPasses)
 	counter("vantaged_bin_conns_total", "Connections that negotiated binary framing.", st.BinConns)
 	counter("vantaged_bin_frames_total", "Binary request frames dispatched.", st.BinFrames)
+	counter("vantaged_bmget_keys_total", "Keys carried by BMGET multi-key frames.", st.BmgetKeys)
 	gauge("vantaged_bin_conns_active", "Currently open binary connections.", float64(st.BinConnsActive))
 	gauge("vantaged_exp_heap_entries", "Expiry-hint heap entries across shards.", float64(st.ExpHeapEntries))
 	gauge("vantaged_shards", "Cache shards.", float64(st.Shards))

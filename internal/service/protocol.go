@@ -156,6 +156,16 @@ const (
 	maxLineLen = 512 << 10
 )
 
+// Wire limits mirrored by ring-aware clients and the cluster proxy, which
+// must pre-validate frames before pipelining them onto shared backend
+// connections (a malformed frame would kill a connection other clients
+// are riding).
+const (
+	MaxKeyLen    = maxKeyLen
+	MaxValueLen  = maxValueLen
+	MaxBatchKeys = maxBatchKeys
+)
+
 // ServerConfig are the serving-layer overload knobs. The zero value imposes
 // no limits, no deadlines, and no fault injection — the pre-hardening
 // behavior.
@@ -416,7 +426,7 @@ func (s *Server) handle(conn net.Conn) {
 		if h := s.svc.latency; h != nil {
 			t0 := s.svc.clk.Now()
 			quit, err = s.dispatch(conn, line, r, w, cs)
-			h.record(s.svc.clk.Now().Sub(t0))
+			h.Record(s.svc.clk.Now().Sub(t0))
 		} else {
 			quit, err = s.dispatch(conn, line, r, w, cs)
 		}
@@ -950,6 +960,7 @@ func (s *Server) dispatch(conn net.Conn, line []byte, r *bufio.Reader, w *bufio.
 		fmt.Fprintf(w, "STAT bin_conns %d\r\n", st.BinConns)
 		fmt.Fprintf(w, "STAT bin_conns_active %d\r\n", st.BinConnsActive)
 		fmt.Fprintf(w, "STAT bin_frames %d\r\n", st.BinFrames)
+		fmt.Fprintf(w, "STAT bmget_keys %d\r\n", st.BmgetKeys)
 		fmt.Fprintf(w, "STAT shards %d\r\n", st.Shards)
 		fmt.Fprintf(w, "STAT cache_lines %d\r\n", st.TotalLines)
 		fmt.Fprintf(w, "STAT store_entries %d\r\n", st.StoreEntries)

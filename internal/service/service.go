@@ -249,6 +249,7 @@ type Service struct {
 	binConnsTotal atomic.Uint64 // connections that negotiated binary framing
 	binConns      atomic.Int64  // currently open binary connections
 	binFrames     atomic.Uint64 // binary request frames dispatched
+	bmgetKeys     atomic.Uint64 // keys carried by BMGET multi-key frames
 
 	// fault, when non-nil, injects delays/errors into the shard path and
 	// connection drops into the dispatcher (see fault.go).
